@@ -1,0 +1,211 @@
+//! Thread-ID taint (divergence) analysis.
+//!
+//! The paper's §V analysis of the `complex` benchmark traces its slowdown to
+//! a branch whose condition depends on the thread id: every warp diverges on
+//! it, and u&u lengthens the divergent paths. The proposed remedy — "a taint
+//! analysis that checks whether a condition depends on the values of e.g.
+//! `threadIdx`, and not apply our transformation in these cases" — is
+//! implemented here and wired into the heuristic as the optional
+//! *divergence guard* ablation.
+//!
+//! Taint sources are `threadIdx.x` reads. Taint propagates through all
+//! value-producing instructions, including loads whose *address* is tainted
+//! (different threads read different cells, so the data is thread-varying).
+//! Kernel arguments are uniform (the same for all threads).
+
+use crate::loops::{LoopForest, LoopId};
+use std::collections::HashSet;
+use uu_ir::{Function, InstId, InstKind, Intrinsic, Value};
+
+/// Result of the taint analysis: the set of thread-dependent (divergent)
+/// instruction results.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    tainted: HashSet<InstId>,
+}
+
+impl Divergence {
+    /// Run the analysis on `f` to a fixed point.
+    pub fn compute(f: &Function) -> Self {
+        let mut tainted: HashSet<InstId> = HashSet::new();
+        // Seed: threadIdx reads.
+        for (id, inst) in f.iter_insts() {
+            if let InstKind::Intr { which, .. } = &inst.kind {
+                if which.is_thread_id() {
+                    tainted.insert(id);
+                }
+            }
+        }
+        // Propagate to a fixed point (phis make this iterative).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (id, inst) in f.iter_insts() {
+                if tainted.contains(&id) {
+                    continue;
+                }
+                if matches!(
+                    inst.kind,
+                    InstKind::Store { .. }
+                        | InstKind::Br { .. }
+                        | InstKind::CondBr { .. }
+                        | InstKind::Ret { .. }
+                ) {
+                    continue;
+                }
+                let mut any = false;
+                inst.kind.for_each_operand(|v| {
+                    if let Value::Inst(d) = v {
+                        if tainted.contains(d) {
+                            any = true;
+                        }
+                    }
+                });
+                if any && tainted.insert(id) {
+                    changed = true;
+                }
+            }
+        }
+        Divergence { tainted }
+    }
+
+    /// Whether the value is thread-dependent.
+    pub fn is_divergent(&self, v: Value) -> bool {
+        match v {
+            Value::Inst(id) => self.tainted.contains(&id),
+            // Arguments and constants are uniform across the grid.
+            Value::Arg(_) | Value::Const(_) => false,
+        }
+    }
+
+    /// Number of divergent values found.
+    pub fn num_divergent(&self) -> usize {
+        self.tainted.len()
+    }
+}
+
+/// Whether any conditional branch inside loop `id` has a thread-dependent
+/// condition — the divergence-guard query used by the heuristic.
+pub fn loop_has_divergent_branch(
+    f: &Function,
+    forest: &LoopForest,
+    id: LoopId,
+    div: &Divergence,
+) -> bool {
+    for &b in &forest.get(id).blocks {
+        if let Some(t) = f.terminator(b) {
+            if let InstKind::CondBr { cond, .. } = f.inst(t).kind {
+                if div.is_divergent(cond) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Convenience: does the function read the thread id at all?
+pub fn uses_thread_id(f: &Function) -> bool {
+    f.iter_insts().any(|(_, i)| {
+        matches!(&i.kind, InstKind::Intr { which, .. } if *which == Intrinsic::ThreadIdxX)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DomTree;
+    use uu_ir::{BinOp, FunctionBuilder, ICmpPred, Param, Type};
+
+    /// The `complex` loop shape: `while (n > 0) { if (n & 1) ...; n >>= 1 }`
+    /// with `n` seeded from the global thread id.
+    fn complex_like(seed_from_tid: bool) -> uu_ir::Function {
+        let mut f = uu_ir::Function::new("cx", vec![Param::new("n0", Type::I64)], Type::Void);
+        let entry = f.entry();
+        let mut b = FunctionBuilder::new(&mut f);
+        let h = b.create_block();
+        let odd = b.create_block();
+        let latch = b.create_block();
+        let exit = b.create_block();
+        b.switch_to(entry);
+        let n0 = if seed_from_tid {
+            b.global_thread_id()
+        } else {
+            Value::Arg(0)
+        };
+        b.br(h);
+        b.switch_to(h);
+        let n = b.phi(Type::I64);
+        b.add_phi_incoming(n, entry, n0);
+        let c = b.icmp(ICmpPred::Sgt, n, Value::imm(0i64));
+        b.cond_br(c, odd, exit);
+        b.switch_to(odd);
+        let bit = b.and(n, Value::imm(1i64));
+        let isodd = b.icmp(ICmpPred::Ne, bit, Value::imm(0i64));
+        b.cond_br(isodd, latch, latch); // both edges to latch; condition still divergent
+        b.switch_to(latch);
+        let n2 = b.bin(BinOp::AShr, n, Value::imm(1i64));
+        b.add_phi_incoming(n, latch, n2);
+        b.br(h);
+        b.switch_to(exit);
+        b.ret(None);
+        f
+    }
+
+    #[test]
+    fn tid_seeded_loop_is_divergent() {
+        let f = complex_like(true);
+        let div = Divergence::compute(&f);
+        let dom = DomTree::compute(&f);
+        let forest = LoopForest::compute(&f, &dom);
+        assert!(div.num_divergent() > 0);
+        assert!(loop_has_divergent_branch(&f, &forest, LoopId(0), &div));
+        assert!(uses_thread_id(&f));
+    }
+
+    #[test]
+    fn uniform_loop_is_not_divergent() {
+        let f = complex_like(false);
+        let div = Divergence::compute(&f);
+        let dom = DomTree::compute(&f);
+        let forest = LoopForest::compute(&f, &dom);
+        assert_eq!(div.num_divergent(), 0);
+        assert!(!loop_has_divergent_branch(&f, &forest, LoopId(0), &div));
+        assert!(!uses_thread_id(&f));
+    }
+
+    #[test]
+    fn taint_flows_through_loads() {
+        // load(base + tid*8) is divergent data.
+        let mut f = uu_ir::Function::new("ld", vec![Param::new("p", Type::Ptr)], Type::Void);
+        let entry = f.entry();
+        let mut b = FunctionBuilder::new(&mut f);
+        b.switch_to(entry);
+        let gid = b.global_thread_id();
+        let addr = b.gep(Value::Arg(0), gid, 8);
+        let x = b.load(Type::F64, addr);
+        let y = b.fadd(x, Value::imm(1.0f64));
+        b.store(addr, y);
+        b.ret(None);
+        let div = Divergence::compute(&f);
+        assert!(div.is_divergent(x));
+        assert!(div.is_divergent(y));
+        assert!(div.is_divergent(addr));
+        assert!(!div.is_divergent(Value::Arg(0)));
+    }
+
+    #[test]
+    fn uniform_load_stays_uniform() {
+        let mut f = uu_ir::Function::new("u", vec![Param::new("p", Type::Ptr)], Type::Void);
+        let entry = f.entry();
+        let mut b = FunctionBuilder::new(&mut f);
+        b.switch_to(entry);
+        let x = b.load(Type::F64, Value::Arg(0));
+        let y = b.fadd(x, Value::imm(1.0f64));
+        b.store(Value::Arg(0), y);
+        b.ret(None);
+        let div = Divergence::compute(&f);
+        assert!(!div.is_divergent(x));
+        assert!(!div.is_divergent(y));
+    }
+}

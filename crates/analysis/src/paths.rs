@@ -1,0 +1,287 @@
+//! Counting control-flow paths through a loop body.
+//!
+//! The u&u heuristic estimates post-transform size as
+//! `f(p, s, u) = Σ_{i=0}^{u-1} p^i · s` where `p` is the number of acyclic
+//! paths through the loop body (paper §III-A). This module computes `p`:
+//! the number of distinct paths from the header back to any latch, with
+//! inner loops collapsed to single super-nodes (they are unmerged, not
+//! unrolled, so they contribute one node each).
+
+use crate::loops::{LoopForest, LoopId};
+use std::collections::HashMap;
+use uu_ir::{BlockId, Function};
+
+/// Number of acyclic header→latch paths in loop `id`, saturating at
+/// `u64::MAX`. Inner loops are collapsed onto their headers.
+pub fn count_loop_paths(f: &Function, forest: &LoopForest, id: LoopId) -> u64 {
+    let l = forest.get(id);
+    // Map each block to its representative: the header of the outermost
+    // inner loop (within `l`) containing it, or itself.
+    let repr = |b: BlockId| -> BlockId {
+        let mut cur = forest.innermost_containing(b);
+        let mut best = b;
+        while let Some(lid) = cur {
+            if lid == id {
+                break;
+            }
+            let inner = forest.get(lid);
+            // Only collapse loops nested inside `l`.
+            if l.contains(inner.header) {
+                best = inner.header;
+            }
+            cur = inner.parent;
+        }
+        best
+    };
+    // Build the collapsed DAG over representatives, dropping back edges to
+    // the header of `l` (we count a path as complete when it takes one).
+    // paths(x) = number of paths from x to "taken a back edge".
+    // Memoized DFS; the collapsed graph is acyclic because `l`'s only cycles
+    // run through its header (reducible CFG) or through inner loops (now
+    // collapsed).
+    fn dfs(
+        f: &Function,
+        l: &crate::loops::Loop,
+        repr: &dyn Fn(BlockId) -> BlockId,
+        node: BlockId,
+        header: BlockId,
+        memo: &mut HashMap<BlockId, u64>,
+        visiting: &mut Vec<BlockId>,
+    ) -> u64 {
+        if let Some(&v) = memo.get(&node) {
+            return v;
+        }
+        if visiting.contains(&node) {
+            // Irreducible or unexpected cycle: treat conservatively as one.
+            return 1;
+        }
+        visiting.push(node);
+        // Successors of the collapsed node: union of successors of all
+        // blocks it represents that leave the collapsed group.
+        let mut total: u64 = 0;
+        let group: Vec<BlockId> = l
+            .blocks
+            .iter()
+            .copied()
+            .filter(|b| repr(*b) == node)
+            .collect();
+        for &g in &group {
+            for s in f.successors(g) {
+                if !l.contains(s) {
+                    continue; // exit edge: not a body path
+                }
+                if s == header {
+                    total = total.saturating_add(1); // back edge completes a path
+                    continue;
+                }
+                let rs = repr(s);
+                if rs == node {
+                    continue; // internal edge of the collapsed group
+                }
+                let sub = dfs(f, l, repr, rs, header, memo, visiting);
+                total = total.saturating_add(sub);
+            }
+        }
+        visiting.pop();
+        memo.insert(node, total);
+        total
+    }
+
+    let mut memo = HashMap::new();
+    let mut visiting = Vec::new();
+    let p = dfs(
+        f,
+        l,
+        &repr,
+        repr(l.header),
+        l.header,
+        &mut memo,
+        &mut visiting,
+    );
+    p.max(1)
+}
+
+/// The paper's size estimate `f(p, s, u) = Σ_{i=0}^{u-1} p^i · s`, saturating.
+pub fn uu_size_estimate(paths: u64, size: u64, unroll: u32) -> u64 {
+    let mut total: u64 = 0;
+    let mut pow: u64 = 1;
+    for i in 0..unroll {
+        total = total.saturating_add(pow.saturating_mul(size));
+        if i + 1 < unroll {
+            pow = pow.saturating_mul(paths);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DomTree;
+    use uu_ir::{FunctionBuilder, ICmpPred, Param, Type, Value};
+
+    /// Loop whose body is a diamond: 2 paths.
+    fn diamond_loop() -> uu_ir::Function {
+        let mut f = uu_ir::Function::new(
+            "k",
+            vec![Param::new("n", Type::I64), Param::new("c", Type::I1)],
+            Type::Void,
+        );
+        let entry = f.entry();
+        let mut b = FunctionBuilder::new(&mut f);
+        let h = b.create_block(); // 1
+        let t = b.create_block(); // 2
+        let e = b.create_block(); // 3
+        let latch = b.create_block(); // 4
+        let exit = b.create_block(); // 5
+        b.switch_to(entry);
+        b.br(h);
+        b.switch_to(h);
+        let i = b.phi(Type::I64);
+        b.add_phi_incoming(i, entry, Value::imm(0i64));
+        let c = b.icmp(ICmpPred::Slt, i, Value::Arg(0));
+        b.cond_br(c, t, exit);
+        b.switch_to(t);
+        b.cond_br(Value::Arg(1), e, latch);
+        b.switch_to(e);
+        b.br(latch);
+        b.switch_to(latch);
+        let i1 = b.add(i, Value::imm(1i64));
+        b.add_phi_incoming(i, latch, i1);
+        b.br(h);
+        b.switch_to(exit);
+        b.ret(None);
+        f
+    }
+
+    #[test]
+    fn diamond_counts_two_paths() {
+        let f = diamond_loop();
+        let dom = DomTree::compute(&f);
+        let forest = LoopForest::compute(&f, &dom);
+        assert_eq!(count_loop_paths(&f, &forest, LoopId(0)), 2);
+    }
+
+    #[test]
+    fn straight_body_counts_one_path() {
+        let mut f = uu_ir::Function::new("k", vec![Param::new("n", Type::I64)], Type::Void);
+        let entry = f.entry();
+        let mut b = FunctionBuilder::new(&mut f);
+        let h = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        b.switch_to(entry);
+        b.br(h);
+        b.switch_to(h);
+        let i = b.phi(Type::I64);
+        b.add_phi_incoming(i, entry, Value::imm(0i64));
+        let c = b.icmp(ICmpPred::Slt, i, Value::Arg(0));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let i1 = b.add(i, Value::imm(1i64));
+        b.add_phi_incoming(i, body, i1);
+        b.br(h);
+        b.switch_to(exit);
+        b.ret(None);
+        let dom = DomTree::compute(&f);
+        let forest = LoopForest::compute(&f, &dom);
+        assert_eq!(count_loop_paths(&f, &forest, LoopId(0)), 1);
+    }
+
+    /// Two sequential diamonds: 4 paths (as in the bezier-surface loop).
+    #[test]
+    fn two_diamonds_count_four_paths() {
+        let mut f = uu_ir::Function::new(
+            "k",
+            vec![
+                Param::new("n", Type::I64),
+                Param::new("c1", Type::I1),
+                Param::new("c2", Type::I1),
+            ],
+            Type::Void,
+        );
+        let entry = f.entry();
+        let mut b = FunctionBuilder::new(&mut f);
+        let h = b.create_block();
+        let d1t = b.create_block();
+        let d1j = b.create_block();
+        let d2t = b.create_block();
+        let latch = b.create_block();
+        let exit = b.create_block();
+        b.switch_to(entry);
+        b.br(h);
+        b.switch_to(h);
+        let i = b.phi(Type::I64);
+        b.add_phi_incoming(i, entry, Value::imm(0i64));
+        let c = b.icmp(ICmpPred::Slt, i, Value::Arg(0));
+        b.cond_br(c, d1t, exit);
+        b.switch_to(d1t);
+        b.cond_br(Value::Arg(1), d1j, d1j); // both arms to join: still 2 edges
+        b.switch_to(d1j);
+        b.cond_br(Value::Arg(2), d2t, latch);
+        b.switch_to(d2t);
+        b.br(latch);
+        b.switch_to(latch);
+        let i1 = b.add(i, Value::imm(1i64));
+        b.add_phi_incoming(i, latch, i1);
+        b.br(h);
+        b.switch_to(exit);
+        b.ret(None);
+        let dom = DomTree::compute(&f);
+        let forest = LoopForest::compute(&f, &dom);
+        // d1t has two parallel edges to d1j (2 paths), then d1j splits into
+        // 2 more: 4 total.
+        assert_eq!(count_loop_paths(&f, &forest, LoopId(0)), 4);
+    }
+
+    #[test]
+    fn inner_loops_collapse_to_one_node() {
+        // Outer loop containing an inner loop: the inner loop contributes a
+        // single unit, so the outer body has 1 path.
+        let mut f = uu_ir::Function::new("nest", vec![Param::new("n", Type::I64)], Type::Void);
+        let entry = f.entry();
+        let mut b = FunctionBuilder::new(&mut f);
+        let oh = b.create_block();
+        let ih = b.create_block();
+        let ibody = b.create_block();
+        let olatch = b.create_block();
+        let exit = b.create_block();
+        b.switch_to(entry);
+        b.br(oh);
+        b.switch_to(oh);
+        let i = b.phi(Type::I64);
+        b.add_phi_incoming(i, entry, Value::imm(0i64));
+        let ci = b.icmp(ICmpPred::Slt, i, Value::Arg(0));
+        b.cond_br(ci, ih, exit);
+        b.switch_to(ih);
+        let j = b.phi(Type::I64);
+        b.add_phi_incoming(j, oh, Value::imm(0i64));
+        let cj = b.icmp(ICmpPred::Slt, j, Value::Arg(0));
+        b.cond_br(cj, ibody, olatch);
+        b.switch_to(ibody);
+        let j1 = b.add(j, Value::imm(1i64));
+        b.add_phi_incoming(j, ibody, j1);
+        b.br(ih);
+        b.switch_to(olatch);
+        let i1 = b.add(i, Value::imm(1i64));
+        b.add_phi_incoming(i, olatch, i1);
+        b.br(oh);
+        b.switch_to(exit);
+        b.ret(None);
+        let dom = DomTree::compute(&f);
+        let forest = LoopForest::compute(&f, &dom);
+        // Loop 0 is the outer loop (header RPO order).
+        assert_eq!(count_loop_paths(&f, &forest, LoopId(0)), 1);
+        assert_eq!(count_loop_paths(&f, &forest, LoopId(1)), 1);
+    }
+
+    #[test]
+    fn size_estimate_formula() {
+        // f(2, 10, 3) = 10 + 2*10 + 4*10 = 70
+        assert_eq!(uu_size_estimate(2, 10, 3), 70);
+        assert_eq!(uu_size_estimate(1, 10, 4), 40);
+        assert_eq!(uu_size_estimate(3, 5, 1), 5);
+        // Saturation, not overflow.
+        assert_eq!(uu_size_estimate(u64::MAX, u64::MAX, 8), u64::MAX);
+    }
+}

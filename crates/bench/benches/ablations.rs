@@ -1,0 +1,189 @@
+//! Ablation benches for the design decisions called out in DESIGN.md:
+//! whole-path vs direct-successor unmerging, pass position, heuristic
+//! parameters and the divergence guard. Criterion times the compile+run
+//! machinery; each configuration additionally prints the simulated kernel
+//! time it produced (the quantity the ablation is about) before sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uu_core::{
+    HeuristicOptions, LoopFilter, PassPosition, PipelineOptions, Transform, UnmergeMode,
+    UnmergeOptions,
+};
+use uu_harness::Measurement;
+use uu_kernels::all_benchmarks;
+
+fn bench_by_name(name: &str) -> uu_kernels::Benchmark {
+    all_benchmarks()
+        .into_iter()
+        .find(|b| b.info.name == name)
+        .unwrap()
+}
+
+fn run(b: &uu_kernels::Benchmark, opts: PipelineOptions) -> Measurement {
+    let mut m = (b.build)();
+    let outcome = uu_core::compile(&mut m, &opts);
+    let mut gpu = uu_simt::Gpu::new();
+    let run = (b.run)(&m, &mut gpu).unwrap();
+    Measurement {
+        time_ms: run.kernel_time_ms,
+        code_size: uu_analysis::cost::module_size(&m),
+        compile_ms: outcome.total.as_secs_f64() * 1e3,
+        checksum: run.checksum,
+        timed_out: outcome.timed_out,
+        metrics: run.metrics,
+        transfer_ms: run.transfer_ms(),
+    }
+}
+
+/// Whole-path (the paper's design) vs DBDS-style direct-successor
+/// duplication, on the bezier hot loop.
+fn ablation_unmerge_depth(c: &mut Criterion) {
+    let b = bench_by_name("bezier-surface");
+    for (name, mode) in [
+        ("whole_path", UnmergeMode::WholePath),
+        ("direct_successor", UnmergeMode::DirectSuccessor),
+    ] {
+        {
+            let m = run(&b, PipelineOptions {
+                transform: Transform::Uu { factor: 2, unmerge: UnmergeOptions { mode, ..Default::default() } },
+                filter: LoopFilter::Only { func: "bezier_blend".into(), loop_id: 0 },
+                ..Default::default()
+            });
+            eprintln!("ablation/unmerge_depth/{name}: kernel {:.6} ms, size {}", m.time_ms, m.code_size);
+        }
+        c.bench_function(&format!("ablation/unmerge_depth/{name}"), |bch| {
+            bch.iter(|| {
+                let m = run(
+                    &b,
+                    PipelineOptions {
+                        transform: Transform::Uu {
+                            factor: 2,
+                            unmerge: UnmergeOptions {
+                                mode,
+                                ..Default::default()
+                            },
+                        },
+                        filter: LoopFilter::Only {
+                            func: "bezier_blend".into(),
+                            loop_id: 0,
+                        },
+                        ..Default::default()
+                    },
+                );
+                m.time_ms
+            })
+        });
+    }
+}
+
+/// Early (the paper's choice) vs late pass position.
+fn ablation_pass_position(c: &mut Criterion) {
+    let b = bench_by_name("bezier-surface");
+    for (name, pos) in [("early", PassPosition::Early), ("late", PassPosition::Late)] {
+        {
+            let m = run(&b, PipelineOptions {
+                transform: Transform::Uu { factor: 2, unmerge: UnmergeOptions::default() },
+                filter: LoopFilter::Only { func: "bezier_blend".into(), loop_id: 0 },
+                position: pos,
+                ..Default::default()
+            });
+            eprintln!("ablation/position/{name}: kernel {:.6} ms", m.time_ms);
+        }
+        c.bench_function(&format!("ablation/position/{name}"), |bch| {
+            bch.iter(|| {
+                run(
+                    &b,
+                    PipelineOptions {
+                        transform: Transform::Uu {
+                            factor: 2,
+                            unmerge: UnmergeOptions::default(),
+                        },
+                        filter: LoopFilter::Only {
+                            func: "bezier_blend".into(),
+                            loop_id: 0,
+                        },
+                        position: pos,
+                        ..Default::default()
+                    },
+                )
+                .time_ms
+            })
+        });
+    }
+}
+
+/// Heuristic budget `c`: tiny budgets decline everything, the paper's 1024
+/// transforms the profitable loops.
+fn ablation_heuristic_budget(c: &mut Criterion) {
+    let b = bench_by_name("bn");
+    for budget in [64u64, 1024, 16384] {
+        {
+            let m = run(&b, PipelineOptions {
+                transform: Transform::UuHeuristic(HeuristicOptions { c: budget, ..Default::default() }),
+                ..Default::default()
+            });
+            eprintln!("ablation/heuristic_c/{budget}: kernel {:.6} ms, size {}", m.time_ms, m.code_size);
+        }
+        c.bench_function(&format!("ablation/heuristic_c/{budget}"), |bch| {
+            bch.iter(|| {
+                run(
+                    &b,
+                    PipelineOptions {
+                        transform: Transform::UuHeuristic(HeuristicOptions {
+                            c: budget,
+                            ..Default::default()
+                        }),
+                        ..Default::default()
+                    },
+                )
+                .time_ms
+            })
+        });
+    }
+}
+
+/// The divergence guard rescuing `complex`.
+fn ablation_divergence_guard(c: &mut Criterion) {
+    let b = bench_by_name("complex");
+    for (name, guard) in [("off", false), ("on", true)] {
+        {
+            let m = run(&b, PipelineOptions {
+                transform: Transform::UuHeuristic(HeuristicOptions { divergence_guard: guard, ..Default::default() }),
+                ..Default::default()
+            });
+            eprintln!("ablation/divergence_guard/{name}: kernel {:.6} ms", m.time_ms);
+        }
+        c.bench_function(&format!("ablation/divergence_guard/{name}"), |bch| {
+            bch.iter(|| {
+                run(
+                    &b,
+                    PipelineOptions {
+                        transform: Transform::UuHeuristic(HeuristicOptions {
+                            divergence_guard: guard,
+                            ..Default::default()
+                        }),
+                        ..Default::default()
+                    },
+                )
+                .time_ms
+            })
+        });
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = ablation_unmerge_depth,
+        ablation_pass_position,
+        ablation_heuristic_budget,
+        ablation_divergence_guard
+}
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Micro-benchmarks of the individual compiler passes, on a standard
+//! branchy loop at several unroll factors. Useful for tracking the
+//! compile-time behaviour the paper's Figure 6c aggregates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uu_core::opt::{
+    condprop::CondProp, dce::Dce, gvn::Gvn, instsimplify::InstSimplify, sccp::Sccp,
+    simplifycfg::SimplifyCfg, Pass,
+};
+use uu_core::{uu_loop, UuOptions};
+use uu_ir::{Function, FunctionBuilder, ICmpPred, Param, Type, Value};
+
+/// The standard subject: a loop with a two-condition body (4 paths).
+fn subject() -> Function {
+    let mut f = Function::new(
+        "subject",
+        vec![
+            Param::new("n", Type::I64),
+            Param::new("k", Type::I64),
+            Param::new("out", Type::Ptr),
+        ],
+        Type::Void,
+    );
+    let entry = f.entry();
+    let mut b = FunctionBuilder::new(&mut f);
+    let h = b.create_block();
+    let body = b.create_block();
+    let t1 = b.create_block();
+    let m1 = b.create_block();
+    let t2 = b.create_block();
+    let latch = b.create_block();
+    let exit = b.create_block();
+    b.switch_to(entry);
+    b.br(h);
+    b.switch_to(h);
+    let i = b.phi(Type::I64);
+    let kv = b.phi(Type::I64);
+    let acc = b.phi(Type::I64);
+    b.add_phi_incoming(i, entry, Value::imm(0i64));
+    b.add_phi_incoming(kv, entry, Value::Arg(1));
+    b.add_phi_incoming(acc, entry, Value::imm(0i64));
+    let c = b.icmp(ICmpPred::Slt, i, Value::Arg(0));
+    b.cond_br(c, body, exit);
+    b.switch_to(body);
+    let acc1 = b.add(acc, i);
+    let c1 = b.icmp(ICmpPred::Sgt, kv, Value::imm(1i64));
+    b.cond_br(c1, t1, m1);
+    b.switch_to(t1);
+    let kv1 = b.sub(kv, Value::imm(1i64));
+    b.br(m1);
+    b.switch_to(m1);
+    let kvm = b.phi(Type::I64);
+    b.add_phi_incoming(kvm, body, kv);
+    b.add_phi_incoming(kvm, t1, kv1);
+    let c2 = b.icmp(ICmpPred::Sgt, acc1, Value::imm(100i64));
+    b.cond_br(c2, t2, latch);
+    b.switch_to(t2);
+    b.br(latch);
+    b.switch_to(latch);
+    let accm = b.phi(Type::I64);
+    b.add_phi_incoming(accm, m1, acc1);
+    b.add_phi_incoming(accm, t2, Value::imm(100i64));
+    let i1 = b.add(i, Value::imm(1i64));
+    b.add_phi_incoming(i, latch, i1);
+    b.add_phi_incoming(kv, latch, kvm);
+    b.add_phi_incoming(acc, latch, accm);
+    b.br(h);
+    b.switch_to(exit);
+    b.store(Value::Arg(2), acc);
+    b.ret(None);
+    f
+}
+
+fn transformed(factor: u32) -> Function {
+    let mut f = subject();
+    let h = f.layout()[1];
+    uu_loop(&mut f, h, &UuOptions { factor, ..Default::default() });
+    f
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transform");
+    for factor in [2u32, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("uu", factor), &factor, |bch, &factor| {
+            bch.iter(|| transformed(factor))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cleanup_passes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pass");
+    for factor in [2u32, 8] {
+        let base = transformed(factor);
+        macro_rules! p {
+            ($name:literal, $pass:expr) => {
+                g.bench_with_input(
+                    BenchmarkId::new($name, factor),
+                    &base,
+                    |bch, base| {
+                        bch.iter_batched(
+                            || base.clone(),
+                            |mut f| {
+                                let mut pass = $pass;
+                                pass.run(&mut f);
+                                f
+                            },
+                            criterion::BatchSize::SmallInput,
+                        )
+                    },
+                );
+            };
+        }
+        p!("simplifycfg", SimplifyCfg::default());
+        p!("instsimplify", InstSimplify);
+        p!("sccp", Sccp);
+        p!("gvn", Gvn);
+        p!("condprop", CondProp);
+        p!("dce", Dce);
+    }
+    g.finish();
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    let f = transformed(8);
+    c.bench_function("analysis/domtree", |bch| {
+        bch.iter(|| uu_analysis::DomTree::compute(&f))
+    });
+    c.bench_function("analysis/loops", |bch| {
+        let dom = uu_analysis::DomTree::compute(&f);
+        bch.iter(|| uu_analysis::LoopForest::compute(&f, &dom))
+    });
+    c.bench_function("analysis/divergence", |bch| {
+        bch.iter(|| uu_analysis::Divergence::compute(&f))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_transform, bench_cleanup_passes, bench_analyses
+}
+criterion_main!(benches);

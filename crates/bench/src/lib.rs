@@ -1,0 +1,1 @@
+//! Criterion benches for uu (see `benches/`); the library target is empty.

@@ -1,0 +1,260 @@
+//! Cloning of CFG regions with value remapping.
+//!
+//! Both loop unrolling and control-flow unmerging are, at heart, "clone this
+//! set of blocks and rewire" operations. This module provides the shared
+//! machinery: a deep copy of a block set whose internal edges and value uses
+//! point into the copy, while references to anything defined outside the set
+//! are left untouched.
+
+use std::collections::HashMap;
+use uu_ir::{BlockId, Function, InstId, InstKind, Value};
+
+/// The result of cloning a region: mappings from original blocks and
+/// instructions to their copies.
+#[derive(Debug, Clone, Default)]
+pub struct CloneMap {
+    /// Original block → cloned block.
+    pub blocks: HashMap<BlockId, BlockId>,
+    /// Original instruction → cloned instruction.
+    pub insts: HashMap<InstId, InstId>,
+}
+
+impl CloneMap {
+    /// Map a value through the clone: instruction results defined inside the
+    /// cloned region map to their copies, everything else is unchanged.
+    pub fn map_value(&self, v: Value) -> Value {
+        match v {
+            Value::Inst(id) => match self.insts.get(&id) {
+                Some(n) => Value::Inst(*n),
+                None => v,
+            },
+            other => other,
+        }
+    }
+
+    /// Map a block through the clone (identity for blocks outside the
+    /// region).
+    pub fn map_block(&self, b: BlockId) -> BlockId {
+        self.blocks.get(&b).copied().unwrap_or(b)
+    }
+}
+
+/// Clone the given blocks (and all their instructions) into fresh blocks.
+///
+/// * Edges between cloned blocks are redirected into the copy.
+/// * Edges leaving the region keep their original targets.
+/// * Operand uses of instructions inside the region are remapped; uses of
+///   values defined outside are kept.
+/// * Phi incoming *labels* from blocks inside the region are remapped;
+///   labels from outside blocks are kept (callers typically rewrite these).
+///
+/// Callers are responsible for making the clone reachable and for updating
+/// phis in region successors (see [`add_phi_incomings_for_clone`]).
+pub fn clone_region(f: &mut Function, blocks: &[BlockId]) -> CloneMap {
+    let mut map = CloneMap::default();
+    // Pass 1: create empty clone blocks.
+    for &b in blocks {
+        let nb = f.add_block();
+        map.blocks.insert(b, nb);
+    }
+    // Pass 2: clone instructions (operands still original).
+    for &b in blocks {
+        let nb = map.blocks[&b];
+        let insts: Vec<InstId> = f.block(b).insts.clone();
+        for i in insts {
+            let inst = f.inst(i).clone();
+            let ni = f.append_inst(nb, inst);
+            map.insts.insert(i, ni);
+        }
+    }
+    // Pass 3: remap operands, branch targets and phi labels inside clones.
+    let cloned: Vec<InstId> = map.insts.values().copied().collect();
+    for ni in cloned {
+        let mut kind = f.inst(ni).kind.clone();
+        kind.for_each_operand_mut(|v| *v = map.map_value(*v));
+        match &mut kind {
+            InstKind::Br { target } => *target = map.map_block(*target),
+            InstKind::CondBr {
+                if_true, if_false, ..
+            } => {
+                *if_true = map.map_block(*if_true);
+                *if_false = map.map_block(*if_false);
+            }
+            InstKind::Phi { incomings } => {
+                for (b, _) in incomings {
+                    *b = map.map_block(*b);
+                }
+            }
+            _ => {}
+        }
+        f.inst_mut(ni).kind = kind;
+    }
+    map
+}
+
+/// For every phi in `succ` with an incoming from `orig_pred` (a block that
+/// was cloned), add a parallel incoming from the clone of `orig_pred`
+/// carrying the remapped value.
+///
+/// Call this for each edge from the cloned region to an *unduplicated*
+/// successor (loop headers on back edges, exit blocks, downstream merge
+/// blocks).
+pub fn add_phi_incomings_for_clone(
+    f: &mut Function,
+    succ: BlockId,
+    orig_pred: BlockId,
+    map: &CloneMap,
+) {
+    let new_pred = map.map_block(orig_pred);
+    if new_pred == orig_pred {
+        return;
+    }
+    for phi in f.phis(succ) {
+        let mut addition = None;
+        if let InstKind::Phi { incomings } = &f.inst(phi).kind {
+            for (b, v) in incomings {
+                if *b == orig_pred {
+                    addition = Some((new_pred, map.map_value(*v)));
+                }
+            }
+        }
+        if let Some(pair) = addition {
+            if let InstKind::Phi { incomings } = &mut f.inst_mut(phi).kind {
+                incomings.push(pair);
+            }
+        }
+    }
+}
+
+/// Remove the phi incomings in `succ` coming from `pred`.
+pub fn remove_phi_incomings_from(f: &mut Function, succ: BlockId, pred: BlockId) {
+    for phi in f.phis(succ) {
+        if let InstKind::Phi { incomings } = &mut f.inst_mut(phi).kind {
+            incomings.retain(|(b, _)| *b != pred);
+        }
+    }
+}
+
+/// Replace single-incoming phis in `block` by their value and unlink them.
+/// Returns the number of phis resolved.
+pub fn resolve_trivial_phis(f: &mut Function, block: BlockId) -> usize {
+    let mut resolved = 0;
+    for phi in f.phis(block) {
+        let repl = match &f.inst(phi).kind {
+            InstKind::Phi { incomings } if incomings.len() == 1 => Some(incomings[0].1),
+            _ => None,
+        };
+        if let Some(v) = repl {
+            f.replace_all_uses(Value::Inst(phi), v);
+            f.unlink_inst(block, phi);
+            resolved += 1;
+        }
+    }
+    resolved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uu_ir::{FunctionBuilder, ICmpPred, Param, Type};
+
+    /// entry -> h -> body -> h (loop), h -> exit
+    fn simple_loop() -> (uu_ir::Function, BlockId, BlockId, BlockId) {
+        let mut f = uu_ir::Function::new("k", vec![Param::new("n", Type::I64)], Type::I64);
+        let entry = f.entry();
+        let mut b = FunctionBuilder::new(&mut f);
+        let h = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        b.switch_to(entry);
+        b.br(h);
+        b.switch_to(h);
+        let i = b.phi(Type::I64);
+        b.add_phi_incoming(i, entry, Value::imm(0i64));
+        let c = b.icmp(ICmpPred::Slt, i, Value::Arg(0));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let i1 = b.add(i, Value::imm(1i64));
+        b.add_phi_incoming(i, body, i1);
+        b.br(h);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        (f, h, body, exit)
+    }
+
+    #[test]
+    fn clones_blocks_and_remaps_internal_edges() {
+        let (mut f, h, body, _exit) = simple_loop();
+        let n_before = f.num_blocks();
+        let map = clone_region(&mut f, &[h, body]);
+        assert_eq!(f.num_blocks(), n_before + 2);
+        let nh = map.map_block(h);
+        let nbody = map.map_block(body);
+        // Cloned header branches to cloned body (internal edge remapped)
+        // and to the original exit (external edge kept).
+        let succs = f.successors(nh);
+        assert!(succs.contains(&nbody));
+        assert!(succs.contains(&BlockId::from_index(3)));
+        // Cloned body's backedge points at the cloned header.
+        assert_eq!(f.successors(nbody), vec![nh]);
+    }
+
+    #[test]
+    fn clones_remap_values() {
+        let (mut f, h, body, _) = simple_loop();
+        let phi = f.phis(h)[0];
+        let map = clone_region(&mut f, &[h, body]);
+        let nphi = map.insts[&phi];
+        let nbody = map.map_block(body);
+        // The cloned add uses the cloned phi.
+        let nadd = f.block(nbody).insts[0];
+        match &f.inst(nadd).kind {
+            InstKind::Bin { lhs, .. } => assert_eq!(*lhs, Value::Inst(nphi)),
+            _ => unreachable!(),
+        }
+        // map_value is identity on constants and unknown insts.
+        assert_eq!(map.map_value(Value::imm(1i32)), Value::imm(1i32));
+        assert_eq!(map.map_value(Value::Arg(0)), Value::Arg(0));
+    }
+
+    #[test]
+    fn phi_incomings_for_clone() {
+        let (mut f, h, body, exit) = simple_loop();
+        // Clone body only; header should then accept an incoming from the
+        // cloned body too (as if it were an extra latch).
+        let map = clone_region(&mut f, &[body]);
+        add_phi_incomings_for_clone(&mut f, h, body, &map);
+        let phi = f.phis(h)[0];
+        match &f.inst(phi).kind {
+            InstKind::Phi { incomings } => {
+                assert_eq!(incomings.len(), 3);
+                assert!(incomings.iter().any(|(b, _)| *b == map.map_block(body)));
+            }
+            _ => unreachable!(),
+        }
+        // And exit is untouched (body doesn't branch to exit).
+        assert_eq!(f.phis(exit).len(), 0);
+    }
+
+    #[test]
+    fn remove_and_resolve_phis() {
+        let (mut f, h, body, _) = simple_loop();
+        remove_phi_incomings_from(&mut f, h, body);
+        let phi = f.phis(h)[0];
+        match &f.inst(phi).kind {
+            InstKind::Phi { incomings } => assert_eq!(incomings.len(), 1),
+            _ => unreachable!(),
+        }
+        let n = resolve_trivial_phis(&mut f, h);
+        assert_eq!(n, 1);
+        assert!(f.phis(h).is_empty());
+        // The add in body now uses the constant 0 directly.
+        let add = f.block(body).insts[0];
+        match &f.inst(add).kind {
+            InstKind::Bin { lhs, .. } => assert_eq!(*lhs, Value::imm(0i64)),
+            _ => unreachable!(),
+        }
+    }
+
+    use uu_ir::Value;
+}

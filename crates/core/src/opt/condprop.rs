@@ -1,0 +1,355 @@
+//! Branch-condition propagation.
+//!
+//! Below the true edge of `br i1 %c, t, f` (when `t`'s only predecessor is
+//! that branch), `%c` *is* true — SSA guarantees the value cannot change. The
+//! pass substitutes the constant in the dominated region, plus the equality
+//! fact when the condition is `icmp eq x, C` (resp. `ne` on the false edge).
+//!
+//! This is the optimizer's consumer of the provenance that unmerging
+//! recovers: in Figure 5 of the paper, the `FT`/`TF`/`FF` loop copies avoid
+//! re-evaluating conditions exactly because the re-evaluation (unified with
+//! the original condition by GVN) is dominated by a conditional edge.
+
+use super::Pass;
+use uu_analysis::DomTree;
+use uu_ir::{BlockId, Function, ICmpPred, InstKind, Value};
+
+/// The branch-condition propagation pass.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CondProp;
+
+impl Pass for CondProp {
+    fn name(&self) -> &'static str {
+        "condprop"
+    }
+
+    fn run(&mut self, f: &mut Function) -> bool {
+        let dom = DomTree::compute(f);
+        // Precomputed dominator-tree child adjacency (DomTree::children is
+        // linear per call, which would make the subtree walks quadratic).
+        let max_ix = f
+            .layout()
+            .iter()
+            .map(|b| b.index() + 1)
+            .max()
+            .unwrap_or(1);
+        let mut kids: Vec<Vec<BlockId>> = vec![Vec::new(); max_ix];
+        for &b in dom.rpo() {
+            if let Some(p) = dom.idom(b) {
+                kids[p.index()].push(b);
+            }
+        }
+        let preds = f.predecessors();
+        let mut changed = false;
+        for b in f.layout().to_vec() {
+            let Some(t) = f.terminator(b) else { continue };
+            let InstKind::CondBr {
+                cond,
+                if_true,
+                if_false,
+            } = f.inst(t).kind
+            else {
+                continue;
+            };
+            if if_true == if_false {
+                continue;
+            }
+            let Value::Inst(cid) = cond else { continue };
+            for (target, truth) in [(if_true, true), (if_false, false)] {
+                // Edge-domination via single-predecessor check.
+                if preds[target.index()] != vec![b] {
+                    continue;
+                }
+                changed |= replace_dominated_uses(f, &kids, cond, Value::imm(truth), target);
+                // Equality facts: `x == C` true, or `x != C` false ⇒ x = C.
+                if let InstKind::ICmp { pred, lhs, rhs } = f.inst(cid).kind {
+                    let fact = match (pred, truth) {
+                        (ICmpPred::Eq, true) | (ICmpPred::Ne, false) => Some((lhs, rhs)),
+                        _ => None,
+                    };
+                    if let Some((x, y)) = fact {
+                        match (x, y) {
+                            (Value::Inst(_), Value::Const(_)) => {
+                                changed |= replace_dominated_uses(f, &kids, x, y, target);
+                            }
+                            (Value::Const(_), Value::Inst(_)) => {
+                                changed |= replace_dominated_uses(f, &kids, y, x, target);
+                            }
+                            _ => {}
+                        }
+                    }
+                    // Range fact: `x > C` (C ≥ 0) known true ⇒ x is positive
+                    // in the region, so `sdiv x, 2^k` is `lshr x, k` — the
+                    // strength reduction behind the `shr` in the paper's
+                    // XSBench PTX (Listings 4/5).
+                    let positive = match (pred, truth) {
+                        (ICmpPred::Sgt, true) | (ICmpPred::Sge, true) => rhs
+                            .as_const()
+                            .and_then(|c| c.as_i64())
+                            .is_some_and(|c| c >= 0)
+                            .then_some(lhs),
+                        (ICmpPred::Sle, false) | (ICmpPred::Slt, false) => rhs
+                            .as_const()
+                            .and_then(|c| c.as_i64())
+                            .is_some_and(|c| c >= -1)
+                            .then_some(lhs),
+                        _ => None,
+                    };
+                    if let Some(x) = positive {
+                        changed |= strength_reduce_sdiv(f, &kids, x, target);
+                    }
+                }
+            }
+        }
+        changed
+    }
+}
+
+/// Rewrite `sdiv x, 2^k` → `lshr x, k` for instructions dominated by
+/// `region`, where `x` is known positive there.
+fn strength_reduce_sdiv(
+    f: &mut Function,
+    kids: &[Vec<BlockId>],
+    x: Value,
+    region: BlockId,
+) -> bool {
+    use uu_ir::BinOp;
+    let mut changed = false;
+    for b in subtree(kids, region) {
+        for i in f.block(b).insts.clone() {
+            if let InstKind::Bin {
+                op: BinOp::SDiv,
+                lhs,
+                rhs,
+            } = f.inst(i).kind
+            {
+                if lhs != x {
+                    continue;
+                }
+                let Some(c) = rhs.as_const().and_then(|c| c.as_i64()) else {
+                    continue;
+                };
+                if c > 0 && (c & (c - 1)) == 0 {
+                    let k = c.trailing_zeros() as i64;
+                    f.inst_mut(i).kind = InstKind::Bin {
+                        op: BinOp::LShr,
+                        lhs,
+                        rhs: Value::imm(k),
+                    };
+                    changed = true;
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// All blocks in the dominator subtree rooted at `region`.
+fn subtree(kids: &[Vec<BlockId>], region: BlockId) -> Vec<BlockId> {
+    let mut out = Vec::new();
+    let mut stack = vec![region];
+    while let Some(b) = stack.pop() {
+        out.push(b);
+        if let Some(k) = kids.get(b.index()) {
+            stack.extend(k.iter().copied());
+        }
+    }
+    out
+}
+
+/// Replace uses of `from` with `to` at every use site dominated by `region`.
+/// For phi operands the use site is the incoming predecessor block.
+///
+/// Only the dominator subtree of `region` (plus its CFG successors, whose
+/// phis may have incomings from dominated predecessors) is scanned, which
+/// keeps the pass near-linear even on heavily unmerged bodies.
+fn replace_dominated_uses(
+    f: &mut Function,
+    kids: &[Vec<BlockId>],
+    from: Value,
+    to: Value,
+    region: BlockId,
+) -> bool {
+    let dominated = subtree(kids, region);
+    let dom_set: std::collections::HashSet<BlockId> = dominated.iter().copied().collect();
+    // Phi-bearing successors of dominated blocks (the phi itself may live
+    // outside the subtree).
+    let mut scan: Vec<BlockId> = dominated.clone();
+    for &b in &dominated {
+        for s in f.successors(b) {
+            if !dom_set.contains(&s) && !scan.contains(&s) {
+                scan.push(s);
+            }
+        }
+    }
+    let mut changed = false;
+    for ub in scan {
+        let inside = dom_set.contains(&ub);
+        for u in f.block(ub).insts.clone() {
+            let mut kind = f.inst(u).kind.clone();
+            let mut touched = false;
+            if let InstKind::Phi { incomings } = &mut kind {
+                for (p, v) in incomings {
+                    if *v == from && dom_set.contains(p) {
+                        *v = to;
+                        touched = true;
+                    }
+                }
+            } else if inside {
+                kind.for_each_operand_mut(|v| {
+                    if *v == from {
+                        *v = to;
+                        touched = true;
+                    }
+                });
+            }
+            if touched {
+                f.inst_mut(u).kind = kind;
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uu_ir::{FunctionBuilder, Param, Type};
+
+    #[test]
+    fn condition_known_in_taken_arm() {
+        // if (c) { use c } — the use becomes `true`.
+        let mut f = uu_ir::Function::new(
+            "t",
+            vec![Param::new("c", Type::I1), Param::new("p", Type::Ptr)],
+            Type::Void,
+        );
+        let e = f.entry();
+        let mut b = FunctionBuilder::new(&mut f);
+        let t = b.create_block();
+        let j = b.create_block();
+        b.switch_to(e);
+        let x = b.load(Type::I1, Value::Arg(1));
+        b.cond_br(x, t, j);
+        b.switch_to(t);
+        let ext = b.cast(uu_ir::CastOp::Zext, x, Type::I64);
+        b.store(Value::Arg(1), ext);
+        b.br(j);
+        b.switch_to(j);
+        b.ret(None);
+        assert!(CondProp.run(&mut f));
+        uu_ir::verify_function(&f).unwrap();
+        // The zext in `t` now consumes the constant true.
+        let zext = f
+            .block(t)
+            .insts
+            .iter()
+            .copied()
+            .find(|i| matches!(f.inst(*i).kind, InstKind::Cast { .. }))
+            .unwrap();
+        match &f.inst(zext).kind {
+            InstKind::Cast { value, .. } => assert_eq!(*value, Value::imm(true)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn condition_known_false_in_other_arm() {
+        let mut f = uu_ir::Function::new(
+            "t",
+            vec![Param::new("p", Type::Ptr)],
+            Type::Void,
+        );
+        let e = f.entry();
+        let mut b = FunctionBuilder::new(&mut f);
+        let t = b.create_block();
+        let el = b.create_block();
+        b.switch_to(e);
+        let x = b.load(Type::I1, Value::Arg(0));
+        b.cond_br(x, t, el);
+        b.switch_to(t);
+        b.ret(None);
+        b.switch_to(el);
+        let ext = b.cast(uu_ir::CastOp::Zext, x, Type::I64);
+        b.store(Value::Arg(0), ext);
+        b.ret(None);
+        assert!(CondProp.run(&mut f));
+        let zext = f
+            .block(el)
+            .insts
+            .iter()
+            .copied()
+            .find(|i| matches!(f.inst(*i).kind, InstKind::Cast { .. }))
+            .unwrap();
+        match &f.inst(zext).kind {
+            InstKind::Cast { value, .. } => assert_eq!(*value, Value::imm(false)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn equality_fact_propagates_constant() {
+        // if (x == 4) { store x } → store 4.
+        let mut f = uu_ir::Function::new(
+            "t",
+            vec![Param::new("p", Type::Ptr)],
+            Type::Void,
+        );
+        let e = f.entry();
+        let mut b = FunctionBuilder::new(&mut f);
+        let t = b.create_block();
+        let j = b.create_block();
+        b.switch_to(e);
+        let x = b.load(Type::I64, Value::Arg(0));
+        let c = b.icmp(ICmpPred::Eq, x, Value::imm(4i64));
+        b.cond_br(c, t, j);
+        b.switch_to(t);
+        b.store(Value::Arg(0), x);
+        b.br(j);
+        b.switch_to(j);
+        b.ret(None);
+        assert!(CondProp.run(&mut f));
+        let st = f
+            .block(t)
+            .insts
+            .iter()
+            .copied()
+            .find(|i| f.inst(*i).kind.writes_memory())
+            .unwrap();
+        match &f.inst(st).kind {
+            InstKind::Store { value, .. } => {
+                assert_eq!(value.as_const().unwrap().as_i64(), Some(4))
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn shared_target_gets_nothing() {
+        // Both edges reach j (merge): no fact is valid there.
+        let mut f = uu_ir::Function::new(
+            "t",
+            vec![Param::new("c", Type::I1), Param::new("p", Type::Ptr)],
+            Type::Void,
+        );
+        let e = f.entry();
+        let mut b = FunctionBuilder::new(&mut f);
+        let t = b.create_block();
+        let j = b.create_block();
+        b.switch_to(e);
+        let x = b.load(Type::I1, Value::Arg(1));
+        b.cond_br(x, t, j);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(j);
+        let ext = b.cast(uu_ir::CastOp::Zext, x, Type::I64);
+        b.store(Value::Arg(1), ext);
+        b.ret(None);
+        // j has two preds → nothing provable in j; only `t` (empty) is
+        // dominated. No changes expected.
+        assert!(!CondProp.run(&mut f));
+    }
+
+    use uu_ir::ICmpPred;
+}

@@ -1,0 +1,132 @@
+//! Dead code elimination.
+
+use super::Pass;
+use std::collections::HashSet;
+use uu_ir::{Function, InstId, Value};
+
+/// Removes instructions whose results are unused and that have no side
+/// effects, via a liveness worklist seeded from stores, terminators and
+/// convergent operations.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Dce;
+
+impl Pass for Dce {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run(&mut self, f: &mut Function) -> bool {
+        let mut live: HashSet<InstId> = HashSet::new();
+        let mut work: Vec<InstId> = Vec::new();
+        for (id, inst) in f.iter_insts() {
+            if inst.kind.has_side_effects() {
+                live.insert(id);
+                work.push(id);
+            }
+        }
+        while let Some(id) = work.pop() {
+            f.inst(id).kind.for_each_operand(|v| {
+                if let Value::Inst(d) = v {
+                    if live.insert(*d) {
+                        work.push(*d);
+                    }
+                }
+            });
+        }
+        let mut changed = false;
+        for b in f.layout().to_vec() {
+            let dead: Vec<InstId> = f
+                .block(b)
+                .insts
+                .iter()
+                .copied()
+                .filter(|i| !live.contains(i))
+                .collect();
+            for i in dead {
+                f.unlink_inst(b, i);
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uu_ir::{FunctionBuilder, Param, Type};
+
+    #[test]
+    fn removes_dead_chain_keeps_live() {
+        let mut f = uu_ir::Function::new("t", vec![Param::new("p", Type::Ptr)], Type::Void);
+        let e = f.entry();
+        let mut b = FunctionBuilder::new(&mut f);
+        b.switch_to(e);
+        let x = b.load(Type::I64, Value::Arg(0)); // live (stored)
+        let d1 = b.add(x, Value::imm(1i64)); // dead
+        let _d2 = b.mul(d1, Value::imm(2i64)); // dead
+        b.store(Value::Arg(0), x);
+        b.ret(None);
+        assert!(Dce.run(&mut f));
+        uu_ir::verify_function(&f).unwrap();
+        assert_eq!(f.block(e).insts.len(), 3); // load, store, ret
+        assert!(!Dce.run(&mut f), "second run is a no-op");
+    }
+
+    #[test]
+    fn dead_load_is_removed() {
+        let mut f = uu_ir::Function::new("t", vec![Param::new("p", Type::Ptr)], Type::Void);
+        let e = f.entry();
+        let mut b = FunctionBuilder::new(&mut f);
+        b.switch_to(e);
+        let _x = b.load(Type::I64, Value::Arg(0));
+        b.ret(None);
+        assert!(Dce.run(&mut f));
+        assert_eq!(f.block(e).insts.len(), 1);
+    }
+
+    #[test]
+    fn convergent_ops_survive() {
+        let mut f = uu_ir::Function::new("t", vec![], Type::Void);
+        let e = f.entry();
+        let mut b = FunctionBuilder::new(&mut f);
+        b.switch_to(e);
+        b.syncthreads();
+        b.ret(None);
+        assert!(!Dce.run(&mut f));
+        assert_eq!(f.block(e).insts.len(), 2);
+    }
+
+    #[test]
+    fn dead_phi_cycle_is_removed() {
+        // Two phis feeding each other with no external use.
+        let mut f = uu_ir::Function::new("t", vec![Param::new("n", Type::I64)], Type::Void);
+        let e = f.entry();
+        let mut b = FunctionBuilder::new(&mut f);
+        let h = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        b.switch_to(e);
+        b.br(h);
+        b.switch_to(h);
+        let i = b.phi(Type::I64);
+        b.add_phi_incoming(i, e, Value::imm(0i64));
+        let dead = b.phi(Type::I64);
+        b.add_phi_incoming(dead, e, Value::imm(5i64));
+        let c = b.icmp(uu_ir::ICmpPred::Slt, i, Value::Arg(0));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let i1 = b.add(i, Value::imm(1i64));
+        let dead1 = b.add(dead, Value::imm(1i64));
+        b.add_phi_incoming(i, body, i1);
+        b.add_phi_incoming(dead, body, dead1);
+        b.br(h);
+        b.switch_to(exit);
+        b.ret(None);
+        uu_ir::verify_function(&f).unwrap();
+        assert!(Dce.run(&mut f));
+        uu_ir::verify_function(&f).unwrap();
+        // dead + dead1 removed; i + i1 + cmp survive (branch uses them).
+        assert_eq!(f.phis(h).len(), 1);
+    }
+}

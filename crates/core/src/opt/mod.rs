@@ -1,0 +1,61 @@
+//! The `-O3`-style cleanup optimizer.
+//!
+//! The paper's transformation does not speed anything up by itself — it
+//! *enables subsequent optimizations* (§III). This module provides those
+//! subsequent optimizations as real, from-scratch passes:
+//!
+//! * [`instsimplify`] — constant folding + algebraic simplification
+//!   (including the `(a + b) - a → b` rule behind the XSBench subtraction
+//!   elimination);
+//! * [`sccp`] — sparse conditional constant propagation with executable-edge
+//!   tracking (kills the back edge of fully unrolled counted loops);
+//! * [`gvn`] — dominator-scoped value numbering with alias-aware redundant
+//!   load elimination and store-to-load forwarding (the rainflow load
+//!   eliminations; honours `__restrict__`);
+//! * [`condprop`] — branch-condition propagation: below a conditional edge
+//!   the condition value (and equality facts) are known, which is exactly
+//!   the provenance information unmerging exposes;
+//! * [`simplifycfg`] — branch folding, block merging, jump threading and
+//!   unreachable-code removal;
+//! * [`dce`] — dead code elimination;
+//! * [`ifconvert`] — select formation (predication), the reason the
+//!   *baseline* compiles branchy loop bodies into PTX `selp` instructions.
+
+pub mod condprop;
+pub mod dce;
+pub mod gvn;
+pub mod ifconvert;
+pub mod instsimplify;
+pub mod sccp;
+pub mod simplifycfg;
+
+use uu_ir::Function;
+
+/// A function-level transformation.
+pub trait Pass {
+    /// Stable pass name (used in compile-time accounting).
+    fn name(&self) -> &'static str;
+    /// Run on one function; returns whether anything changed.
+    fn run(&mut self, f: &mut Function) -> bool;
+}
+
+/// Run the standard cleanup sequence to a fixed point (bounded by
+/// `max_rounds`). Returns the number of rounds that made progress.
+pub fn run_cleanup(f: &mut Function, max_rounds: usize) -> usize {
+    let mut rounds = 0;
+    for _ in 0..max_rounds {
+        let mut changed = false;
+        changed |= simplifycfg::SimplifyCfg::default().run(f);
+        changed |= instsimplify::InstSimplify.run(f);
+        changed |= sccp::Sccp.run(f);
+        changed |= simplifycfg::SimplifyCfg::default().run(f);
+        changed |= gvn::Gvn.run(f);
+        changed |= condprop::CondProp.run(f);
+        changed |= dce::Dce.run(f);
+        if !changed {
+            break;
+        }
+        rounds += 1;
+    }
+    rounds
+}

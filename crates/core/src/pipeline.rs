@@ -1,0 +1,528 @@
+//! Pipeline configurations and the pass manager.
+//!
+//! Reproduces the paper's five measurement configurations (§IV-B):
+//!
+//! * **baseline** — the `-O3` stand-in: cleanup, baseline unrolling,
+//!   if-conversion (predication), cleanup;
+//! * **unroll** — baseline + force-unrolling the selected loop(s) with the
+//!   stock unroller (no unmerging);
+//! * **unmerge** — baseline + the u&u pass with factor 1;
+//! * **u&u** — baseline + unroll-and-unmerge at a given factor;
+//! * **u&u heuristic** — baseline + the §III-C heuristic (`c = 1024`,
+//!   `u_max = 8`).
+//!
+//! All transform configurations insert the pass *early* in the pipeline, as
+//! the paper does, so every subsequent optimization can exploit the
+//! duplicated control flow. [`PassPosition::Late`] exists for the ablation
+//! showing why a late position is ineffective.
+
+use crate::baseline_unroll::{baseline_unroll, BaselineUnrollOptions};
+use crate::heuristic::{run_heuristic, HeuristicOptions, LoopDecision};
+use crate::opt::{
+    condprop::CondProp, dce::Dce, gvn::Gvn, ifconvert::IfConvert, instsimplify::InstSimplify,
+    sccp::Sccp, simplifycfg::SimplifyCfg, Pass,
+};
+use crate::unmerge::UnmergeOptions;
+use crate::unroll::unroll_loop;
+use crate::uu::{uu_loop, UuOptions};
+use std::time::{Duration, Instant};
+use uu_analysis::{DomTree, LoopForest};
+use uu_ir::Module;
+
+/// Which transform (if any) the pipeline applies on top of the baseline.
+#[derive(Debug, Clone)]
+pub enum Transform {
+    /// Plain `-O3` stand-in.
+    Baseline,
+    /// Stock loop unrolling of the selected loops by `factor`.
+    Unroll {
+        /// Unroll factor.
+        factor: u32,
+    },
+    /// Unmerge-only (u&u with factor 1).
+    Unmerge,
+    /// Unroll-and-unmerge at `factor`.
+    Uu {
+        /// Unroll factor.
+        factor: u32,
+        /// Unmerge cascade options.
+        unmerge: UnmergeOptions,
+    },
+    /// The size heuristic deciding per-loop factors.
+    UuHeuristic(HeuristicOptions),
+}
+
+/// Which loops the transform applies to.
+#[derive(Debug, Clone, Default)]
+pub enum LoopFilter {
+    /// All loops of all functions (the heuristic always works this way).
+    #[default]
+    All,
+    /// Only the loop with the given deterministic id in the given function.
+    ///
+    /// Loop ids follow [`LoopForest`] order (header reverse post-order),
+    /// matching the paper's "consistent, deterministic unique ids" that let
+    /// users select loops on the command line.
+    Only {
+        /// Function name.
+        func: String,
+        /// Deterministic loop index within the function.
+        loop_id: usize,
+    },
+}
+
+/// Where the transform sits in the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PassPosition {
+    /// Before all cleanup (the paper's choice).
+    #[default]
+    Early,
+    /// After cleanup and if-conversion, with only one cleanup round after —
+    /// the ablation position the paper argues is ineffective.
+    Late,
+}
+
+/// Full pipeline options.
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// The transform configuration.
+    pub transform: Transform,
+    /// Loop selection.
+    pub filter: LoopFilter,
+    /// Transform position.
+    pub position: PassPosition,
+    /// Maximum cleanup fixpoint rounds per stage.
+    pub max_rounds: usize,
+    /// Baseline unroller thresholds.
+    pub baseline_unroll: BaselineUnrollOptions,
+    /// Abort compilation when exceeded (the paper's ccs runs hit a 5-minute
+    /// timeout at factor 4+).
+    pub timeout: Option<Duration>,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            transform: Transform::Baseline,
+            filter: LoopFilter::All,
+            position: PassPosition::Early,
+            max_rounds: 8,
+            baseline_unroll: BaselineUnrollOptions::default(),
+            timeout: None,
+        }
+    }
+}
+
+impl PipelineOptions {
+    /// Convenience constructor for a named configuration applied to one
+    /// loop.
+    pub fn for_loop(transform: Transform, func: &str, loop_id: usize) -> Self {
+        PipelineOptions {
+            transform,
+            filter: LoopFilter::Only {
+                func: func.to_string(),
+                loop_id,
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// Wall-clock attribution per pass (the paper's Figure 6c measures compile
+/// time; §IV notes most of it is spent in the constant-propagation pass
+/// processing duplicated code, not in u&u itself).
+#[derive(Debug, Clone)]
+pub struct PassTiming {
+    /// Pass name.
+    pub name: &'static str,
+    /// Accumulated wall time.
+    pub elapsed: Duration,
+}
+
+/// Result of compiling a module.
+#[derive(Debug, Clone)]
+pub struct CompileOutcome {
+    /// Per-pass timings, aggregated over rounds and functions.
+    pub timings: Vec<PassTiming>,
+    /// Total wall time.
+    pub total: Duration,
+    /// Whether the timeout fired (compilation stopped early but the IR is
+    /// valid).
+    pub timed_out: bool,
+    /// Heuristic decisions (only for [`Transform::UuHeuristic`]).
+    pub decisions: Vec<(String, LoopDecision)>,
+}
+
+impl CompileOutcome {
+    /// Time attributed to `name`.
+    pub fn time_of(&self, name: &str) -> Duration {
+        self.timings
+            .iter()
+            .filter(|t| t.name == name)
+            .map(|t| t.elapsed)
+            .sum()
+    }
+}
+
+struct Timer {
+    timings: Vec<PassTiming>,
+    start: Instant,
+    deadline: Option<Instant>,
+    timed_out: bool,
+}
+
+impl Timer {
+    fn new(timeout: Option<Duration>) -> Self {
+        let start = Instant::now();
+        Timer {
+            timings: Vec::new(),
+            start,
+            deadline: timeout.map(|t| start + t),
+            timed_out: false,
+        }
+    }
+
+    fn record(&mut self, name: &'static str, elapsed: Duration) {
+        match self.timings.iter_mut().find(|t| t.name == name) {
+            Some(t) => t.elapsed += elapsed,
+            None => self.timings.push(PassTiming { name, elapsed }),
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() > d {
+                self.timed_out = true;
+            }
+        }
+    }
+}
+
+/// Compile (optimize) a module under the given configuration.
+pub fn compile(m: &mut Module, opts: &PipelineOptions) -> CompileOutcome {
+    let mut timer = Timer::new(opts.timeout);
+    let mut decisions = Vec::new();
+
+    if opts.position == PassPosition::Early {
+        apply_transform(m, opts, &mut timer, &mut decisions);
+    }
+    optimize_module(m, opts, &mut timer);
+    if opts.position == PassPosition::Late && !timer.timed_out {
+        apply_transform(m, opts, &mut timer, &mut decisions);
+        // A single cleanup round after — the point of the ablation is that
+        // the pipeline does not restart.
+        let funcs: Vec<_> = m.iter().map(|(id, _)| id).collect();
+        for id in funcs {
+            run_timed_cleanup(m.function_mut(id), 1, &mut timer);
+        }
+    }
+
+    CompileOutcome {
+        total: timer.start.elapsed(),
+        timed_out: timer.timed_out,
+        timings: timer.timings,
+        decisions,
+    }
+}
+
+fn apply_transform(
+    m: &mut Module,
+    opts: &PipelineOptions,
+    timer: &mut Timer,
+    decisions: &mut Vec<(String, LoopDecision)>,
+) {
+    let funcs: Vec<_> = m.iter().map(|(id, _)| id).collect();
+    for id in funcs {
+        if timer.timed_out {
+            return;
+        }
+        let fname = m.function(id).name().to_string();
+        let f = m.function_mut(id);
+        // Determine target loop headers under the filter.
+        let dom = DomTree::compute(f);
+        let forest = LoopForest::compute(f, &dom);
+        let headers: Vec<uu_ir::BlockId> = match &opts.filter {
+            LoopFilter::All => forest.loops().iter().map(|l| l.header).collect(),
+            LoopFilter::Only { func, loop_id } => {
+                if *func != fname || *loop_id >= forest.len() {
+                    continue;
+                }
+                vec![forest.loops()[*loop_id].header]
+            }
+        };
+        let t0 = Instant::now();
+        match &opts.transform {
+            Transform::Baseline => {}
+            Transform::Unroll { factor } => {
+                for h in headers {
+                    let dom = DomTree::compute(f);
+                    let forest = LoopForest::compute(f, &dom);
+                    if let Some(l) = forest.loops().iter().find(|l| l.header == h).cloned() {
+                        if uu_analysis::convergence::loop_has_convergent(
+                            f,
+                            &forest,
+                            uu_analysis::LoopId(
+                                forest.loops().iter().position(|x| x.header == h).unwrap(),
+                            ),
+                        ) {
+                            continue;
+                        }
+                        if unroll_loop(f, l.header, &l.blocks, &l.latches, *factor).is_some() {
+                            // The stock unroller owns this loop now.
+                            f.set_loop_pragma(h, uu_ir::LoopPragma::NoUnroll);
+                        }
+                    }
+                }
+                timer.record("unroll", t0.elapsed());
+            }
+            Transform::Unmerge => {
+                for h in headers {
+                    uu_loop(
+                        f,
+                        h,
+                        &UuOptions {
+                            factor: 1,
+                            ..Default::default()
+                        },
+                    );
+                }
+                timer.record("unmerge", t0.elapsed());
+            }
+            Transform::Uu { factor, unmerge } => {
+                for h in headers {
+                    uu_loop(
+                        f,
+                        h,
+                        &UuOptions {
+                            factor: *factor,
+                            unmerge: *unmerge,
+                            ..Default::default()
+                        },
+                    );
+                }
+                timer.record("uu", t0.elapsed());
+            }
+            Transform::UuHeuristic(hopts) => {
+                for d in run_heuristic(f, hopts) {
+                    decisions.push((fname.clone(), d));
+                }
+                timer.record("uu-heuristic", t0.elapsed());
+            }
+        }
+    }
+}
+
+fn optimize_module(m: &mut Module, opts: &PipelineOptions, timer: &mut Timer) {
+    let funcs: Vec<_> = m.iter().map(|(id, _)| id).collect();
+    for id in funcs {
+        if timer.timed_out {
+            return;
+        }
+        let f = m.function_mut(id);
+        run_timed_cleanup(f, opts.max_rounds, timer);
+        if timer.timed_out {
+            return;
+        }
+        let t0 = Instant::now();
+        baseline_unroll(f, &opts.baseline_unroll);
+        timer.record("baseline-unroll", t0.elapsed());
+        run_timed_cleanup(f, opts.max_rounds, timer);
+        if timer.timed_out {
+            return;
+        }
+        let t0 = Instant::now();
+        IfConvert.run(f);
+        timer.record("ifconvert", t0.elapsed());
+        run_timed_cleanup(f, opts.max_rounds, timer);
+    }
+}
+
+fn run_timed_cleanup(f: &mut uu_ir::Function, max_rounds: usize, timer: &mut Timer) {
+    for _ in 0..max_rounds {
+        if timer.timed_out {
+            return;
+        }
+        let mut changed = false;
+        macro_rules! timed {
+            ($pass:expr) => {{
+                let mut p = $pass;
+                let t0 = Instant::now();
+                let c = p.run(f);
+                timer.record(p.name(), t0.elapsed());
+                changed |= c;
+            }};
+        }
+        timed!(SimplifyCfg::default());
+        timed!(InstSimplify);
+        timed!(Sccp);
+        timed!(SimplifyCfg::default());
+        timed!(Gvn);
+        timed!(CondProp);
+        timed!(Dce);
+        if !changed {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uu_ir::{FunctionBuilder, ICmpPred, Param, Type, Value};
+
+    fn branchy_module() -> Module {
+        let mut f = uu_ir::Function::new(
+            "k",
+            vec![Param::new("n", Type::I64), Param::new("c", Type::I1)],
+            Type::I64,
+        );
+        let entry = f.entry();
+        let mut b = FunctionBuilder::new(&mut f);
+        let h = b.create_block();
+        let t = b.create_block();
+        let e2 = b.create_block();
+        let m = b.create_block();
+        let exit = b.create_block();
+        b.switch_to(entry);
+        b.br(h);
+        b.switch_to(h);
+        let i = b.phi(Type::I64);
+        b.add_phi_incoming(i, entry, Value::imm(0i64));
+        let c = b.icmp(ICmpPred::Slt, i, Value::Arg(0));
+        b.cond_br(c, t, exit);
+        b.switch_to(t);
+        b.cond_br(Value::Arg(1), e2, m);
+        b.switch_to(e2);
+        b.br(m);
+        b.switch_to(m);
+        let p = b.phi(Type::I64);
+        b.add_phi_incoming(p, t, Value::imm(1i64));
+        b.add_phi_incoming(p, e2, Value::imm(2i64));
+        let i1 = b.add(i, p);
+        b.add_phi_incoming(i, m, i1);
+        b.br(h);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let mut m_ = Module::new("t");
+        m_.add_function(f);
+        m_
+    }
+
+    #[test]
+    fn all_configs_produce_valid_ir() {
+        for transform in [
+            Transform::Baseline,
+            Transform::Unroll { factor: 2 },
+            Transform::Unmerge,
+            Transform::Uu {
+                factor: 2,
+                unmerge: UnmergeOptions::default(),
+            },
+            Transform::UuHeuristic(HeuristicOptions::default()),
+        ] {
+            let mut m = branchy_module();
+            let opts = PipelineOptions {
+                transform,
+                ..Default::default()
+            };
+            let out = compile(&mut m, &opts);
+            assert!(!out.timed_out);
+            uu_ir::verify_module(&m)
+                .unwrap_or_else(|e| panic!("{e}\nconfig {:?}", opts.transform));
+        }
+    }
+
+    #[test]
+    fn baseline_ifconverts_the_diamond() {
+        let mut m = branchy_module();
+        compile(&mut m, &PipelineOptions::default());
+        let f = m.function(uu_ir::FuncId::from_index(0));
+        let selects = f
+            .iter_insts()
+            .filter(|(_, i)| matches!(i.kind, uu_ir::InstKind::Select { .. }))
+            .count();
+        assert!(selects >= 1, "baseline should predicate:\n{f}");
+    }
+
+    #[test]
+    fn uu_leaves_no_selects_in_unmerged_body() {
+        let mut m = branchy_module();
+        compile(
+            &mut m,
+            &PipelineOptions {
+                transform: Transform::Uu {
+                    factor: 2,
+                    unmerge: UnmergeOptions::default(),
+                },
+                ..Default::default()
+            },
+        );
+        let f = m.function(uu_ir::FuncId::from_index(0));
+        let selects = f
+            .iter_insts()
+            .filter(|(_, i)| matches!(i.kind, uu_ir::InstKind::Select { .. }))
+            .count();
+        assert_eq!(selects, 0, "u&u replaces predication with branches:\n{f}");
+    }
+
+    #[test]
+    fn loop_filter_restricts_to_named_loop() {
+        let mut m = branchy_module();
+        let before = m.total_insts();
+        compile(
+            &mut m,
+            &PipelineOptions::for_loop(
+                Transform::Uu {
+                    factor: 4,
+                    unmerge: UnmergeOptions::default(),
+                },
+                "nonexistent",
+                0,
+            ),
+        );
+        // Transform targeted a nonexistent function: only baseline cleanup
+        // ran. The loop body survives (baseline may still simplify a bit).
+        let after = m.total_insts();
+        assert!(after <= before);
+    }
+
+    /// The paper's argument for placing u&u early: a late placement leaves
+    /// the subsequent optimizations no room to exploit the duplication, so
+    /// the late-compiled kernel retains (at best) baseline-level cleanup.
+    #[test]
+    fn late_position_is_less_effective() {
+        let run = |pos| {
+            let mut m = branchy_module();
+            compile(
+                &mut m,
+                &PipelineOptions {
+                    transform: Transform::Uu {
+                        factor: 2,
+                        unmerge: UnmergeOptions::default(),
+                    },
+                    position: pos,
+                    ..Default::default()
+                },
+            );
+            uu_ir::verify_module(&m).unwrap();
+            let f = m.function(uu_ir::FuncId::from_index(0));
+            f.iter_insts()
+                .filter(|(_, i)| matches!(i.kind, uu_ir::InstKind::Select { .. }))
+                .count()
+        };
+        let early = run(PassPosition::Early);
+        let late = run(PassPosition::Late);
+        // Early u&u pre-empts predication and specializes the paths (no
+        // selects); placed late, the body was already if-converted, so the
+        // duplication finds nothing to unmerge and the selects survive —
+        // the pass is ineffective.
+        assert_eq!(early, 0, "early u&u must remove all predication");
+        assert!(late > 0, "late u&u leaves the baseline's selects in place");
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let mut m = branchy_module();
+        let out = compile(&mut m, &PipelineOptions::default());
+        assert!(out.timings.iter().any(|t| t.name == "sccp"));
+        assert!(out.timings.iter().any(|t| t.name == "gvn"));
+        assert!(out.total >= out.time_of("sccp"));
+    }
+}

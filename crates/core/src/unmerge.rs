@@ -1,0 +1,662 @@
+//! Control-flow unmerging (paper §III-A1, §III-A3).
+//!
+//! Unmerging eliminates merge blocks inside a loop body by tail-duplicating
+//! them per predecessor, so that each duplicated block "knows" which path
+//! reached it. The paper's design decision is *aggressive whole-path*
+//! duplication: once a merge block is duplicated, its successors become
+//! merges with more predecessors and are duplicated in turn, all the way to
+//! the latch — revealing as many obscured (partial) redundancies as possible.
+//! The DBDS-style alternative (duplicate only the direct merge successor,
+//! paper ref \[8\]) is provided as [`UnmergeMode::DirectSuccessor`] for the
+//! ablation study.
+//!
+//! Inner loops are treated as *super-nodes*: they are never torn apart, but
+//! are duplicated wholesale when they sit on a duplicated path.
+
+use crate::clone::{add_phi_incomings_for_clone, clone_region, resolve_trivial_phis};
+use std::collections::{HashMap, HashSet};
+use uu_analysis::{DomTree, LoopForest};
+use uu_ir::{BlockId, Function, InstKind};
+
+/// How far unmerging cascades.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UnmergeMode {
+    /// The paper's aggressive mode: duplicate every merge down to the latch.
+    #[default]
+    WholePath,
+    /// DBDS-style: duplicate each originally-merging block once; merges
+    /// created downstream by the duplication itself are left alone.
+    DirectSuccessor,
+    /// *Partial unmerging* (the paper's §VI future work): duplicate only
+    /// merges that carry phis — the provenance-bearing ones whose
+    /// duplication can enable downstream optimization — and cascade from
+    /// there; phi-free forwarding merges are left alone, containing code
+    /// growth.
+    Selective,
+}
+
+/// Tuning knobs for [`unmerge_loop`].
+#[derive(Debug, Clone, Copy)]
+pub struct UnmergeOptions {
+    /// Cascade mode.
+    pub mode: UnmergeMode,
+    /// Hard cap on the function's block count; when the next duplication
+    /// would exceed it, unmerging stops early (the IR stays valid, merely
+    /// partially unmerged). Models the paper's compile-time timeouts: ccs
+    /// at factor 4+ ran past the authors' 5-minute limit for the same
+    /// exponential reason (paper §IV-C, RQ2).
+    pub max_blocks: usize,
+}
+
+impl Default for UnmergeOptions {
+    fn default() -> Self {
+        UnmergeOptions {
+            mode: UnmergeMode::WholePath,
+            max_blocks: 2048,
+        }
+    }
+}
+
+/// Statistics from one unmerge run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnmergeStats {
+    /// Number of merge (super-)nodes duplicated.
+    pub nodes_duplicated: usize,
+    /// Number of block clones created.
+    pub blocks_cloned: usize,
+    /// Whether the `max_blocks` cap stopped the cascade early.
+    pub hit_limit: bool,
+}
+
+/// Unmerge the control flow inside the loop headed at `header`.
+///
+/// `blocks` is the loop's block set (from a fresh loop analysis; after
+/// unrolling, pass the unrolled loop's full set). The header itself is never
+/// duplicated. Returns statistics; a loop whose body has no merges is left
+/// untouched (`nodes_duplicated == 0`), matching the paper's early return.
+pub fn unmerge_loop(
+    f: &mut Function,
+    header: BlockId,
+    blocks: &[BlockId],
+    options: UnmergeOptions,
+) -> UnmergeStats {
+    let mut stats = UnmergeStats::default();
+    let loop_set: HashSet<BlockId> = blocks.iter().copied().collect();
+
+    // Super-node assignment: blocks of inner loops collapse onto the header
+    // of the outermost inner loop (within this loop).
+    let dom = DomTree::compute(f);
+    let forest = LoopForest::compute(f, &dom);
+    let this_loop = forest
+        .loops()
+        .iter()
+        .position(|l| l.header == header)
+        .map(uu_analysis::LoopId);
+    let mut group_of: HashMap<BlockId, BlockId> = HashMap::new();
+    for &b in blocks {
+        let mut rep = b;
+        if let Some(this) = this_loop {
+            // Walk up the loop-nest from the innermost loop containing b to
+            // the direct child of `this_loop`.
+            let mut cur = forest.innermost_containing(b);
+            while let Some(lid) = cur {
+                if lid == this {
+                    break;
+                }
+                let l = forest.get(lid);
+                if l.parent == Some(this) {
+                    rep = l.header;
+                    break;
+                }
+                cur = l.parent;
+            }
+        }
+        group_of.insert(b, rep);
+    }
+
+    // Topological order of super-nodes along the body DAG (back edges to the
+    // loop header ignored; internal edges of a group ignored).
+    let topo = topo_supernodes(f, header, &loop_set, &group_of);
+
+    // Original merge set for DirectSuccessor mode.
+    let preds_now = f.predecessors();
+    let original_merges: HashSet<BlockId> = topo
+        .iter()
+        .copied()
+        .filter(|&n| n != header && in_loop_preds(&preds_now, n, &group_of).len() >= 2)
+        .collect();
+    let original_pred_sets: HashMap<BlockId, Vec<BlockId>> = original_merges
+        .iter()
+        .map(|&n| (n, in_loop_preds(&preds_now, n, &group_of)))
+        .collect();
+
+    for &node in &topo {
+        if node == header {
+            continue;
+        }
+        if options.mode == UnmergeMode::DirectSuccessor && !original_merges.contains(&node) {
+            continue;
+        }
+        if options.mode == UnmergeMode::Selective
+            && original_merges.contains(&node)
+            && f.phis(node).is_empty()
+        {
+            // A merge with no phis carries no value provenance to recover.
+            continue;
+        }
+        let preds = f.predecessors();
+        let mut incoming: Vec<BlockId> = in_loop_preds(&preds, node, &group_of);
+        if options.mode == UnmergeMode::DirectSuccessor {
+            // Duplicate only into the *original* predecessors: merges grown
+            // by upstream duplication are left as merges (DBDS semantics).
+            let orig = &original_pred_sets[&node];
+            incoming.retain(|p| orig.contains(p));
+        }
+        if incoming.len() < 2 {
+            continue;
+        }
+        // Blocks of this super-node.
+        let group: Vec<BlockId> = blocks
+            .iter()
+            .copied()
+            .filter(|b| group_of[b] == node)
+            .collect();
+        stats.nodes_duplicated += 1;
+        // Keep the first predecessor on the original; clone for the rest.
+        let mut clone_entries: Vec<BlockId> = Vec::new();
+        for &p in &incoming[1..] {
+            if f.num_blocks() + group.len() > options.max_blocks {
+                stats.hit_limit = true;
+                return stats;
+            }
+            let map = clone_region(f, &group);
+            stats.blocks_cloned += group.len();
+            // Retarget p's edge(s) into the clone of the entry block.
+            let t = f.terminator(p).expect("pred has a terminator");
+            f.inst_mut(t).kind.replace_block(node, map.map_block(node));
+            // Clone entry phis: keep the incoming from p plus any incomings
+            // from inside the clone itself (an inner-loop header keeps the
+            // incomings from its own cloned latches). Resolution of the
+            // now-trivial phis is deferred until the whole node is done:
+            // successor-phi patching and SSA repair read the clone values.
+            let centry = map.map_block(node);
+            clone_entries.push(centry);
+            let clone_blocks: HashSet<BlockId> = map.blocks.values().copied().collect();
+            for phi in f.phis(centry) {
+                if let InstKind::Phi { incomings } = &mut f.inst_mut(phi).kind {
+                    incomings.retain(|(b, _)| *b == p || clone_blocks.contains(b));
+                }
+            }
+            // Original entry loses the incoming from p.
+            crate::clone::remove_phi_incomings_from(f, node, p);
+            // Successor phis outside the group gain incomings from the
+            // clone (loop header via back edges, exits, downstream blocks).
+            for &g in &group {
+                for s in f.successors(g) {
+                    if group.contains(&s) {
+                        continue;
+                    }
+                    add_phi_incomings_for_clone(f, s, g, &map);
+                }
+            }
+            // Values defined in the group and used downstream (outside the
+            // group and the clone, other than through successor phis) now
+            // have two definitions; rewire those uses through fresh phis.
+            repair_ssa_after_clone(f, &group, &map);
+        }
+        // Blocks left with a single predecessor: their phis become trivial.
+        resolve_trivial_phis(f, node);
+        for c in clone_entries {
+            resolve_trivial_phis(f, c);
+        }
+    }
+    stats
+}
+
+/// Predecessors of `node` that lie inside the loop but outside `node`'s own
+/// super-node group.
+///
+/// For any non-header loop block, *every* predecessor is inside the loop (a
+/// natural loop has a single entry through its header), so the only
+/// exclusions are same-group blocks: an inner-loop header's own latches are
+/// not "merging" predecessors. Blocks created by earlier duplications are
+/// not in `group_of` and count as ordinary in-loop predecessors.
+fn in_loop_preds(
+    preds: &[Vec<BlockId>],
+    node: BlockId,
+    group_of: &HashMap<BlockId, BlockId>,
+) -> Vec<BlockId> {
+    let mut out = Vec::new();
+    for &p in &preds[node.index()] {
+        if group_of.get(&p).copied() == Some(node) {
+            continue;
+        }
+        if !out.contains(&p) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// After duplicating `group` into the clone described by `map`, every value
+/// defined inside the group that is used outside both copies has two
+/// definitions. Rewire those uses through phis placed at the merge points,
+/// using a classic SSA-updater walk (memoized, cycle-safe).
+///
+/// Uses that are phi incomings *from inside* either copy were already fixed
+/// by [`add_phi_incomings_for_clone`]; only uses whose site lies strictly
+/// outside both copies are repaired here.
+fn repair_ssa_after_clone(
+    f: &mut Function,
+    group: &[BlockId],
+    map: &crate::clone::CloneMap,
+) {
+    use uu_ir::{Inst, Value};
+    let clone_set: HashSet<BlockId> = map.blocks.values().copied().collect();
+    let group_set: HashSet<BlockId> = group.iter().copied().collect();
+    let outside = |b: BlockId| !group_set.contains(&b) && !clone_set.contains(&b);
+
+    for &g in group {
+        for v in f.block(g).insts.clone() {
+            let ty = f.inst(v).ty;
+            if ty == uu_ir::Type::Void {
+                continue;
+            }
+            // Collect outside uses: (user, site, Some(pred) for phi uses).
+            let mut uses: Vec<(uu_ir::InstId, BlockId, Option<BlockId>)> = Vec::new();
+            for &ub in f.layout() {
+                if !outside(ub) {
+                    continue;
+                }
+                for &u in &f.block(ub).insts {
+                    match &f.inst(u).kind {
+                        InstKind::Phi { incomings } => {
+                            for (p, val) in incomings {
+                                if *val == Value::Inst(v) && outside(*p) {
+                                    uses.push((u, *p, Some(*p)));
+                                }
+                            }
+                        }
+                        k => {
+                            let mut used = false;
+                            k.for_each_operand(|x| {
+                                if *x == Value::Inst(v) {
+                                    used = true;
+                                }
+                            });
+                            if used {
+                                uses.push((u, ub, None));
+                            }
+                        }
+                    }
+                }
+            }
+            if uses.is_empty() {
+                continue;
+            }
+            let mut defs: HashMap<BlockId, Value> = HashMap::new();
+            defs.insert(g, Value::Inst(v));
+            defs.insert(map.map_block(g), map.map_value(Value::Inst(v)));
+            let mut memo: HashMap<BlockId, Value> = HashMap::new();
+            let preds = f.predecessors();
+
+            // Value available at the end of `b` (SSA-updater walk).
+            fn value_at_end(
+                f: &mut Function,
+                preds: &[Vec<BlockId>],
+                defs: &HashMap<BlockId, Value>,
+                memo: &mut HashMap<BlockId, Value>,
+                ty: uu_ir::Type,
+                b: BlockId,
+            ) -> Value {
+                if let Some(v) = defs.get(&b) {
+                    return *v;
+                }
+                if let Some(v) = memo.get(&b) {
+                    return *v;
+                }
+                let ps = &preds[b.index()];
+                if ps.is_empty() {
+                    // Entry reached: only possible for IR that was already
+                    // invalid (use not dominated by def). Keep the original.
+                    debug_assert!(false, "SSA repair walked past the entry");
+                    return *defs.values().next().expect("at least one def");
+                }
+                if ps.len() == 1 {
+                    let v = value_at_end(f, preds, defs, memo, ty, ps[0]);
+                    memo.insert(b, v);
+                    return v;
+                }
+                // Merge point (or entry, which valid IR never reaches):
+                // insert a phi, memoize it first to break cycles.
+                let phi = f.prepend_inst(b, Inst::new(InstKind::Phi { incomings: vec![] }, ty));
+                memo.insert(b, Value::Inst(phi));
+                let mut incomings = Vec::new();
+                let mut seen = Vec::new();
+                for &p in ps {
+                    if seen.contains(&p) {
+                        continue;
+                    }
+                    seen.push(p);
+                    let pv = value_at_end(f, preds, defs, memo, ty, p);
+                    incomings.push((p, pv));
+                }
+                if let InstKind::Phi { incomings: inc } = &mut f.inst_mut(phi).kind {
+                    *inc = incomings;
+                }
+                Value::Inst(phi)
+            }
+
+            for (user, site, phi_pred) in uses {
+                let repl = value_at_end(f, &preds, &defs, &mut memo, ty, site);
+                if repl == Value::Inst(v) {
+                    continue;
+                }
+                match phi_pred {
+                    Some(pp) => {
+                        if let InstKind::Phi { incomings } = &mut f.inst_mut(user).kind {
+                            for (p, val) in incomings {
+                                if *p == pp && *val == Value::Inst(v) {
+                                    *val = repl;
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        let mut kind = f.inst(user).kind.clone();
+                        kind.for_each_operand_mut(|x| {
+                            if *x == Value::Inst(v) {
+                                *x = repl;
+                            }
+                        });
+                        f.inst_mut(user).kind = kind;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Topological order of super-node representatives over the body DAG.
+fn topo_supernodes(
+    f: &Function,
+    header: BlockId,
+    loop_set: &HashSet<BlockId>,
+    group_of: &HashMap<BlockId, BlockId>,
+) -> Vec<BlockId> {
+    // DFS from the header's group over group-level edges, post-order
+    // reversed. Back edges to the header are ignored (DAG).
+    let mut visited: HashSet<BlockId> = HashSet::new();
+    let mut post: Vec<BlockId> = Vec::new();
+    fn dfs(
+        f: &Function,
+        node: BlockId,
+        header: BlockId,
+        loop_set: &HashSet<BlockId>,
+        group_of: &HashMap<BlockId, BlockId>,
+        visited: &mut HashSet<BlockId>,
+        post: &mut Vec<BlockId>,
+    ) {
+        if !visited.insert(node) {
+            return;
+        }
+        // Successor groups: successors of any block in this group.
+        let group: Vec<BlockId> = loop_set
+            .iter()
+            .copied()
+            .filter(|b| group_of[b] == node)
+            .collect();
+        for &g in &group {
+            for s in f.successors(g) {
+                if !loop_set.contains(&s) || s == header {
+                    continue;
+                }
+                let sg = group_of[&s];
+                if sg != node {
+                    dfs(f, sg, header, loop_set, group_of, visited, post);
+                }
+            }
+        }
+        post.push(node);
+    }
+    dfs(f, header, header, loop_set, group_of, &mut visited, &mut post);
+    post.reverse();
+    post
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uu_analysis::{DomTree as DT, LoopForest as LF, LoopId};
+    use uu_ir::{FunctionBuilder, ICmpPred, Param, Type, Value};
+
+    /// Loop with a straight-line body: nothing to unmerge.
+    fn straight_loop() -> uu_ir::Function {
+        let mut f = uu_ir::Function::new("sl", vec![Param::new("n", Type::I64)], Type::I64);
+        let entry = f.entry();
+        let mut b = FunctionBuilder::new(&mut f);
+        let h = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        b.switch_to(entry);
+        b.br(h);
+        b.switch_to(h);
+        let i = b.phi(Type::I64);
+        b.add_phi_incoming(i, entry, Value::imm(0i64));
+        let more = b.icmp(ICmpPred::Slt, i, Value::Arg(0));
+        b.cond_br(more, body, exit);
+        b.switch_to(body);
+        let i1 = b.add(i, Value::imm(1i64));
+        b.add_phi_incoming(i, body, i1);
+        b.br(h);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        f
+    }
+
+    /// Loop body: header -> chooser -(c)-> {C | D} -> E(latch) -> header.
+    fn diamond_loop() -> uu_ir::Function {
+        let mut f = uu_ir::Function::new(
+            "dl",
+            vec![Param::new("n", Type::I64), Param::new("c", Type::I1)],
+            Type::I64,
+        );
+        let entry = f.entry();
+        let mut b = FunctionBuilder::new(&mut f);
+        let h = b.create_block(); // 1 header
+        let cblk = b.create_block(); // 2
+        let dblk = b.create_block(); // 3
+        let eblk = b.create_block(); // 4 merge+latch
+        let exit = b.create_block(); // 5
+        b.switch_to(entry);
+        b.br(h);
+        b.switch_to(h);
+        let i = b.phi(Type::I64);
+        b.add_phi_incoming(i, entry, Value::imm(0i64));
+        let more = b.icmp(ICmpPred::Slt, i, Value::Arg(0));
+        let chooser = b.create_block(); // 6
+        b.cond_br(more, chooser, exit);
+        b.switch_to(chooser);
+        b.cond_br(Value::Arg(1), cblk, dblk);
+        b.switch_to(cblk);
+        let x1 = b.add(i, Value::imm(10i64));
+        b.br(eblk);
+        b.switch_to(dblk);
+        let x2 = b.add(i, Value::imm(20i64));
+        b.br(eblk);
+        b.switch_to(eblk);
+        let xm = b.phi(Type::I64);
+        b.add_phi_incoming(xm, cblk, x1);
+        b.add_phi_incoming(xm, dblk, x2);
+        let i1 = b.add(i, xm);
+        b.add_phi_incoming(i, eblk, i1);
+        b.br(h);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        f
+    }
+
+    #[test]
+    fn unmerges_diamond_merge_block() {
+        let mut f = diamond_loop();
+        uu_ir::verify_function(&f).unwrap();
+        let dom = DT::compute(&f);
+        let forest = LF::compute(&f, &dom);
+        let l = forest.get(LoopId(0)).clone();
+        let before = f.num_blocks();
+        let stats = unmerge_loop(&mut f, l.header, &l.blocks, UnmergeOptions::default());
+        uu_ir::verify_function(&f).unwrap_or_else(|e| panic!("{e}\n{f}"));
+        assert_eq!(stats.nodes_duplicated, 1);
+        assert_eq!(stats.blocks_cloned, 1);
+        assert_eq!(f.num_blocks(), before + 1);
+        // The merge block E now exists twice; both have a single pred, so no
+        // phis remain in either (values resolved), and the header gained a
+        // third predecessor (two latches + preheader... header has
+        // preheader + 2 latch copies).
+        let preds = f.predecessors();
+        let h = l.header;
+        assert_eq!(preds[h.index()].len(), 3);
+        // Header phi must have 3 matching incomings.
+        let phi = f.phis(h)[0];
+        match &f.inst(phi).kind {
+            InstKind::Phi { incomings } => assert_eq!(incomings.len(), 3),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn no_merges_means_no_change() {
+        let mut f = straight_loop();
+        let dom = DT::compute(&f);
+        let forest = LF::compute(&f, &dom);
+        let l = forest.get(LoopId(0)).clone();
+        let before = f.num_blocks();
+        let stats = unmerge_loop(&mut f, l.header, &l.blocks, UnmergeOptions::default());
+        assert_eq!(stats.nodes_duplicated, 0);
+        assert_eq!(f.num_blocks(), before);
+    }
+
+    /// Two sequential diamonds: WholePath must duplicate the second merge
+    /// more times than DirectSuccessor.
+    fn two_diamond_loop() -> uu_ir::Function {
+        let mut f = uu_ir::Function::new(
+            "dd",
+            vec![
+                Param::new("n", Type::I64),
+                Param::new("c1", Type::I1),
+                Param::new("c2", Type::I1),
+            ],
+            Type::I64,
+        );
+        let entry = f.entry();
+        let mut b = FunctionBuilder::new(&mut f);
+        let h = b.create_block(); // 1
+        let a1 = b.create_block(); // 2
+        let b1 = b.create_block(); // 3
+        let m1 = b.create_block(); // 4 first merge
+        let a2 = b.create_block(); // 5
+        let b2 = b.create_block(); // 6
+        let m2 = b.create_block(); // 7 second merge + latch
+        let exit = b.create_block(); // 8
+        b.switch_to(entry);
+        b.br(h);
+        b.switch_to(h);
+        let i = b.phi(Type::I64);
+        b.add_phi_incoming(i, entry, Value::imm(0i64));
+        let more = b.icmp(ICmpPred::Slt, i, Value::Arg(0));
+        let body = b.create_block(); // 9
+        b.cond_br(more, body, exit);
+        b.switch_to(body);
+        b.cond_br(Value::Arg(1), a1, b1);
+        b.switch_to(a1);
+        let v1 = b.add(i, Value::imm(1i64));
+        b.br(m1);
+        b.switch_to(b1);
+        let v2 = b.add(i, Value::imm(2i64));
+        b.br(m1);
+        b.switch_to(m1);
+        let p1 = b.phi(Type::I64);
+        b.add_phi_incoming(p1, a1, v1);
+        b.add_phi_incoming(p1, b1, v2);
+        b.cond_br(Value::Arg(2), a2, b2);
+        b.switch_to(a2);
+        let w1 = b.add(p1, Value::imm(3i64));
+        b.br(m2);
+        b.switch_to(b2);
+        let w2 = b.add(p1, Value::imm(4i64));
+        b.br(m2);
+        b.switch_to(m2);
+        let p2 = b.phi(Type::I64);
+        b.add_phi_incoming(p2, a2, w1);
+        b.add_phi_incoming(p2, b2, w2);
+        b.add_phi_incoming(i, m2, p2);
+        b.br(h);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        f
+    }
+
+    #[test]
+    fn whole_path_cascades_further_than_direct_successor() {
+        let mut f1 = two_diamond_loop();
+        let mut f2 = two_diamond_loop();
+        let run = |f: &mut uu_ir::Function, mode| {
+            let dom = DT::compute(f);
+            let forest = LF::compute(f, &dom);
+            let l = forest.get(LoopId(0)).clone();
+            unmerge_loop(
+                f,
+                l.header,
+                &l.blocks,
+                UnmergeOptions {
+                    mode,
+                    ..Default::default()
+                },
+            )
+        };
+        let s_whole = run(&mut f1, UnmergeMode::WholePath);
+        uu_ir::verify_function(&f1).unwrap_or_else(|e| panic!("{e}\n{f1}"));
+        let s_direct = run(&mut f2, UnmergeMode::DirectSuccessor);
+        uu_ir::verify_function(&f2).unwrap_or_else(|e| panic!("{e}\n{f2}"));
+        assert!(
+            s_whole.blocks_cloned > s_direct.blocks_cloned,
+            "whole {s_whole:?} vs direct {s_direct:?}"
+        );
+        // WholePath: m1 duplicated once (2 preds), a2/b2 duplicated (2 preds
+        // each), m2 duplicated into 4 copies total (4 preds): no merges left
+        // except the header.
+        let dom = DT::compute(&f1);
+        let forest = LF::compute(&f1, &dom);
+        let l = &forest.loops()[0];
+        let preds = f1.predecessors();
+        for &b in &l.blocks {
+            if b == l.header {
+                continue;
+            }
+            assert!(
+                preds[b.index()].len() <= 1,
+                "block {b} still a merge after WholePath unmerge"
+            );
+        }
+    }
+
+    #[test]
+    fn block_cap_stops_early_but_stays_valid() {
+        let mut f = two_diamond_loop();
+        let dom = DT::compute(&f);
+        let forest = LF::compute(&f, &dom);
+        let l = forest.get(LoopId(0)).clone();
+        let cap = f.num_blocks() + 2;
+        let stats = unmerge_loop(
+            &mut f,
+            l.header,
+            &l.blocks,
+            UnmergeOptions {
+                mode: UnmergeMode::WholePath,
+                max_blocks: cap,
+            },
+        );
+        assert!(stats.hit_limit);
+        uu_ir::verify_function(&f).unwrap_or_else(|e| panic!("{e}\n{f}"));
+    }
+}

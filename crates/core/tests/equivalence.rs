@@ -1,0 +1,367 @@
+//! Differential testing: every pipeline configuration must preserve kernel
+//! semantics. Kernels are executed on the SIMT simulator before and after
+//! optimization and must produce bit-identical memory.
+
+use rand::{Rng, SeedableRng};
+use uu_core::{compile, HeuristicOptions, PipelineOptions, Transform, UnmergeOptions};
+use uu_ir::{
+    CastOp, Function, FunctionBuilder, ICmpPred, Module, Param, Type, Value,
+};
+use uu_simt::{Gpu, KernelArg, LaunchConfig};
+
+/// The XSBench binary-search loop (paper Listing 1) over a sorted grid.
+fn xsbench_kernel() -> Function {
+    let mut f = Function::new(
+        "binary_search",
+        vec![
+            Param::new("grid", Type::Ptr),
+            Param::new("queries", Type::Ptr),
+            Param::new("out", Type::Ptr),
+            Param::new("len", Type::I64),
+            Param::new("nq", Type::I64),
+        ],
+        Type::Void,
+    );
+    let entry = f.entry();
+    let mut b = FunctionBuilder::new(&mut f);
+    let header = b.create_block();
+    let body = b.create_block();
+    let upd = b.create_block();
+    let exit = b.create_block();
+    b.switch_to(entry);
+    let gid = b.global_thread_id();
+    let inb = b.icmp(ICmpPred::Slt, gid, Value::Arg(4));
+    let start = b.create_block();
+    let done = b.create_block();
+    b.cond_br(inb, start, done);
+    b.switch_to(start);
+    let qa = b.gep(Value::Arg(1), gid, 8);
+    let quarry = b.load(Type::F64, qa);
+    b.br(header);
+    b.switch_to(header);
+    let lower = b.phi(Type::I64);
+    let length = b.phi(Type::I64);
+    let upper = b.phi(Type::I64);
+    b.add_phi_incoming(lower, start, Value::imm(0i64));
+    b.add_phi_incoming(length, start, Value::Arg(3));
+    b.add_phi_incoming(upper, start, Value::Arg(3));
+    let more = b.icmp(ICmpPred::Sgt, length, Value::imm(1i64));
+    b.cond_br(more, body, exit);
+    b.switch_to(body);
+    let half = b.sdiv(length, Value::imm(2i64));
+    let mid = b.add(lower, half);
+    let pa = b.gep(Value::Arg(0), mid, 8);
+    let am = b.load(Type::F64, pa);
+    let gt = b.fcmp(uu_ir::FCmpPred::Ogt, am, quarry);
+    b.br(upd);
+    b.switch_to(upd);
+    let nupper = b.select(gt, mid, upper);
+    let nlower = b.select(gt, lower, mid);
+    let nlength = b.sub(nupper, nlower);
+    b.add_phi_incoming(lower, upd, nlower);
+    b.add_phi_incoming(length, upd, nlength);
+    b.add_phi_incoming(upper, upd, nupper);
+    b.br(header);
+    b.switch_to(exit);
+    let oa = b.gep(Value::Arg(2), gid, 8);
+    b.store(oa, lower);
+    b.br(done);
+    b.switch_to(done);
+    b.ret(None);
+    f
+}
+
+/// A variant with real branches (the post-`-O3` baseline turns them into
+/// selects; u&u keeps them) — exercises unmerge on a diamond.
+fn xsbench_branchy_kernel() -> Function {
+    let mut f = Function::new(
+        "binary_search_br",
+        vec![
+            Param::new("grid", Type::Ptr),
+            Param::new("queries", Type::Ptr),
+            Param::new("out", Type::Ptr),
+            Param::new("len", Type::I64),
+            Param::new("nq", Type::I64),
+        ],
+        Type::Void,
+    );
+    let entry = f.entry();
+    let mut b = FunctionBuilder::new(&mut f);
+    let start = b.create_block();
+    let header = b.create_block();
+    let body = b.create_block();
+    let tblk = b.create_block();
+    let eblk = b.create_block();
+    let merge = b.create_block();
+    let exit = b.create_block();
+    let done = b.create_block();
+    b.switch_to(entry);
+    let gid = b.global_thread_id();
+    let inb = b.icmp(ICmpPred::Slt, gid, Value::Arg(4));
+    b.cond_br(inb, start, done);
+    b.switch_to(start);
+    let qa = b.gep(Value::Arg(1), gid, 8);
+    let quarry = b.load(Type::F64, qa);
+    b.br(header);
+    b.switch_to(header);
+    let lower = b.phi(Type::I64);
+    let length = b.phi(Type::I64);
+    let upper = b.phi(Type::I64);
+    b.add_phi_incoming(lower, start, Value::imm(0i64));
+    b.add_phi_incoming(length, start, Value::Arg(3));
+    b.add_phi_incoming(upper, start, Value::Arg(3));
+    let more = b.icmp(ICmpPred::Sgt, length, Value::imm(1i64));
+    b.cond_br(more, body, exit);
+    b.switch_to(body);
+    let half = b.sdiv(length, Value::imm(2i64));
+    let mid = b.add(lower, half);
+    let pa = b.gep(Value::Arg(0), mid, 8);
+    let am = b.load(Type::F64, pa);
+    let gt = b.fcmp(uu_ir::FCmpPred::Ogt, am, quarry);
+    b.cond_br(gt, tblk, eblk);
+    b.switch_to(tblk);
+    b.br(merge);
+    b.switch_to(eblk);
+    b.br(merge);
+    b.switch_to(merge);
+    let nupper = b.phi(Type::I64);
+    b.add_phi_incoming(nupper, tblk, mid);
+    b.add_phi_incoming(nupper, eblk, upper);
+    let nlower = b.phi(Type::I64);
+    b.add_phi_incoming(nlower, tblk, lower);
+    b.add_phi_incoming(nlower, eblk, mid);
+    let nlength = b.sub(nupper, nlower);
+    b.add_phi_incoming(lower, merge, nlower);
+    b.add_phi_incoming(length, merge, nlength);
+    b.add_phi_incoming(upper, merge, nupper);
+    b.br(header);
+    b.switch_to(exit);
+    let oa = b.gep(Value::Arg(2), gid, 8);
+    b.store(oa, lower);
+    b.br(done);
+    b.switch_to(done);
+    b.ret(None);
+    f
+}
+
+/// The bezier-surface loop (paper Listing 2): two monotone conditions.
+fn bezier_kernel() -> Function {
+    let mut f = Function::new(
+        "bezier_blend",
+        vec![
+            Param::new("out", Type::Ptr),
+            Param::new("n", Type::I64),
+            Param::new("k", Type::I64),
+        ],
+        Type::Void,
+    );
+    let entry = f.entry();
+    let mut b = FunctionBuilder::new(&mut f);
+    let header = b.create_block();
+    let c1t = b.create_block();
+    let m1 = b.create_block();
+    let c2t = b.create_block();
+    let latch = b.create_block();
+    let exit = b.create_block();
+    b.switch_to(entry);
+    let gid = b.global_thread_id();
+    let kinit = b.srem(gid, Value::Arg(2));
+    let nkinit = b.sub(Value::Arg(2), kinit);
+    b.br(header);
+    b.switch_to(header);
+    let nn = b.phi(Type::I64);
+    let kn = b.phi(Type::I64);
+    let nkn = b.phi(Type::I64);
+    let blend = b.phi(Type::F64);
+    b.add_phi_incoming(nn, entry, Value::Arg(1));
+    b.add_phi_incoming(kn, entry, kinit);
+    b.add_phi_incoming(nkn, entry, nkinit);
+    b.add_phi_incoming(blend, entry, Value::imm(1.0f64));
+    let more = b.icmp(ICmpPred::Sge, nn, Value::imm(1i64));
+    b.cond_br(more, c1t, exit);
+    b.switch_to(c1t);
+    let nnf = b.cast(CastOp::SiToFp, nn, Type::F64);
+    let blend1 = b.fmul(blend, nnf);
+    let nn1 = b.sub(nn, Value::imm(1i64));
+    let c1 = b.icmp(ICmpPred::Sgt, kn, Value::imm(1i64));
+    b.cond_br(c1, c2t, m1);
+    b.switch_to(c2t);
+    let knf = b.cast(CastOp::SiToFp, kn, Type::F64);
+    let blend2 = b.fdiv(blend1, knf);
+    let kn1 = b.sub(kn, Value::imm(1i64));
+    b.br(m1);
+    b.switch_to(m1);
+    let blendm = b.phi(Type::F64);
+    let knm = b.phi(Type::I64);
+    b.add_phi_incoming(blendm, c1t, blend1);
+    b.add_phi_incoming(blendm, c2t, blend2);
+    b.add_phi_incoming(knm, c1t, kn);
+    b.add_phi_incoming(knm, c2t, kn1);
+    let c2 = b.icmp(ICmpPred::Sgt, nkn, Value::imm(1i64));
+    let latch2 = b.create_block();
+    b.cond_br(c2, latch2, latch);
+    b.switch_to(latch2);
+    let nknf = b.cast(CastOp::SiToFp, nkn, Type::F64);
+    let blend3 = b.fdiv(blendm, nknf);
+    let nkn1 = b.sub(nkn, Value::imm(1i64));
+    b.br(latch);
+    b.switch_to(latch);
+    let blendl = b.phi(Type::F64);
+    let nknl = b.phi(Type::I64);
+    b.add_phi_incoming(blendl, m1, blendm);
+    b.add_phi_incoming(blendl, latch2, blend3);
+    b.add_phi_incoming(nknl, m1, nkn);
+    b.add_phi_incoming(nknl, latch2, nkn1);
+    b.add_phi_incoming(nn, latch, nn1);
+    b.add_phi_incoming(kn, latch, knm);
+    b.add_phi_incoming(nkn, latch, nknl);
+    b.add_phi_incoming(blend, latch, blendl);
+    b.br(header);
+    b.switch_to(exit);
+    let oa = b.gep(Value::Arg(0), gid, 8);
+    b.store(oa, blend);
+    b.ret(None);
+    f
+}
+
+fn run_config(kernel: &Function, transform: Transform, out_len: usize) -> Vec<f64> {
+    let mut m = Module::new("t");
+    let mut k = kernel.clone();
+    // Fresh clone per config.
+    uu_ir::verify_function(&k).unwrap();
+    let opts = PipelineOptions {
+        transform,
+        ..Default::default()
+    };
+    let id = {
+        
+        m.add_function(std::mem::replace(
+            &mut k,
+            Function::new("dummy", vec![], Type::Void),
+        ))
+    };
+    compile(&mut m, &opts);
+    uu_ir::verify_module(&m).unwrap_or_else(|e| panic!("{e}"));
+    let f = m.function(id);
+
+    let mut gpu = Gpu::new();
+    let n = 64i64;
+    let grid: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+    let queries: Vec<f64> = {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        (0..out_len).map(|_| rng.gen_range(0.0..32.0)).collect()
+    };
+    let bgrid = gpu.mem.alloc_f64(&grid).unwrap();
+    let bq = gpu.mem.alloc_f64(&queries).unwrap();
+    let bout = gpu.mem.alloc_f64(&vec![0.0; out_len]).unwrap();
+    let args: Vec<KernelArg> = match f.params().len() {
+        5 => vec![
+            KernelArg::Buffer(bgrid),
+            KernelArg::Buffer(bq),
+            KernelArg::Buffer(bout),
+            KernelArg::I64(n),
+            KernelArg::I64(out_len as i64),
+        ],
+        3 => vec![KernelArg::Buffer(bout), KernelArg::I64(9), KernelArg::I64(5)],
+        other => panic!("unexpected arity {other}"),
+    };
+    gpu.launch(f, LaunchConfig::new(2, 32), &args)
+        .unwrap_or_else(|e| panic!("exec failed: {e}\n{f}"));
+    gpu.mem.read_f64(bout)
+}
+
+fn all_transforms() -> Vec<(&'static str, Transform)> {
+    vec![
+        ("baseline", Transform::Baseline),
+        ("unroll2", Transform::Unroll { factor: 2 }),
+        ("unroll8", Transform::Unroll { factor: 8 }),
+        ("unmerge", Transform::Unmerge),
+        (
+            "uu2",
+            Transform::Uu {
+                factor: 2,
+                unmerge: UnmergeOptions::default(),
+            },
+        ),
+        (
+            "uu4",
+            Transform::Uu {
+                factor: 4,
+                unmerge: UnmergeOptions::default(),
+            },
+        ),
+        (
+            "uu8",
+            Transform::Uu {
+                factor: 8,
+                unmerge: UnmergeOptions::default(),
+            },
+        ),
+        (
+            "heuristic",
+            Transform::UuHeuristic(HeuristicOptions::default()),
+        ),
+    ]
+}
+
+#[test]
+fn xsbench_select_form_equivalent_under_all_configs() {
+    let k = xsbench_kernel();
+    let golden = run_config(&k, Transform::Baseline, 40);
+    for (name, t) in all_transforms() {
+        let got = run_config(&k, t, 40);
+        assert_eq!(got, golden, "config {name} diverged");
+    }
+}
+
+#[test]
+fn xsbench_branchy_form_equivalent_under_all_configs() {
+    let k = xsbench_branchy_kernel();
+    let golden = run_config(&k, Transform::Baseline, 40);
+    for (name, t) in all_transforms() {
+        let got = run_config(&k, t, 40);
+        assert_eq!(got, golden, "config {name} diverged");
+    }
+}
+
+#[test]
+fn bezier_equivalent_under_all_configs() {
+    let k = bezier_kernel();
+    let golden = run_config(&k, Transform::Baseline, 64);
+    for (name, t) in all_transforms() {
+        let got = run_config(&k, t, 64);
+        assert_eq!(got, golden, "config {name} diverged");
+    }
+}
+
+#[test]
+fn unoptimized_matches_baseline_output() {
+    // The baseline pipeline itself must preserve semantics vs raw IR.
+    let k = xsbench_branchy_kernel();
+    let mut gpu = Gpu::new();
+    let n = 64i64;
+    let out_len = 40usize;
+    let grid: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+    let queries: Vec<f64> = {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        (0..out_len).map(|_| rng.gen_range(0.0..32.0)).collect()
+    };
+    let bgrid = gpu.mem.alloc_f64(&grid).unwrap();
+    let bq = gpu.mem.alloc_f64(&queries).unwrap();
+    let bout = gpu.mem.alloc_f64(&vec![0.0; out_len]).unwrap();
+    gpu.launch(
+        &k,
+        LaunchConfig::new(2, 32),
+        &[
+            KernelArg::Buffer(bgrid),
+            KernelArg::Buffer(bq),
+            KernelArg::Buffer(bout),
+            KernelArg::I64(n),
+            KernelArg::I64(out_len as i64),
+        ],
+    )
+    .unwrap();
+    let raw = gpu.mem.read_f64(bout);
+    let opt = run_config(&k, Transform::Baseline, out_len);
+    assert_eq!(raw, opt);
+}

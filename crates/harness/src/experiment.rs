@@ -1,0 +1,256 @@
+//! Core measurement machinery: compile a benchmark under a configuration,
+//! execute it on the simulated GPU, and collect the paper's three metrics
+//! (kernel time, binary size, compile time) plus hardware counters.
+
+use std::time::Duration;
+use uu_core::{compile, LoopFilter, PipelineOptions, Transform};
+use uu_kernels::Benchmark;
+use uu_simt::{ExecError, Gpu, Metrics};
+
+/// One compiled-and-executed measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Sum of kernel times (simulated milliseconds), noise-free.
+    pub time_ms: f64,
+    /// Lowered code size of the whole module (Figure 6b's "binary size").
+    pub code_size: u64,
+    /// Wall-clock compile time of the optimization pipeline.
+    pub compile_ms: f64,
+    /// Output checksum (must match the baseline's).
+    pub checksum: f64,
+    /// Whether compilation hit the timeout (paper: ccs at factor ≥ 4).
+    pub timed_out: bool,
+    /// Aggregated simulator counters.
+    pub metrics: Metrics,
+    /// Host↔device transfer time (for Table I's %C).
+    pub transfer_ms: f64,
+}
+
+/// A loop identified by function name + deterministic per-function index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopRef {
+    /// Function name.
+    pub func: String,
+    /// Loop index in `LoopForest` order.
+    pub loop_id: usize,
+}
+
+/// Enumerate every loop of a benchmark's module.
+pub fn loop_list(bench: &Benchmark) -> Vec<LoopRef> {
+    let m = (bench.build)();
+    let mut out = Vec::new();
+    for (_, f) in m.iter() {
+        let dom = uu_analysis::DomTree::compute(f);
+        let forest = uu_analysis::LoopForest::compute(f, &dom);
+        for i in 0..forest.len() {
+            out.push(LoopRef {
+                func: f.name().to_string(),
+                loop_id: i,
+            });
+        }
+    }
+    out
+}
+
+/// Compile timeout mirroring the paper's 5-minute cap, scaled to simulator
+/// scale.
+pub const COMPILE_TIMEOUT: Duration = Duration::from_secs(20);
+
+/// Compile `bench` under `transform`/`filter`; execute the workload unless
+/// `skip_run` is set (used for cold loops, whose kernel time provably equals
+/// the baseline's because the workload never launches them).
+///
+/// # Errors
+///
+/// Propagates simulator faults — which, after a verified compile, indicate a
+/// miscompilation and should abort the experiment.
+pub fn measure(
+    bench: &Benchmark,
+    transform: Transform,
+    filter: LoopFilter,
+    skip_run: Option<&Measurement>,
+) -> Result<Measurement, ExecError> {
+    let mut m = (bench.build)();
+    let opts = PipelineOptions {
+        transform,
+        filter,
+        timeout: Some(COMPILE_TIMEOUT),
+        ..Default::default()
+    };
+    let outcome = compile(&mut m, &opts);
+    debug_assert!(uu_ir::verify_module(&m).is_ok());
+    let code_size = uu_analysis::cost::module_size(&m);
+    if let Some(base) = skip_run {
+        return Ok(Measurement {
+            time_ms: base.time_ms,
+            code_size,
+            compile_ms: outcome.total.as_secs_f64() * 1e3,
+            checksum: base.checksum,
+            timed_out: outcome.timed_out,
+            metrics: base.metrics,
+            transfer_ms: base.transfer_ms,
+        });
+    }
+    let mut gpu = Gpu::new();
+    let run = (bench.run)(&m, &mut gpu)?;
+    // The application launches its kernels `launch_repeats` times; the
+    // workload simulates one representative launch (counters stay
+    // per-launch; ratios are unaffected).
+    let repeats = bench.info.launch_repeats.max(1) as f64;
+    Ok(Measurement {
+        time_ms: run.kernel_time_ms * repeats,
+        code_size,
+        compile_ms: outcome.total.as_secs_f64() * 1e3,
+        checksum: run.checksum,
+        timed_out: outcome.timed_out,
+        metrics: run.metrics,
+        transfer_ms: run.transfer_ms(),
+    })
+}
+
+/// Measure the baseline configuration of a benchmark.
+pub fn measure_baseline(bench: &Benchmark) -> Result<Measurement, ExecError> {
+    measure(bench, Transform::Baseline, LoopFilter::All, None)
+}
+
+/// The per-loop sweep configurations of the paper's Figures 6–8.
+pub fn sweep_configs() -> Vec<(&'static str, Transform)> {
+    use uu_core::UnmergeOptions;
+    vec![
+        ("uu2", Transform::Uu {
+            factor: 2,
+            unmerge: UnmergeOptions::default(),
+        }),
+        ("uu4", Transform::Uu {
+            factor: 4,
+            unmerge: UnmergeOptions::default(),
+        }),
+        ("uu8", Transform::Uu {
+            factor: 8,
+            unmerge: UnmergeOptions::default(),
+        }),
+        ("unroll2", Transform::Unroll { factor: 2 }),
+        ("unroll4", Transform::Unroll { factor: 4 }),
+        ("unroll8", Transform::Unroll { factor: 8 }),
+        ("unmerge", Transform::Unmerge),
+    ]
+}
+
+/// Assert that a transformed measurement preserved semantics.
+///
+/// # Panics
+///
+/// Panics on checksum mismatch — a miscompilation, which must never be
+/// reported as a speedup.
+pub fn assert_equivalent(base: &Measurement, got: &Measurement, what: &str) {
+    assert!(
+        got.checksum == base.checksum,
+        "MISCOMPILE under {what}: checksum {} != baseline {}",
+        got.checksum,
+        base.checksum
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uu_kernels::all_benchmarks;
+
+    fn bench(name: &str) -> Benchmark {
+        all_benchmarks()
+            .into_iter()
+            .find(|b| b.info.name == name)
+            .unwrap()
+    }
+
+    #[test]
+    fn loop_list_matches_table() {
+        for b in all_benchmarks() {
+            assert_eq!(loop_list(&b).len(), b.info.table_loops, "{}", b.info.name);
+        }
+    }
+
+    #[test]
+    fn baseline_measures_bezier() {
+        let b = bench("bezier-surface");
+        let m = measure_baseline(&b).unwrap();
+        assert!(m.time_ms > 0.0);
+        assert!(m.code_size > 0);
+        assert!(!m.timed_out);
+    }
+
+    #[test]
+    fn uu_on_hot_loop_preserves_semantics_and_speeds_up_bezier() {
+        let b = bench("bezier-surface");
+        let base = measure_baseline(&b).unwrap();
+        let got = measure(
+            &b,
+            Transform::Uu {
+                factor: 2,
+                unmerge: Default::default(),
+            },
+            LoopFilter::Only {
+                func: "bezier_blend".into(),
+                loop_id: 0,
+            },
+            None,
+        )
+        .unwrap();
+        assert_equivalent(&base, &got, "uu2 bezier");
+        assert!(
+            got.time_ms < base.time_ms,
+            "u&u should speed up the bezier hot loop: {} vs {}",
+            got.time_ms,
+            base.time_ms
+        );
+        assert!(got.code_size > base.code_size);
+    }
+
+    #[test]
+    fn launch_repeats_scale_time_but_not_ratios() {
+        // complex has launch_repeats = 37000; ratios must be unaffected.
+        let b = bench("complex");
+        let base = measure_baseline(&b).unwrap();
+        assert!(
+            base.time_ms > 1.0,
+            "repeats must lift complex into the ms range: {}",
+            base.time_ms
+        );
+        let uu = measure(
+            &b,
+            Transform::Uu {
+                factor: 2,
+                unmerge: Default::default(),
+            },
+            LoopFilter::Only {
+                func: "complex_pow".into(),
+                loop_id: 0,
+            },
+            None,
+        )
+        .unwrap();
+        let ratio = base.time_ms / uu.time_ms;
+        assert!(ratio < 0.7, "complex uu2 slowdown survives scaling: {ratio}");
+    }
+
+    #[test]
+    fn cold_loop_skip_run_reuses_baseline_time() {
+        let b = bench("bezier-surface");
+        let base = measure_baseline(&b).unwrap();
+        let got = measure(
+            &b,
+            Transform::Uu {
+                factor: 2,
+                unmerge: Default::default(),
+            },
+            LoopFilter::Only {
+                func: "aux_counted_0".into(),
+                loop_id: 0,
+            },
+            Some(&base),
+        )
+        .unwrap();
+        assert_eq!(got.time_ms, base.time_ms);
+        assert_eq!(got.checksum, base.checksum);
+    }
+}

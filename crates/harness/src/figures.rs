@@ -1,0 +1,298 @@
+//! Regeneration of the paper's Table I and Figures 6–8 from a [`Sweep`].
+
+use crate::report::{ascii_table, bar, write_csv, write_text};
+use crate::stats::{geomean, noisy_runs, rsd_pct};
+use crate::sweep::Sweep;
+use std::path::Path;
+
+/// Emit `table1.txt` / `table1.csv`: the Table I reproduction.
+pub fn table1(sweep: &Sweep, out: &Path, benches: &[uu_kernels::Benchmark]) {
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (s, b) in sweep.apps.iter().zip(benches) {
+        assert_eq!(s.app, b.info.name);
+        let base_runs = noisy_runs(s.baseline.time_ms, s.rsd, 20, 11);
+        let heur_runs = noisy_runs(s.heuristic.time_ms, s.rsd, 20, 12);
+        let pct_c = 100.0 * s.baseline.time_ms / (s.baseline.time_ms + s.baseline.transfer_ms);
+        rows.push(vec![
+            s.app.clone(),
+            b.info.category.to_string(),
+            b.info.table_loops.to_string(),
+            format!("{pct_c:.2}%"),
+            format!(
+                "{:.4} ± {:.2}%",
+                crate::stats::mean(&base_runs),
+                rsd_pct(&base_runs)
+            ),
+            format!(
+                "{:.4} ± {:.2}%",
+                crate::stats::mean(&heur_runs),
+                rsd_pct(&heur_runs)
+            ),
+        ]);
+        csv.push(format!(
+            "{},{},{},{:.2},{:.6},{:.2},{:.6},{:.2}",
+            s.app,
+            b.info.table_loops,
+            b.info.cli.replace(',', ";"),
+            pct_c,
+            crate::stats::mean(&base_runs),
+            rsd_pct(&base_runs),
+            crate::stats::mean(&heur_runs),
+            rsd_pct(&heur_runs),
+        ));
+    }
+    let text = format!(
+        "Table I — benchmark overview (simulated; times in simulated ms)\n{}",
+        ascii_table(
+            &[
+                "Name",
+                "Category",
+                "L",
+                "%C",
+                "Baseline mean ± RSD",
+                "Heuristic mean ± RSD"
+            ],
+            &rows
+        )
+    );
+    write_text(&out.join("table1.txt"), &text);
+    write_csv(
+        &out.join("table1.csv"),
+        "name,loops,cli,compute_pct,baseline_mean_ms,baseline_rsd_pct,heuristic_mean_ms,heuristic_rsd_pct",
+        &csv,
+    );
+}
+
+/// Emit Figure 6a/6b/6c data (`fig6{a,b,c}.csv`) and an ASCII summary.
+pub fn fig6(sweep: &Sweep, out: &Path) {
+    for (fig, field, label) in [
+        ("fig6a", 0usize, "speedup"),
+        ("fig6b", 1, "code size increase"),
+        ("fig6c", 2, "compile time increase"),
+    ] {
+        let mut csv = Vec::new();
+        for p in sweep
+            .points
+            .iter()
+            .filter(|p| p.config.starts_with("uu") && p.config != "unmerge")
+        {
+            let v = [p.speedup, p.size_ratio, p.compile_ratio][field];
+            csv.push(format!(
+                "{},{},{},{},{:.6},{}",
+                p.app, p.loop_ref.func, p.loop_ref.loop_id, p.config, v, p.timed_out
+            ));
+        }
+        // Heuristic rows (one per app).
+        for s in &sweep.apps {
+            let v = [s.speedup(), s.size_ratio(), s.compile_ratio()][field];
+            csv.push(format!("{},heuristic,,heuristic,{v:.6},false", s.app));
+        }
+        write_csv(
+            &out.join(format!("{fig}.csv")),
+            "app,func,loop,config,value,timed_out",
+            &csv,
+        );
+
+        // ASCII: per-app best/worst/heuristic.
+        let mut rows = Vec::new();
+        for s in &sweep.apps {
+            let vals: Vec<f64> = sweep
+                .points
+                .iter()
+                .filter(|p| p.app == s.app && p.config.starts_with("uu"))
+                .map(|p| [p.speedup, p.size_ratio, p.compile_ratio][field])
+                .collect();
+            if vals.is_empty() {
+                continue;
+            }
+            let best = vals.iter().cloned().fold(f64::MIN, f64::max);
+            let worst = vals.iter().cloned().fold(f64::MAX, f64::min);
+            let heur = [s.speedup(), s.size_ratio(), s.compile_ratio()][field];
+            rows.push(vec![
+                s.app.clone(),
+                format!("{worst:.3}"),
+                format!("{best:.3}"),
+                format!("{heur:.3}"),
+                bar(heur, 24),
+            ]);
+        }
+        let heur_all: Vec<f64> = sweep
+            .apps
+            .iter()
+            .map(|s| [s.speedup(), s.size_ratio(), s.compile_ratio()][field])
+            .collect();
+        let text = format!(
+            "Figure 6{} — {label} of u&u (factors 2/4/8 per loop) and heuristic\n{}\nheuristic geomean: {:.3}\n",
+            ["a", "b", "c"][field],
+            ascii_table(&["app", "min", "max", "heuristic", ""], &rows),
+            geomean(&heur_all),
+        );
+        write_text(&out.join(format!("{fig}.txt")), &text);
+    }
+}
+
+/// Emit Figure 7: per-application best speedup per configuration.
+pub fn fig7(sweep: &Sweep, out: &Path) {
+    let configs = ["uu2", "uu4", "uu8", "unroll2", "unroll4", "unroll8", "unmerge"];
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for s in &sweep.apps {
+        let mut row = vec![s.app.clone()];
+        let mut line = s.app.clone();
+        for c in configs {
+            let best = sweep
+                .points
+                .iter()
+                .filter(|p| p.app == s.app && p.config == c)
+                .map(|p| p.speedup)
+                .fold(f64::NAN, f64::max);
+            row.push(format!("{best:.3}"));
+            line.push_str(&format!(",{best:.6}"));
+        }
+        rows.push(row);
+        csv.push(line);
+    }
+    let text = format!(
+        "Figure 7 — best per-loop speedup per application and configuration\n{}",
+        ascii_table(
+            &["app", "uu2", "uu4", "uu8", "unroll2", "unroll4", "unroll8", "unmerge"],
+            &rows
+        )
+    );
+    write_text(&out.join("fig7.txt"), &text);
+    write_csv(
+        &out.join("fig7.csv"),
+        "app,uu2,uu4,uu8,unroll2,unroll4,unroll8,unmerge",
+        &csv,
+    );
+}
+
+/// Emit Figure 8a/8b scatter data: u&u speedup vs unroll (8a) / unmerge
+/// (8b) per loop.
+pub fn fig8(sweep: &Sweep, out: &Path) {
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    // Index once: (app, func, loop, config) → speedup (the sweep has one
+    // point per key; a linear scan per point would be quadratic).
+    let index: std::collections::HashMap<(&str, &str, usize, &str), f64> = sweep
+        .points
+        .iter()
+        .map(|p| {
+            (
+                (
+                    p.app.as_str(),
+                    p.loop_ref.func.as_str(),
+                    p.loop_ref.loop_id,
+                    p.config.as_str(),
+                ),
+                p.speedup,
+            )
+        })
+        .collect();
+    for factor in ["2", "4", "8"] {
+        for p in sweep.points.iter().filter(|p| p.config == format!("uu{factor}")) {
+            let partner = |cfg: &str| {
+                index
+                    .get(&(
+                        p.app.as_str(),
+                        p.loop_ref.func.as_str(),
+                        p.loop_ref.loop_id,
+                        cfg,
+                    ))
+                    .copied()
+            };
+            if let Some(u) = partner(&format!("unroll{factor}")) {
+                a.push(format!(
+                    "{},{},{},{},{:.6},{:.6}",
+                    p.app, p.loop_ref.func, p.loop_ref.loop_id, factor, p.speedup, u
+                ));
+            }
+            if let Some(um) = partner("unmerge") {
+                b.push(format!(
+                    "{},{},{},{},{:.6},{:.6}",
+                    p.app, p.loop_ref.func, p.loop_ref.loop_id, factor, p.speedup, um
+                ));
+            }
+        }
+    }
+    write_csv(
+        &out.join("fig8a.csv"),
+        "app,func,loop,factor,uu_speedup,unroll_speedup",
+        &a,
+    );
+    write_csv(
+        &out.join("fig8b.csv"),
+        "app,func,loop,factor,uu_speedup,unmerge_speedup",
+        &b,
+    );
+    // ASCII summary: counts by region relative to the diagonal.
+    let summarize = |rows: &[String], other: &str| -> String {
+        let mut below = 0;
+        let mut near = 0;
+        let mut above = 0;
+        for r in rows {
+            let cols: Vec<&str> = r.split(',').collect();
+            let uu: f64 = cols[4].parse().unwrap();
+            let ot: f64 = cols[5].parse().unwrap();
+            if uu > ot * 1.02 {
+                below += 1;
+            } else if ot > uu * 1.02 {
+                above += 1;
+            } else {
+                near += 1;
+            }
+        }
+        format!(
+            "u&u wins: {below}   ties (±2%): {near}   {other} wins: {above}   (n = {})\n",
+            rows.len()
+        )
+    };
+    write_text(
+        &out.join("fig8.txt"),
+        &format!(
+            "Figure 8a (u&u vs unroll, per loop & factor)\n{}\nFigure 8b (u&u vs unmerge)\n{}",
+            summarize(&a, "unroll"),
+            summarize(&b, "unmerge")
+        ),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::run_sweep;
+    use uu_kernels::all_benchmarks;
+
+    #[test]
+    fn figures_emit_files_for_small_sweep() {
+        let benches: Vec<_> = all_benchmarks()
+            .into_iter()
+            .filter(|b| b.info.name == "bezier-surface")
+            .collect();
+        let sweep = run_sweep(&benches, true);
+        let dir = std::env::temp_dir().join("uu_fig_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        table1(&sweep, &dir, &benches);
+        fig6(&sweep, &dir);
+        fig7(&sweep, &dir);
+        fig8(&sweep, &dir);
+        for f in [
+            "table1.txt",
+            "table1.csv",
+            "fig6a.csv",
+            "fig6b.csv",
+            "fig6c.csv",
+            "fig6a.txt",
+            "fig7.txt",
+            "fig7.csv",
+            "fig8a.csv",
+            "fig8b.csv",
+            "fig8.txt",
+        ] {
+            assert!(dir.join(f).exists(), "{f} missing");
+        }
+        let t1 = std::fs::read_to_string(dir.join("table1.txt")).unwrap();
+        assert!(t1.contains("bezier-surface"));
+    }
+}

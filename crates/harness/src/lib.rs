@@ -1,0 +1,35 @@
+//! # uu-harness — regenerating the paper's evaluation
+//!
+//! The experiment driver for reproducing Table I and Figures 6–8 of
+//! *Enhancing Performance through Control-Flow Unmerging and Loop Unrolling
+//! on GPUs* (CGO 2024), plus the §V hardware-counter analysis.
+//!
+//! ## Methodology (paper §IV-B, faithfully reproduced)
+//!
+//! * five configurations: baseline (`-O3` stand-in), `unroll`, `unmerge`,
+//!   `u&u` (factors 2/4/8), and the `u&u` heuristic (`c = 1024`,
+//!   `u_max = 8`);
+//! * transforms applied **one loop at a time**, early in the pipeline;
+//! * each data point is the **median of 20 runs**; the simulator being
+//!   deterministic, runs are drawn from a seeded noise model calibrated to
+//!   the paper's per-application RSD (a documented substitution);
+//! * speedup uses the **sum of kernel times**; `%C` weighs kernels against
+//!   a PCIe transfer model;
+//! * every transformed binary's output **checksum must equal the
+//!   baseline's** — a mismatch aborts the run (a speedup from a miscompile
+//!   is not a speedup).
+//!
+//! Run `cargo run --release -p uu-harness -- all` to regenerate everything
+//! into `results/`.
+
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod figures;
+pub mod indepth;
+pub mod report;
+pub mod stats;
+pub mod sweep;
+
+pub use experiment::{measure, measure_baseline, Measurement};
+pub use sweep::{run_sweep, Sweep};

@@ -1,0 +1,150 @@
+//! Command-line entry point: `uu-harness <command> [--fast] [--out DIR]`.
+
+use std::path::PathBuf;
+use uu_harness::{figures, indepth, sweep};
+use uu_kernels::all_benchmarks;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    let only: Option<String> = args
+        .iter()
+        .position(|a| a == "--bench")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let cmd = args
+        .iter()
+        .find(|a| !a.starts_with("--") && Some(a.as_str()) != only.as_deref())
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let benches: Vec<_> = all_benchmarks()
+        .into_iter()
+        .filter(|b| only.as_deref().map(|o| b.info.name == o).unwrap_or(true))
+        .collect();
+    if benches.is_empty() {
+        eprintln!("no benchmark matches --bench filter");
+        std::process::exit(2);
+    }
+
+    match cmd {
+        "table1" | "fig6a" | "fig6b" | "fig6c" | "fig6" | "fig7" | "fig8a" | "fig8b"
+        | "fig8" | "all" => {
+            eprintln!(
+                "running sweep over {} benchmark(s){} ...",
+                benches.len(),
+                if fast { " (fast)" } else { "" }
+            );
+            let s = sweep::run_sweep(&benches, fast);
+            match cmd {
+                "table1" => figures::table1(&s, &out, &benches),
+                "fig6" | "fig6a" | "fig6b" | "fig6c" => figures::fig6(&s, &out),
+                "fig7" => figures::fig7(&s, &out),
+                "fig8" | "fig8a" | "fig8b" => figures::fig8(&s, &out),
+                _ => {
+                    figures::table1(&s, &out, &benches);
+                    figures::fig6(&s, &out);
+                    figures::fig7(&s, &out);
+                    figures::fig8(&s, &out);
+                    let cases = indepth::collect();
+                    indepth::report(&cases, &out);
+                }
+            }
+            eprintln!("wrote results to {}", out.display());
+            // Print the headline table to stdout for quick inspection.
+            if matches!(cmd, "table1" | "all") {
+                if let Ok(t) = std::fs::read_to_string(out.join("table1.txt")) {
+                    println!("{t}");
+                }
+            }
+            if matches!(cmd, "fig7" | "all") {
+                if let Ok(t) = std::fs::read_to_string(out.join("fig7.txt")) {
+                    println!("{t}");
+                }
+            }
+        }
+        "indepth" => {
+            let cases = indepth::collect();
+            indepth::report(&cases, &out);
+            if let Ok(t) = std::fs::read_to_string(out.join("indepth.txt")) {
+                println!("{t}");
+            }
+        }
+        "dump" => {
+            // Print each hot kernel after optimization under a config given
+            // by --config (baseline|unroll<k>|unmerge|uu<k>|heuristic).
+            let config = args
+                .iter()
+                .position(|a| a == "--config")
+                .and_then(|i| args.get(i + 1))
+                .cloned()
+                .unwrap_or_else(|| "uu4".to_string());
+            let transform = match config.as_str() {
+                "baseline" => uu_core::Transform::Baseline,
+                "unmerge" => uu_core::Transform::Unmerge,
+                "heuristic" => uu_core::Transform::UuHeuristic(Default::default()),
+                c if c.starts_with("unroll") => uu_core::Transform::Unroll {
+                    factor: c[6..].parse().unwrap_or(4),
+                },
+                c if c.starts_with("uu") => uu_core::Transform::Uu {
+                    factor: c[2..].parse().unwrap_or(4),
+                    unmerge: Default::default(),
+                },
+                other => {
+                    eprintln!("unknown --config `{other}`");
+                    std::process::exit(2);
+                }
+            };
+            for b in &benches {
+                let mut m = (b.build)();
+                uu_core::compile(
+                    &mut m,
+                    &uu_core::PipelineOptions {
+                        transform: transform.clone(),
+                        ..Default::default()
+                    },
+                );
+                for hot in b.info.hot_kernels {
+                    if let Some(id) = m.find(hot) {
+                        println!("; {} under {config}\n{}", b.info.name, m.function(id));
+                    }
+                }
+            }
+        }
+        "decisions" => {
+            // Dump the heuristic's per-loop reasoning (paper §III-C).
+            for b in &benches {
+                let mut m = (b.build)();
+                let outcome = uu_core::compile(
+                    &mut m,
+                    &uu_core::PipelineOptions {
+                        transform: uu_core::Transform::UuHeuristic(Default::default()),
+                        ..Default::default()
+                    },
+                );
+                println!("== {} ==", b.info.name);
+                for (func, d) in outcome.decisions {
+                    println!(
+                        "  {func:<24} loop@{:<6} p={:<4} s={:<5} -> {:?}",
+                        d.header.to_string(),
+                        d.paths,
+                        d.size,
+                        d.decision
+                    );
+                }
+            }
+        }
+        other => {
+            eprintln!(
+                "unknown command `{other}`; expected one of: all, table1, fig6[a|b|c], fig7, fig8[a|b], indepth, decisions, dump"
+            );
+            std::process::exit(2);
+        }
+    }
+}

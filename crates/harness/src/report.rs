@@ -1,0 +1,116 @@
+//! Text and CSV emission for the regenerated tables and figures.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Write a CSV file with a header row.
+///
+/// # Panics
+///
+/// Panics on I/O errors — the harness treats an unwritable results
+/// directory as fatal.
+pub fn write_csv(path: &Path, header: &str, rows: &[String]) {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir).expect("create results directory");
+    }
+    let mut f = fs::File::create(path).expect("create csv");
+    writeln!(f, "{header}").unwrap();
+    for r in rows {
+        writeln!(f, "{r}").unwrap();
+    }
+}
+
+/// Write plain text.
+///
+/// # Panics
+///
+/// Panics on I/O errors.
+pub fn write_text(path: &Path, text: &str) {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir).expect("create results directory");
+    }
+    fs::write(path, text).expect("write text");
+}
+
+/// Render a fixed-width ASCII table.
+pub fn ascii_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    for (i, h) in headers.iter().enumerate() {
+        out.push_str(&format!("| {:w$} ", h, w = widths[i]));
+    }
+    out.push_str("|\n");
+    sep(&mut out);
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            out.push_str(&format!("| {:w$} ", cell, w = widths[i]));
+        }
+        out.push_str("|\n");
+    }
+    sep(&mut out);
+    out
+}
+
+/// A simple horizontal ASCII bar for ratio data (1.0 = no change).
+pub fn bar(ratio: f64, width: usize) -> String {
+    let clamped = ratio.clamp(0.0, 4.0);
+    let n = ((clamped / 4.0) * width as f64).round() as usize;
+    let mut s = "#".repeat(n);
+    if s.is_empty() {
+        s.push('.');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_table_aligns() {
+        let t = ascii_table(
+            &["name", "x"],
+            &[
+                vec!["a".into(), "1.00".into()],
+                vec!["longer".into(), "2".into()],
+            ],
+        );
+        assert!(t.contains("| name   | x    |"), "{t}");
+        assert!(t.contains("| longer | 2    |"), "{t}");
+    }
+
+    #[test]
+    fn csv_and_text_roundtrip() {
+        let dir = std::env::temp_dir().join("uu_report_test");
+        let p = dir.join("t.csv");
+        write_csv(&p, "a,b", &["1,2".to_string()]);
+        let s = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(s, "a,b\n1,2\n");
+        let p2 = dir.join("t.txt");
+        write_text(&p2, "hello");
+        assert_eq!(std::fs::read_to_string(&p2).unwrap(), "hello");
+    }
+
+    #[test]
+    fn bars_scale() {
+        assert_eq!(bar(0.0, 10), ".");
+        assert!(bar(4.0, 10).len() == 10);
+        assert!(bar(2.0, 10).len() < 10);
+    }
+}

@@ -1,0 +1,217 @@
+//! The per-loop experiment sweep feeding Figures 6, 7 and 8.
+//!
+//! Following the paper's methodology (§IV-B): the pass is applied to *one
+//! loop at a time*, for each unroll factor and comparator configuration, and
+//! each data point is the median of 20 (noise-modelled) runs against the
+//! baseline median.
+
+use crate::experiment::{
+    assert_equivalent, loop_list, measure, measure_baseline, sweep_configs, LoopRef, Measurement,
+};
+use crate::stats::median_of_20;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use uu_core::{HeuristicOptions, LoopFilter, Transform};
+use uu_kernels::Benchmark;
+
+/// Stand-in for the frontend + backend compile time that our pipeline does
+/// not model (Clang parsing CUDA headers, PTX codegen, ptxas): a real
+/// `clang -O3` CUDA compile of these benchmarks takes seconds. Added to
+/// both sides of every compile-time ratio so the ratios sit on the paper's
+/// scale.
+pub const FRONTEND_MS: f64 = 3000.0;
+
+/// One (application, loop, configuration) data point.
+#[derive(Debug, Clone)]
+pub struct LoopPoint {
+    /// Application name.
+    pub app: String,
+    /// The targeted loop.
+    pub loop_ref: LoopRef,
+    /// Whether the loop lives in a launched (hot) kernel.
+    pub hot: bool,
+    /// Configuration name (`uu2`, `unroll4`, `unmerge`, …).
+    pub config: String,
+    /// Median-of-20 speedup over the baseline median.
+    pub speedup: f64,
+    /// Code size relative to baseline.
+    pub size_ratio: f64,
+    /// Compile time relative to baseline.
+    pub compile_ratio: f64,
+    /// Whether compilation timed out.
+    pub timed_out: bool,
+}
+
+/// Per-application summary of the heuristic configuration.
+#[derive(Debug, Clone)]
+pub struct AppSummary {
+    /// Application name.
+    pub app: String,
+    /// Baseline measurement (noise-free time).
+    pub baseline: Measurement,
+    /// Heuristic measurement.
+    pub heuristic: Measurement,
+    /// Median-of-20 baseline time with noise.
+    pub baseline_med: f64,
+    /// Median-of-20 heuristic time with noise.
+    pub heuristic_med: f64,
+    /// Paper-calibrated RSD used by the noise model.
+    pub rsd: f64,
+    /// Size of the non-kernel part of the binary (see `BenchmarkInfo`).
+    pub rest_size: u64,
+}
+
+impl AppSummary {
+    /// Heuristic speedup over baseline.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_med / self.heuristic_med
+    }
+
+    /// Heuristic whole-binary code-size ratio (kernel code + the rest of
+    /// the application binary).
+    pub fn size_ratio(&self) -> f64 {
+        let rest = self.rest_size as f64;
+        (rest + self.heuristic.code_size as f64) / (rest + self.baseline.code_size as f64)
+    }
+
+    /// Heuristic compile-time ratio (with the frontend stand-in).
+    pub fn compile_ratio(&self) -> f64 {
+        (FRONTEND_MS + self.heuristic.compile_ms) / (FRONTEND_MS + self.baseline.compile_ms)
+    }
+}
+
+/// The full sweep output.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// All per-loop points.
+    pub points: Vec<LoopPoint>,
+    /// Per-application baseline + heuristic summaries.
+    pub apps: Vec<AppSummary>,
+}
+
+fn seed_for(app: &str, l: &LoopRef, config: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    (app, &l.func, l.loop_id, config).hash(&mut h);
+    h.finish()
+}
+
+/// Run the sweep for the given benchmarks.
+///
+/// `fast` restricts cold loops to three per application (hot loops are
+/// always measured) — used by tests and the Criterion benches; the real
+/// figures use the full population.
+pub fn run_sweep(benches: &[Benchmark], fast: bool) -> Sweep {
+    let mut points = Vec::new();
+    let mut apps = Vec::new();
+    for bench in benches {
+        let app = bench.info.name.to_string();
+        eprintln!("  sweeping {app} ({} loops)...", bench.info.table_loops);
+        let base = measure_baseline(bench).expect("baseline must run");
+        let baseline_med = median_of_20(base.time_ms, bench.info.paper_rsd_pct, seed_for(&app, &LoopRef { func: "baseline".into(), loop_id: 0 }, "base"));
+
+        // Heuristic over all loops.
+        let heur = measure(
+            bench,
+            Transform::UuHeuristic(HeuristicOptions::default()),
+            LoopFilter::All,
+            None,
+        )
+        .expect("heuristic must run");
+        assert_equivalent(&base, &heur, &format!("{app} heuristic"));
+        let heuristic_med = median_of_20(
+            heur.time_ms,
+            bench.info.paper_rsd_pct,
+            seed_for(&app, &LoopRef { func: "heuristic".into(), loop_id: 0 }, "heur"),
+        );
+        apps.push(AppSummary {
+            app: app.clone(),
+            baseline: base.clone(),
+            heuristic: heur,
+            baseline_med,
+            heuristic_med,
+            rsd: bench.info.paper_rsd_pct,
+            rest_size: bench.info.binary_rest_size,
+        });
+
+        // Per-loop sweep.
+        let mut cold_seen = 0usize;
+        for l in loop_list(bench) {
+            let hot = bench.info.hot_kernels.contains(&l.func.as_str());
+            if !hot {
+                cold_seen += 1;
+                if fast && cold_seen > 3 {
+                    continue;
+                }
+            }
+            for (cname, transform) in sweep_configs() {
+                let filter = LoopFilter::Only {
+                    func: l.func.clone(),
+                    loop_id: l.loop_id,
+                };
+                let skip = if hot { None } else { Some(&base) };
+                let m = measure(bench, transform, filter, skip)
+                    .unwrap_or_else(|e| panic!("{app}/{}/{cname}: {e}", l.func));
+                if hot {
+                    assert_equivalent(&base, &m, &format!("{app}/{}/{cname}", l.func));
+                }
+                let med = median_of_20(
+                    m.time_ms,
+                    bench.info.paper_rsd_pct,
+                    seed_for(&app, &l, cname),
+                );
+                let rest = bench.info.binary_rest_size as f64;
+                points.push(LoopPoint {
+                    app: app.clone(),
+                    loop_ref: l.clone(),
+                    hot,
+                    config: cname.to_string(),
+                    speedup: baseline_med / med,
+                    size_ratio: (rest + m.code_size as f64)
+                        / (rest + base.code_size as f64),
+                    compile_ratio: (FRONTEND_MS + m.compile_ms)
+                        / (FRONTEND_MS + base.compile_ms),
+                    timed_out: m.timed_out,
+                });
+            }
+        }
+    }
+    Sweep { points, apps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uu_kernels::all_benchmarks;
+
+    #[test]
+    fn fast_sweep_on_two_apps_produces_consistent_points() {
+        let benches: Vec<Benchmark> = all_benchmarks()
+            .into_iter()
+            .filter(|b| b.info.name == "bezier-surface" || b.info.name == "mandelbrot")
+            .collect();
+        let sweep = run_sweep(&benches, true);
+        assert_eq!(sweep.apps.len(), 2);
+        // 7 configs per measured loop.
+        assert!(sweep.points.len().is_multiple_of(7));
+        for p in &sweep.points {
+            assert!(p.speedup > 0.0, "{p:?}");
+            assert!(p.size_ratio > 0.0);
+            assert!(p.compile_ratio > 0.0);
+        }
+        // Cold loops sit at ≈1.0 speedup (only noise moves them).
+        for p in sweep.points.iter().filter(|p| !p.hot) {
+            assert!(
+                (p.speedup - 1.0).abs() < 0.25,
+                "cold loop should be ≈1.0: {p:?}"
+            );
+        }
+        // The bezier hot loop must show a u&u win at some factor.
+        let best = sweep
+            .points
+            .iter()
+            .filter(|p| p.hot && p.app == "bezier-surface" && p.config.starts_with("uu"))
+            .map(|p| p.speedup)
+            .fold(0.0f64, f64::max);
+        assert!(best > 1.05, "bezier u&u best {best}");
+    }
+}

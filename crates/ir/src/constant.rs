@@ -1,0 +1,225 @@
+//! Compile-time constant values.
+//!
+//! Floats are stored as raw IEEE-754 bits so that [`Constant`] can implement
+//! `Eq`/`Hash` (required by value numbering in the optimizer). `NaN`s with
+//! different payloads therefore compare unequal, which is the conservative
+//! direction for an optimizer.
+
+use crate::types::Type;
+use std::fmt;
+
+/// A constant IR value.
+///
+/// # Examples
+///
+/// ```
+/// use uu_ir::{Constant, Type};
+/// let c = Constant::f64(1.5);
+/// assert_eq!(c.ty(), Type::F64);
+/// assert_eq!(c.as_f64(), Some(1.5));
+/// assert_eq!(Constant::I32(7).to_string(), "7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Constant {
+    /// Boolean constant.
+    I1(bool),
+    /// 32-bit integer constant (two's complement).
+    I32(i32),
+    /// 64-bit integer constant (two's complement).
+    I64(i64),
+    /// 32-bit float constant, stored as raw bits.
+    F32Bits(u32),
+    /// 64-bit float constant, stored as raw bits.
+    F64Bits(u64),
+}
+
+impl Constant {
+    /// Construct an `f32` constant from its numeric value.
+    pub fn f32(v: f32) -> Self {
+        Constant::F32Bits(v.to_bits())
+    }
+
+    /// Construct an `f64` constant from its numeric value.
+    pub fn f64(v: f64) -> Self {
+        Constant::F64Bits(v.to_bits())
+    }
+
+    /// The zero value of `ty`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ty` is `Void`.
+    pub fn zero(ty: Type) -> Self {
+        match ty {
+            Type::I1 => Constant::I1(false),
+            Type::I32 => Constant::I32(0),
+            Type::I64 | Type::Ptr => Constant::I64(0),
+            Type::F32 => Constant::f32(0.0),
+            Type::F64 => Constant::f64(0.0),
+            Type::Void => panic!("no zero constant of type void"),
+        }
+    }
+
+    /// The type of this constant. Pointer-typed constants are represented as
+    /// `I64` (a raw address); there is no dedicated pointer constant.
+    pub fn ty(self) -> Type {
+        match self {
+            Constant::I1(_) => Type::I1,
+            Constant::I32(_) => Type::I32,
+            Constant::I64(_) => Type::I64,
+            Constant::F32Bits(_) => Type::F32,
+            Constant::F64Bits(_) => Type::F64,
+        }
+    }
+
+    /// Numeric value as `f64` if this is a float constant.
+    pub fn as_f64(self) -> Option<f64> {
+        match self {
+            Constant::F32Bits(b) => Some(f32::from_bits(b) as f64),
+            Constant::F64Bits(b) => Some(f64::from_bits(b)),
+            _ => None,
+        }
+    }
+
+    /// Integer value (sign extended to `i64`) if this is an integer constant.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Constant::I1(b) => Some(b as i64),
+            Constant::I32(v) => Some(v as i64),
+            Constant::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Boolean value if this is an `i1` constant.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Constant::I1(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Whether this constant is the additive identity of its type.
+    pub fn is_zero(self) -> bool {
+        match self {
+            Constant::I1(b) => !b,
+            Constant::I32(v) => v == 0,
+            Constant::I64(v) => v == 0,
+            Constant::F32Bits(b) => f32::from_bits(b) == 0.0,
+            Constant::F64Bits(b) => f64::from_bits(b) == 0.0,
+        }
+    }
+
+    /// Whether this constant is the multiplicative identity of its type.
+    pub fn is_one(self) -> bool {
+        match self {
+            Constant::I1(b) => b,
+            Constant::I32(v) => v == 1,
+            Constant::I64(v) => v == 1,
+            Constant::F32Bits(b) => f32::from_bits(b) == 1.0,
+            Constant::F64Bits(b) => f64::from_bits(b) == 1.0,
+        }
+    }
+}
+
+impl From<bool> for Constant {
+    fn from(v: bool) -> Self {
+        Constant::I1(v)
+    }
+}
+
+impl From<i32> for Constant {
+    fn from(v: i32) -> Self {
+        Constant::I32(v)
+    }
+}
+
+impl From<i64> for Constant {
+    fn from(v: i64) -> Self {
+        Constant::I64(v)
+    }
+}
+
+impl From<f32> for Constant {
+    fn from(v: f32) -> Self {
+        Constant::f32(v)
+    }
+}
+
+impl From<f64> for Constant {
+    fn from(v: f64) -> Self {
+        Constant::f64(v)
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::I1(b) => write!(f, "{}", if *b { "true" } else { "false" }),
+            Constant::I32(v) => write!(f, "{v}"),
+            Constant::I64(v) => write!(f, "{v}"),
+            Constant::F32Bits(b) => write!(f, "{:?}", f32::from_bits(*b)),
+            Constant::F64Bits(b) => write!(f, "{:?}", f64::from_bits(*b)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert_eq!(Constant::f64(2.0).as_f64(), Some(2.0));
+        assert_eq!(Constant::f32(2.0).as_f64(), Some(2.0));
+        assert_eq!(Constant::I64(-3).as_i64(), Some(-3));
+        assert_eq!(Constant::I32(-3).as_i64(), Some(-3));
+        assert_eq!(Constant::I1(true).as_i64(), Some(1));
+        assert_eq!(Constant::I1(true).as_bool(), Some(true));
+        assert_eq!(Constant::I32(1).as_bool(), None);
+        assert_eq!(Constant::f64(1.0).as_i64(), None);
+    }
+
+    #[test]
+    fn zero_and_identities() {
+        assert!(Constant::zero(Type::I32).is_zero());
+        assert!(Constant::zero(Type::F64).is_zero());
+        assert!(Constant::zero(Type::Ptr).is_zero());
+        assert!(Constant::I32(1).is_one());
+        assert!(Constant::f64(1.0).is_one());
+        assert!(!Constant::f64(1.5).is_one());
+        // Negative zero still counts as zero numerically.
+        assert!(Constant::f64(-0.0).is_zero());
+    }
+
+    #[test]
+    fn types() {
+        assert_eq!(Constant::I1(false).ty(), Type::I1);
+        assert_eq!(Constant::f32(0.5).ty(), Type::F32);
+        assert_eq!(Constant::f64(0.5).ty(), Type::F64);
+    }
+
+    #[test]
+    fn eq_is_bitwise_for_floats() {
+        assert_eq!(Constant::f64(1.0), Constant::f64(1.0));
+        // -0.0 and 0.0 are numerically equal but bitwise distinct: the
+        // optimizer must not value-number them together blindly.
+        assert_ne!(Constant::f64(-0.0), Constant::f64(0.0));
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Constant::from(true), Constant::I1(true));
+        assert_eq!(Constant::from(7i32), Constant::I32(7));
+        assert_eq!(Constant::from(7i64), Constant::I64(7));
+        assert_eq!(Constant::from(0.5f32), Constant::f32(0.5));
+        assert_eq!(Constant::from(0.5f64), Constant::f64(0.5));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Constant::I1(true).to_string(), "true");
+        assert_eq!(Constant::I64(-9).to_string(), "-9");
+        assert_eq!(Constant::f64(1.5).to_string(), "1.5");
+    }
+}

@@ -1,0 +1,181 @@
+//! Arena identifiers and the [`Value`] sum type.
+//!
+//! Instructions and basic blocks live in per-function arenas and are referred
+//! to by small copyable IDs, the usual arrangement for a mutable compiler IR:
+//! transforms can clone, rewire and delete entities without invalidating
+//! references held elsewhere.
+
+use crate::constant::Constant;
+use std::fmt;
+
+/// Identifier of an instruction within a [`Function`](crate::Function).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstId(pub(crate) u32);
+
+/// Identifier of a basic block within a [`Function`](crate::Function).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub(crate) u32);
+
+/// Identifier of a function within a [`Module`](crate::Module).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub(crate) u32);
+
+impl InstId {
+    /// Raw arena index. Stable for the lifetime of the function.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct from a raw index previously obtained via [`InstId::index`].
+    pub fn from_index(ix: usize) -> Self {
+        InstId(ix as u32)
+    }
+}
+
+impl BlockId {
+    /// Raw arena index. Stable for the lifetime of the function.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct from a raw index previously obtained via
+    /// [`BlockId::index`].
+    pub fn from_index(ix: usize) -> Self {
+        BlockId(ix as u32)
+    }
+}
+
+impl FuncId {
+    /// Raw arena index. Stable for the lifetime of the module.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct from a raw index previously obtained via
+    /// [`FuncId::index`].
+    pub fn from_index(ix: usize) -> Self {
+        FuncId(ix as u32)
+    }
+}
+
+impl fmt::Display for InstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn{}", self.0)
+    }
+}
+
+/// An SSA value: either the result of an instruction, a function argument, or
+/// a constant.
+///
+/// # Examples
+///
+/// ```
+/// use uu_ir::{Constant, Value};
+/// let v = Value::Const(Constant::I32(3));
+/// assert_eq!(v.as_const().and_then(|c| c.as_i64()), Some(3));
+/// assert!(!v.is_inst());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// The result of instruction `InstId`.
+    Inst(InstId),
+    /// The `n`-th formal argument of the enclosing function.
+    Arg(u32),
+    /// An immediate constant.
+    Const(Constant),
+}
+
+impl Value {
+    /// Shorthand for a constant value.
+    pub fn imm(c: impl Into<Constant>) -> Self {
+        Value::Const(c.into())
+    }
+
+    /// The underlying constant, if this value is one.
+    pub fn as_const(self) -> Option<Constant> {
+        match self {
+            Value::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The defining instruction, if this value is an instruction result.
+    pub fn as_inst(self) -> Option<InstId> {
+        match self {
+            Value::Inst(id) => Some(id),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is an instruction result.
+    pub fn is_inst(self) -> bool {
+        matches!(self, Value::Inst(_))
+    }
+
+    /// Whether this value is a constant.
+    pub fn is_const(self) -> bool {
+        matches!(self, Value::Const(_))
+    }
+}
+
+impl From<InstId> for Value {
+    fn from(id: InstId) -> Self {
+        Value::Inst(id)
+    }
+}
+
+impl From<Constant> for Value {
+    fn from(c: Constant) -> Self {
+        Value::Const(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let i = InstId::from_index(42);
+        assert_eq!(i.index(), 42);
+        let b = BlockId::from_index(7);
+        assert_eq!(b.index(), 7);
+        let f = FuncId::from_index(3);
+        assert_eq!(f.index(), 3);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(InstId::from_index(5).to_string(), "%5");
+        assert_eq!(BlockId::from_index(5).to_string(), "bb5");
+        assert_eq!(FuncId::from_index(5).to_string(), "fn5");
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::imm(4i64);
+        assert!(v.is_const());
+        assert_eq!(v.as_const().unwrap().as_i64(), Some(4));
+        assert_eq!(v.as_inst(), None);
+
+        let w = Value::Inst(InstId::from_index(1));
+        assert!(w.is_inst());
+        assert_eq!(w.as_inst(), Some(InstId::from_index(1)));
+        assert_eq!(w.as_const(), None);
+
+        let a = Value::Arg(0);
+        assert!(!a.is_inst() && !a.is_const());
+    }
+}

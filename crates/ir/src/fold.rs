@@ -1,0 +1,432 @@
+//! Constant folding of individual instructions.
+//!
+//! This module is the single source of truth for the *evaluation semantics*
+//! of pure instructions: the optimizer's SCCP pass and the SIMT simulator
+//! both delegate here, so a folded program cannot diverge from an executed
+//! one.
+
+use crate::constant::Constant;
+use crate::inst::{BinOp, CastOp, FCmpPred, ICmpPred, Inst, InstKind, Intrinsic};
+use crate::types::Type;
+
+/// Evaluate a binary operation over two constants.
+///
+/// Returns `None` on type mismatch. Integer division/remainder by zero
+/// evaluates to zero (a total semantics chosen for the simulator; real GPUs
+/// leave it undefined).
+pub fn fold_bin(op: BinOp, lhs: Constant, rhs: Constant) -> Option<Constant> {
+    if op.is_float() {
+        let a = lhs.as_f64()?;
+        let b = rhs.as_f64()?;
+        let r = match op {
+            BinOp::FAdd => a + b,
+            BinOp::FSub => a - b,
+            BinOp::FMul => a * b,
+            BinOp::FDiv => a / b,
+            _ => unreachable!(),
+        };
+        return Some(match lhs.ty() {
+            Type::F32 => Constant::f32(r as f32),
+            _ => Constant::f64(r),
+        });
+    }
+    let a = lhs.as_i64()?;
+    let b = rhs.as_i64()?;
+    let ty = lhs.ty();
+    let wrap = |v: i64| -> Constant {
+        match ty {
+            Type::I1 => Constant::I1(v & 1 != 0),
+            Type::I32 => Constant::I32(v as i32),
+            _ => Constant::I64(v),
+        }
+    };
+    let bits = ty.int_bits().unwrap_or(64);
+    let umask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let ua = (a as u64) & umask;
+    let ub = (b as u64) & umask;
+    let shamt = (ub % bits as u64) as u32;
+    let r = match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::SDiv => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        BinOp::UDiv => {
+            if ub == 0 {
+                0
+            } else {
+                (ua / ub) as i64
+            }
+        }
+        BinOp::SRem => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        BinOp::URem => {
+            if ub == 0 {
+                0
+            } else {
+                (ua % ub) as i64
+            }
+        }
+        BinOp::Shl => ((ua << shamt) & umask) as i64,
+        BinOp::LShr => (ua >> shamt) as i64,
+        BinOp::AShr => match ty {
+            Type::I32 => ((a as i32) >> shamt) as i64,
+            _ => a >> shamt,
+        },
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        _ => unreachable!(),
+    };
+    Some(wrap(r))
+}
+
+/// Evaluate an integer comparison over two constants.
+pub fn fold_icmp(pred: ICmpPred, lhs: Constant, rhs: Constant) -> Option<Constant> {
+    let a = lhs.as_i64()?;
+    let b = rhs.as_i64()?;
+    let bits = lhs.ty().int_bits().unwrap_or(64);
+    let umask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let ua = (a as u64) & umask;
+    let ub = (b as u64) & umask;
+    let r = match pred {
+        ICmpPred::Eq => a == b,
+        ICmpPred::Ne => a != b,
+        ICmpPred::Slt => a < b,
+        ICmpPred::Sle => a <= b,
+        ICmpPred::Sgt => a > b,
+        ICmpPred::Sge => a >= b,
+        ICmpPred::Ult => ua < ub,
+        ICmpPred::Ule => ua <= ub,
+        ICmpPred::Ugt => ua > ub,
+        ICmpPred::Uge => ua >= ub,
+    };
+    Some(Constant::I1(r))
+}
+
+/// Evaluate a float comparison over two constants.
+pub fn fold_fcmp(pred: FCmpPred, lhs: Constant, rhs: Constant) -> Option<Constant> {
+    let a = lhs.as_f64()?;
+    let b = rhs.as_f64()?;
+    let r = match pred {
+        FCmpPred::Oeq => a == b,
+        FCmpPred::Une => a != b || a.is_nan() || b.is_nan(),
+        FCmpPred::Olt => a < b,
+        FCmpPred::Ole => a <= b,
+        FCmpPred::Ogt => a > b,
+        FCmpPred::Oge => a >= b,
+    };
+    Some(Constant::I1(r))
+}
+
+/// Evaluate a cast over a constant, producing a value of `to` type.
+pub fn fold_cast(op: CastOp, value: Constant, to: Type) -> Option<Constant> {
+    match op {
+        CastOp::Sext => {
+            let v = value.as_i64()?;
+            // `as_i64` already sign-extends I32/I1 (I1 true == 1, which for
+            // sext semantics should become -1; LLVM sext i1 true == -1).
+            let v = if value.ty() == Type::I1 && v == 1 { -1 } else { v };
+            Some(match to {
+                Type::I32 => Constant::I32(v as i32),
+                _ => Constant::I64(v),
+            })
+        }
+        CastOp::Zext => {
+            let v = value.as_i64()?;
+            let bits = value.ty().int_bits()?;
+            let umask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            let v = ((v as u64) & umask) as i64;
+            Some(match to {
+                Type::I32 => Constant::I32(v as i32),
+                _ => Constant::I64(v),
+            })
+        }
+        CastOp::Trunc => {
+            let v = value.as_i64()?;
+            Some(match to {
+                Type::I1 => Constant::I1(v & 1 != 0),
+                Type::I32 => Constant::I32(v as i32),
+                _ => Constant::I64(v),
+            })
+        }
+        CastOp::SiToFp => {
+            let v = value.as_i64()?;
+            Some(match to {
+                Type::F32 => Constant::f32(v as f32),
+                _ => Constant::f64(v as f64),
+            })
+        }
+        CastOp::FpToSi => {
+            let v = value.as_f64()?;
+            let v = if v.is_nan() { 0.0 } else { v };
+            Some(match to {
+                Type::I32 => Constant::I32(v as i32),
+                _ => Constant::I64(v as i64),
+            })
+        }
+        CastOp::FpCast => {
+            let v = value.as_f64()?;
+            Some(match to {
+                Type::F32 => Constant::f32(v as f32),
+                _ => Constant::f64(v),
+            })
+        }
+        CastOp::IntToPtr | CastOp::PtrToInt => {
+            let v = value.as_i64()?;
+            Some(Constant::I64(v))
+        }
+    }
+}
+
+/// Evaluate a pure math intrinsic over constant arguments.
+///
+/// Returns `None` for non-pure intrinsics (thread geometry, barriers) — those
+/// depend on execution context.
+pub fn fold_intrinsic(which: Intrinsic, args: &[Constant], ty: Type) -> Option<Constant> {
+    let f = |v: f64| -> Constant {
+        match ty {
+            Type::F32 => Constant::f32(v as f32),
+            _ => Constant::f64(v),
+        }
+    };
+    match which {
+        Intrinsic::Sqrt => Some(f(args.first()?.as_f64()?.sqrt())),
+        Intrinsic::Fabs => Some(f(args.first()?.as_f64()?.abs())),
+        Intrinsic::Exp => Some(f(args.first()?.as_f64()?.exp())),
+        Intrinsic::Log => Some(f(args.first()?.as_f64()?.ln())),
+        Intrinsic::Sin => Some(f(args.first()?.as_f64()?.sin())),
+        Intrinsic::Cos => Some(f(args.first()?.as_f64()?.cos())),
+        Intrinsic::FMin => Some(f(args.first()?.as_f64()?.min(args.get(1)?.as_f64()?))),
+        Intrinsic::FMax => Some(f(args.first()?.as_f64()?.max(args.get(1)?.as_f64()?))),
+        Intrinsic::SMin => {
+            let a = args.first()?.as_i64()?;
+            let b = args.get(1)?.as_i64()?;
+            Some(match ty {
+                Type::I32 => Constant::I32(a.min(b) as i32),
+                _ => Constant::I64(a.min(b)),
+            })
+        }
+        Intrinsic::SMax => {
+            let a = args.first()?.as_i64()?;
+            let b = args.get(1)?.as_i64()?;
+            Some(match ty {
+                Type::I32 => Constant::I32(a.max(b) as i32),
+                _ => Constant::I64(a.max(b)),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Fold a whole instruction if every operand is constant.
+pub(crate) fn fold_inst(inst: &Inst) -> Option<Constant> {
+    match &inst.kind {
+        InstKind::Bin { op, lhs, rhs } => fold_bin(*op, lhs.as_const()?, rhs.as_const()?),
+        InstKind::ICmp { pred, lhs, rhs } => fold_icmp(*pred, lhs.as_const()?, rhs.as_const()?),
+        InstKind::FCmp { pred, lhs, rhs } => fold_fcmp(*pred, lhs.as_const()?, rhs.as_const()?),
+        InstKind::Select {
+            cond,
+            on_true,
+            on_false,
+        } => {
+            let c = cond.as_const()?.as_bool()?;
+            if c {
+                on_true.as_const()
+            } else {
+                on_false.as_const()
+            }
+        }
+        InstKind::Cast { op, value } => fold_cast(*op, value.as_const()?, inst.ty),
+        InstKind::Gep { base, index, scale } => {
+            let b = base.as_const()?.as_i64()?;
+            let i = index.as_const()?.as_i64()?;
+            Some(Constant::I64(b.wrapping_add(i.wrapping_mul(*scale as i64))))
+        }
+        InstKind::Intr { which, args } => {
+            let consts: Option<Vec<Constant>> = args.iter().map(|a| a.as_const()).collect();
+            fold_intrinsic(*which, &consts?, inst.ty)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entities::Value;
+
+    #[test]
+    fn int_arith() {
+        let c = |v: i64| Constant::I64(v);
+        assert_eq!(fold_bin(BinOp::Add, c(2), c(3)), Some(c(5)));
+        assert_eq!(fold_bin(BinOp::Sub, c(2), c(3)), Some(c(-1)));
+        assert_eq!(fold_bin(BinOp::Mul, c(4), c(3)), Some(c(12)));
+        assert_eq!(fold_bin(BinOp::SDiv, c(7), c(2)), Some(c(3)));
+        assert_eq!(fold_bin(BinOp::SDiv, c(7), c(0)), Some(c(0)));
+        assert_eq!(fold_bin(BinOp::SRem, c(7), c(3)), Some(c(1)));
+        assert_eq!(fold_bin(BinOp::URem, c(7), c(0)), Some(c(0)));
+        assert_eq!(fold_bin(BinOp::Shl, c(1), c(4)), Some(c(16)));
+        assert_eq!(fold_bin(BinOp::LShr, c(16), c(2)), Some(c(4)));
+        assert_eq!(fold_bin(BinOp::AShr, c(-8), c(1)), Some(c(-4)));
+        assert_eq!(fold_bin(BinOp::And, c(6), c(3)), Some(c(2)));
+        assert_eq!(fold_bin(BinOp::Or, c(6), c(3)), Some(c(7)));
+        assert_eq!(fold_bin(BinOp::Xor, c(6), c(3)), Some(c(5)));
+    }
+
+    #[test]
+    fn i32_wraps() {
+        let c = |v: i32| Constant::I32(v);
+        assert_eq!(fold_bin(BinOp::Add, c(i32::MAX), c(1)), Some(c(i32::MIN)));
+        assert_eq!(
+            fold_bin(BinOp::LShr, c(-1), c(1)),
+            Some(c(((u32::MAX) >> 1) as i32))
+        );
+    }
+
+    #[test]
+    fn float_arith() {
+        let c = Constant::f64;
+        assert_eq!(fold_bin(BinOp::FAdd, c(1.5), c(2.0)), Some(c(3.5)));
+        assert_eq!(fold_bin(BinOp::FDiv, c(1.0), c(4.0)), Some(c(0.25)));
+        // f32 rounds through f32 precision.
+        assert_eq!(
+            fold_bin(BinOp::FMul, Constant::f32(0.5), Constant::f32(3.0)),
+            Some(Constant::f32(1.5))
+        );
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(
+            fold_icmp(ICmpPred::Slt, Constant::I64(-1), Constant::I64(1)),
+            Some(Constant::I1(true))
+        );
+        assert_eq!(
+            fold_icmp(ICmpPred::Ult, Constant::I64(-1), Constant::I64(1)),
+            Some(Constant::I1(false))
+        );
+        assert_eq!(
+            fold_fcmp(FCmpPred::Ogt, Constant::f64(2.0), Constant::f64(1.0)),
+            Some(Constant::I1(true))
+        );
+        assert_eq!(
+            fold_fcmp(FCmpPred::Olt, Constant::f64(f64::NAN), Constant::f64(1.0)),
+            Some(Constant::I1(false))
+        );
+        assert_eq!(
+            fold_fcmp(FCmpPred::Une, Constant::f64(f64::NAN), Constant::f64(1.0)),
+            Some(Constant::I1(true))
+        );
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(
+            fold_cast(CastOp::Sext, Constant::I32(-1), Type::I64),
+            Some(Constant::I64(-1))
+        );
+        assert_eq!(
+            fold_cast(CastOp::Zext, Constant::I32(-1), Type::I64),
+            Some(Constant::I64(u32::MAX as i64))
+        );
+        assert_eq!(
+            fold_cast(CastOp::Sext, Constant::I1(true), Type::I32),
+            Some(Constant::I32(-1))
+        );
+        assert_eq!(
+            fold_cast(CastOp::Zext, Constant::I1(true), Type::I32),
+            Some(Constant::I32(1))
+        );
+        assert_eq!(
+            fold_cast(CastOp::Trunc, Constant::I64(0x1_0000_0001), Type::I32),
+            Some(Constant::I32(1))
+        );
+        assert_eq!(
+            fold_cast(CastOp::SiToFp, Constant::I64(3), Type::F64),
+            Some(Constant::f64(3.0))
+        );
+        assert_eq!(
+            fold_cast(CastOp::FpToSi, Constant::f64(3.9), Type::I64),
+            Some(Constant::I64(3))
+        );
+        assert_eq!(
+            fold_cast(CastOp::FpCast, Constant::f64(0.5), Type::F32),
+            Some(Constant::f32(0.5))
+        );
+    }
+
+    #[test]
+    fn intrinsics() {
+        assert_eq!(
+            fold_intrinsic(Intrinsic::Sqrt, &[Constant::f64(9.0)], Type::F64),
+            Some(Constant::f64(3.0))
+        );
+        assert_eq!(
+            fold_intrinsic(
+                Intrinsic::SMin,
+                &[Constant::I64(2), Constant::I64(-5)],
+                Type::I64
+            ),
+            Some(Constant::I64(-5))
+        );
+        assert_eq!(
+            fold_intrinsic(Intrinsic::ThreadIdxX, &[], Type::I32),
+            None,
+            "thread geometry is context dependent and must not fold"
+        );
+    }
+
+    #[test]
+    fn whole_inst_fold() {
+        let add = Inst::new(
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Value::imm(2i64),
+                rhs: Value::imm(3i64),
+            },
+            Type::I64,
+        );
+        assert_eq!(add.fold(), Some(Constant::I64(5)));
+
+        let gep = Inst::new(
+            InstKind::Gep {
+                base: Value::imm(100i64),
+                index: Value::imm(3i64),
+                scale: 8,
+            },
+            Type::Ptr,
+        );
+        assert_eq!(gep.fold(), Some(Constant::I64(124)));
+
+        let sel = Inst::new(
+            InstKind::Select {
+                cond: Value::imm(true),
+                on_true: Value::imm(1i32),
+                on_false: Value::imm(2i32),
+            },
+            Type::I32,
+        );
+        assert_eq!(sel.fold(), Some(Constant::I32(1)));
+
+        let unfoldable = Inst::new(
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Value::Arg(0),
+                rhs: Value::imm(3i64),
+            },
+            Type::I64,
+        );
+        assert_eq!(unfoldable.fold(), None);
+    }
+}

@@ -1,0 +1,526 @@
+//! Functions (kernels): instruction and block arenas plus block layout.
+
+use crate::entities::{BlockId, InstId, Value};
+use crate::inst::{Inst, InstKind};
+use crate::types::Type;
+use std::collections::BTreeMap;
+
+/// A formal parameter of a function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Human-readable name, used by the printer.
+    pub name: String,
+    /// Parameter type.
+    pub ty: Type,
+    /// `__restrict__`: for pointer parameters, a promise that memory reached
+    /// through this pointer is not reached through any other parameter.
+    /// The optimizer's alias analysis exploits this, exactly as the paper's
+    /// rainflow analysis does (its arrays are `__restrict__`-qualified).
+    pub restrict: bool,
+}
+
+impl Param {
+    /// Construct a parameter (without `__restrict__`).
+    pub fn new(name: impl Into<String>, ty: Type) -> Self {
+        Param {
+            name: name.into(),
+            ty,
+            restrict: false,
+        }
+    }
+
+    /// Construct a `__restrict__`-qualified pointer parameter.
+    pub fn restrict(name: impl Into<String>, ty: Type) -> Self {
+        Param {
+            name: name.into(),
+            ty,
+            restrict: true,
+        }
+    }
+}
+
+/// A basic block: an ordered list of instruction IDs. The last instruction of
+/// a complete block is its terminator; phi nodes, if any, come first.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Block {
+    /// Instructions in program order.
+    pub insts: Vec<InstId>,
+}
+
+/// User pragma attached to a loop (identified by its header block),
+/// mirroring `#pragma unroll`. The u&u heuristic refrains from transforming
+/// pragma-annotated loops (paper §III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopPragma {
+    /// `#pragma unroll N` — the user requested explicit unrolling.
+    Unroll(u32),
+    /// `#pragma nounroll` — the user forbade unrolling.
+    NoUnroll,
+}
+
+/// A function: arenas of instructions and blocks, a block layout (the order
+/// blocks are emitted/printed in, with the entry first), parameters, and a
+/// return type.
+///
+/// Instruction and block IDs are stable: removing a block from the layout
+/// does not invalidate IDs, it only unlinks the block from the function body.
+///
+/// # Examples
+///
+/// ```
+/// use uu_ir::{Function, Param, Type, FunctionBuilder, Value};
+/// let mut f = Function::new("id", vec![Param::new("x", Type::I64)], Type::I64);
+/// let entry = f.entry();
+/// let mut b = FunctionBuilder::new(&mut f);
+/// b.switch_to(entry);
+/// b.ret(Some(Value::Arg(0)));
+/// assert_eq!(f.num_blocks(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Function {
+    name: String,
+    params: Vec<Param>,
+    ret_ty: Type,
+    insts: Vec<Inst>,
+    blocks: Vec<Block>,
+    layout: Vec<BlockId>,
+    loop_pragmas: BTreeMap<BlockId, LoopPragma>,
+}
+
+impl Function {
+    /// Create a function with a fresh (empty) entry block.
+    pub fn new(name: impl Into<String>, params: Vec<Param>, ret_ty: Type) -> Self {
+        let mut f = Function {
+            name: name.into(),
+            params,
+            ret_ty,
+            insts: Vec::new(),
+            blocks: Vec::new(),
+            layout: Vec::new(),
+        loop_pragmas: BTreeMap::new(),
+        };
+        f.add_block();
+        f
+    }
+
+    /// Function name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Formal parameters.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// Return type.
+    pub fn ret_ty(&self) -> Type {
+        self.ret_ty
+    }
+
+    /// The entry block (always the first block in layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function has no blocks (cannot happen for functions
+    /// created through [`Function::new`]).
+    pub fn entry(&self) -> BlockId {
+        self.layout[0]
+    }
+
+    /// Append a new empty block to the arena and layout.
+    pub fn add_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block::default());
+        self.layout.push(id);
+        id
+    }
+
+    /// Number of blocks currently in the layout.
+    pub fn num_blocks(&self) -> usize {
+        self.layout.len()
+    }
+
+    /// Total number of instruction arena slots (including unlinked ones).
+    pub fn num_inst_slots(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Number of instructions currently linked into blocks in the layout.
+    pub fn num_insts(&self) -> usize {
+        self.layout
+            .iter()
+            .map(|b| self.block(*b).insts.len())
+            .sum()
+    }
+
+    /// Blocks in layout order.
+    pub fn layout(&self) -> &[BlockId] {
+        &self.layout
+    }
+
+    /// Move `block` to the end of the layout (no-op if absent).
+    pub fn move_block_to_end(&mut self, block: BlockId) {
+        self.layout.retain(|b| *b != block);
+        self.layout.push(block);
+    }
+
+    /// Unlink a block from the layout. Its arena slot (and instructions)
+    /// remain but are no longer part of the function body.
+    pub fn remove_block(&mut self, block: BlockId) {
+        self.layout.retain(|b| *b != block);
+    }
+
+    /// Restore a previously removed block to the end of the layout.
+    pub fn relink_block(&mut self, block: BlockId) {
+        if !self.layout.contains(&block) {
+            self.layout.push(block);
+        }
+    }
+
+    /// Whether `block` is currently in the layout.
+    pub fn is_linked(&self, block: BlockId) -> bool {
+        self.layout.contains(&block)
+    }
+
+    /// Immutable access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a valid block of this function.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a valid block of this function.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Immutable access to an instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a valid instruction of this function.
+    pub fn inst(&self, id: InstId) -> &Inst {
+        &self.insts[id.index()]
+    }
+
+    /// Mutable access to an instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a valid instruction of this function.
+    pub fn inst_mut(&mut self, id: InstId) -> &mut Inst {
+        &mut self.insts[id.index()]
+    }
+
+    /// Create an instruction in the arena without linking it into any block.
+    pub fn create_inst(&mut self, inst: Inst) -> InstId {
+        let id = InstId(self.insts.len() as u32);
+        self.insts.push(inst);
+        id
+    }
+
+    /// Create an instruction and append it to `block`.
+    pub fn append_inst(&mut self, block: BlockId, inst: Inst) -> InstId {
+        let id = self.create_inst(inst);
+        self.block_mut(block).insts.push(id);
+        id
+    }
+
+    /// Create an instruction and insert it at the front of `block` (after any
+    /// existing phi nodes if `inst` is not a phi, at position 0 otherwise).
+    pub fn prepend_inst(&mut self, block: BlockId, inst: Inst) -> InstId {
+        let is_phi = inst.kind.is_phi();
+        let id = self.create_inst(inst);
+        let pos = if is_phi {
+            0
+        } else {
+            self.block(block)
+                .insts
+                .iter()
+                .take_while(|i| self.inst(**i).kind.is_phi())
+                .count()
+        };
+        self.block_mut(block).insts.insert(pos, id);
+        id
+    }
+
+    /// Remove an instruction from `block` (the arena slot survives).
+    pub fn unlink_inst(&mut self, block: BlockId, inst: InstId) {
+        self.block_mut(block).insts.retain(|i| *i != inst);
+    }
+
+    /// The terminator of `block`, if the block is non-empty and ends in one.
+    pub fn terminator(&self, block: BlockId) -> Option<InstId> {
+        let last = *self.block(block).insts.last()?;
+        if self.inst(last).kind.is_terminator() {
+            Some(last)
+        } else {
+            None
+        }
+    }
+
+    /// Successor blocks of `block` (empty if it lacks a terminator).
+    pub fn successors(&self, block: BlockId) -> Vec<BlockId> {
+        match self.terminator(block) {
+            Some(t) => self.inst(t).kind.successors(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Predecessor map over the current layout: `preds[b.index()]` lists the
+    /// layout blocks whose terminator targets `b`. Recomputed on demand.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for &b in &self.layout {
+            for s in self.successors(b) {
+                preds[s.index()].push(b);
+            }
+        }
+        preds
+    }
+
+    /// IDs of the phi instructions at the head of `block`.
+    pub fn phis(&self, block: BlockId) -> Vec<InstId> {
+        self.block(block)
+            .insts
+            .iter()
+            .copied()
+            .take_while(|i| self.inst(*i).kind.is_phi())
+            .collect()
+    }
+
+    /// The type of any [`Value`] in the context of this function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an `Arg` index is out of range.
+    pub fn value_type(&self, v: Value) -> Type {
+        match v {
+            Value::Inst(id) => self.inst(id).ty,
+            Value::Arg(i) => self.params[i as usize].ty,
+            Value::Const(c) => c.ty(),
+        }
+    }
+
+    /// Replace every use of `from` with `to` across all linked instructions.
+    pub fn replace_all_uses(&mut self, from: Value, to: Value) {
+        for inst in &mut self.insts {
+            inst.kind.for_each_operand_mut(|v| {
+                if *v == from {
+                    *v = to;
+                }
+            });
+        }
+    }
+
+    /// Attach a loop pragma to the loop whose header is `header`.
+    pub fn set_loop_pragma(&mut self, header: BlockId, pragma: LoopPragma) {
+        self.loop_pragmas.insert(header, pragma);
+    }
+
+    /// The pragma attached to the loop with header `header`, if any.
+    pub fn loop_pragma(&self, header: BlockId) -> Option<LoopPragma> {
+        self.loop_pragmas.get(&header).copied()
+    }
+
+    /// Iterate over `(InstId, &Inst)` for every instruction linked into the
+    /// layout, in layout/program order.
+    pub fn iter_insts(&self) -> impl Iterator<Item = (InstId, &Inst)> + '_ {
+        self.layout
+            .iter()
+            .flat_map(move |b| self.block(*b).insts.iter())
+            .map(move |i| (*i, self.inst(*i)))
+    }
+
+    /// Blocks reachable from the entry via terminator edges.
+    pub fn reachable_blocks(&self) -> Vec<BlockId> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut stack = vec![self.entry()];
+        let mut out = Vec::new();
+        seen[self.entry().index()] = true;
+        while let Some(b) = stack.pop() {
+            out.push(b);
+            for s in self.successors(b) {
+                if !seen[s.index()] {
+                    seen[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        out
+    }
+
+    /// Drop unreachable blocks from the layout and remove phi incomings that
+    /// refer to unlinked predecessors. Returns the number of removed blocks.
+    pub fn prune_unreachable(&mut self) -> usize {
+        let reach = self.reachable_blocks();
+        let mut keep = vec![false; self.blocks.len()];
+        for b in &reach {
+            keep[b.index()] = true;
+        }
+        let before = self.layout.len();
+        self.layout.retain(|b| keep[b.index()]);
+        // Remove phi incomings from now-dead predecessors.
+        let layout = self.layout.clone();
+        for b in layout {
+            for phi in self.phis(b) {
+                if let InstKind::Phi { incomings } = &mut self.inst_mut(phi).kind {
+                    incomings.retain(|(p, _)| keep[p.index()]);
+                }
+            }
+        }
+        before - self.layout.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BinOp, InstKind};
+
+    fn branchy() -> Function {
+        // entry -> (a | b) -> join -> ret
+        let mut f = Function::new("t", vec![Param::new("c", Type::I1)], Type::I64);
+        let entry = f.entry();
+        let a = f.add_block();
+        let b = f.add_block();
+        let join = f.add_block();
+        f.append_inst(
+            entry,
+            Inst::new(
+                InstKind::CondBr {
+                    cond: Value::Arg(0),
+                    if_true: a,
+                    if_false: b,
+                },
+                Type::Void,
+            ),
+        );
+        f.append_inst(a, Inst::new(InstKind::Br { target: join }, Type::Void));
+        f.append_inst(b, Inst::new(InstKind::Br { target: join }, Type::Void));
+        let phi = f.append_inst(
+            join,
+            Inst::new(
+                InstKind::Phi {
+                    incomings: vec![(a, Value::imm(1i64)), (b, Value::imm(2i64))],
+                },
+                Type::I64,
+            ),
+        );
+        f.append_inst(
+            join,
+            Inst::new(
+                InstKind::Ret {
+                    value: Some(Value::Inst(phi)),
+                },
+                Type::Void,
+            ),
+        );
+        f
+    }
+
+    #[test]
+    fn construction_and_layout() {
+        let f = branchy();
+        assert_eq!(f.num_blocks(), 4);
+        assert_eq!(f.entry().index(), 0);
+        assert_eq!(f.num_insts(), 5);
+        assert_eq!(f.params().len(), 1);
+        assert_eq!(f.ret_ty(), Type::I64);
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let f = branchy();
+        let entry = f.entry();
+        assert_eq!(f.successors(entry).len(), 2);
+        let preds = f.predecessors();
+        let join = BlockId::from_index(3);
+        assert_eq!(preds[join.index()].len(), 2);
+        assert!(preds[entry.index()].is_empty());
+    }
+
+    #[test]
+    fn phis_and_value_types() {
+        let f = branchy();
+        let join = BlockId::from_index(3);
+        let phis = f.phis(join);
+        assert_eq!(phis.len(), 1);
+        assert_eq!(f.value_type(Value::Inst(phis[0])), Type::I64);
+        assert_eq!(f.value_type(Value::Arg(0)), Type::I1);
+        assert_eq!(f.value_type(Value::imm(1i32)), Type::I32);
+    }
+
+    #[test]
+    fn replace_all_uses() {
+        let mut f = branchy();
+        let join = BlockId::from_index(3);
+        let phi = f.phis(join)[0];
+        f.replace_all_uses(Value::Inst(phi), Value::imm(9i64));
+        let ret = f.terminator(join).unwrap();
+        match &f.inst(ret).kind {
+            InstKind::Ret { value } => {
+                assert_eq!(value.unwrap().as_const().unwrap().as_i64(), Some(9))
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn prune_unreachable_removes_dead_phi_inputs() {
+        let mut f = branchy();
+        let entry = f.entry();
+        let a = BlockId::from_index(1);
+        let b = BlockId::from_index(2);
+        // Rewrite the entry terminator to always go to `a`.
+        let term = f.terminator(entry).unwrap();
+        f.inst_mut(term).kind = InstKind::Br { target: a };
+        let removed = f.prune_unreachable();
+        assert_eq!(removed, 1);
+        assert!(!f.is_linked(b));
+        let join = BlockId::from_index(3);
+        let phi = f.phis(join)[0];
+        match &f.inst(phi).kind {
+            InstKind::Phi { incomings } => assert_eq!(incomings.len(), 1),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn unlink_and_prepend() {
+        let mut f = branchy();
+        let join = BlockId::from_index(3);
+        let phi = f.phis(join)[0];
+        // Prepending a non-phi lands after phis.
+        let add = f.prepend_inst(
+            join,
+            Inst::new(
+                InstKind::Bin {
+                    op: BinOp::Add,
+                    lhs: Value::Inst(phi),
+                    rhs: Value::imm(1i64),
+                },
+                Type::I64,
+            ),
+        );
+        assert_eq!(f.block(join).insts[1], add);
+        f.unlink_inst(join, add);
+        assert_eq!(f.block(join).insts.len(), 2);
+    }
+
+    #[test]
+    fn loop_pragmas() {
+        let mut f = branchy();
+        let h = f.entry();
+        assert_eq!(f.loop_pragma(h), None);
+        f.set_loop_pragma(h, LoopPragma::Unroll(4));
+        assert_eq!(f.loop_pragma(h), Some(LoopPragma::Unroll(4)));
+    }
+}

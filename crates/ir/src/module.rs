@@ -1,0 +1,119 @@
+//! Modules: named collections of functions (kernels).
+
+use crate::entities::FuncId;
+use crate::function::Function;
+
+/// A compilation unit holding one or more kernels.
+///
+/// Kernels in this IR do not call each other (device functions are assumed
+/// inlined, as Clang does for CUDA at `-O3`), so the module is a flat list.
+///
+/// # Examples
+///
+/// ```
+/// use uu_ir::{Module, Function, Type};
+/// let mut m = Module::new("app");
+/// let id = m.add_function(Function::new("kern", vec![], Type::Void));
+/// assert_eq!(m.function(id).name(), "kern");
+/// assert_eq!(m.find("kern"), Some(id));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    name: String,
+    functions: Vec<Function>,
+}
+
+impl Module {
+    /// Create an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            functions: Vec::new(),
+        }
+    }
+
+    /// Module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Add a function, returning its ID.
+    pub fn add_function(&mut self, f: Function) -> FuncId {
+        let id = FuncId(self.functions.len() as u32);
+        self.functions.push(f);
+        id
+    }
+
+    /// Immutable access to a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a function of this module.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Mutable access to a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a function of this module.
+    pub fn function_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.functions[id.index()]
+    }
+
+    /// Number of functions.
+    pub fn num_functions(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Iterate over `(FuncId, &Function)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FuncId, &Function)> + '_ {
+        self.functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// Find a function by name.
+    pub fn find(&self, name: &str) -> Option<FuncId> {
+        self.iter().find(|(_, f)| f.name() == name).map(|(i, _)| i)
+    }
+
+    /// Total number of linked instructions across all functions — a crude
+    /// "IR size" measure.
+    pub fn total_insts(&self) -> usize {
+        self.functions.iter().map(|f| f.num_insts()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Type;
+
+    #[test]
+    fn add_and_find() {
+        let mut m = Module::new("m");
+        let a = m.add_function(Function::new("a", vec![], Type::Void));
+        let b = m.add_function(Function::new("b", vec![], Type::Void));
+        assert_eq!(m.num_functions(), 2);
+        assert_eq!(m.find("a"), Some(a));
+        assert_eq!(m.find("b"), Some(b));
+        assert_eq!(m.find("c"), None);
+        assert_eq!(m.iter().count(), 2);
+    }
+
+    #[test]
+    fn total_insts_counts_linked() {
+        let mut m = Module::new("m");
+        let id = m.add_function(Function::new("a", vec![], Type::Void));
+        assert_eq!(m.total_insts(), 0);
+        let entry = m.function(id).entry();
+        let f = m.function_mut(id);
+        let mut b = crate::FunctionBuilder::new(f);
+        b.switch_to(entry);
+        b.ret(None);
+        assert_eq!(m.total_insts(), 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! Textual rendering of IR, in an LLVM-flavoured syntax.
+//!
+//! The printed form is meant for humans and tests; it is stable enough to
+//! snapshot in unit tests but is not a serialization format.
+
+use crate::entities::{BlockId, InstId, Value};
+use crate::function::Function;
+use crate::inst::InstKind;
+use crate::module::Module;
+use std::fmt;
+
+/// Render a value in the context of `func` (arguments print their names).
+pub fn value_to_string(func: &Function, v: Value) -> String {
+    match v {
+        Value::Inst(id) => format!("%{}", id.index()),
+        Value::Arg(i) => format!("%{}", func.params()[i as usize].name),
+        Value::Const(c) => c.to_string(),
+    }
+}
+
+/// Render one instruction (without trailing newline).
+pub fn inst_to_string(func: &Function, id: InstId) -> String {
+    let inst = func.inst(id);
+    let v = |x: Value| value_to_string(func, x);
+    let lhs = if inst.ty == crate::Type::Void {
+        String::new()
+    } else {
+        format!("%{} = ", id.index())
+    };
+    let body = match &inst.kind {
+        InstKind::Bin { op, lhs, rhs } => {
+            format!("{op} {} {}, {}", inst.ty, v(*lhs), v(*rhs))
+        }
+        InstKind::ICmp { pred, lhs, rhs } => {
+            format!(
+                "icmp {pred} {} {}, {}",
+                func.value_type(*lhs),
+                v(*lhs),
+                v(*rhs)
+            )
+        }
+        InstKind::FCmp { pred, lhs, rhs } => {
+            format!(
+                "fcmp {pred} {} {}, {}",
+                func.value_type(*lhs),
+                v(*lhs),
+                v(*rhs)
+            )
+        }
+        InstKind::Select {
+            cond,
+            on_true,
+            on_false,
+        } => format!(
+            "select {} {}, {}, {}",
+            inst.ty,
+            v(*cond),
+            v(*on_true),
+            v(*on_false)
+        ),
+        InstKind::Cast { op, value } => format!(
+            "{op} {} {} to {}",
+            func.value_type(*value),
+            v(*value),
+            inst.ty
+        ),
+        InstKind::Load { ptr } => format!("load {}, {}", inst.ty, v(*ptr)),
+        InstKind::Store { ptr, value } => format!(
+            "store {} {}, {}",
+            func.value_type(*value),
+            v(*value),
+            v(*ptr)
+        ),
+        InstKind::Gep { base, index, scale } => {
+            format!("gep {}, {} x{}", v(*base), v(*index), scale)
+        }
+        InstKind::Phi { incomings } => {
+            let parts: Vec<String> = incomings
+                .iter()
+                .map(|(b, val)| format!("[{}, {}]", v(*val), b))
+                .collect();
+            format!("phi {} {}", inst.ty, parts.join(", "))
+        }
+        InstKind::Intr { which, args } => {
+            let parts: Vec<String> = args.iter().map(|a| v(*a)).collect();
+            format!("call {} @{which}({})", inst.ty, parts.join(", "))
+        }
+        InstKind::Br { target } => format!("br {target}"),
+        InstKind::CondBr {
+            cond,
+            if_true,
+            if_false,
+        } => format!("br i1 {}, {if_true}, {if_false}", v(*cond)),
+        InstKind::Ret { value } => match value {
+            Some(x) => format!("ret {} {}", func.value_type(*x), v(*x)),
+            None => "ret void".to_string(),
+        },
+    };
+    format!("{lhs}{body}")
+}
+
+/// Render one block, including its label line.
+pub fn block_to_string(func: &Function, b: BlockId) -> String {
+    let mut out = format!("{b}:\n");
+    for &i in &func.block(b).insts {
+        out.push_str("  ");
+        out.push_str(&inst_to_string(func, i));
+        out.push('\n');
+    }
+    out
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let params: Vec<String> = self
+            .params()
+            .iter()
+            .map(|p| format!("{} %{}", p.ty, p.name))
+            .collect();
+        writeln!(
+            f,
+            "fn @{}({}) -> {} {{",
+            self.name(),
+            params.join(", "),
+            self.ret_ty()
+        )?;
+        for &b in self.layout() {
+            f.write_str(&block_to_string(self, b))?;
+        }
+        writeln!(f, "}}")
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; module {}", self.name())?;
+        for (_, func) in self.iter() {
+            writeln!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::function::Param;
+    use crate::inst::ICmpPred;
+    use crate::types::Type;
+
+    #[test]
+    fn prints_function() {
+        let mut f = Function::new("max0", vec![Param::new("x", Type::I64)], Type::I64);
+        let entry = f.entry();
+        let mut b = FunctionBuilder::new(&mut f);
+        b.switch_to(entry);
+        let c = b.icmp(ICmpPred::Sgt, Value::Arg(0), Value::imm(0i64));
+        let s = b.select(c, Value::Arg(0), Value::imm(0i64));
+        b.ret(Some(s));
+        let text = f.to_string();
+        assert!(text.contains("fn @max0(i64 %x) -> i64 {"), "{text}");
+        assert!(text.contains("icmp sgt i64 %x, 0"), "{text}");
+        assert!(text.contains("select i64 %0, %x, 0"), "{text}");
+        assert!(text.contains("ret i64 %1"), "{text}");
+    }
+
+    #[test]
+    fn prints_module_and_blocks() {
+        let mut m = Module::new("demo");
+        let mut f = Function::new("k", vec![], Type::Void);
+        let entry = f.entry();
+        let mut b = FunctionBuilder::new(&mut f);
+        let next = b.create_block();
+        b.switch_to(entry);
+        b.br(next);
+        b.switch_to(next);
+        b.ret(None);
+        m.add_function(f);
+        let text = m.to_string();
+        assert!(text.contains("; module demo"));
+        assert!(text.contains("bb0:"));
+        assert!(text.contains("br bb1"));
+        assert!(text.contains("ret void"));
+    }
+
+    #[test]
+    fn prints_phi_and_memory() {
+        let mut f = Function::new("k", vec![Param::new("p", Type::Ptr)], Type::Void);
+        let entry = f.entry();
+        let mut b = FunctionBuilder::new(&mut f);
+        b.switch_to(entry);
+        let addr = b.gep(Value::Arg(0), Value::imm(1i64), 8);
+        let x = b.load(Type::F64, addr);
+        b.store(addr, x);
+        b.ret(None);
+        let text = f.to_string();
+        assert!(text.contains("gep %p, 1 x8"), "{text}");
+        assert!(text.contains("load f64, %0"), "{text}");
+        assert!(text.contains("store f64 %1, %0"), "{text}");
+    }
+}

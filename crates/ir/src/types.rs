@@ -1,0 +1,139 @@
+//! Scalar and pointer types of the IR.
+//!
+//! The type system is deliberately small: it mirrors the subset of LLVM IR
+//! that GPU compute kernels exercise — booleans (`i1`), 32/64-bit integers,
+//! 32/64-bit floats, and byte-addressed pointers.
+
+use std::fmt;
+
+/// The type of an IR [`Value`](crate::Value).
+///
+/// # Examples
+///
+/// ```
+/// use uu_ir::Type;
+/// assert_eq!(Type::I32.size_bytes(), 4);
+/// assert!(Type::F64.is_float());
+/// assert_eq!(Type::Ptr.to_string(), "ptr");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Type {
+    /// 1-bit boolean, the result of comparisons and the operand of branches.
+    I1,
+    /// 32-bit signed-agnostic integer.
+    I32,
+    /// 64-bit signed-agnostic integer.
+    I64,
+    /// IEEE-754 single precision float.
+    F32,
+    /// IEEE-754 double precision float.
+    F64,
+    /// Byte-addressed pointer into simulated global memory.
+    Ptr,
+    /// The type of instructions that produce no value (stores, branches...).
+    Void,
+}
+
+impl Type {
+    /// Size of an in-memory object of this type, in bytes.
+    ///
+    /// `I1` loads and stores as a single byte. `Void` has size 0.
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            Type::I1 => 1,
+            Type::I32 | Type::F32 => 4,
+            Type::I64 | Type::F64 | Type::Ptr => 8,
+            Type::Void => 0,
+        }
+    }
+
+    /// Whether this is one of the integer types (`i1`, `i32`, `i64`).
+    pub fn is_int(self) -> bool {
+        matches!(self, Type::I1 | Type::I32 | Type::I64)
+    }
+
+    /// Whether this is one of the floating point types.
+    pub fn is_float(self) -> bool {
+        matches!(self, Type::F32 | Type::F64)
+    }
+
+    /// Whether values of this type can be stored to / loaded from memory.
+    pub fn is_memory(self) -> bool {
+        !matches!(self, Type::Void)
+    }
+
+    /// Bit width for integer types; `None` otherwise.
+    pub fn int_bits(self) -> Option<u32> {
+        match self {
+            Type::I1 => Some(1),
+            Type::I32 => Some(32),
+            Type::I64 => Some(64),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Type::I1 => "i1",
+            Type::I32 => "i32",
+            Type::I64 => "i64",
+            Type::F32 => "f32",
+            Type::F64 => "f64",
+            Type::Ptr => "ptr",
+            Type::Void => "void",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Type::I1.size_bytes(), 1);
+        assert_eq!(Type::I32.size_bytes(), 4);
+        assert_eq!(Type::I64.size_bytes(), 8);
+        assert_eq!(Type::F32.size_bytes(), 4);
+        assert_eq!(Type::F64.size_bytes(), 8);
+        assert_eq!(Type::Ptr.size_bytes(), 8);
+        assert_eq!(Type::Void.size_bytes(), 0);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Type::I1.is_int());
+        assert!(Type::I64.is_int());
+        assert!(!Type::F32.is_int());
+        assert!(Type::F32.is_float());
+        assert!(!Type::Ptr.is_float());
+        assert!(Type::Ptr.is_memory());
+        assert!(!Type::Void.is_memory());
+    }
+
+    #[test]
+    fn int_bits() {
+        assert_eq!(Type::I1.int_bits(), Some(1));
+        assert_eq!(Type::I32.int_bits(), Some(32));
+        assert_eq!(Type::I64.int_bits(), Some(64));
+        assert_eq!(Type::F64.int_bits(), None);
+    }
+
+    #[test]
+    fn display() {
+        let all = [
+            Type::I1,
+            Type::I32,
+            Type::I64,
+            Type::F32,
+            Type::F64,
+            Type::Ptr,
+            Type::Void,
+        ];
+        let shown: Vec<String> = all.iter().map(|t| t.to_string()).collect();
+        assert_eq!(shown, ["i1", "i32", "i64", "f32", "f64", "ptr", "void"]);
+    }
+}

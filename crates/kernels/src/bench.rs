@@ -1,0 +1,149 @@
+//! The benchmark registry and common run plumbing.
+
+use uu_ir::Module;
+use uu_simt::{ExecError, Gpu, Metrics};
+
+/// Static description of a benchmark — the non-measured columns of the
+/// paper's Table I.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchmarkInfo {
+    /// Application name as in Table I.
+    pub name: &'static str,
+    /// Application domain category.
+    pub category: &'static str,
+    /// The paper's command line (documentation; our workloads are scaled).
+    pub cli: &'static str,
+    /// Number of loops the pass discovers (Table I `L`).
+    pub table_loops: usize,
+    /// The paper's measured fraction of time in compute kernels, for
+    /// comparison against our simulated `%C`.
+    pub paper_compute_pct: f64,
+    /// The paper's baseline relative standard deviation (Table I), which
+    /// calibrates the harness's synthetic measurement-noise model.
+    pub paper_rsd_pct: f64,
+    /// Names of the kernels the workload actually launches; transforms on
+    /// any other function cannot change kernel time.
+    pub hot_kernels: &'static [&'static str],
+    /// Size (in code-size units) of the rest of the application binary —
+    /// host code, runtime, libraries — that the paper's whole-binary size
+    /// comparison divides by ("if an application is large such as XSBench,
+    /// the relative code size increase will not be large"; conversely the
+    /// optimized loops of ccs/complex/haccmk/rainflow dominate theirs).
+    pub binary_rest_size: u64,
+    /// How many times the application launches its kernels end-to-end (the
+    /// paper's CLI arguments are mostly iteration counts, e.g. complex's
+    /// `10000000 1000`). The workload simulates one representative launch;
+    /// total kernel time is `launch_repeats ×` that, which is what weighs
+    /// kernels against one-time transfers in Table I's `%C`.
+    pub launch_repeats: u32,
+}
+
+/// Result of running a benchmark's workload once.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Sum of all kernel execution times (the paper's timing metric).
+    pub kernel_time_ms: f64,
+    /// Aggregated hardware counters over all launches.
+    pub metrics: Metrics,
+    /// Order-independent checksum over every output buffer; must be
+    /// identical across compiler configurations.
+    pub checksum: f64,
+    /// Host↔device transfer volume (both directions) in bytes.
+    pub transfer_bytes: u64,
+}
+
+impl RunOutput {
+    /// Transfer time under a PCIe gen3-ish model (~12 GB/s plus fixed
+    /// driver/launch cost).
+    pub fn transfer_ms(&self) -> f64 {
+        0.02 + self.transfer_bytes as f64 / 12.0e9 * 1e3
+    }
+
+    /// Fraction of end-to-end time spent in compute kernels (Table I `%C`).
+    pub fn compute_pct(&self) -> f64 {
+        100.0 * self.kernel_time_ms / (self.kernel_time_ms + self.transfer_ms())
+    }
+}
+
+/// A benchmark: metadata, a module builder and a workload runner.
+///
+/// `build` produces the IR the compiler pipelines transform; `run` executes
+/// the *hot* kernels of a (possibly transformed) module on the simulator.
+#[derive(Clone, Copy)]
+pub struct Benchmark {
+    /// Table I metadata.
+    pub info: BenchmarkInfo,
+    /// Build the application module (hot + auxiliary kernels).
+    pub build: fn() -> Module,
+    /// Execute the workload, returning timing/counters/checksum.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExecError`] from the simulator (a miscompile typically
+    /// surfaces as an undefined-value or out-of-bounds error here).
+    pub run: fn(&Module, &mut Gpu) -> Result<RunOutput, ExecError>,
+}
+
+impl std::fmt::Debug for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Benchmark")
+            .field("info", &self.info)
+            .finish()
+    }
+}
+
+/// All 16 benchmarks, in Table I order.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    vec![
+        crate::bezier::benchmark(),
+        crate::bn::benchmark(),
+        crate::bspline::benchmark(),
+        crate::ccs::benchmark(),
+        crate::clink::benchmark(),
+        crate::complex::benchmark(),
+        crate::contract::benchmark(),
+        crate::coordinates::benchmark(),
+        crate::haccmk::benchmark(),
+        crate::lavamd::benchmark(),
+        crate::libor::benchmark(),
+        crate::mandelbrot::benchmark(),
+        crate::qtclustering::benchmark(),
+        crate::quicksort::benchmark(),
+        crate::rainflow::benchmark(),
+        crate::xsbench::benchmark(),
+    ]
+}
+
+/// Helper: launch one kernel and fold its report into an accumulator.
+pub(crate) fn launch_into(
+    gpu: &mut Gpu,
+    m: &Module,
+    kernel: &str,
+    cfg: uu_simt::LaunchConfig,
+    args: &[uu_simt::KernelArg],
+    acc: &mut (f64, Metrics),
+) -> Result<(), ExecError> {
+    let id = m
+        .find(kernel)
+        .unwrap_or_else(|| panic!("kernel @{kernel} missing from module"));
+    let rep = gpu.launch(m.function(id), cfg, args)?;
+    acc.0 += rep.time_ms;
+    acc.1.merge(&rep.metrics);
+    Ok(())
+}
+
+/// Helper: order-independent checksum of an `f64` buffer.
+pub(crate) fn checksum_f64(vals: &[f64]) -> f64 {
+    vals.iter()
+        .enumerate()
+        .map(|(i, v)| v * ((i % 17) as f64 + 1.0))
+        .sum()
+}
+
+/// Helper: checksum of an `i64` buffer.
+pub(crate) fn checksum_i64(vals: &[i64]) -> f64 {
+    vals.iter()
+        .enumerate()
+        .map(|(i, v)| (*v as f64) * ((i % 17) as f64 + 1.0))
+        .sum()
+}

@@ -1,0 +1,198 @@
+//! bezier-surface — Bézier surface tessellation (paper Listing 2).
+//!
+//! The hot loop computes the Bernstein blend factor:
+//!
+//! ```c
+//! while (nn >= 1) {
+//!     blend *= nn; nn--;
+//!     if (kn > 1)  { blend /= kn;  kn--;  }
+//!     if (nkn > 1) { blend /= nkn; nkn--; }
+//! }
+//! ```
+//!
+//! Both conditions are *monotone*: once false they stay false. u&u with
+//! factor 2 lets the compiler prove exactly that (Figure 5's `FT`/`TF`/`FF`
+//! loop copies), eliminating condition re-evaluation and the speculated
+//! divisions the baseline's predication executes unconditionally.
+
+use crate::aux::aux_kernels;
+use crate::bench::{checksum_f64, launch_into, Benchmark, BenchmarkInfo, RunOutput};
+use uu_ir::{CastOp, Function, FunctionBuilder, ICmpPred, Module, Param, Type, Value};
+use uu_simt::{ExecError, Gpu, KernelArg, LaunchConfig, Metrics};
+
+/// Table I row.
+pub const INFO: BenchmarkInfo = BenchmarkInfo {
+    name: "bezier-surface",
+    category: "CV and image processing",
+    cli: "-n 4096",
+    table_loops: 3,
+    paper_compute_pct: 67.18,
+    paper_rsd_pct: 4.07,
+    hot_kernels: &["bezier_blend"],
+    binary_rest_size: 4000,
+    launch_repeats: 38,
+};
+
+/// The benchmark registration.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        info: INFO,
+        build,
+        run,
+    }
+}
+
+/// The blend-factor kernel (Listing 2 structure).
+pub fn blend_kernel() -> Function {
+    let mut f = Function::new(
+        "bezier_blend",
+        vec![
+            Param::new("kvals", Type::Ptr),
+            Param::new("out", Type::Ptr),
+            Param::new("n", Type::I64),
+        ],
+        Type::Void,
+    );
+    let entry = f.entry();
+    let mut b = FunctionBuilder::new(&mut f);
+    let header = b.create_block();
+    let body = b.create_block();
+    let c1t = b.create_block();
+    let m1 = b.create_block();
+    let c2t = b.create_block();
+    let latch = b.create_block();
+    let exit = b.create_block();
+    b.switch_to(entry);
+    let gid = b.global_thread_id();
+    // kn/nkn come from memory so the compiler cannot fold the conditions
+    // statically — only path duplication reveals them.
+    let ka = b.gep(Value::Arg(0), gid, 8);
+    let kn0 = b.load(Type::I64, ka);
+    let nkn0 = b.sub(Value::Arg(2), kn0);
+    b.br(header);
+    b.switch_to(header);
+    let nn = b.phi(Type::I64);
+    let kn = b.phi(Type::I64);
+    let nkn = b.phi(Type::I64);
+    let blend = b.phi(Type::F64);
+    b.add_phi_incoming(nn, entry, Value::Arg(2));
+    b.add_phi_incoming(kn, entry, kn0);
+    b.add_phi_incoming(nkn, entry, nkn0);
+    b.add_phi_incoming(blend, entry, Value::imm(1.0f64));
+    let more = b.icmp(ICmpPred::Sge, nn, Value::imm(1i64));
+    b.cond_br(more, body, exit);
+    b.switch_to(body);
+    let nnf = b.cast(CastOp::SiToFp, nn, Type::F64);
+    let blend1 = b.fmul(blend, nnf);
+    let nn1 = b.sub(nn, Value::imm(1i64));
+    let c1 = b.icmp(ICmpPred::Sgt, kn, Value::imm(1i64));
+    b.cond_br(c1, c1t, m1);
+    b.switch_to(c1t);
+    let knf = b.cast(CastOp::SiToFp, kn, Type::F64);
+    let blend2 = b.fdiv(blend1, knf);
+    let kn1 = b.sub(kn, Value::imm(1i64));
+    b.br(m1);
+    b.switch_to(m1);
+    let blendm = b.phi(Type::F64);
+    let knm = b.phi(Type::I64);
+    b.add_phi_incoming(blendm, body, blend1);
+    b.add_phi_incoming(blendm, c1t, blend2);
+    b.add_phi_incoming(knm, body, kn);
+    b.add_phi_incoming(knm, c1t, kn1);
+    let c2 = b.icmp(ICmpPred::Sgt, nkn, Value::imm(1i64));
+    b.cond_br(c2, c2t, latch);
+    b.switch_to(c2t);
+    let nknf = b.cast(CastOp::SiToFp, nkn, Type::F64);
+    let blend3 = b.fdiv(blendm, nknf);
+    let nkn1 = b.sub(nkn, Value::imm(1i64));
+    b.br(latch);
+    b.switch_to(latch);
+    let blendl = b.phi(Type::F64);
+    let nknl = b.phi(Type::I64);
+    b.add_phi_incoming(blendl, m1, blendm);
+    b.add_phi_incoming(blendl, c2t, blend3);
+    b.add_phi_incoming(nknl, m1, nkn);
+    b.add_phi_incoming(nknl, c2t, nkn1);
+    b.add_phi_incoming(nn, latch, nn1);
+    b.add_phi_incoming(kn, latch, knm);
+    b.add_phi_incoming(nkn, latch, nknl);
+    b.add_phi_incoming(blend, latch, blendl);
+    b.br(header);
+    b.switch_to(exit);
+    let oa = b.gep(Value::Arg(1), gid, 8);
+    b.store(oa, blend);
+    b.ret(None);
+    f
+}
+
+fn build() -> Module {
+    let mut m = Module::new("bezier-surface");
+    m.add_function(blend_kernel());
+    for f in aux_kernels(0xbe, INFO.table_loops - 1) {
+        m.add_function(f);
+    }
+    m
+}
+
+const N: i64 = 32;
+const THREADS: usize = 128;
+
+fn run(m: &Module, gpu: &mut Gpu) -> Result<RunOutput, ExecError> {
+    // Threads within a warp share the same k so the branches stay warp
+    // uniform (as tessellation patches do); k is small, so both conditions
+    // go false early and stay false — the elimination target.
+    let kvals: Vec<i64> = (0..THREADS).map(|t| 1 + ((t / 32) % 3) as i64).collect();
+    let bk = gpu.mem.alloc_i64(&kvals)?;
+    let bout = gpu.mem.alloc_f64(&vec![0.0; THREADS])?;
+    let mut acc = (0.0f64, Metrics::default());
+    launch_into(
+        gpu,
+        m,
+        "bezier_blend",
+        LaunchConfig::new(THREADS as u32 / 32, 32),
+        &[
+            KernelArg::Buffer(bk),
+            KernelArg::Buffer(bout),
+            KernelArg::I64(N),
+        ],
+        &mut acc,
+    )?;
+    let out = gpu.mem.read_f64(bout);
+    Ok(RunOutput {
+        kernel_time_ms: acc.0,
+        metrics: acc.1,
+        checksum: checksum_f64(&out),
+        transfer_bytes: (kvals.len() + out.len()) as u64 * 8,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blend_matches_cpu_reference() {
+        let m = build();
+        let mut gpu = Gpu::new();
+        let got = run(&m, &mut gpu).unwrap();
+        let mut expect = Vec::new();
+        for t in 0..THREADS {
+            let k0 = 1 + ((t / 32) % 3) as i64;
+            let (mut nn, mut kn, mut nkn, mut blend) = (N, k0, N - k0, 1.0f64);
+            while nn >= 1 {
+                blend *= nn as f64;
+                nn -= 1;
+                if kn > 1 {
+                    blend /= kn as f64;
+                    kn -= 1;
+                }
+                if nkn > 1 {
+                    blend /= nkn as f64;
+                    nkn -= 1;
+                }
+            }
+            expect.push(blend);
+        }
+        assert_eq!(got.checksum, crate::bench::checksum_f64(&expect));
+    }
+}

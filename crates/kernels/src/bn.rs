@@ -1,0 +1,236 @@
+//! bn — Bayesian network structure scoring.
+//!
+//! The scoring kernels walk per-node parent sets with *monotone* budget
+//! counters (a parent budget that only decreases), the same
+//! condition-implication shape as bezier-surface: u&u proves the exhausted
+//! budget stays exhausted and strips both the re-checks and the speculated
+//! updates, giving the paper's 1.27× heuristic speedup.
+
+use crate::aux::aux_kernels;
+use crate::bench::{checksum_f64, launch_into, Benchmark, BenchmarkInfo, RunOutput};
+use uu_ir::{CastOp, Function, FunctionBuilder, ICmpPred, Module, Param, Type, Value};
+use uu_simt::{ExecError, Gpu, KernelArg, LaunchConfig, Metrics};
+
+/// Table I row.
+pub const INFO: BenchmarkInfo = BenchmarkInfo {
+    name: "bn",
+    category: "Machine learning",
+    cli: "result",
+    table_loops: 11,
+    paper_compute_pct: 97.28,
+    paper_rsd_pct: 1.52,
+    hot_kernels: &["bn_score", "bn_rescore"],
+    binary_rest_size: 8000,
+    launch_repeats: 320,
+};
+
+/// The benchmark registration.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        info: INFO,
+        build,
+        run,
+    }
+}
+
+/// Parent-set scoring loop with a decreasing budget guard.
+pub fn score_kernel() -> Function {
+    let mut f = Function::new(
+        "bn_score",
+        vec![
+            Param::new("budgets", Type::Ptr),
+            Param::new("out", Type::Ptr),
+            Param::new("steps", Type::I64),
+        ],
+        Type::Void,
+    );
+    let entry = f.entry();
+    let mut b = FunctionBuilder::new(&mut f);
+    let header = b.create_block();
+    let body = b.create_block();
+    let spend = b.create_block();
+    let latch = b.create_block();
+    let exit = b.create_block();
+    b.switch_to(entry);
+    let gid = b.global_thread_id();
+    let pb = b.gep(Value::Arg(0), gid, 8);
+    let budget0 = b.load(Type::I64, pb);
+    b.br(header);
+    b.switch_to(header);
+    let i = b.phi(Type::I64);
+    let budget = b.phi(Type::I64);
+    let score = b.phi(Type::F64);
+    b.add_phi_incoming(i, entry, Value::imm(0i64));
+    b.add_phi_incoming(budget, entry, budget0);
+    b.add_phi_incoming(score, entry, Value::imm(0.0f64));
+    let more = b.icmp(ICmpPred::Slt, i, Value::Arg(2));
+    b.cond_br(more, body, exit);
+    b.switch_to(body);
+    let fi = b.cast(CastOp::SiToFp, i, Type::F64);
+    let base_s = b.fmul(fi, Value::imm(0.01f64));
+    let score1 = b.fadd(score, base_s);
+    let has = b.icmp(ICmpPred::Sgt, budget, Value::imm(0i64));
+    b.cond_br(has, spend, latch);
+    b.switch_to(spend);
+    let bonus = b.fdiv(score1, Value::imm(3.0f64));
+    let score_s = b.fadd(score1, bonus);
+    let budget_s = b.sub(budget, Value::imm(1i64));
+    b.br(latch);
+    b.switch_to(latch);
+    let scorem = b.phi(Type::F64);
+    let budgetm = b.phi(Type::I64);
+    b.add_phi_incoming(scorem, body, score1);
+    b.add_phi_incoming(scorem, spend, score_s);
+    b.add_phi_incoming(budgetm, body, budget);
+    b.add_phi_incoming(budgetm, spend, budget_s);
+    let i1 = b.add(i, Value::imm(1i64));
+    b.add_phi_incoming(i, latch, i1);
+    b.add_phi_incoming(budget, latch, budgetm);
+    b.add_phi_incoming(score, latch, scorem);
+    b.br(header);
+    b.switch_to(exit);
+    let po = b.gep(Value::Arg(1), gid, 8);
+    b.store(po, score);
+    b.ret(None);
+    f
+}
+
+/// Second scoring pass with a different weighting (same monotone shape).
+pub fn rescore_kernel() -> Function {
+    let mut f = Function::new(
+        "bn_rescore",
+        vec![
+            Param::new("budgets", Type::Ptr),
+            Param::new("out", Type::Ptr),
+            Param::new("steps", Type::I64),
+        ],
+        Type::Void,
+    );
+    let entry = f.entry();
+    let mut b = FunctionBuilder::new(&mut f);
+    let header = b.create_block();
+    let body = b.create_block();
+    let spend = b.create_block();
+    let latch = b.create_block();
+    let exit = b.create_block();
+    b.switch_to(entry);
+    let gid = b.global_thread_id();
+    let pb = b.gep(Value::Arg(0), gid, 8);
+    let budget0 = b.load(Type::I64, pb);
+    b.br(header);
+    b.switch_to(header);
+    let i = b.phi(Type::I64);
+    let budget = b.phi(Type::I64);
+    let score = b.phi(Type::F64);
+    b.add_phi_incoming(i, entry, Value::imm(0i64));
+    b.add_phi_incoming(budget, entry, budget0);
+    b.add_phi_incoming(score, entry, Value::imm(1.0f64));
+    let more = b.icmp(ICmpPred::Slt, i, Value::Arg(2));
+    b.cond_br(more, body, exit);
+    b.switch_to(body);
+    let fi = b.cast(CastOp::SiToFp, i, Type::F64);
+    let base_s = b.fmul(fi, Value::imm(0.002f64));
+    let score1 = b.fadd(score, base_s);
+    let has = b.icmp(ICmpPred::Sgt, budget, Value::imm(2i64));
+    b.cond_br(has, spend, latch);
+    b.switch_to(spend);
+    let bonus = b.fdiv(score1, Value::imm(7.0f64));
+    let score_s = b.fsub(score1, bonus);
+    let budget_s = b.sub(budget, Value::imm(2i64));
+    b.br(latch);
+    b.switch_to(latch);
+    let scorem = b.phi(Type::F64);
+    let budgetm = b.phi(Type::I64);
+    b.add_phi_incoming(scorem, body, score1);
+    b.add_phi_incoming(scorem, spend, score_s);
+    b.add_phi_incoming(budgetm, body, budget);
+    b.add_phi_incoming(budgetm, spend, budget_s);
+    let i1 = b.add(i, Value::imm(1i64));
+    b.add_phi_incoming(i, latch, i1);
+    b.add_phi_incoming(budget, latch, budgetm);
+    b.add_phi_incoming(score, latch, scorem);
+    b.br(header);
+    b.switch_to(exit);
+    let po = b.gep(Value::Arg(1), gid, 8);
+    b.store(po, score);
+    b.ret(None);
+    f
+}
+
+fn build() -> Module {
+    let mut m = Module::new("bn");
+    m.add_function(score_kernel());
+    m.add_function(rescore_kernel());
+    for f in aux_kernels(0xb0, INFO.table_loops - 2) {
+        m.add_function(f);
+    }
+    m
+}
+
+const STEPS: i64 = 48;
+const THREADS: usize = 128;
+
+fn run(m: &Module, gpu: &mut Gpu) -> Result<RunOutput, ExecError> {
+    let budgets: Vec<i64> = (0..THREADS).map(|t| ((t / 32) % 4) as i64).collect();
+    let bb = gpu.mem.alloc_i64(&budgets)?;
+    let bo1 = gpu.mem.alloc_f64(&vec![0.0; THREADS])?;
+    let bo2 = gpu.mem.alloc_f64(&vec![0.0; THREADS])?;
+    let mut acc = (0.0f64, Metrics::default());
+    let args1 = [
+        KernelArg::Buffer(bb),
+        KernelArg::Buffer(bo1),
+        KernelArg::I64(STEPS),
+    ];
+    launch_into(gpu, m, "bn_score", LaunchConfig::new(4, 32), &args1, &mut acc)?;
+    let args2 = [
+        KernelArg::Buffer(bb),
+        KernelArg::Buffer(bo2),
+        KernelArg::I64(STEPS),
+    ];
+    launch_into(gpu, m, "bn_rescore", LaunchConfig::new(4, 32), &args2, &mut acc)?;
+    let out1 = gpu.mem.read_f64(bo1);
+    let out2 = gpu.mem.read_f64(bo2);
+    Ok(RunOutput {
+        kernel_time_ms: acc.0,
+        metrics: acc.1,
+        checksum: checksum_f64(&out1) + checksum_f64(&out2),
+        transfer_bytes: (budgets.len() + out1.len() + out2.len()) as u64 * 8,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_match_cpu_reference() {
+        let m = build();
+        let mut gpu = Gpu::new();
+        let got = run(&m, &mut gpu).unwrap();
+        let mut e1 = Vec::new();
+        let mut e2 = Vec::new();
+        for t in 0..THREADS {
+            let b0 = ((t / 32) % 4) as i64;
+            let (mut budget, mut score) = (b0, 0.0f64);
+            for i in 0..STEPS {
+                score += i as f64 * 0.01;
+                if budget > 0 {
+                    score += score / 3.0;
+                    budget -= 1;
+                }
+            }
+            e1.push(score);
+            let (mut budget, mut score) = (b0, 1.0f64);
+            for i in 0..STEPS {
+                score += i as f64 * 0.002;
+                if budget > 2 {
+                    score -= score / 7.0;
+                    budget -= 2;
+                }
+            }
+            e2.push(score);
+        }
+        let expect = crate::bench::checksum_f64(&e1) + crate::bench::checksum_f64(&e2);
+        assert_eq!(got.checksum, expect);
+    }
+}

@@ -1,0 +1,190 @@
+//! bspline-vgh — B-spline value/gradient/Hessian evaluation.
+//!
+//! The single hot loop has a trip count of 4 (the cubic B-spline support),
+//! which is why the paper observes identical code size at unroll factors 4
+//! and 8. Its body guards an expensive division behind a data-dependent,
+//! *monotone* flag: the baseline predicates the division (executing it every
+//! iteration); u&u proves the flag stays false after the first iteration
+//! and deletes both the division and the re-checks — the paper's largest
+//! heuristic speedup (1.81×).
+
+use crate::aux::aux_kernels;
+use crate::bench::{checksum_f64, launch_into, Benchmark, BenchmarkInfo, RunOutput};
+use uu_ir::{CastOp, Function, FunctionBuilder, ICmpPred, Module, Param, Type, Value};
+use uu_simt::{ExecError, Gpu, KernelArg, LaunchConfig, Metrics};
+
+/// Table I row.
+pub const INFO: BenchmarkInfo = BenchmarkInfo {
+    name: "bspline-vgh",
+    category: "Simulation",
+    cli: "no CLI input",
+    table_loops: 1,
+    paper_compute_pct: 11.69,
+    paper_rsd_pct: 6.46,
+    hot_kernels: &["bspline_vgh"],
+    binary_rest_size: 3000,
+    launch_repeats: 120,
+};
+
+/// The benchmark registration.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        info: INFO,
+        build,
+        run,
+    }
+}
+
+/// The 4-iteration spline evaluation loop.
+pub fn vgh_kernel() -> Function {
+    let mut f = Function::new(
+        "bspline_vgh",
+        vec![
+            Param::new("coef", Type::Ptr),
+            Param::new("flags", Type::Ptr),
+            Param::new("out", Type::Ptr),
+        ],
+        Type::Void,
+    );
+    let entry = f.entry();
+    let mut b = FunctionBuilder::new(&mut f);
+    let header = b.create_block();
+    let body = b.create_block();
+    let heavy = b.create_block();
+    let latch = b.create_block();
+    let exit = b.create_block();
+    b.switch_to(entry);
+    let gid = b.global_thread_id();
+    let fa = b.gep(Value::Arg(1), gid, 8);
+    let flag0 = b.load(Type::I64, fa);
+    b.br(header);
+    b.switch_to(header);
+    let k = b.phi(Type::I64);
+    let flag = b.phi(Type::I64);
+    let acc = b.phi(Type::F64);
+    b.add_phi_incoming(k, entry, Value::imm(0i64));
+    b.add_phi_incoming(flag, entry, flag0);
+    b.add_phi_incoming(acc, entry, Value::imm(0.0f64));
+    let more = b.icmp(ICmpPred::Slt, k, Value::imm(4i64));
+    b.cond_br(more, body, exit);
+    b.switch_to(body);
+    // Coalesced: coefficient k of thread t lives at k*NT + t.
+    let bd = b.block_dim();
+    let gd = b.intr(uu_ir::Intrinsic::GridDimX, vec![], uu_ir::Type::I32);
+    let nt32 = b.mul(bd, gd);
+    let nt = b.cast(CastOp::Sext, nt32, Type::I64);
+    let krow = b.mul(k, nt);
+    let cix = b.add(krow, gid);
+    let ca = b.gep(Value::Arg(0), cix, 8);
+    let cv = b.load(Type::F64, ca);
+    let kf = b.cast(CastOp::SiToFp, k, Type::F64);
+    let w = b.fadd(kf, Value::imm(1.5f64));
+    let term = b.fmul(cv, w);
+    let acc1 = b.fadd(acc, term);
+    // Monotone guard: once flag <= 0 it stays there; the heavy path divides.
+    let hot = b.icmp(ICmpPred::Sgt, flag, Value::imm(0i64));
+    b.cond_br(hot, heavy, latch);
+    b.switch_to(heavy);
+    // The guarded Hessian correction: two divisions — expensive, pure and
+    // small enough that the baseline's predication speculates it on every
+    // iteration, which is exactly what u&u's path specialization deletes.
+    let d0 = b.fdiv(acc1, w);
+    let d1 = b.fdiv(d0, Value::imm(1.25f64));
+    let d2 = b.fmul(d1, Value::imm(0.5f64));
+    let acc_h = b.fadd(acc1, d2);
+    let flag_h = b.sub(flag, Value::imm(1i64));
+    b.br(latch);
+    b.switch_to(latch);
+    let accm = b.phi(Type::F64);
+    let flagm = b.phi(Type::I64);
+    b.add_phi_incoming(accm, body, acc1);
+    b.add_phi_incoming(accm, heavy, acc_h);
+    b.add_phi_incoming(flagm, body, flag);
+    b.add_phi_incoming(flagm, heavy, flag_h);
+    let k1 = b.add(k, Value::imm(1i64));
+    b.add_phi_incoming(k, latch, k1);
+    b.add_phi_incoming(flag, latch, flagm);
+    b.add_phi_incoming(acc, latch, accm);
+    b.br(header);
+    b.switch_to(exit);
+    let po = b.gep(Value::Arg(2), gid, 8);
+    b.store(po, acc);
+    b.ret(None);
+    f
+}
+
+fn build() -> Module {
+    let mut m = Module::new("bspline-vgh");
+    m.add_function(vgh_kernel());
+    for f in aux_kernels(0xb5, INFO.table_loops.saturating_sub(1)) {
+        m.add_function(f);
+    }
+    m
+}
+
+const THREADS: usize = 128;
+
+fn run(m: &Module, gpu: &mut Gpu) -> Result<RunOutput, ExecError> {
+    // coef[k*NT + t]
+    let coef: Vec<f64> = (0..4 * THREADS)
+        .map(|ix| {
+            let (k, t) = (ix / THREADS, ix % THREADS);
+            ((t * 4 + k) % 9) as f64 * 0.25 + 0.5
+        })
+        .collect();
+    // Flags are zero for every thread: the heavy path never executes, but
+    // only path-duplication can prove it per-path.
+    let flags = vec![0i64; THREADS];
+    let bc = gpu.mem.alloc_f64(&coef)?;
+    let bf = gpu.mem.alloc_i64(&flags)?;
+    let bo = gpu.mem.alloc_f64(&vec![0.0; THREADS])?;
+    let mut acc = (0.0f64, Metrics::default());
+    launch_into(
+        gpu,
+        m,
+        "bspline_vgh",
+        LaunchConfig::new(THREADS as u32 / 32, 32),
+        &[
+            KernelArg::Buffer(bc),
+            KernelArg::Buffer(bf),
+            KernelArg::Buffer(bo),
+        ],
+        &mut acc,
+    )?;
+    let out = gpu.mem.read_f64(bo);
+    // A large surrounding application: most end-to-end time is transfers
+    // (the paper's %C is only 11.7%).
+    Ok(RunOutput {
+        kernel_time_ms: acc.0,
+        metrics: acc.1,
+        checksum: checksum_f64(&out),
+        transfer_bytes: (coef.len() + flags.len() + out.len()) as u64 * 8 + 4_000_000,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgh_matches_cpu_reference() {
+        let m = build();
+        let mut gpu = Gpu::new();
+        let got = run(&m, &mut gpu).unwrap();
+        let mut expect = Vec::new();
+        for t in 0..THREADS {
+            let (mut acc, mut flag) = (0.0f64, 0i64);
+            for k in 0..4 {
+                let cv = ((t * 4 + k) % 9) as f64 * 0.25 + 0.5;
+                let w = k as f64 + 1.5;
+                acc += cv * w;
+                if flag > 0 {
+                    acc += acc / w / 1.25 * 0.5;
+                    flag -= 1;
+                }
+            }
+            expect.push(acc);
+        }
+        assert_eq!(got.checksum, crate::bench::checksum_f64(&expect));
+    }
+}

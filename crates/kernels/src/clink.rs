@@ -1,0 +1,187 @@
+//! clink — LSTM inference (compute-light link prediction).
+//!
+//! The recurrent time-step loop stores `h[t+1]` and re-loads it as `h[t]`
+//! in the next iteration, and gates the candidate update behind a decaying
+//! activation budget. Unroll+unmerge turns the cross-iteration reload into a
+//! dominator-scoped store-to-load forward (the arrays are `__restrict__`)
+//! and specializes the exhausted-gate path, the paper's 1.21×.
+
+use crate::aux::aux_kernels;
+use crate::bench::{checksum_f64, launch_into, Benchmark, BenchmarkInfo, RunOutput};
+use uu_ir::{Function, FunctionBuilder, ICmpPred, Module, Param, Type, Value};
+use uu_simt::{ExecError, Gpu, KernelArg, LaunchConfig, Metrics};
+
+/// Table I row.
+pub const INFO: BenchmarkInfo = BenchmarkInfo {
+    name: "clink",
+    category: "Machine learning",
+    cli: "no CLI input",
+    table_loops: 5,
+    paper_compute_pct: 27.23,
+    paper_rsd_pct: 0.12,
+    hot_kernels: &["clink_lstm"],
+    binary_rest_size: 3000,
+    launch_repeats: 13,
+};
+
+/// The benchmark registration.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        info: INFO,
+        build,
+        run,
+    }
+}
+
+/// The recurrent time-step loop.
+pub fn lstm_kernel() -> Function {
+    let mut f = Function::new(
+        "clink_lstm",
+        vec![
+            Param::restrict("xs", Type::Ptr),
+            Param::restrict("hs", Type::Ptr),
+            Param::new("gates", Type::Ptr),
+            Param::new("steps", Type::I64),
+        ],
+        Type::Void,
+    );
+    let entry = f.entry();
+    let mut b = FunctionBuilder::new(&mut f);
+    let header = b.create_block();
+    let body = b.create_block();
+    let gate = b.create_block();
+    let latch = b.create_block();
+    let exit = b.create_block();
+    b.switch_to(entry);
+    let gid = b.global_thread_id();
+    // Coalesced column-major layout: h[t] of thread `tid` is at t*NT + tid.
+    let bd = b.block_dim();
+    let gd = b.intr(uu_ir::Intrinsic::GridDimX, vec![], uu_ir::Type::I32);
+    let nt32 = b.mul(bd, gd);
+    let nt = b.cast(uu_ir::CastOp::Sext, nt32, Type::I64);
+    let pg = b.gep(Value::Arg(2), gid, 8);
+    let gate0 = b.load(Type::I64, pg);
+    b.br(header);
+    b.switch_to(header);
+    let t = b.phi(Type::I64);
+    let budget = b.phi(Type::I64);
+    b.add_phi_incoming(t, entry, Value::imm(0i64));
+    b.add_phi_incoming(budget, entry, gate0);
+    let more = b.icmp(ICmpPred::Slt, t, Value::Arg(3));
+    b.cond_br(more, body, exit);
+    b.switch_to(body);
+    // h[t] — re-loaded every iteration; forwarded after u&u.
+    let hrow = b.mul(t, nt);
+    let ht_ix = b.add(hrow, gid);
+    let pht = b.gep(Value::Arg(1), ht_ix, 8);
+    let ht = b.load(Type::F64, pht);
+    let xt_ix = ht_ix;
+    let pxt = b.gep(Value::Arg(0), xt_ix, 8);
+    let xt = b.load(Type::F64, pxt);
+    let mix0 = b.fmul(ht, Value::imm(0.9f64));
+    let mix1 = b.fmul(xt, Value::imm(0.1f64));
+    let hnew = b.fadd(mix0, mix1);
+    let open = b.icmp(ICmpPred::Sgt, budget, Value::imm(0i64));
+    b.cond_br(open, gate, latch);
+    b.switch_to(gate);
+    let boost = b.fdiv(hnew, Value::imm(4.0f64));
+    let hgated = b.fadd(hnew, boost);
+    let budget_g = b.sub(budget, Value::imm(1i64));
+    b.br(latch);
+    b.switch_to(latch);
+    let hm = b.phi(Type::F64);
+    let budgetm = b.phi(Type::I64);
+    b.add_phi_incoming(hm, body, hnew);
+    b.add_phi_incoming(hm, gate, hgated);
+    b.add_phi_incoming(budgetm, body, budget);
+    b.add_phi_incoming(budgetm, gate, budget_g);
+    // h[t+1] = hm — next iteration's h[t] load forwards from this store.
+    let ht1_ix = b.add(ht_ix, nt);
+    let pht1 = b.gep(Value::Arg(1), ht1_ix, 8);
+    b.store(pht1, hm);
+    let t1 = b.add(t, Value::imm(1i64));
+    b.add_phi_incoming(t, latch, t1);
+    b.add_phi_incoming(budget, latch, budgetm);
+    b.br(header);
+    b.switch_to(exit);
+    b.ret(None);
+    f
+}
+
+fn build() -> Module {
+    let mut m = Module::new("clink");
+    m.add_function(lstm_kernel());
+    for f in aux_kernels(0xc1, INFO.table_loops - 1) {
+        m.add_function(f);
+    }
+    m
+}
+
+const STEPS: i64 = 48;
+const THREADS: usize = 64;
+
+fn xval(t: usize, i: i64) -> f64 {
+    ((t as f64 * 1.7 + i as f64) * 0.31).cos()
+}
+
+fn run(m: &Module, gpu: &mut Gpu) -> Result<RunOutput, ExecError> {
+    let mut xs = Vec::new();
+    for i in 0..=STEPS {
+        for t in 0..THREADS {
+            xs.push(xval(t, i));
+        }
+    }
+    let hs = vec![0.5f64; THREADS * (STEPS as usize + 1)];
+    let gates: Vec<i64> = (0..THREADS).map(|t| ((t / 32) % 3) as i64 * 2).collect();
+    let bx = gpu.mem.alloc_f64(&xs)?;
+    let bh = gpu.mem.alloc_f64(&hs)?;
+    let bg = gpu.mem.alloc_i64(&gates)?;
+    let mut acc = (0.0f64, Metrics::default());
+    launch_into(
+        gpu,
+        m,
+        "clink_lstm",
+        LaunchConfig::new(THREADS as u32 / 32, 32),
+        &[
+            KernelArg::Buffer(bx),
+            KernelArg::Buffer(bh),
+            KernelArg::Buffer(bg),
+            KernelArg::I64(STEPS),
+        ],
+        &mut acc,
+    )?;
+    let h = gpu.mem.read_f64(bh);
+    Ok(RunOutput {
+        kernel_time_ms: acc.0,
+        metrics: acc.1,
+        checksum: checksum_f64(&h),
+        transfer_bytes: (xs.len() + hs.len() + gates.len()) as u64 * 8 + 1_500_000,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lstm_matches_cpu_reference() {
+        let m = build();
+        let mut gpu = Gpu::new();
+        let got = run(&m, &mut gpu).unwrap();
+        let mut hs = vec![0.5f64; THREADS * (STEPS as usize + 1)];
+        for t in 0..THREADS {
+            let mut budget = ((t / 32) % 3) as i64 * 2;
+            for i in 0..STEPS as usize {
+                let ht = hs[i * THREADS + t];
+                let xt = xval(t, i as i64);
+                let mut hnew = ht * 0.9 + xt * 0.1;
+                if budget > 0 {
+                    hnew += hnew / 4.0;
+                    budget -= 1;
+                }
+                hs[(i + 1) * THREADS + t] = hnew;
+            }
+        }
+        assert_eq!(got.checksum, crate::bench::checksum_f64(&hs));
+    }
+}

@@ -1,0 +1,238 @@
+//! complex — complex-number `pow` by binary exponentiation (paper
+//! Listing 7, §V).
+//!
+//! Full complex arithmetic (the benchmark computes `(a + bi)^n` with a
+//! residual series), with the exponent equal to the *global thread id*: the
+//! `n & 1` branch diverges in essentially every warp. The baseline
+//! predicates the conditional update into selects; u&u replaces them with
+//! branches and lengthens the divergent paths — the paper's one significant
+//! slowdown (down to 0.11× at factor 8, warp execution efficiency
+//! collapsing from 100% to 19%). The divergence guard (§V / future work)
+//! rescues this benchmark by refusing to transform the loop.
+
+use crate::aux::aux_kernels;
+use crate::bench::{checksum_f64, launch_into, Benchmark, BenchmarkInfo, RunOutput};
+use uu_ir::{Function, FunctionBuilder, ICmpPred, Module, Param, Type, Value};
+use uu_simt::{ExecError, Gpu, KernelArg, LaunchConfig, Metrics};
+
+/// Table I row.
+pub const INFO: BenchmarkInfo = BenchmarkInfo {
+    name: "complex",
+    category: "Math",
+    cli: "10000000 1000",
+    table_loops: 1,
+    paper_compute_pct: 99.91,
+    paper_rsd_pct: 0.26,
+    hot_kernels: &["complex_pow"],
+    binary_rest_size: 400,
+    launch_repeats: 37000,
+};
+
+/// The benchmark registration.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        info: INFO,
+        build,
+        run,
+    }
+}
+
+/// Binary exponentiation over complex numbers with a thread-id-dependent
+/// exponent (Listing 7).
+pub fn pow_kernel() -> Function {
+    let mut f = Function::new(
+        "complex_pow",
+        vec![
+            Param::new("out", Type::Ptr),
+            Param::new("a0r", Type::F64),
+            Param::new("a0i", Type::F64),
+        ],
+        Type::Void,
+    );
+    let entry = f.entry();
+    let mut b = FunctionBuilder::new(&mut f);
+    let header = b.create_block();
+    let body = b.create_block();
+    let odd = b.create_block();
+    let latch = b.create_block();
+    let exit = b.create_block();
+    b.switch_to(entry);
+    let gid = b.global_thread_id();
+    b.br(header);
+    b.switch_to(header);
+    let n = b.phi(Type::I64);
+    let ar = b.phi(Type::F64);
+    let ai = b.phi(Type::F64);
+    let cr = b.phi(Type::F64);
+    let ci = b.phi(Type::F64);
+    let anr = b.phi(Type::F64);
+    let ani = b.phi(Type::F64);
+    let cnr = b.phi(Type::F64);
+    let cni = b.phi(Type::F64);
+    b.add_phi_incoming(n, entry, gid);
+    b.add_phi_incoming(ar, entry, Value::Arg(1));
+    b.add_phi_incoming(ai, entry, Value::Arg(2));
+    b.add_phi_incoming(cr, entry, Value::imm(0.125f64));
+    b.add_phi_incoming(ci, entry, Value::imm(0.05f64));
+    b.add_phi_incoming(anr, entry, Value::imm(1.0f64));
+    b.add_phi_incoming(ani, entry, Value::imm(0.0f64));
+    b.add_phi_incoming(cnr, entry, Value::imm(0.0f64));
+    b.add_phi_incoming(cni, entry, Value::imm(0.0f64));
+    let more = b.icmp(ICmpPred::Sgt, n, Value::imm(0i64));
+    b.cond_br(more, body, exit);
+    b.switch_to(body);
+    let bit = b.and(n, Value::imm(1i64));
+    let isodd = b.icmp(ICmpPred::Ne, bit, Value::imm(0i64));
+    b.cond_br(isodd, odd, latch);
+    b.switch_to(odd);
+    // a_new *= a  (complex multiply)
+    let t0 = b.fmul(anr, ar);
+    let t1 = b.fmul(ani, ai);
+    let anr_t = b.fsub(t0, t1);
+    let t2 = b.fmul(anr, ai);
+    let t3 = b.fmul(ani, ar);
+    let ani_t = b.fadd(t2, t3);
+    // c_new = c_new * a + c  (complex multiply-add)
+    let u0 = b.fmul(cnr, ar);
+    let u1 = b.fmul(cni, ai);
+    let u2 = b.fsub(u0, u1);
+    let cnr_t = b.fadd(u2, cr);
+    let u3 = b.fmul(cnr, ai);
+    let u4 = b.fmul(cni, ar);
+    let u5 = b.fadd(u3, u4);
+    let cni_t = b.fadd(u5, ci);
+    b.br(latch);
+    b.switch_to(latch);
+    let anr_m = b.phi(Type::F64);
+    let ani_m = b.phi(Type::F64);
+    let cnr_m = b.phi(Type::F64);
+    let cni_m = b.phi(Type::F64);
+    b.add_phi_incoming(anr_m, body, anr);
+    b.add_phi_incoming(anr_m, odd, anr_t);
+    b.add_phi_incoming(ani_m, body, ani);
+    b.add_phi_incoming(ani_m, odd, ani_t);
+    b.add_phi_incoming(cnr_m, body, cnr);
+    b.add_phi_incoming(cnr_m, odd, cnr_t);
+    b.add_phi_incoming(cni_m, body, cni);
+    b.add_phi_incoming(cni_m, odd, cni_t);
+    // c *= (a + 1)
+    let ar1 = b.fadd(ar, Value::imm(1.0f64));
+    let v0 = b.fmul(cr, ar1);
+    let v1 = b.fmul(ci, ai);
+    let cr1 = b.fsub(v0, v1);
+    let v2 = b.fmul(cr, ai);
+    let v3 = b.fmul(ci, ar1);
+    let ci1 = b.fadd(v2, v3);
+    // a *= a
+    let w0 = b.fmul(ar, ar);
+    let w1 = b.fmul(ai, ai);
+    let ar2 = b.fsub(w0, w1);
+    let w2 = b.fmul(ar, ai);
+    let ai2 = b.fadd(w2, w2);
+    let n1 = b.ashr(n, Value::imm(1i64));
+    b.add_phi_incoming(n, latch, n1);
+    b.add_phi_incoming(ar, latch, ar2);
+    b.add_phi_incoming(ai, latch, ai2);
+    b.add_phi_incoming(cr, latch, cr1);
+    b.add_phi_incoming(ci, latch, ci1);
+    b.add_phi_incoming(anr, latch, anr_m);
+    b.add_phi_incoming(ani, latch, ani_m);
+    b.add_phi_incoming(cnr, latch, cnr_m);
+    b.add_phi_incoming(cni, latch, cni_m);
+    b.br(header);
+    b.switch_to(exit);
+    let sr = b.fadd(anr, cnr);
+    let si = b.fadd(ani, cni);
+    let sum = b.fadd(sr, si);
+    let po = b.gep(Value::Arg(0), gid, 8);
+    b.store(po, sum);
+    b.ret(None);
+    f
+}
+
+fn build() -> Module {
+    let mut m = Module::new("complex");
+    m.add_function(pow_kernel());
+    for f in aux_kernels(0xc0, INFO.table_loops.saturating_sub(1)) {
+        m.add_function(f);
+    }
+    m
+}
+
+const THREADS: usize = 256;
+const A0R: f64 = 1.0000003;
+const A0I: f64 = 0.0000007;
+
+fn run(m: &Module, gpu: &mut Gpu) -> Result<RunOutput, ExecError> {
+    let bout = gpu.mem.alloc_f64(&vec![0.0; THREADS])?;
+    let mut acc = (0.0f64, Metrics::default());
+    launch_into(
+        gpu,
+        m,
+        "complex_pow",
+        LaunchConfig::new(THREADS as u32 / 32, 32),
+        &[
+            KernelArg::Buffer(bout),
+            KernelArg::F64(A0R),
+            KernelArg::F64(A0I),
+        ],
+        &mut acc,
+    )?;
+    let out = gpu.mem.read_f64(bout);
+    Ok(RunOutput {
+        kernel_time_ms: acc.0,
+        metrics: acc.1,
+        checksum: checksum_f64(&out),
+        transfer_bytes: out.len() as u64 * 8,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmul(x: (f64, f64), y: (f64, f64)) -> (f64, f64) {
+        (x.0 * y.0 - x.1 * y.1, x.0 * y.1 + x.1 * y.0)
+    }
+
+    #[test]
+    fn pow_matches_cpu_reference() {
+        let m = build();
+        let mut gpu = Gpu::new();
+        let got = run(&m, &mut gpu).unwrap();
+        let mut expect = Vec::new();
+        for t in 0..THREADS as i64 {
+            let mut n = t;
+            let mut a = (A0R, A0I);
+            let mut c = (0.125f64, 0.05f64);
+            let mut a_new = (1.0f64, 0.0f64);
+            let mut c_new = (0.0f64, 0.0f64);
+            while n > 0 {
+                if n & 1 != 0 {
+                    a_new = cmul(a_new, a);
+                    let m = cmul(c_new, a);
+                    c_new = (m.0 + c.0, m.1 + c.1);
+                }
+                c = cmul(c, (a.0 + 1.0, a.1));
+                a = cmul(a, a);
+                n >>= 1;
+            }
+            expect.push((a_new.0 + c_new.0) + (a_new.1 + c_new.1));
+        }
+        assert_eq!(got.checksum, crate::bench::checksum_f64(&expect));
+    }
+
+    #[test]
+    fn the_loop_is_divergent() {
+        let f = pow_kernel();
+        let div = uu_analysis::Divergence::compute(&f);
+        let dom = uu_analysis::DomTree::compute(&f);
+        let forest = uu_analysis::LoopForest::compute(&f, &dom);
+        assert!(uu_analysis::loop_has_divergent_branch(
+            &f,
+            &forest,
+            uu_analysis::LoopId(0),
+            &div
+        ));
+    }
+}

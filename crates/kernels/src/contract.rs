@@ -1,0 +1,195 @@
+//! contract — tensor contraction kernels.
+//!
+//! Six medium reduction loops with per-iteration, data-dependent masks: u&u
+//! can prove nothing across iterations, so path duplication only multiplies
+//! code. The heuristic transforms many of the loops and the kernel's
+//! working set overflows the instruction cache — the paper's contained
+//! slowdown (0.83×, the heuristic at least picking small factors), and the
+//! largest heuristic compile-time increase (4.58×) because so many loops
+//! get transformed.
+
+use crate::aux::aux_kernels;
+use crate::bench::{checksum_f64, launch_into, Benchmark, BenchmarkInfo, RunOutput};
+use uu_ir::{Function, FunctionBuilder, ICmpPred, Module, Param, Type, Value};
+use uu_simt::{ExecError, Gpu, KernelArg, LaunchConfig, Metrics};
+
+/// Table I row.
+pub const INFO: BenchmarkInfo = BenchmarkInfo {
+    name: "contract",
+    category: "Data compression/reduction",
+    cli: "64 5",
+    table_loops: 46,
+    paper_compute_pct: 99.61,
+    paper_rsd_pct: 0.76,
+    hot_kernels: &["contract_masked"],
+    binary_rest_size: 1500,
+    launch_repeats: 230,
+};
+
+/// The benchmark registration.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        info: INFO,
+        build,
+        run,
+    }
+}
+
+const STAGES: usize = 6;
+
+/// Six masked contraction loops in sequence. Every iteration's branch
+/// depends on freshly loaded data — nothing for u&u to exploit.
+pub fn contract_kernel() -> Function {
+    let mut f = Function::new(
+        "contract_masked",
+        vec![
+            Param::new("vals", Type::Ptr),
+            Param::new("mask", Type::Ptr),
+            Param::new("out", Type::Ptr),
+            Param::new("n", Type::I64),
+        ],
+        Type::Void,
+    );
+    let entry = f.entry();
+    let mut b = FunctionBuilder::new(&mut f);
+    b.switch_to(entry);
+    let gid = b.global_thread_id();
+    let base = b.mul(gid, Value::Arg(3));
+    let mut cur = entry;
+    let mut accs = Vec::new();
+    for s in 0..STAGES {
+        let mut bb = FunctionBuilder::new(&mut f);
+        let h = bb.create_block();
+        let body = bb.create_block();
+        let take = bb.create_block();
+        let latch = bb.create_block();
+        let next = bb.create_block();
+        bb.switch_to(cur);
+        bb.br(h);
+        bb.switch_to(h);
+        let i = bb.phi(Type::I64);
+        let acc = bb.phi(Type::F64);
+        bb.add_phi_incoming(i, cur, Value::imm(0i64));
+        bb.add_phi_incoming(acc, cur, Value::imm(0.0f64));
+        let c = bb.icmp(ICmpPred::Slt, i, Value::Arg(3));
+        bb.cond_br(c, body, next);
+        bb.switch_to(body);
+        let ix = bb.add(base, i);
+        let pm = bb.gep(Value::Arg(1), ix, 8);
+        let mask = bb.load(Type::I64, pm);
+        let bit = bb.and(mask, Value::imm(1i64 << s));
+        let hit = bb.icmp(ICmpPred::Ne, bit, Value::imm(0i64));
+        bb.cond_br(hit, take, latch);
+        bb.switch_to(take);
+        let pv = bb.gep(Value::Arg(0), ix, 8);
+        let v = bb.load(Type::F64, pv);
+        let w = bb.fmul(v, Value::imm(1.0 + s as f64 * 0.1));
+        let acc_t = bb.fadd(acc, w);
+        bb.br(latch);
+        bb.switch_to(latch);
+        let accm = bb.phi(Type::F64);
+        bb.add_phi_incoming(accm, body, acc);
+        bb.add_phi_incoming(accm, take, acc_t);
+        let i1 = bb.add(i, Value::imm(1i64));
+        bb.add_phi_incoming(i, latch, i1);
+        bb.add_phi_incoming(acc, latch, accm);
+        bb.br(h);
+        bb.switch_to(next);
+        accs.push(acc);
+        cur = next;
+    }
+    let mut bb = FunctionBuilder::new(&mut f);
+    bb.switch_to(cur);
+    let mut total = accs[0];
+    for a in accs.iter().skip(1) {
+        total = bb.fadd(total, *a);
+    }
+    let po = bb.gep(Value::Arg(2), gid, 8);
+    bb.store(po, total);
+    bb.ret(None);
+    f
+}
+
+fn build() -> Module {
+    let mut m = Module::new("contract");
+    m.add_function(contract_kernel());
+    for f in aux_kernels(0xc7, INFO.table_loops - STAGES) {
+        m.add_function(f);
+    }
+    m
+}
+
+const N: i64 = 40;
+const THREADS: usize = 128;
+
+fn mask_at(t: usize, i: i64) -> i64 {
+    // Sparsity masks are shared per warp (threads of a warp process the
+    // same tile of the contraction), keeping the branches coherent.
+    (((t / 32) as i64 * 2654435761 + i * 40503) >> 3) & 0x3f
+}
+
+fn val_at(t: usize, i: i64) -> f64 {
+    ((t as f64) * 0.03 + (i as f64) * 0.17).sin() + 1.5
+}
+
+fn run(m: &Module, gpu: &mut Gpu) -> Result<RunOutput, ExecError> {
+    let mut vals = Vec::new();
+    let mut mask = Vec::new();
+    for t in 0..THREADS {
+        for i in 0..N {
+            vals.push(val_at(t, i));
+            mask.push(mask_at(t, i));
+        }
+    }
+    let bv = gpu.mem.alloc_f64(&vals)?;
+    let bm = gpu.mem.alloc_i64(&mask)?;
+    let bo = gpu.mem.alloc_f64(&vec![0.0; THREADS])?;
+    let mut acc = (0.0f64, Metrics::default());
+    launch_into(
+        gpu,
+        m,
+        "contract_masked",
+        LaunchConfig::new(THREADS as u32 / 32, 32),
+        &[
+            KernelArg::Buffer(bv),
+            KernelArg::Buffer(bm),
+            KernelArg::Buffer(bo),
+            KernelArg::I64(N),
+        ],
+        &mut acc,
+    )?;
+    let out = gpu.mem.read_f64(bo);
+    Ok(RunOutput {
+        kernel_time_ms: acc.0,
+        metrics: acc.1,
+        checksum: checksum_f64(&out),
+        transfer_bytes: (vals.len() + mask.len() + out.len()) as u64 * 8,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contraction_matches_cpu_reference() {
+        let m = build();
+        let mut gpu = Gpu::new();
+        let got = run(&m, &mut gpu).unwrap();
+        let mut expect = Vec::new();
+        for t in 0..THREADS {
+            let mut total = 0.0f64;
+            for s in 0..STAGES {
+                let mut acc = 0.0f64;
+                for i in 0..N {
+                    if mask_at(t, i) & (1 << s) != 0 {
+                        acc += val_at(t, i) * (1.0 + s as f64 * 0.1);
+                    }
+                }
+                total += acc;
+            }
+            expect.push(total);
+        }
+        assert_eq!(got.checksum, crate::bench::checksum_f64(&expect));
+    }
+}

@@ -1,0 +1,181 @@
+//! coordinates — geodetic coordinate conversion.
+//!
+//! The kernel iterates six short fixed-trip-count refinement loops. The
+//! baseline *fully unrolls* all of them, pushing the kernel past the
+//! instruction cache and stalling on fetch; adding the u&u pass tags the
+//! loops so the baseline unroller leaves them alone, which happens to be
+//! faster — the paper verified this interaction by disabling unrolling
+//! explicitly and measuring the same 1.11× speedup (§IV-C RQ1).
+
+use crate::aux::aux_kernels;
+use crate::bench::{checksum_f64, launch_into, Benchmark, BenchmarkInfo, RunOutput};
+use uu_ir::{CastOp, Function, FunctionBuilder, ICmpPred, Module, Param, Type, Value};
+use uu_simt::{ExecError, Gpu, KernelArg, LaunchConfig, Metrics};
+
+/// Table I row.
+pub const INFO: BenchmarkInfo = BenchmarkInfo {
+    name: "coordinates",
+    category: "Geographic information system",
+    cli: "10000000 1000",
+    table_loops: 6,
+    paper_compute_pct: 92.63,
+    paper_rsd_pct: 0.06,
+    hot_kernels: &["coord_convert"],
+    binary_rest_size: 8000,
+    launch_repeats: 28,
+};
+
+/// The benchmark registration.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        info: INFO,
+        build,
+        run,
+    }
+}
+
+const TRIP: i64 = 32;
+const STAGES: usize = 6;
+
+/// Six sequential refinement loops, each with trip count 32 and a meaty
+/// body (the shape that makes full unrolling overflow the i-cache).
+pub fn convert_kernel() -> Function {
+    let mut f = Function::new(
+        "coord_convert",
+        vec![Param::new("inp", Type::Ptr), Param::new("out", Type::Ptr)],
+        Type::Void,
+    );
+    let entry = f.entry();
+    let mut b = FunctionBuilder::new(&mut f);
+    b.switch_to(entry);
+    let gid = b.global_thread_id();
+    let pa = b.gep(Value::Arg(0), gid, 8);
+    let x0 = b.load(Type::F64, pa);
+    let mut cur = f.entry();
+    let mut x = x0;
+    // Six refinement stages.
+    for s in 0..STAGES {
+        let mut bb = FunctionBuilder::new(&mut f);
+        let h = bb.create_block();
+        let body = bb.create_block();
+        let next = bb.create_block();
+        bb.switch_to(cur);
+        bb.br(h);
+        bb.switch_to(h);
+        let i = bb.phi(Type::I64);
+        let v = bb.phi(Type::F64);
+        bb.add_phi_incoming(i, cur, Value::imm(0i64));
+        bb.add_phi_incoming(v, cur, x);
+        let c = bb.icmp(ICmpPred::Slt, i, Value::imm(TRIP));
+        bb.cond_br(c, body, next);
+        bb.switch_to(body);
+        // A body of ~16 size units of genuine flops (Bowring-style
+        // refinement steps, unrolled arithmetically).
+        let k = bb.cast(CastOp::SiToFp, i, Type::F64);
+        let t0 = bb.fmul(v, Value::imm(0.99987 + s as f64 * 1e-5));
+        let t1 = bb.fadd(t0, k);
+        let t2 = bb.fmul(t1, t1);
+        let t3 = bb.fadd(t2, Value::imm(1.0f64));
+        let t4 = bb.fdiv(t1, t3);
+        let t5 = bb.fmul(t4, Value::imm(0.5f64));
+        let t6 = bb.fadd(v, t5);
+        let t7 = bb.fmul(t6, Value::imm(0.99999f64));
+        let t8 = bb.fadd(t7, Value::imm(1e-7f64));
+        let t9 = bb.fsub(t8, t5);
+        let t10 = bb.fmul(t9, Value::imm(1.0000001f64));
+        let u1 = bb.fadd(t10, Value::imm(0.001f64));
+        let u2 = bb.fmul(u1, Value::imm(0.9999f64));
+        let u3 = bb.fmul(u2, u2);
+        let u4 = bb.fadd(u3, Value::imm(2.0f64));
+        let u5 = bb.fdiv(u2, u4);
+        let u6 = bb.fmul(u5, Value::imm(0.25f64));
+        let u7 = bb.fadd(u2, u6);
+        let u8 = bb.fmul(u7, Value::imm(1.000001f64));
+        let u9 = bb.fadd(u8, Value::imm(1e-8f64));
+        let i1 = bb.add(i, Value::imm(1i64));
+        bb.add_phi_incoming(i, body, i1);
+        bb.add_phi_incoming(v, body, u9);
+        bb.br(h);
+        bb.switch_to(next);
+        x = v;
+        cur = next;
+    }
+    let mut bb = FunctionBuilder::new(&mut f);
+    bb.switch_to(cur);
+    let po = bb.gep(Value::Arg(1), gid, 8);
+    bb.store(po, x);
+    bb.ret(None);
+    f
+}
+
+fn build() -> Module {
+    let mut m = Module::new("coordinates");
+    m.add_function(convert_kernel());
+    for f in aux_kernels(0xc9, INFO.table_loops - STAGES.min(INFO.table_loops)) {
+        m.add_function(f);
+    }
+    m
+}
+
+const THREADS: usize = 128;
+
+fn run(m: &Module, gpu: &mut Gpu) -> Result<RunOutput, ExecError> {
+    let inp: Vec<f64> = (0..THREADS).map(|i| 40.0 + i as f64 * 0.01).collect();
+    let bi = gpu.mem.alloc_f64(&inp)?;
+    let bo = gpu.mem.alloc_f64(&vec![0.0; THREADS])?;
+    let mut acc = (0.0f64, Metrics::default());
+    launch_into(
+        gpu,
+        m,
+        "coord_convert",
+        LaunchConfig::new(THREADS as u32 / 32, 32),
+        &[KernelArg::Buffer(bi), KernelArg::Buffer(bo)],
+        &mut acc,
+    )?;
+    let out = gpu.mem.read_f64(bo);
+    Ok(RunOutput {
+        kernel_time_ms: acc.0,
+        metrics: acc.1,
+        checksum: checksum_f64(&out),
+        transfer_bytes: (inp.len() + out.len()) as u64 * 8,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convert_matches_cpu_reference() {
+        let m = build();
+        let mut gpu = Gpu::new();
+        let got = run(&m, &mut gpu).unwrap();
+        let mut expect = Vec::new();
+        for t in 0..THREADS {
+            let mut x = 40.0 + t as f64 * 0.01;
+            for s in 0..STAGES {
+                let mut v = x;
+                for i in 0..TRIP {
+                    let k = i as f64;
+                    let t1 = v * (0.99987 + s as f64 * 1e-5) + k;
+                    let t5 = t1 / (t1 * t1 + 1.0) * 0.5;
+                    let t10 = (((v + t5) * 0.99999 + 1e-7) - t5) * 1.0000001;
+                    let u2 = (t10 + 0.001) * 0.9999;
+                    let u5 = u2 / (u2 * u2 + 2.0);
+                    v = (u2 + u5 * 0.25) * 1.000001 + 1e-8;
+                }
+                x = v;
+            }
+            expect.push(x);
+        }
+        assert_eq!(got.checksum, crate::bench::checksum_f64(&expect));
+    }
+
+    #[test]
+    fn six_loops_in_hot_kernel() {
+        let f = convert_kernel();
+        let dom = uu_analysis::DomTree::compute(&f);
+        let forest = uu_analysis::LoopForest::compute(&f, &dom);
+        assert_eq!(forest.len(), 6);
+    }
+}

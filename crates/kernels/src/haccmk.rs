@@ -1,0 +1,176 @@
+//! haccmk — HACC short-range force microkernel.
+//!
+//! One long neighbour loop per thread with a cutoff branch whose outcome is
+//! data-dependent *per iteration*: u&u has nothing to prove across
+//! iterations, so duplication only inflates the working set. The paper
+//! measures plain unrolling slightly ahead of u&u here, "due to an
+//! increasing number of stalls related to instruction fetching for u&u"
+//! (§IV-C RQ3) — the shape this kernel reproduces.
+
+use crate::aux::aux_kernels;
+use crate::bench::{checksum_f64, launch_into, Benchmark, BenchmarkInfo, RunOutput};
+use uu_ir::{FCmpPred, Function, FunctionBuilder, ICmpPred, Intrinsic, Module, Param, Type, Value};
+use uu_simt::{ExecError, Gpu, KernelArg, LaunchConfig, Metrics};
+
+/// Table I row.
+pub const INFO: BenchmarkInfo = BenchmarkInfo {
+    name: "haccmk",
+    category: "Simulation",
+    cli: "2000",
+    table_loops: 1,
+    paper_compute_pct: 99.83,
+    paper_rsd_pct: 0.01,
+    hot_kernels: &["haccmk_force"],
+    binary_rest_size: 800,
+    launch_repeats: 2500,
+};
+
+/// The benchmark registration.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        info: INFO,
+        build,
+        run,
+    }
+}
+
+/// The force loop: for each neighbour, accumulate a softened inverse-cube
+/// force if within the cutoff.
+pub fn force_kernel() -> Function {
+    let mut f = Function::new(
+        "haccmk_force",
+        vec![
+            Param::new("xx", Type::Ptr),
+            Param::new("yy", Type::Ptr),
+            Param::new("out", Type::Ptr),
+            Param::new("n", Type::I64),
+        ],
+        Type::Void,
+    );
+    let entry = f.entry();
+    let mut b = FunctionBuilder::new(&mut f);
+    let header = b.create_block();
+    let body = b.create_block();
+    let near = b.create_block();
+    let latch = b.create_block();
+    let exit = b.create_block();
+    b.switch_to(entry);
+    let gid = b.global_thread_id();
+    let pxi = b.gep(Value::Arg(0), gid, 8);
+    let xi = b.load(Type::F64, pxi);
+    b.br(header);
+    b.switch_to(header);
+    let j = b.phi(Type::I64);
+    let fx = b.phi(Type::F64);
+    b.add_phi_incoming(j, entry, Value::imm(0i64));
+    b.add_phi_incoming(fx, entry, Value::imm(0.0f64));
+    let more = b.icmp(ICmpPred::Slt, j, Value::Arg(3));
+    b.cond_br(more, body, exit);
+    b.switch_to(body);
+    let pxj = b.gep(Value::Arg(0), j, 8);
+    let xj = b.load(Type::F64, pxj);
+    let pyj = b.gep(Value::Arg(1), j, 8);
+    let yj = b.load(Type::F64, pyj);
+    let dx = b.fsub(xj, xi);
+    let dx2 = b.fmul(dx, dx);
+    let r2 = b.fadd(dx2, Value::imm(0.01f64));
+    let incut = b.fcmp(FCmpPred::Olt, r2, Value::imm(4.0f64));
+    b.cond_br(incut, near, latch);
+    b.switch_to(near);
+    let r = b.intr(Intrinsic::Sqrt, vec![r2], Type::F64);
+    let r3 = b.fmul(r2, r);
+    let inv = b.fdiv(Value::imm(1.0f64), r3);
+    let scaled = b.fmul(inv, yj);
+    let contrib = b.fmul(scaled, dx);
+    let fx_t = b.fadd(fx, contrib);
+    b.br(latch);
+    b.switch_to(latch);
+    let fxm = b.phi(Type::F64);
+    b.add_phi_incoming(fxm, body, fx);
+    b.add_phi_incoming(fxm, near, fx_t);
+    let j1 = b.add(j, Value::imm(1i64));
+    b.add_phi_incoming(j, latch, j1);
+    b.add_phi_incoming(fx, latch, fxm);
+    b.br(header);
+    b.switch_to(exit);
+    let po = b.gep(Value::Arg(2), gid, 8);
+    b.store(po, fx);
+    b.ret(None);
+    f
+}
+
+fn build() -> Module {
+    let mut m = Module::new("haccmk");
+    m.add_function(force_kernel());
+    for f in aux_kernels(0x4a, INFO.table_loops.saturating_sub(1)) {
+        m.add_function(f);
+    }
+    m
+}
+
+const N: i64 = 96;
+const THREADS: usize = 128;
+
+fn coord(i: i64) -> f64 {
+    // Cell-binned particles: threads of a warp process one cell, so they
+    // share a position bucket and the cutoff branch is warp-uniform.
+    (i / 32) as f64 * 1.44
+}
+
+fn run(m: &Module, gpu: &mut Gpu) -> Result<RunOutput, ExecError> {
+    let xx: Vec<f64> = (0..N.max(THREADS as i64)).map(coord).collect();
+    let yy: Vec<f64> = (0..N).map(|i| 1.0 + (i % 7) as f64 * 0.1).collect();
+    let bx = gpu.mem.alloc_f64(&xx)?;
+    let by = gpu.mem.alloc_f64(&yy)?;
+    let bo = gpu.mem.alloc_f64(&vec![0.0; THREADS])?;
+    let mut acc = (0.0f64, Metrics::default());
+    launch_into(
+        gpu,
+        m,
+        "haccmk_force",
+        LaunchConfig::new(THREADS as u32 / 32, 32),
+        &[
+            KernelArg::Buffer(bx),
+            KernelArg::Buffer(by),
+            KernelArg::Buffer(bo),
+            KernelArg::I64(N),
+        ],
+        &mut acc,
+    )?;
+    let out = gpu.mem.read_f64(bo);
+    Ok(RunOutput {
+        kernel_time_ms: acc.0,
+        metrics: acc.1,
+        checksum: checksum_f64(&out),
+        transfer_bytes: (xx.len() + yy.len() + out.len()) as u64 * 8,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn force_matches_cpu_reference() {
+        let m = build();
+        let mut gpu = Gpu::new();
+        let got = run(&m, &mut gpu).unwrap();
+        let xx: Vec<f64> = (0..N.max(THREADS as i64)).map(coord).collect();
+        let yy: Vec<f64> = (0..N).map(|i| 1.0 + (i % 7) as f64 * 0.1).collect();
+        let mut expect = Vec::new();
+        for t in 0..THREADS {
+            let xi = xx[t];
+            let mut fx = 0.0f64;
+            for j in 0..N as usize {
+                let dx = xx[j] - xi;
+                let r2 = dx * dx + 0.01;
+                if r2 < 4.0 {
+                    let r3 = r2 * r2.sqrt();
+                    fx += 1.0 / r3 * yy[j] * dx;
+                }
+            }
+            expect.push(fx);
+        }
+        assert_eq!(got.checksum, crate::bench::checksum_f64(&expect));
+    }
+}

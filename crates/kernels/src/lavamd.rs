@@ -1,0 +1,167 @@
+//! lavaMD — particle potential within neighbour boxes.
+//!
+//! The per-particle neighbour loop re-loads the (loop-invariant) box
+//! parameters every iteration; unrolled-and-unmerged copies let GVN fold
+//! those reloads, a modest but reliable win (the paper's 1.086×).
+
+use crate::aux::aux_kernels;
+use crate::bench::{checksum_f64, launch_into, Benchmark, BenchmarkInfo, RunOutput};
+use uu_ir::{FCmpPred, Function, FunctionBuilder, ICmpPred, Module, Param, Type, Value};
+use uu_simt::{ExecError, Gpu, KernelArg, LaunchConfig, Metrics};
+
+/// Table I row.
+pub const INFO: BenchmarkInfo = BenchmarkInfo {
+    name: "lavaMD",
+    category: "Simulation",
+    cli: "-boxes1d 30",
+    table_loops: 1,
+    paper_compute_pct: 66.52,
+    paper_rsd_pct: 0.08,
+    hot_kernels: &["lavamd_potential"],
+    binary_rest_size: 2000,
+    launch_repeats: 37,
+};
+
+/// The benchmark registration.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        info: INFO,
+        build,
+        run,
+    }
+}
+
+/// Neighbour interaction loop with an in-loop reload of box parameters.
+pub fn potential_kernel() -> Function {
+    let mut f = Function::new(
+        "lavamd_potential",
+        vec![
+            Param::new("pos", Type::Ptr),
+            Param::new("boxparam", Type::Ptr),
+            Param::new("out", Type::Ptr),
+            Param::new("n", Type::I64),
+        ],
+        Type::Void,
+    );
+    let entry = f.entry();
+    let mut b = FunctionBuilder::new(&mut f);
+    let header = b.create_block();
+    let body = b.create_block();
+    let near = b.create_block();
+    let latch = b.create_block();
+    let exit = b.create_block();
+    b.switch_to(entry);
+    let gid = b.global_thread_id();
+    let ppos = b.gep(Value::Arg(0), gid, 8);
+    let xi = b.load(Type::F64, ppos);
+    b.br(header);
+    b.switch_to(header);
+    let j = b.phi(Type::I64);
+    let pot = b.phi(Type::F64);
+    b.add_phi_incoming(j, entry, Value::imm(0i64));
+    b.add_phi_incoming(pot, entry, Value::imm(0.0f64));
+    let more = b.icmp(ICmpPred::Slt, j, Value::Arg(3));
+    b.cond_br(more, body, exit);
+    b.switch_to(body);
+    // Loop-invariant reload: the box cutoff parameter (as the original
+    // kernel does through its per-box struct each iteration).
+    let pcut = b.gep(Value::Arg(1), Value::imm(0i64), 8);
+    let cutoff = b.load(Type::F64, pcut);
+    let pxj = b.gep(Value::Arg(0), j, 8);
+    let xj = b.load(Type::F64, pxj);
+    let d = b.fsub(xj, xi);
+    let d2 = b.fmul(d, d);
+    let inrange = b.fcmp(FCmpPred::Olt, d2, cutoff);
+    b.cond_br(inrange, near, latch);
+    b.switch_to(near);
+    let soft = b.fadd(d2, Value::imm(0.5f64));
+    let invr = b.fdiv(Value::imm(1.0f64), soft);
+    let pot_t = b.fadd(pot, invr);
+    b.br(latch);
+    b.switch_to(latch);
+    let potm = b.phi(Type::F64);
+    b.add_phi_incoming(potm, body, pot);
+    b.add_phi_incoming(potm, near, pot_t);
+    let j1 = b.add(j, Value::imm(1i64));
+    b.add_phi_incoming(j, latch, j1);
+    b.add_phi_incoming(pot, latch, potm);
+    b.br(header);
+    b.switch_to(exit);
+    let po = b.gep(Value::Arg(2), gid, 8);
+    b.store(po, pot);
+    b.ret(None);
+    f
+}
+
+fn build() -> Module {
+    let mut m = Module::new("lavaMD");
+    m.add_function(potential_kernel());
+    for f in aux_kernels(0x1a, INFO.table_loops.saturating_sub(1)) {
+        m.add_function(f);
+    }
+    m
+}
+
+const N: i64 = 64;
+const THREADS: usize = 128;
+
+fn pos(i: i64) -> f64 {
+    // Box-binned particles: a warp shares a box, so the cutoff branch is
+    // warp-uniform.
+    (i / 32) as f64 * 1.6
+}
+
+fn run(m: &Module, gpu: &mut Gpu) -> Result<RunOutput, ExecError> {
+    let positions: Vec<f64> = (0..N.max(THREADS as i64)).map(pos).collect();
+    let boxparam = vec![2.0f64];
+    let bp = gpu.mem.alloc_f64(&positions)?;
+    let bbox = gpu.mem.alloc_f64(&boxparam)?;
+    let bo = gpu.mem.alloc_f64(&vec![0.0; THREADS])?;
+    let mut acc = (0.0f64, Metrics::default());
+    launch_into(
+        gpu,
+        m,
+        "lavamd_potential",
+        LaunchConfig::new(THREADS as u32 / 32, 32),
+        &[
+            KernelArg::Buffer(bp),
+            KernelArg::Buffer(bbox),
+            KernelArg::Buffer(bo),
+            KernelArg::I64(N),
+        ],
+        &mut acc,
+    )?;
+    let out = gpu.mem.read_f64(bo);
+    Ok(RunOutput {
+        kernel_time_ms: acc.0,
+        metrics: acc.1,
+        checksum: checksum_f64(&out),
+        transfer_bytes: (positions.len() + 1 + out.len()) as u64 * 8 + 400_000,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn potential_matches_cpu_reference() {
+        let m = build();
+        let mut gpu = Gpu::new();
+        let got = run(&m, &mut gpu).unwrap();
+        let positions: Vec<f64> = (0..N.max(THREADS as i64)).map(pos).collect();
+        let mut expect = Vec::new();
+        for t in 0..THREADS {
+            let xi = positions[t];
+            let mut p = 0.0f64;
+            for j in 0..N as usize {
+                let d = positions[j] - xi;
+                if d * d < 2.0 {
+                    p += 1.0 / (d * d + 0.5);
+                }
+            }
+            expect.push(p);
+        }
+        assert_eq!(got.checksum, crate::bench::checksum_f64(&expect));
+    }
+}

@@ -1,0 +1,158 @@
+//! libor — LIBOR market-model swaption portfolio.
+//!
+//! Each thread rolls forward interest-rate paths; an exercise flag decays
+//! monotonically (once a swaption is exercised it stays exercised), the
+//! small-condition shape u&u exploits for the paper's modest 1.057×.
+
+use crate::aux::aux_kernels;
+use crate::bench::{checksum_f64, launch_into, Benchmark, BenchmarkInfo, RunOutput};
+use uu_ir::{CastOp, Function, FunctionBuilder, ICmpPred, Module, Param, Type, Value};
+use uu_simt::{ExecError, Gpu, KernelArg, LaunchConfig, Metrics};
+
+/// Table I row.
+pub const INFO: BenchmarkInfo = BenchmarkInfo {
+    name: "libor",
+    category: "Finance",
+    cli: "100",
+    table_loops: 8,
+    paper_compute_pct: 99.99,
+    paper_rsd_pct: 0.07,
+    hot_kernels: &["libor_path"],
+    binary_rest_size: 5000,
+    launch_repeats: 200000,
+};
+
+/// The benchmark registration.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        info: INFO,
+        build,
+        run,
+    }
+}
+
+/// Path-rolling loop with a monotone exercise flag.
+pub fn path_kernel() -> Function {
+    let mut f = Function::new(
+        "libor_path",
+        vec![
+            Param::new("exercise", Type::Ptr),
+            Param::new("out", Type::Ptr),
+            Param::new("steps", Type::I64),
+        ],
+        Type::Void,
+    );
+    let entry = f.entry();
+    let mut b = FunctionBuilder::new(&mut f);
+    let header = b.create_block();
+    let body = b.create_block();
+    let active = b.create_block();
+    let latch = b.create_block();
+    let exit = b.create_block();
+    b.switch_to(entry);
+    let gid = b.global_thread_id();
+    let pe = b.gep(Value::Arg(0), gid, 8);
+    let ex0 = b.load(Type::I64, pe);
+    b.br(header);
+    b.switch_to(header);
+    let i = b.phi(Type::I64);
+    let live = b.phi(Type::I64);
+    let rate = b.phi(Type::F64);
+    b.add_phi_incoming(i, entry, Value::imm(0i64));
+    b.add_phi_incoming(live, entry, ex0);
+    b.add_phi_incoming(rate, entry, Value::imm(0.05f64));
+    let more = b.icmp(ICmpPred::Slt, i, Value::Arg(2));
+    b.cond_br(more, body, exit);
+    b.switch_to(body);
+    let fi = b.cast(CastOp::SiToFp, i, Type::F64);
+    let drift = b.fmul(fi, Value::imm(1e-4f64));
+    let rate1 = b.fadd(rate, drift);
+    let isl = b.icmp(ICmpPred::Sgt, live, Value::imm(0i64));
+    b.cond_br(isl, active, latch);
+    b.switch_to(active);
+    let dv = b.fdiv(rate1, Value::imm(16.0f64));
+    let rate_a = b.fsub(rate1, dv);
+    let live_a = b.sub(live, Value::imm(1i64));
+    b.br(latch);
+    b.switch_to(latch);
+    let ratem = b.phi(Type::F64);
+    let livem = b.phi(Type::I64);
+    b.add_phi_incoming(ratem, body, rate1);
+    b.add_phi_incoming(ratem, active, rate_a);
+    b.add_phi_incoming(livem, body, live);
+    b.add_phi_incoming(livem, active, live_a);
+    let i1 = b.add(i, Value::imm(1i64));
+    b.add_phi_incoming(i, latch, i1);
+    b.add_phi_incoming(live, latch, livem);
+    b.add_phi_incoming(rate, latch, ratem);
+    b.br(header);
+    b.switch_to(exit);
+    let po = b.gep(Value::Arg(1), gid, 8);
+    b.store(po, rate);
+    b.ret(None);
+    f
+}
+
+fn build() -> Module {
+    let mut m = Module::new("libor");
+    m.add_function(path_kernel());
+    for f in aux_kernels(0x11, INFO.table_loops - 1) {
+        m.add_function(f);
+    }
+    m
+}
+
+const STEPS: i64 = 40;
+const THREADS: usize = 128;
+
+fn run(m: &Module, gpu: &mut Gpu) -> Result<RunOutput, ExecError> {
+    let exercise: Vec<i64> = (0..THREADS).map(|t| ((t / 32) % 2) as i64 * 3).collect();
+    let be = gpu.mem.alloc_i64(&exercise)?;
+    let bo = gpu.mem.alloc_f64(&vec![0.0; THREADS])?;
+    let mut acc = (0.0f64, Metrics::default());
+    launch_into(
+        gpu,
+        m,
+        "libor_path",
+        LaunchConfig::new(THREADS as u32 / 32, 32),
+        &[
+            KernelArg::Buffer(be),
+            KernelArg::Buffer(bo),
+            KernelArg::I64(STEPS),
+        ],
+        &mut acc,
+    )?;
+    let out = gpu.mem.read_f64(bo);
+    Ok(RunOutput {
+        kernel_time_ms: acc.0,
+        metrics: acc.1,
+        checksum: checksum_f64(&out),
+        transfer_bytes: (exercise.len() + out.len()) as u64 * 8,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_match_cpu_reference() {
+        let m = build();
+        let mut gpu = Gpu::new();
+        let got = run(&m, &mut gpu).unwrap();
+        let mut expect = Vec::new();
+        for t in 0..THREADS {
+            let mut live = ((t / 32) % 2) as i64 * 3;
+            let mut rate = 0.05f64;
+            for i in 0..STEPS {
+                rate += i as f64 * 1e-4;
+                if live > 0 {
+                    rate -= rate / 16.0;
+                    live -= 1;
+                }
+            }
+            expect.push(rate);
+        }
+        assert_eq!(got.checksum, crate::bench::checksum_f64(&expect));
+    }
+}

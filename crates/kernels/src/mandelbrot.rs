@@ -1,0 +1,175 @@
+//! mandelbrot — escape-time fractal iteration.
+//!
+//! The escape loop's trip count varies per pixel (thread), so unrolling
+//! mostly lengthens divergent paths; the body's single bail-out diamond is
+//! what unmerging cleans up. This is the one benchmark where *unmerge alone*
+//! beats both unroll and u&u in the paper's Figure 7.
+
+use crate::aux::aux_kernels;
+use crate::bench::{checksum_i64, launch_into, Benchmark, BenchmarkInfo, RunOutput};
+use uu_ir::{CastOp, FCmpPred, Function, FunctionBuilder, ICmpPred, Module, Param, Type, Value};
+use uu_simt::{ExecError, Gpu, KernelArg, LaunchConfig, Metrics};
+
+/// Table I row.
+pub const INFO: BenchmarkInfo = BenchmarkInfo {
+    name: "mandelbrot",
+    category: "CV and image processing",
+    cli: "100",
+    table_loops: 1,
+    paper_compute_pct: 14.47,
+    paper_rsd_pct: 0.08,
+    hot_kernels: &["mandel_escape"],
+    binary_rest_size: 3000,
+    launch_repeats: 29,
+};
+
+/// The benchmark registration.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        info: INFO,
+        build,
+        run,
+    }
+}
+
+const MAX_ITER: i64 = 64;
+
+/// The escape-time loop. The body contains a bail-out diamond (`|z|² > 4`
+/// skips the update), giving unmerge a merge block to eliminate.
+pub fn escape_kernel() -> Function {
+    let mut f = Function::new(
+        "mandel_escape",
+        vec![Param::new("out", Type::Ptr), Param::new("scale", Type::F64)],
+        Type::Void,
+    );
+    let entry = f.entry();
+    let mut b = FunctionBuilder::new(&mut f);
+    let header = b.create_block();
+    let body = b.create_block();
+    let live = b.create_block();
+    let latch = b.create_block();
+    let exit = b.create_block();
+    b.switch_to(entry);
+    let gid = b.global_thread_id();
+    // Pixels are tiled so a warp covers a tiny screen region: the warp base
+    // sets the coordinate, lanes add sub-pixel offsets.
+    let wbase = b.and(gid, Value::imm(!31i64));
+    let lane = b.and(gid, Value::imm(31i64));
+    let wf = b.cast(CastOp::SiToFp, wbase, Type::F64);
+    let lf = b.cast(CastOp::SiToFp, lane, Type::F64);
+    let cr0 = b.fmul(wf, Value::Arg(1));
+    let lane_off = b.fmul(lf, Value::imm(0.0004f64));
+    let cr1 = b.fadd(cr0, lane_off);
+    let cr = b.fsub(cr1, Value::imm(1.5f64));
+    let ci = b.fmul(cr, Value::imm(0.37f64));
+    b.br(header);
+    b.switch_to(header);
+    let i = b.phi(Type::I64);
+    let zr = b.phi(Type::F64);
+    let zi = b.phi(Type::F64);
+    let esc = b.phi(Type::I64);
+    b.add_phi_incoming(i, entry, Value::imm(0i64));
+    b.add_phi_incoming(zr, entry, Value::imm(0.0f64));
+    b.add_phi_incoming(zi, entry, Value::imm(0.0f64));
+    b.add_phi_incoming(esc, entry, Value::imm(0i64));
+    let more = b.icmp(ICmpPred::Slt, i, Value::imm(MAX_ITER));
+    b.cond_br(more, body, exit);
+    b.switch_to(body);
+    let zr2 = b.fmul(zr, zr);
+    let zi2 = b.fmul(zi, zi);
+    let mag = b.fadd(zr2, zi2);
+    let alive = b.fcmp(FCmpPred::Ole, mag, Value::imm(4.0f64));
+    b.cond_br(alive, live, latch);
+    b.switch_to(live);
+    let cross = b.fmul(zr, zi);
+    let zi_n0 = b.fadd(cross, cross);
+    let zi_n = b.fadd(zi_n0, ci);
+    let zr_d = b.fsub(zr2, zi2);
+    let zr_n = b.fadd(zr_d, cr);
+    let esc_n = b.add(esc, Value::imm(1i64));
+    b.br(latch);
+    b.switch_to(latch);
+    let zrm = b.phi(Type::F64);
+    let zim = b.phi(Type::F64);
+    let escm = b.phi(Type::I64);
+    b.add_phi_incoming(zrm, body, zr);
+    b.add_phi_incoming(zrm, live, zr_n);
+    b.add_phi_incoming(zim, body, zi);
+    b.add_phi_incoming(zim, live, zi_n);
+    b.add_phi_incoming(escm, body, esc);
+    b.add_phi_incoming(escm, live, esc_n);
+    let i1 = b.add(i, Value::imm(1i64));
+    b.add_phi_incoming(i, latch, i1);
+    b.add_phi_incoming(zr, latch, zrm);
+    b.add_phi_incoming(zi, latch, zim);
+    b.add_phi_incoming(esc, latch, escm);
+    b.br(header);
+    b.switch_to(exit);
+    let po = b.gep(Value::Arg(0), gid, 8);
+    b.store(po, esc);
+    b.ret(None);
+    f
+}
+
+fn build() -> Module {
+    let mut m = Module::new("mandelbrot");
+    m.add_function(escape_kernel());
+    for f in aux_kernels(0x3a, INFO.table_loops.saturating_sub(1)) {
+        m.add_function(f);
+    }
+    m
+}
+
+const THREADS: usize = 128;
+const SCALE: f64 = 0.021;
+
+fn run(m: &Module, gpu: &mut Gpu) -> Result<RunOutput, ExecError> {
+    let bo = gpu.mem.alloc_i64(&vec![0; THREADS])?;
+    let mut acc = (0.0f64, Metrics::default());
+    launch_into(
+        gpu,
+        m,
+        "mandel_escape",
+        LaunchConfig::new(THREADS as u32 / 32, 32),
+        &[KernelArg::Buffer(bo), KernelArg::F64(SCALE)],
+        &mut acc,
+    )?;
+    let out = gpu.mem.read_i64(bo);
+    Ok(RunOutput {
+        kernel_time_ms: acc.0,
+        metrics: acc.1,
+        checksum: checksum_i64(&out),
+        // An image-heavy app: most time is spent moving frames (paper %C
+        // is 14.5%).
+        transfer_bytes: out.len() as u64 * 8 + 3_000_000,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_matches_cpu_reference() {
+        let m = build();
+        let mut gpu = Gpu::new();
+        let got = run(&m, &mut gpu).unwrap();
+        let mut expect = Vec::new();
+        for t in 0..THREADS {
+            let cr = (t & !31) as f64 * SCALE + (t & 31) as f64 * 0.0004 - 1.5;
+            let ci = cr * 0.37;
+            let (mut zr, mut zi, mut esc) = (0.0f64, 0.0f64, 0i64);
+            for _ in 0..MAX_ITER {
+                let (zr2, zi2) = (zr * zr, zi * zi);
+                if zr2 + zi2 <= 4.0 {
+                    let cross = zr * zi;
+                    zi = cross + cross + ci;
+                    zr = zr2 - zi2 + cr;
+                    esc += 1;
+                }
+            }
+            expect.push(esc);
+        }
+        assert_eq!(got.checksum, crate::bench::checksum_i64(&expect));
+    }
+}

@@ -1,0 +1,173 @@
+//! qtclustering — quality-threshold clustering.
+//!
+//! The distance-accumulation loop re-loads the cluster centroid every
+//! iteration and guards the membership update behind a threshold test.
+//! Unrolling exposes the centroid reload to GVN and unmerging strips the
+//! merge-point data movement — the paper's small 1.06× heuristic win.
+
+use crate::aux::aux_kernels;
+use crate::bench::{checksum_f64, launch_into, Benchmark, BenchmarkInfo, RunOutput};
+use uu_ir::{FCmpPred, Function, FunctionBuilder, ICmpPred, Module, Param, Type, Value};
+use uu_simt::{ExecError, Gpu, KernelArg, LaunchConfig, Metrics};
+
+/// Table I row.
+pub const INFO: BenchmarkInfo = BenchmarkInfo {
+    name: "qtclustering",
+    category: "Machine learning",
+    cli: "no CLI input",
+    table_loops: 19,
+    paper_compute_pct: 99.14,
+    paper_rsd_pct: 1.9,
+    hot_kernels: &["qt_cluster"],
+    binary_rest_size: 6000,
+    launch_repeats: 440,
+};
+
+/// The benchmark registration.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        info: INFO,
+        build,
+        run,
+    }
+}
+
+/// Membership-count loop with an in-loop centroid reload.
+pub fn cluster_kernel() -> Function {
+    let mut f = Function::new(
+        "qt_cluster",
+        vec![
+            Param::new("points", Type::Ptr),
+            Param::new("centroid", Type::Ptr),
+            Param::new("out", Type::Ptr),
+            Param::new("n", Type::I64),
+        ],
+        Type::Void,
+    );
+    let entry = f.entry();
+    let mut b = FunctionBuilder::new(&mut f);
+    let header = b.create_block();
+    let body = b.create_block();
+    let member = b.create_block();
+    let latch = b.create_block();
+    let exit = b.create_block();
+    b.switch_to(entry);
+    let gid = b.global_thread_id();
+    let base = b.mul(gid, Value::Arg(3));
+    b.br(header);
+    b.switch_to(header);
+    let i = b.phi(Type::I64);
+    let count = b.phi(Type::F64);
+    b.add_phi_incoming(i, entry, Value::imm(0i64));
+    b.add_phi_incoming(count, entry, Value::imm(0.0f64));
+    let more = b.icmp(ICmpPred::Slt, i, Value::Arg(3));
+    b.cond_br(more, body, exit);
+    b.switch_to(body);
+    let pc = b.gep(Value::Arg(1), gid, 8);
+    let centroid = b.load(Type::F64, pc); // invariant reload
+    let ix = b.add(base, i);
+    let pp = b.gep(Value::Arg(0), ix, 8);
+    let pt = b.load(Type::F64, pp);
+    let d = b.fsub(pt, centroid);
+    let d2 = b.fmul(d, d);
+    let close = b.fcmp(FCmpPred::Olt, d2, Value::imm(1.0f64));
+    b.cond_br(close, member, latch);
+    b.switch_to(member);
+    let w = b.fsub(Value::imm(1.0f64), d2);
+    let count_t = b.fadd(count, w);
+    b.br(latch);
+    b.switch_to(latch);
+    let countm = b.phi(Type::F64);
+    b.add_phi_incoming(countm, body, count);
+    b.add_phi_incoming(countm, member, count_t);
+    let i1 = b.add(i, Value::imm(1i64));
+    b.add_phi_incoming(i, latch, i1);
+    b.add_phi_incoming(count, latch, countm);
+    b.br(header);
+    b.switch_to(exit);
+    let po = b.gep(Value::Arg(2), gid, 8);
+    b.store(po, count);
+    b.ret(None);
+    f
+}
+
+fn build() -> Module {
+    let mut m = Module::new("qtclustering");
+    m.add_function(cluster_kernel());
+    for f in aux_kernels(0x47, INFO.table_loops - 1) {
+        m.add_function(f);
+    }
+    m
+}
+
+const N: i64 = 56;
+const THREADS: usize = 128;
+
+fn point(t: usize, i: i64) -> f64 {
+    // Points are tiled per warp (threads of a warp scan the same tile), so
+    // the threshold branch is warp-coherent.
+    (((t / 32) as f64) * 0.11 + (i as f64) * 0.29).sin() * 2.0
+}
+
+fn centroid(t: usize) -> f64 {
+    ((t / 32) as f64) * 0.4 - 0.6
+}
+
+fn run(m: &Module, gpu: &mut Gpu) -> Result<RunOutput, ExecError> {
+    let mut points = Vec::new();
+    for t in 0..THREADS {
+        for i in 0..N {
+            points.push(point(t, i));
+        }
+    }
+    let centroids: Vec<f64> = (0..THREADS).map(centroid).collect();
+    let bp = gpu.mem.alloc_f64(&points)?;
+    let bc = gpu.mem.alloc_f64(&centroids)?;
+    let bo = gpu.mem.alloc_f64(&vec![0.0; THREADS])?;
+    let mut acc = (0.0f64, Metrics::default());
+    launch_into(
+        gpu,
+        m,
+        "qt_cluster",
+        LaunchConfig::new(THREADS as u32 / 32, 32),
+        &[
+            KernelArg::Buffer(bp),
+            KernelArg::Buffer(bc),
+            KernelArg::Buffer(bo),
+            KernelArg::I64(N),
+        ],
+        &mut acc,
+    )?;
+    let out = gpu.mem.read_f64(bo);
+    Ok(RunOutput {
+        kernel_time_ms: acc.0,
+        metrics: acc.1,
+        checksum: checksum_f64(&out),
+        transfer_bytes: (points.len() + centroids.len() + out.len()) as u64 * 8,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clustering_matches_cpu_reference() {
+        let m = build();
+        let mut gpu = Gpu::new();
+        let got = run(&m, &mut gpu).unwrap();
+        let mut expect = Vec::new();
+        for t in 0..THREADS {
+            let c = centroid(t);
+            let mut count = 0.0f64;
+            for i in 0..N {
+                let d = point(t, i) - c;
+                if d * d < 1.0 {
+                    count += 1.0 - d * d;
+                }
+            }
+            expect.push(count);
+        }
+        assert_eq!(got.checksum, crate::bench::checksum_f64(&expect));
+    }
+}

@@ -1,0 +1,280 @@
+//! Simulated global (device) memory.
+//!
+//! A flat, byte-addressed address space with a bump allocator, typed
+//! accessors and bounds checking. Address 0 is reserved so that null
+//! pointers trap.
+
+use uu_ir::{Constant, Type};
+
+/// Handle to an allocation in device memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Buffer {
+    /// Base device address.
+    pub addr: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// Errors raised by memory accesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// Access outside any allocation.
+    OutOfBounds {
+        /// Faulting address.
+        addr: u64,
+        /// Access width in bytes.
+        width: u64,
+    },
+    /// Device memory exhausted.
+    OutOfMemory,
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::OutOfBounds { addr, width } => {
+                write!(f, "out of bounds access of {width} bytes at address {addr:#x}")
+            }
+            MemError::OutOfMemory => write!(f, "device memory exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// The device memory: a bump-allocated flat byte array.
+#[derive(Debug, Clone)]
+pub struct GlobalMemory {
+    bytes: Vec<u8>,
+    top: u64,
+    capacity: u64,
+}
+
+const ALIGN: u64 = 256;
+
+impl GlobalMemory {
+    /// Create a device memory with the given capacity in bytes.
+    pub fn new(capacity: u64) -> Self {
+        GlobalMemory {
+            bytes: Vec::new(),
+            top: ALIGN, // address 0..ALIGN reserved (null page)
+            capacity,
+        }
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.top
+    }
+
+    /// Allocate `len` bytes, zero-initialized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfMemory`] when capacity would be exceeded.
+    pub fn alloc(&mut self, len: u64) -> Result<Buffer, MemError> {
+        let addr = self.top;
+        let new_top = addr
+            .checked_add(len)
+            .map(|t| t.div_ceil(ALIGN) * ALIGN)
+            .ok_or(MemError::OutOfMemory)?;
+        if new_top > self.capacity {
+            return Err(MemError::OutOfMemory);
+        }
+        self.top = new_top;
+        if self.bytes.len() < new_top as usize {
+            self.bytes.resize(new_top as usize, 0);
+        }
+        Ok(Buffer { addr, len })
+    }
+
+    /// Allocate and initialize from `f64` host data.
+    pub fn alloc_f64(&mut self, data: &[f64]) -> Result<Buffer, MemError> {
+        let b = self.alloc(data.len() as u64 * 8)?;
+        for (i, v) in data.iter().enumerate() {
+            self.write_scalar(b.addr + i as u64 * 8, Constant::f64(*v))?;
+        }
+        Ok(b)
+    }
+
+    /// Allocate and initialize from `f32` host data.
+    pub fn alloc_f32(&mut self, data: &[f32]) -> Result<Buffer, MemError> {
+        let b = self.alloc(data.len() as u64 * 4)?;
+        for (i, v) in data.iter().enumerate() {
+            self.write_scalar(b.addr + i as u64 * 4, Constant::f32(*v))?;
+        }
+        Ok(b)
+    }
+
+    /// Allocate and initialize from `i64` host data.
+    pub fn alloc_i64(&mut self, data: &[i64]) -> Result<Buffer, MemError> {
+        let b = self.alloc(data.len() as u64 * 8)?;
+        for (i, v) in data.iter().enumerate() {
+            self.write_scalar(b.addr + i as u64 * 8, Constant::I64(*v))?;
+        }
+        Ok(b)
+    }
+
+    /// Allocate and initialize from `i32` host data.
+    pub fn alloc_i32(&mut self, data: &[i32]) -> Result<Buffer, MemError> {
+        let b = self.alloc(data.len() as u64 * 4)?;
+        for (i, v) in data.iter().enumerate() {
+            self.write_scalar(b.addr + i as u64 * 4, Constant::I32(*v))?;
+        }
+        Ok(b)
+    }
+
+    fn check(&self, addr: u64, width: u64) -> Result<(), MemError> {
+        if addr < ALIGN || addr.saturating_add(width) > self.top {
+            return Err(MemError::OutOfBounds { addr, width });
+        }
+        Ok(())
+    }
+
+    /// Read a scalar of type `ty` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] for accesses outside allocations.
+    pub fn read_scalar(&self, addr: u64, ty: Type) -> Result<Constant, MemError> {
+        let w = ty.size_bytes();
+        self.check(addr, w)?;
+        let at = addr as usize;
+        let c = match ty {
+            Type::I1 => Constant::I1(self.bytes[at] != 0),
+            Type::I32 => Constant::I32(i32::from_le_bytes(
+                self.bytes[at..at + 4].try_into().unwrap(),
+            )),
+            Type::I64 | Type::Ptr => Constant::I64(i64::from_le_bytes(
+                self.bytes[at..at + 8].try_into().unwrap(),
+            )),
+            Type::F32 => Constant::F32Bits(u32::from_le_bytes(
+                self.bytes[at..at + 4].try_into().unwrap(),
+            )),
+            Type::F64 => Constant::F64Bits(u64::from_le_bytes(
+                self.bytes[at..at + 8].try_into().unwrap(),
+            )),
+            Type::Void => unreachable!("void load"),
+        };
+        Ok(c)
+    }
+
+    /// Write a scalar at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] for accesses outside allocations.
+    pub fn write_scalar(&mut self, addr: u64, value: Constant) -> Result<(), MemError> {
+        let w = value.ty().size_bytes();
+        self.check(addr, w)?;
+        let at = addr as usize;
+        match value {
+            Constant::I1(b) => self.bytes[at] = b as u8,
+            Constant::I32(v) => self.bytes[at..at + 4].copy_from_slice(&v.to_le_bytes()),
+            Constant::I64(v) => self.bytes[at..at + 8].copy_from_slice(&v.to_le_bytes()),
+            Constant::F32Bits(v) => self.bytes[at..at + 4].copy_from_slice(&v.to_le_bytes()),
+            Constant::F64Bits(v) => self.bytes[at..at + 8].copy_from_slice(&v.to_le_bytes()),
+        }
+        Ok(())
+    }
+
+    /// Read back a buffer as `f64`s.
+    pub fn read_f64(&self, b: Buffer) -> Vec<f64> {
+        (0..b.len / 8)
+            .map(|i| {
+                self.read_scalar(b.addr + i * 8, Type::F64)
+                    .expect("in-bounds")
+                    .as_f64()
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    /// Read back a buffer as `i64`s.
+    pub fn read_i64(&self, b: Buffer) -> Vec<i64> {
+        (0..b.len / 8)
+            .map(|i| {
+                self.read_scalar(b.addr + i * 8, Type::I64)
+                    .expect("in-bounds")
+                    .as_i64()
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    /// Read back a buffer as `i32`s.
+    pub fn read_i32(&self, b: Buffer) -> Vec<i32> {
+        (0..b.len / 4)
+            .map(|i| {
+                self.read_scalar(b.addr + i * 4, Type::I32)
+                    .expect("in-bounds")
+                    .as_i64()
+                    .unwrap() as i32
+            })
+            .collect()
+    }
+
+    /// Read back a buffer as `f32`s.
+    pub fn read_f32(&self, b: Buffer) -> Vec<f32> {
+        (0..b.len / 4)
+            .map(|i| {
+                self.read_scalar(b.addr + i * 4, Type::F32)
+                    .expect("in-bounds")
+                    .as_f64()
+                    .unwrap() as f32
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_roundtrip() {
+        let mut m = GlobalMemory::new(1 << 20);
+        let b = m.alloc_f64(&[1.0, 2.5, -3.0]).unwrap();
+        assert_eq!(m.read_f64(b), vec![1.0, 2.5, -3.0]);
+        let c = m.alloc_i64(&[7, -9]).unwrap();
+        assert_eq!(m.read_i64(c), vec![7, -9]);
+        assert_ne!(b.addr, c.addr);
+        let d = m.alloc_i32(&[1, 2, 3]).unwrap();
+        assert_eq!(m.read_i32(d), vec![1, 2, 3]);
+        let e = m.alloc_f32(&[0.5]).unwrap();
+        assert_eq!(m.read_f32(e), vec![0.5]);
+    }
+
+    #[test]
+    fn alignment_and_null_page() {
+        let mut m = GlobalMemory::new(1 << 20);
+        let b = m.alloc(10).unwrap();
+        assert!(b.addr >= 256);
+        assert_eq!(b.addr % 256, 0);
+        // Null page traps.
+        assert!(m.read_scalar(0, Type::I64).is_err());
+        assert!(m.write_scalar(8, Constant::I64(1)).is_err());
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut m = GlobalMemory::new(1 << 12);
+        let b = m.alloc(16).unwrap();
+        assert!(m.read_scalar(b.addr + 8, Type::I64).is_ok());
+        assert!(m.read_scalar(m.used(), Type::I64).is_err());
+        assert!(m.alloc(1 << 13).is_err());
+    }
+
+    #[test]
+    fn typed_readwrite() {
+        let mut m = GlobalMemory::new(1 << 12);
+        let b = m.alloc(64).unwrap();
+        m.write_scalar(b.addr, Constant::I1(true)).unwrap();
+        assert_eq!(m.read_scalar(b.addr, Type::I1).unwrap(), Constant::I1(true));
+        m.write_scalar(b.addr + 8, Constant::f32(1.5)).unwrap();
+        assert_eq!(
+            m.read_scalar(b.addr + 8, Type::F32).unwrap(),
+            Constant::f32(1.5)
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! nvprof-style hardware counters.
+
+/// Instruction classes, following nvprof's grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstClass {
+    /// Integer and floating point arithmetic, comparisons, math intrinsics.
+    Arith,
+    /// Control flow: branches and returns.
+    Control,
+    /// Global loads.
+    Load,
+    /// Global stores.
+    Store,
+    /// Miscellaneous data movement: selects (`selp`), casts, phi-lowered
+    /// moves — the class the paper's §V shows u&u slashing (−55% on
+    /// XSBench, −77% on rainflow).
+    Misc,
+    /// Barriers.
+    Sync,
+}
+
+/// Aggregated counters for one kernel launch (or a sum over launches).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Metrics {
+    /// Thread-level executed instructions per class (counting active lanes).
+    pub thread_arith: u64,
+    /// Thread-level control-flow instructions (`inst_control`).
+    pub thread_control: u64,
+    /// Thread-level global loads.
+    pub thread_load: u64,
+    /// Thread-level global stores.
+    pub thread_store: u64,
+    /// Thread-level miscellaneous/data-movement instructions (`inst_misc`).
+    pub thread_misc: u64,
+    /// Thread-level barriers.
+    pub thread_sync: u64,
+    /// Warp-level issued instructions.
+    pub warp_insts: u64,
+    /// Sum of active lanes over all warp-level issues (for
+    /// `warp_execution_efficiency`).
+    pub active_lane_sum: u64,
+    /// Global memory transactions (L1/coalescing level).
+    pub mem_transactions: u64,
+    /// Distinct memory sectors touched during the launch — the DRAM-level
+    /// traffic once the cache has absorbed re-references.
+    pub dram_sectors: u64,
+    /// Bytes read from global memory by loads.
+    pub gld_bytes: u64,
+    /// Bytes written to global memory by stores.
+    pub gst_bytes: u64,
+    /// Cycles attributed to instruction-fetch stalls.
+    pub fetch_stall_cycles: u64,
+    /// Cycles attributed to exposed memory latency.
+    pub mem_stall_cycles: u64,
+    /// Total issue cycles (before dividing across concurrent warps).
+    pub issue_cycles: u64,
+    /// Final kernel cycles (after latency hiding across warps).
+    pub kernel_cycles: u64,
+    /// Number of warps launched.
+    pub warps: u64,
+}
+
+impl Metrics {
+    /// Add a thread-level execution of class `c` with `lanes` active lanes.
+    pub fn count(&mut self, c: InstClass, lanes: u32) {
+        let l = lanes as u64;
+        match c {
+            InstClass::Arith => self.thread_arith += l,
+            InstClass::Control => self.thread_control += l,
+            InstClass::Load => self.thread_load += l,
+            InstClass::Store => self.thread_store += l,
+            InstClass::Misc => self.thread_misc += l,
+            InstClass::Sync => self.thread_sync += l,
+        }
+        self.warp_insts += 1;
+        self.active_lane_sum += l;
+    }
+
+    /// Total thread-level instructions.
+    pub fn thread_insts(&self) -> u64 {
+        self.thread_arith
+            + self.thread_control
+            + self.thread_load
+            + self.thread_store
+            + self.thread_misc
+            + self.thread_sync
+    }
+
+    /// nvprof `warp_execution_efficiency`: average active lanes per issued
+    /// warp instruction over the warp width, as a percentage.
+    pub fn warp_execution_efficiency(&self, warp_size: u32) -> f64 {
+        if self.warp_insts == 0 {
+            return 100.0;
+        }
+        100.0 * self.active_lane_sum as f64 / (self.warp_insts as f64 * warp_size as f64)
+    }
+
+    /// Instructions (warp-level) per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.kernel_cycles == 0 {
+            return 0.0;
+        }
+        self.warp_insts as f64 / self.kernel_cycles as f64
+    }
+
+    /// Fraction of cycles stalled on instruction fetch, as a percentage
+    /// (nvprof `stall_inst_fetch`).
+    pub fn stall_inst_fetch(&self) -> f64 {
+        if self.issue_cycles + self.fetch_stall_cycles == 0 {
+            return 0.0;
+        }
+        100.0 * self.fetch_stall_cycles as f64
+            / (self.issue_cycles + self.fetch_stall_cycles + self.mem_stall_cycles) as f64
+    }
+
+    /// Global load throughput in GB/s given the clock.
+    pub fn gld_throughput_gbs(&self, clock_ghz: f64) -> f64 {
+        if self.kernel_cycles == 0 {
+            return 0.0;
+        }
+        let seconds = self.kernel_cycles as f64 / (clock_ghz * 1e9);
+        self.gld_bytes as f64 / seconds / 1e9
+    }
+
+    /// Merge counters from another launch.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.thread_arith += other.thread_arith;
+        self.thread_control += other.thread_control;
+        self.thread_load += other.thread_load;
+        self.thread_store += other.thread_store;
+        self.thread_misc += other.thread_misc;
+        self.thread_sync += other.thread_sync;
+        self.warp_insts += other.warp_insts;
+        self.active_lane_sum += other.active_lane_sum;
+        self.mem_transactions += other.mem_transactions;
+        self.dram_sectors += other.dram_sectors;
+        self.gld_bytes += other.gld_bytes;
+        self.gst_bytes += other.gst_bytes;
+        self.fetch_stall_cycles += other.fetch_stall_cycles;
+        self.mem_stall_cycles += other.mem_stall_cycles;
+        self.issue_cycles += other.issue_cycles;
+        self.kernel_cycles += other.kernel_cycles;
+        self.warps += other.warps;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_derived_metrics() {
+        let mut m = Metrics::default();
+        m.count(InstClass::Arith, 32);
+        m.count(InstClass::Misc, 16);
+        m.count(InstClass::Control, 32);
+        assert_eq!(m.thread_insts(), 80);
+        assert_eq!(m.warp_insts, 3);
+        let eff = m.warp_execution_efficiency(32);
+        assert!((eff - 100.0 * 80.0 / 96.0).abs() < 1e-9);
+        m.kernel_cycles = 6;
+        assert!((m.ipc() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_and_throughput() {
+        let mut m = Metrics::default();
+        m.issue_cycles = 80;
+        m.fetch_stall_cycles = 20;
+        assert!((m.stall_inst_fetch() - 20.0).abs() < 1e-9);
+        m.gld_bytes = 1_000_000_000;
+        m.kernel_cycles = 1_000_000_000;
+        // 1 GB in (1e9 cycles / 1 GHz) = 1 second → 1 GB/s.
+        assert!((m.gld_throughput_gbs(1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = Metrics::default();
+        a.count(InstClass::Load, 32);
+        a.gld_bytes = 100;
+        let mut b = Metrics::default();
+        b.count(InstClass::Load, 16);
+        b.gld_bytes = 50;
+        a.merge(&b);
+        assert_eq!(a.thread_load, 48);
+        assert_eq!(a.gld_bytes, 150);
+        assert_eq!(a.warp_insts, 2);
+    }
+
+    #[test]
+    fn empty_metrics_are_benign() {
+        let m = Metrics::default();
+        assert_eq!(m.warp_execution_efficiency(32), 100.0);
+        assert_eq!(m.ipc(), 0.0);
+        assert_eq!(m.stall_inst_fetch(), 0.0);
+        assert_eq!(m.gld_throughput_gbs(1.0), 0.0);
+    }
+}
