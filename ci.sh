@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI entry point. Fully offline: the workspace has no registry
+# dependencies (uu-check replaces rand/proptest/criterion), so every step
+# must pass with --offline on a clean checkout.
+#
+#   ./ci.sh          # build (warnings are errors), test, fuzz smoke
+#
+# Knobs (see DESIGN.md "Testing & fuzzing"):
+#   UU_CHECK_SEED   replay a whole fuzz run (decimal or 0x-hex)
+#   UU_CHECK_CASES  per-property case budget (ci.sh smoke uses 200)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release, offline, deny warnings) =="
+RUSTFLAGS="${RUSTFLAGS:-} -Dwarnings" cargo build --release --offline --all-targets
+
+echo "== test =="
+cargo test -q --offline
+
+echo "== fuzz smoke (200 cases per property) =="
+UU_CHECK_CASES=200 cargo test -q --offline --release -p uu-tests
+
+echo "ci.sh: all green"

@@ -1,0 +1,113 @@
+//! Property tests for the analyses: structural invariants of the dominator
+//! tree and the loop forest must hold on every generated kernel, and both
+//! analyses must be deterministic functions of the IR.
+
+use uu_check::{build_kernel, check, Config, KernelSpec};
+use uu_analysis::{DomTree, LoopForest};
+
+#[test]
+fn dominator_tree_invariants() {
+    check(
+        "dominator_tree_invariants",
+        &Config::from_env(64),
+        |spec: &KernelSpec| {
+            let f = build_kernel(spec);
+            let dom = DomTree::compute(&f);
+            if dom.root() != f.entry() {
+                return Err("dom tree root is not the entry block".into());
+            }
+            for &b in f.layout() {
+                if !dom.is_reachable(b) {
+                    continue;
+                }
+                if !dom.dominates(f.entry(), b) {
+                    return Err(format!("entry does not dominate reachable {b:?}"));
+                }
+                if b != f.entry() {
+                    let idom = dom
+                        .idom(b)
+                        .ok_or_else(|| format!("reachable non-entry {b:?} has no idom"))?;
+                    if !dom.strictly_dominates(idom, b) {
+                        return Err(format!("idom {idom:?} does not strictly dominate {b:?}"));
+                    }
+                }
+                // Every predecessor-reachable block's idom dominates all its
+                // predecessors' common dominators; cheap spot check: the idom
+                // dominates the block but not vice versa.
+                if b != f.entry() && dom.dominates(b, dom.idom(b).unwrap()) {
+                    return Err(format!("{b:?} dominates its own idom"));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn loop_forest_invariants() {
+    check(
+        "loop_forest_invariants",
+        &Config::from_env(64),
+        |spec: &KernelSpec| {
+            let f = build_kernel(spec);
+            let dom = DomTree::compute(&f);
+            let forest = LoopForest::compute(&f, &dom);
+            for l in forest.loops() {
+                if !l.blocks.contains(&l.header) {
+                    return Err(format!("loop {:?}: header not in blocks", l.header));
+                }
+                for &latch in &l.latches {
+                    if !l.blocks.contains(&latch) {
+                        return Err(format!("loop {:?}: latch {latch:?} not in blocks", l.header));
+                    }
+                    if !f.successors(latch).contains(&l.header) {
+                        return Err(format!(
+                            "loop {:?}: latch {latch:?} has no back edge to header",
+                            l.header
+                        ));
+                    }
+                }
+                for &b in &l.blocks {
+                    if !dom.dominates(l.header, b) {
+                        return Err(format!(
+                            "loop {:?}: header does not dominate member {b:?}",
+                            l.header
+                        ));
+                    }
+                }
+                if l.depth == 0 {
+                    return Err(format!("loop {:?}: zero depth", l.header));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn analyses_are_deterministic() {
+    check(
+        "analyses_are_deterministic",
+        &Config::from_env(32),
+        |spec: &KernelSpec| {
+            let f = build_kernel(spec);
+            let fmt = |f: &uu_ir::Function| {
+                let dom = DomTree::compute(f);
+                let forest = LoopForest::compute(f, &dom);
+                let idoms: Vec<_> = f.layout().iter().map(|&b| (b, dom.idom(b))).collect();
+                let loops: Vec<_> = forest
+                    .loops()
+                    .iter()
+                    .map(|l| (l.header, l.blocks.clone(), l.latches.clone(), l.depth))
+                    .collect();
+                format!("{idoms:?}\n{loops:?}")
+            };
+            let a = fmt(&f);
+            let b = fmt(&f);
+            if a != b {
+                return Err(format!("recompute differed:\n{a}\nvs\n{b}"));
+            }
+            Ok(())
+        },
+    );
+}

@@ -1,10 +1,10 @@
 //! Ablation benches for the design decisions called out in DESIGN.md:
 //! whole-path vs direct-successor unmerging, pass position, heuristic
-//! parameters and the divergence guard. Criterion times the compile+run
+//! parameters and the divergence guard. The harness times the compile+run
 //! machinery; each configuration additionally prints the simulated kernel
 //! time it produced (the quantity the ablation is about) before sampling.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use uu_check::bench::Harness;
 use uu_core::{
     HeuristicOptions, LoopFilter, PassPosition, PipelineOptions, Transform, UnmergeMode,
     UnmergeOptions,
@@ -37,153 +37,108 @@ fn run(b: &uu_kernels::Benchmark, opts: PipelineOptions) -> Measurement {
 
 /// Whole-path (the paper's design) vs DBDS-style direct-successor
 /// duplication, on the bezier hot loop.
-fn ablation_unmerge_depth(c: &mut Criterion) {
+fn ablation_unmerge_depth(h: &mut Harness) {
     let b = bench_by_name("bezier-surface");
     for (name, mode) in [
         ("whole_path", UnmergeMode::WholePath),
         ("direct_successor", UnmergeMode::DirectSuccessor),
     ] {
-        {
-            let m = run(&b, PipelineOptions {
-                transform: Transform::Uu { factor: 2, unmerge: UnmergeOptions { mode, ..Default::default() } },
-                filter: LoopFilter::Only { func: "bezier_blend".into(), loop_id: 0 },
-                ..Default::default()
-            });
-            eprintln!("ablation/unmerge_depth/{name}: kernel {:.6} ms, size {}", m.time_ms, m.code_size);
-        }
-        c.bench_function(&format!("ablation/unmerge_depth/{name}"), |bch| {
-            bch.iter(|| {
-                let m = run(
-                    &b,
-                    PipelineOptions {
-                        transform: Transform::Uu {
-                            factor: 2,
-                            unmerge: UnmergeOptions {
-                                mode,
-                                ..Default::default()
-                            },
-                        },
-                        filter: LoopFilter::Only {
-                            func: "bezier_blend".into(),
-                            loop_id: 0,
-                        },
-                        ..Default::default()
-                    },
-                );
-                m.time_ms
-            })
+        let opts = || PipelineOptions {
+            transform: Transform::Uu {
+                factor: 2,
+                unmerge: UnmergeOptions {
+                    mode,
+                    ..Default::default()
+                },
+            },
+            filter: LoopFilter::Only {
+                func: "bezier_blend".into(),
+                loop_id: 0,
+            },
+            ..Default::default()
+        };
+        let m = run(&b, opts());
+        eprintln!(
+            "ablation/unmerge_depth/{name}: kernel {:.6} ms, size {}",
+            m.time_ms, m.code_size
+        );
+        h.bench(&format!("ablation/unmerge_depth/{name}"), || {
+            run(&b, opts()).time_ms
         });
     }
 }
 
 /// Early (the paper's choice) vs late pass position.
-fn ablation_pass_position(c: &mut Criterion) {
+fn ablation_pass_position(h: &mut Harness) {
     let b = bench_by_name("bezier-surface");
     for (name, pos) in [("early", PassPosition::Early), ("late", PassPosition::Late)] {
-        {
-            let m = run(&b, PipelineOptions {
-                transform: Transform::Uu { factor: 2, unmerge: UnmergeOptions::default() },
-                filter: LoopFilter::Only { func: "bezier_blend".into(), loop_id: 0 },
-                position: pos,
-                ..Default::default()
-            });
-            eprintln!("ablation/position/{name}: kernel {:.6} ms", m.time_ms);
-        }
-        c.bench_function(&format!("ablation/position/{name}"), |bch| {
-            bch.iter(|| {
-                run(
-                    &b,
-                    PipelineOptions {
-                        transform: Transform::Uu {
-                            factor: 2,
-                            unmerge: UnmergeOptions::default(),
-                        },
-                        filter: LoopFilter::Only {
-                            func: "bezier_blend".into(),
-                            loop_id: 0,
-                        },
-                        position: pos,
-                        ..Default::default()
-                    },
-                )
-                .time_ms
-            })
+        let opts = || PipelineOptions {
+            transform: Transform::Uu {
+                factor: 2,
+                unmerge: UnmergeOptions::default(),
+            },
+            filter: LoopFilter::Only {
+                func: "bezier_blend".into(),
+                loop_id: 0,
+            },
+            position: pos,
+            ..Default::default()
+        };
+        let m = run(&b, opts());
+        eprintln!("ablation/position/{name}: kernel {:.6} ms", m.time_ms);
+        h.bench(&format!("ablation/position/{name}"), || {
+            run(&b, opts()).time_ms
         });
     }
 }
 
 /// Heuristic budget `c`: tiny budgets decline everything, the paper's 1024
 /// transforms the profitable loops.
-fn ablation_heuristic_budget(c: &mut Criterion) {
+fn ablation_heuristic_budget(h: &mut Harness) {
     let b = bench_by_name("bn");
     for budget in [64u64, 1024, 16384] {
-        {
-            let m = run(&b, PipelineOptions {
-                transform: Transform::UuHeuristic(HeuristicOptions { c: budget, ..Default::default() }),
+        let opts = || PipelineOptions {
+            transform: Transform::UuHeuristic(HeuristicOptions {
+                c: budget,
                 ..Default::default()
-            });
-            eprintln!("ablation/heuristic_c/{budget}: kernel {:.6} ms, size {}", m.time_ms, m.code_size);
-        }
-        c.bench_function(&format!("ablation/heuristic_c/{budget}"), |bch| {
-            bch.iter(|| {
-                run(
-                    &b,
-                    PipelineOptions {
-                        transform: Transform::UuHeuristic(HeuristicOptions {
-                            c: budget,
-                            ..Default::default()
-                        }),
-                        ..Default::default()
-                    },
-                )
-                .time_ms
-            })
+            }),
+            ..Default::default()
+        };
+        let m = run(&b, opts());
+        eprintln!(
+            "ablation/heuristic_c/{budget}: kernel {:.6} ms, size {}",
+            m.time_ms, m.code_size
+        );
+        h.bench(&format!("ablation/heuristic_c/{budget}"), || {
+            run(&b, opts()).time_ms
         });
     }
 }
 
 /// The divergence guard rescuing `complex`.
-fn ablation_divergence_guard(c: &mut Criterion) {
+fn ablation_divergence_guard(h: &mut Harness) {
     let b = bench_by_name("complex");
     for (name, guard) in [("off", false), ("on", true)] {
-        {
-            let m = run(&b, PipelineOptions {
-                transform: Transform::UuHeuristic(HeuristicOptions { divergence_guard: guard, ..Default::default() }),
+        let opts = || PipelineOptions {
+            transform: Transform::UuHeuristic(HeuristicOptions {
+                divergence_guard: guard,
                 ..Default::default()
-            });
-            eprintln!("ablation/divergence_guard/{name}: kernel {:.6} ms", m.time_ms);
-        }
-        c.bench_function(&format!("ablation/divergence_guard/{name}"), |bch| {
-            bch.iter(|| {
-                run(
-                    &b,
-                    PipelineOptions {
-                        transform: Transform::UuHeuristic(HeuristicOptions {
-                            divergence_guard: guard,
-                            ..Default::default()
-                        }),
-                        ..Default::default()
-                    },
-                )
-                .time_ms
-            })
+            }),
+            ..Default::default()
+        };
+        let m = run(&b, opts());
+        eprintln!("ablation/divergence_guard/{name}: kernel {:.6} ms", m.time_ms);
+        h.bench(&format!("ablation/divergence_guard/{name}"), || {
+            run(&b, opts()).time_ms
         });
     }
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(4))
-        .warm_up_time(std::time::Duration::from_millis(500))
+fn main() {
+    let mut h = Harness::new("ablations");
+    ablation_unmerge_depth(&mut h);
+    ablation_pass_position(&mut h);
+    ablation_heuristic_budget(&mut h);
+    ablation_divergence_guard(&mut h);
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = ablation_unmerge_depth,
-        ablation_pass_position,
-        ablation_heuristic_budget,
-        ablation_divergence_guard
-}
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! branchy loop at several unroll factors. Useful for tracking the
 //! compile-time behaviour the paper's Figure 6c aggregates.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uu_check::bench::Harness;
 use uu_core::opt::{
     condprop::CondProp, dce::Dce, gvn::Gvn, instsimplify::InstSimplify, sccp::Sccp,
     simplifycfg::SimplifyCfg, Pass,
@@ -74,39 +74,35 @@ fn subject() -> Function {
 fn transformed(factor: u32) -> Function {
     let mut f = subject();
     let h = f.layout()[1];
-    uu_loop(&mut f, h, &UuOptions { factor, ..Default::default() });
+    uu_loop(
+        &mut f,
+        h,
+        &UuOptions {
+            factor,
+            ..Default::default()
+        },
+    );
     f
 }
 
-fn bench_transform(c: &mut Criterion) {
-    let mut g = c.benchmark_group("transform");
+fn bench_transform(h: &mut Harness) {
     for factor in [2u32, 4, 8] {
-        g.bench_with_input(BenchmarkId::new("uu", factor), &factor, |bch, &factor| {
-            bch.iter(|| transformed(factor))
-        });
+        h.bench(&format!("transform/uu/{factor}"), || transformed(factor));
     }
-    g.finish();
 }
 
-fn bench_cleanup_passes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pass");
+fn bench_cleanup_passes(h: &mut Harness) {
     for factor in [2u32, 8] {
         let base = transformed(factor);
         macro_rules! p {
             ($name:literal, $pass:expr) => {
-                g.bench_with_input(
-                    BenchmarkId::new($name, factor),
-                    &base,
-                    |bch, base| {
-                        bch.iter_batched(
-                            || base.clone(),
-                            |mut f| {
-                                let mut pass = $pass;
-                                pass.run(&mut f);
-                                f
-                            },
-                            criterion::BatchSize::SmallInput,
-                        )
+                h.bench_batched(
+                    &format!(concat!("pass/", $name, "/{}"), factor),
+                    || base.clone(),
+                    |mut f| {
+                        let mut pass = $pass;
+                        pass.run(&mut f);
+                        f
                     },
                 );
             };
@@ -118,33 +114,24 @@ fn bench_cleanup_passes(c: &mut Criterion) {
         p!("condprop", CondProp);
         p!("dce", Dce);
     }
-    g.finish();
 }
 
-fn bench_analyses(c: &mut Criterion) {
+fn bench_analyses(h: &mut Harness) {
     let f = transformed(8);
-    c.bench_function("analysis/domtree", |bch| {
-        bch.iter(|| uu_analysis::DomTree::compute(&f))
+    h.bench("analysis/domtree", || uu_analysis::DomTree::compute(&f));
+    let dom = uu_analysis::DomTree::compute(&f);
+    h.bench("analysis/loops", || {
+        uu_analysis::LoopForest::compute(&f, &dom)
     });
-    c.bench_function("analysis/loops", |bch| {
-        let dom = uu_analysis::DomTree::compute(&f);
-        bch.iter(|| uu_analysis::LoopForest::compute(&f, &dom))
-    });
-    c.bench_function("analysis/divergence", |bch| {
-        bch.iter(|| uu_analysis::Divergence::compute(&f))
+    h.bench("analysis/divergence", || {
+        uu_analysis::Divergence::compute(&f)
     });
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(3))
-        .warm_up_time(std::time::Duration::from_millis(500))
+fn main() {
+    let mut h = Harness::new("passes");
+    bench_transform(&mut h);
+    bench_cleanup_passes(&mut h);
+    bench_analyses(&mut h);
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_transform, bench_cleanup_passes, bench_analyses
-}
-criterion_main!(benches);

@@ -1,12 +1,12 @@
-//! One Criterion bench per paper table/figure, at reduced scale.
+//! One bench per paper table/figure, at reduced scale.
 //!
 //! Each bench times the *regeneration machinery* for its artifact — a
 //! compile+execute measurement of the kind the full harness sweeps. The
 //! full-size regeneration is `cargo run --release -p uu-harness -- all`
 //! (see EXPERIMENTS.md); these benches keep the machinery honest and
-//! regression-tracked.
+//! regression-tracked via the JSON reports under `target/uu-bench/`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use uu_check::bench::Harness;
 use uu_core::{HeuristicOptions, LoopFilter, Transform, UnmergeOptions};
 use uu_harness::{measure, measure_baseline};
 use uu_kernels::all_benchmarks;
@@ -19,51 +19,45 @@ fn bench_by_name(name: &str) -> uu_kernels::Benchmark {
 }
 
 /// Table I: baseline + heuristic measurement of one application.
-fn table1(c: &mut Criterion) {
+fn table1(h: &mut Harness) {
     let b = bench_by_name("bezier-surface");
-    c.bench_function("table1/bezier_baseline", |bch| {
-        bch.iter(|| measure_baseline(&b).unwrap())
-    });
-    c.bench_function("table1/bezier_heuristic", |bch| {
-        bch.iter(|| {
-            measure(
-                &b,
-                Transform::UuHeuristic(HeuristicOptions::default()),
-                LoopFilter::All,
-                None,
-            )
-            .unwrap()
-        })
+    h.bench("table1/bezier_baseline", || measure_baseline(&b).unwrap());
+    h.bench("table1/bezier_heuristic", || {
+        measure(
+            &b,
+            Transform::UuHeuristic(HeuristicOptions::default()),
+            LoopFilter::All,
+            None,
+        )
+        .unwrap()
     });
 }
 
 /// Figure 6a/6b/6c: a per-loop u&u data point (speedup, size, compile time
 /// all come from the same measurement).
-fn fig6(c: &mut Criterion) {
+fn fig6(h: &mut Harness) {
     let b = bench_by_name("XSBench");
     for factor in [2u32, 8] {
-        c.bench_function(&format!("fig6/xsbench_uu{factor}_point"), |bch| {
-            bch.iter(|| {
-                measure(
-                    &b,
-                    Transform::Uu {
-                        factor,
-                        unmerge: UnmergeOptions::default(),
-                    },
-                    LoopFilter::Only {
-                        func: "xs_lookup".into(),
-                        loop_id: 0,
-                    },
-                    None,
-                )
-                .unwrap()
-            })
+        h.bench(&format!("fig6/xsbench_uu{factor}_point"), || {
+            measure(
+                &b,
+                Transform::Uu {
+                    factor,
+                    unmerge: UnmergeOptions::default(),
+                },
+                LoopFilter::Only {
+                    func: "xs_lookup".into(),
+                    loop_id: 0,
+                },
+                None,
+            )
+            .unwrap()
         });
     }
 }
 
 /// Figure 7: the three comparator configurations on one application.
-fn fig7(c: &mut Criterion) {
+fn fig7(h: &mut Harness) {
     let b = bench_by_name("bezier-surface");
     let configs: [(&str, Transform); 3] = [
         (
@@ -77,84 +71,74 @@ fn fig7(c: &mut Criterion) {
         ("unmerge", Transform::Unmerge),
     ];
     for (name, t) in configs {
-        c.bench_function(&format!("fig7/bezier_{name}"), |bch| {
-            bch.iter(|| {
-                measure(
-                    &b,
-                    t.clone(),
-                    LoopFilter::Only {
-                        func: "bezier_blend".into(),
-                        loop_id: 0,
-                    },
-                    None,
-                )
-                .unwrap()
-            })
+        h.bench(&format!("fig7/bezier_{name}"), || {
+            measure(
+                &b,
+                t.clone(),
+                LoopFilter::Only {
+                    func: "bezier_blend".into(),
+                    loop_id: 0,
+                },
+                None,
+            )
+            .unwrap()
         });
     }
 }
 
 /// Figure 8: a scatter pair (u&u vs unroll on the same loop).
-fn fig8(c: &mut Criterion) {
+fn fig8(h: &mut Harness) {
     let b = bench_by_name("libor");
-    c.bench_function("fig8/libor_pair", |bch| {
-        bch.iter(|| {
-            let f = LoopFilter::Only {
-                func: "libor_path".into(),
-                loop_id: 0,
-            };
-            let uu = measure(
-                &b,
-                Transform::Uu {
-                    factor: 4,
-                    unmerge: UnmergeOptions::default(),
-                },
-                f.clone(),
-                None,
-            )
-            .unwrap();
-            let un = measure(&b, Transform::Unroll { factor: 4 }, f, None).unwrap();
-            (uu.time_ms, un.time_ms)
-        })
+    h.bench("fig8/libor_pair", || {
+        let f = LoopFilter::Only {
+            func: "libor_path".into(),
+            loop_id: 0,
+        };
+        let uu = measure(
+            &b,
+            Transform::Uu {
+                factor: 4,
+                unmerge: UnmergeOptions::default(),
+            },
+            f.clone(),
+            None,
+        )
+        .unwrap();
+        let un = measure(&b, Transform::Unroll { factor: 4 }, f, None).unwrap();
+        (uu.time_ms, un.time_ms)
     });
 }
 
 /// §V in-depth: the counter collection for one case.
-fn indepth(c: &mut Criterion) {
+fn indepth(h: &mut Harness) {
     let b = bench_by_name("complex");
-    c.bench_function("indepth/complex_counters", |bch| {
-        bch.iter(|| {
-            let m = measure(
-                &b,
-                Transform::Uu {
-                    factor: 2,
-                    unmerge: UnmergeOptions::default(),
-                },
-                LoopFilter::Only {
-                    func: "complex_pow".into(),
-                    loop_id: 0,
-                },
-                None,
-            )
-            .unwrap();
-            (
-                m.metrics.warp_execution_efficiency(32),
-                m.metrics.stall_inst_fetch(),
-            )
-        })
+    h.bench("indepth/complex_counters", || {
+        let m = measure(
+            &b,
+            Transform::Uu {
+                factor: 2,
+                unmerge: UnmergeOptions::default(),
+            },
+            LoopFilter::Only {
+                func: "complex_pow".into(),
+                loop_id: 0,
+            },
+            None,
+        )
+        .unwrap();
+        (
+            m.metrics.warp_execution_efficiency(32),
+            m.metrics.stall_inst_fetch(),
+        )
     });
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(4))
-        .warm_up_time(std::time::Duration::from_millis(500))
+fn main() {
+    let mut h = Harness::new("tables_and_figures");
+    table1(&mut h);
+    fig6(&mut h);
+    fig7(&mut h);
+    fig8(&mut h);
+    indepth(&mut h);
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = table1, fig6, fig7, fig8, indepth
-}
-criterion_main!(benches);

@@ -1,1 +1,2 @@
-//! Criterion benches for uu (see `benches/`); the library target is empty.
+//! uu-check-driven benches for uu (see `benches/`); the library target is
+//! empty. Run with `cargo bench`; JSON reports land in `target/uu-bench/`.

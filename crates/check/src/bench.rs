@@ -1,0 +1,315 @@
+//! A wall-clock micro-benchmark harness (the workspace's `criterion`
+//! replacement): warmup-based calibration, median-of-N sampling and JSON
+//! output for regression tracking.
+//!
+//! Bench targets are plain binaries (`harness = false` in the manifest)
+//! whose `main` drives a [`Harness`]:
+//!
+//! ```no_run
+//! use uu_check::bench::Harness;
+//!
+//! let mut h = Harness::new("example");
+//! h.bench("fib20", || {
+//!     fn fib(n: u64) -> u64 { if n < 2 { n } else { fib(n - 1) + fib(n - 2) } }
+//!     fib(20)
+//! });
+//! h.finish();
+//! ```
+//!
+//! Results print to stderr as they complete and are written as JSON to
+//! `target/uu-bench/<suite>.json` (override the directory with
+//! `UU_BENCH_DIR`). The JSON is stable, diff-friendly, and contains the raw
+//! samples so downstream tooling can recompute any statistic.
+//!
+//! ## Environment
+//!
+//! * `UU_BENCH_SAMPLES` — number of timed samples per benchmark;
+//! * `UU_BENCH_WARMUP_MS` — calibration/warmup duration per benchmark;
+//! * `UU_BENCH_DIR` — output directory for the JSON report.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Tunable knobs for a bench run.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Warmup/calibration time per benchmark.
+    pub warmup_ms: u64,
+    /// Number of timed samples collected per benchmark.
+    pub samples: usize,
+    /// Target wall time per sample; calibration picks the iteration count
+    /// per sample to approximate it.
+    pub target_sample_ms: f64,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            warmup_ms: 200,
+            samples: 15,
+            target_sample_ms: 10.0,
+        }
+    }
+}
+
+impl BenchOptions {
+    /// Defaults with `UU_BENCH_SAMPLES` / `UU_BENCH_WARMUP_MS` applied.
+    pub fn from_env() -> Self {
+        let mut o = BenchOptions::default();
+        if let Some(n) = env_u64("UU_BENCH_SAMPLES") {
+            o.samples = (n as usize).max(3);
+        }
+        if let Some(ms) = env_u64("UU_BENCH_WARMUP_MS") {
+            o.warmup_ms = ms;
+        }
+        o
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    let v = std::env::var(key).ok()?;
+    match v.trim().parse() {
+        Ok(n) => Some(n),
+        Err(_) => panic!("{key} must be an integer, got {v:?}"),
+    }
+}
+
+/// Timing results of one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id (e.g. `"pass/sccp/8"`).
+    pub name: String,
+    /// Iterations per timed sample (chosen by calibration).
+    pub iters_per_sample: u64,
+    /// Per-iteration wall time of each sample, in nanoseconds.
+    pub samples_ns: Vec<f64>,
+}
+
+impl BenchResult {
+    /// Median per-iteration time in nanoseconds.
+    pub fn median_ns(&self) -> f64 {
+        let mut v = self.samples_ns.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = v.len();
+        if n % 2 == 1 {
+            v[n / 2]
+        } else {
+            0.5 * (v[n / 2 - 1] + v[n / 2])
+        }
+    }
+
+    /// Fastest per-iteration sample in nanoseconds.
+    pub fn min_ns(&self) -> f64 {
+        self.samples_ns.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Slowest per-iteration sample in nanoseconds.
+    pub fn max_ns(&self) -> f64 {
+        self.samples_ns.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean per-iteration time in nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64
+    }
+}
+
+/// A bench suite in progress. Create with [`Harness::new`], register
+/// benchmarks with [`Harness::bench`] / [`Harness::bench_batched`], then
+/// call [`Harness::finish`] to write the JSON report.
+pub struct Harness {
+    suite: String,
+    opts: BenchOptions,
+    results: Vec<BenchResult>,
+}
+
+impl Harness {
+    /// Start a suite named `suite` with environment-derived options.
+    pub fn new(suite: &str) -> Self {
+        eprintln!("uu-bench suite '{suite}'");
+        Harness {
+            suite: suite.to_string(),
+            opts: BenchOptions::from_env(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Start a suite with explicit options (ignores the environment).
+    pub fn with_options(suite: &str, opts: BenchOptions) -> Self {
+        Harness {
+            suite: suite.to_string(),
+            opts,
+            results: Vec::new(),
+        }
+    }
+
+    /// Benchmark a routine. The closure runs repeatedly; its return value
+    /// is passed through [`black_box`] so the work is not optimized away.
+    pub fn bench<R>(&mut self, name: &str, mut routine: impl FnMut() -> R) {
+        self.bench_batched(name, || (), move |()| routine());
+    }
+
+    /// Benchmark a routine that consumes fresh per-iteration state.
+    /// `setup` runs outside the timed region (use it to clone inputs the
+    /// routine mutates); only `routine` is timed.
+    pub fn bench_batched<S, R>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+    ) {
+        // Warmup + calibration: run until the warmup budget elapses,
+        // measuring per-iteration cost.
+        let warmup = Duration::from_millis(self.opts.warmup_ms);
+        let t0 = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut warm_ns = 0.0f64;
+        while warm_iters == 0 || t0.elapsed() < warmup {
+            let state = setup();
+            let t = Instant::now();
+            black_box(routine(state));
+            warm_ns += t.elapsed().as_nanos() as f64;
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter_ns = (warm_ns / warm_iters as f64).max(1.0);
+        let iters_per_sample =
+            ((self.opts.target_sample_ms * 1e6 / per_iter_ns) as u64).clamp(1, 1_000_000);
+
+        let mut samples_ns = Vec::with_capacity(self.opts.samples);
+        for _ in 0..self.opts.samples {
+            let mut total_ns = 0.0f64;
+            for _ in 0..iters_per_sample {
+                let state = setup();
+                let t = Instant::now();
+                black_box(routine(state));
+                total_ns += t.elapsed().as_nanos() as f64;
+            }
+            samples_ns.push(total_ns / iters_per_sample as f64);
+        }
+
+        let r = BenchResult {
+            name: name.to_string(),
+            iters_per_sample,
+            samples_ns,
+        };
+        eprintln!(
+            "  {:<44} {:>12}  ({} .. {}, {} samples x {} iters)",
+            r.name,
+            fmt_ns(r.median_ns()),
+            fmt_ns(r.min_ns()),
+            fmt_ns(r.max_ns()),
+            r.samples_ns.len(),
+            r.iters_per_sample,
+        );
+        self.results.push(r);
+    }
+
+    /// Results collected so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Serialize the suite's results as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"suite\": \"{}\",\n", escape(&self.suite)));
+        s.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            s.push_str("    {");
+            s.push_str(&format!("\"name\": \"{}\", ", escape(&r.name)));
+            s.push_str(&format!("\"iters_per_sample\": {}, ", r.iters_per_sample));
+            s.push_str(&format!("\"median_ns\": {:.1}, ", r.median_ns()));
+            s.push_str(&format!("\"min_ns\": {:.1}, ", r.min_ns()));
+            s.push_str(&format!("\"mean_ns\": {:.1}, ", r.mean_ns()));
+            s.push_str("\"samples_ns\": [");
+            for (j, x) in r.samples_ns.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!("{x:.1}"));
+            }
+            s.push_str("]}");
+            s.push_str(if i + 1 < self.results.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Print the summary and write `target/uu-bench/<suite>.json` (or
+    /// `$UU_BENCH_DIR/<suite>.json`).
+    pub fn finish(self) {
+        let dir = std::env::var("UU_BENCH_DIR").unwrap_or_else(|_| "target/uu-bench".to_string());
+        let json = self.to_json();
+        let path = std::path::Path::new(&dir).join(format!("{}.json", self.suite));
+        if let Err(e) = std::fs::create_dir_all(&dir).and_then(|_| std::fs::write(&path, &json)) {
+            eprintln!("uu-bench: could not write {}: {e}", path.display());
+        } else {
+            eprintln!("uu-bench: wrote {}", path.display());
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> BenchOptions {
+        BenchOptions {
+            warmup_ms: 1,
+            samples: 3,
+            target_sample_ms: 0.05,
+        }
+    }
+
+    #[test]
+    fn collects_samples_and_serializes() {
+        let mut h = Harness::with_options("selftest", tiny_opts());
+        h.bench("sum", || (0..100u64).sum::<u64>());
+        h.bench_batched(
+            "sort",
+            || vec![5u32, 3, 1, 4, 2],
+            |mut v| {
+                v.sort();
+                v
+            },
+        );
+        assert_eq!(h.results().len(), 2);
+        for r in h.results() {
+            assert_eq!(r.samples_ns.len(), 3);
+            assert!(r.median_ns() > 0.0);
+            assert!(r.min_ns() <= r.median_ns());
+            assert!(r.median_ns() <= r.max_ns());
+        }
+        let json = h.to_json();
+        assert!(json.contains("\"suite\": \"selftest\""));
+        assert!(json.contains("\"name\": \"sum\""));
+        assert!(json.contains("\"samples_ns\": ["));
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let mut h = Harness::with_options("q", tiny_opts());
+        h.bench("odd\"name", || 1u32);
+        assert!(h.to_json().contains("odd\\\"name"));
+    }
+}

@@ -1,0 +1,188 @@
+//! The checked-in regression corpus.
+//!
+//! `crates/check/corpus/*.seed` holds one [`KernelSpec`] per file in a
+//! line-oriented `key = value` format — the historical counterexamples of
+//! this repo (originally `proptest-regressions/` hashes, now stored as the
+//! shrunk specs themselves so they replay without any external tooling).
+//! `tests/properties.rs` re-runs every corpus entry through the
+//! [`crate::oracle::DiffOracle`] before fuzzing novel cases.
+//!
+//! ## Growing the corpus
+//!
+//! When a fuzz run fails, the report prints the shrunk `KernelSpec`; its
+//! [`Display`](std::fmt::Display) form *is* the corpus format. Save it as
+//! `crates/check/corpus/<short-description>.seed` and the counterexample
+//! replays on every future `cargo test`.
+//!
+//! Missing keys default (empty op lists, zeros, `false`), so historical
+//! seeds survive the spec gaining new fields.
+
+use crate::oracle::KernelSpec;
+use std::path::PathBuf;
+
+/// Location of the corpus directory inside the repo.
+pub fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// Parse an op list of the form `[(0, 1, 2), (3, 0, 1)]`.
+fn parse_ops(s: &str) -> Result<Vec<(u8, u8, u8)>, String> {
+    let inner = s
+        .trim()
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| format!("op list must be bracketed, got {s:?}"))?
+        .trim();
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::new();
+    for tuple in inner.split(')') {
+        let tuple = tuple.trim().trim_start_matches(',').trim();
+        if tuple.is_empty() {
+            continue;
+        }
+        let tuple = tuple
+            .strip_prefix('(')
+            .ok_or_else(|| format!("malformed op tuple in {s:?}"))?;
+        let parts: Vec<&str> = tuple.split(',').map(str::trim).collect();
+        if parts.len() != 3 {
+            return Err(format!("op tuple must have 3 fields, got {tuple:?}"));
+        }
+        let nums: Result<Vec<u8>, _> = parts.iter().map(|p| p.parse::<u8>()).collect();
+        let nums = nums.map_err(|e| format!("bad op number in {tuple:?}: {e}"))?;
+        out.push((nums[0], nums[1], nums[2]));
+    }
+    Ok(out)
+}
+
+/// Parse one corpus file's text into a [`KernelSpec`].
+///
+/// # Errors
+///
+/// Reports the offending line on unknown keys or malformed values.
+pub fn parse_spec(text: &str) -> Result<KernelSpec, String> {
+    let mut spec = KernelSpec {
+        bound: 0,
+        straight_ops: Vec::new(),
+        arm_ops: Vec::new(),
+        else_ops: Vec::new(),
+        cond_sel: 0,
+        divergent: false,
+        input_a: 0,
+        inner_trip: 0,
+    };
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected `key = value`, got {line:?}", lineno + 1))?;
+        let (key, value) = (key.trim(), value.trim());
+        let err = |e: String| format!("line {} ({key}): {e}", lineno + 1);
+        match key {
+            "bound" => spec.bound = value.parse().map_err(|e| err(format!("{e}")))?,
+            "straight_ops" => spec.straight_ops = parse_ops(value).map_err(err)?,
+            "arm_ops" => spec.arm_ops = parse_ops(value).map_err(err)?,
+            "else_ops" => spec.else_ops = parse_ops(value).map_err(err)?,
+            "cond_sel" => spec.cond_sel = value.parse().map_err(|e| err(format!("{e}")))?,
+            "divergent" => spec.divergent = value.parse().map_err(|e| err(format!("{e}")))?,
+            "input_a" => spec.input_a = value.parse().map_err(|e| err(format!("{e}")))?,
+            "inner_trip" => spec.inner_trip = value.parse().map_err(|e| err(format!("{e}")))?,
+            other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
+        }
+    }
+    if spec.straight_ops.is_empty() {
+        // The generator guarantees at least one straight-line op; give
+        // defaulted historical seeds the same shape.
+        spec.straight_ops.push((0, 0, 0));
+    }
+    Ok(spec)
+}
+
+/// Load every `*.seed` file in the corpus directory, sorted by file name.
+/// Panics on unreadable or malformed entries — a corrupt corpus must fail
+/// loudly, not silently skip regressions.
+pub fn load_corpus() -> Vec<(String, KernelSpec)> {
+    let dir = corpus_dir();
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read corpus dir {}: {e}", dir.display()))
+        .map(|entry| entry.expect("corpus dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "seed"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let name = p
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("<non-utf8>")
+                .to_string();
+            let text = std::fs::read_to_string(&p)
+                .unwrap_or_else(|e| panic!("cannot read {}: {e}", p.display()));
+            let spec = parse_spec(&text)
+                .unwrap_or_else(|e| panic!("malformed corpus entry {}: {e}", p.display()));
+            (name, spec)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_spec() {
+        let text = "\
+# a comment
+bound = 7
+straight_ops = [(0, 1, 2), (6, 3, 3)]
+arm_ops = [(2, 0, 0)]
+else_ops = []
+cond_sel = 2
+divergent = true
+input_a = -4
+inner_trip = 1
+";
+        let spec = parse_spec(text).unwrap();
+        assert_eq!(spec.bound, 7);
+        assert_eq!(spec.straight_ops, vec![(0, 1, 2), (6, 3, 3)]);
+        assert_eq!(spec.arm_ops, vec![(2, 0, 0)]);
+        assert!(spec.else_ops.is_empty());
+        assert_eq!(spec.cond_sel, 2);
+        assert!(spec.divergent);
+        assert_eq!(spec.input_a, -4);
+        assert_eq!(spec.inner_trip, 1);
+    }
+
+    #[test]
+    fn missing_keys_default() {
+        let spec = parse_spec("bound = 2\n").unwrap();
+        assert_eq!(spec.bound, 2);
+        assert_eq!(spec.straight_ops, vec![(0, 0, 0)]);
+        assert!(!spec.divergent);
+        assert_eq!(spec.inner_trip, 0);
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_garbage() {
+        assert!(parse_spec("frobnicate = 3\n").is_err());
+        assert!(parse_spec("bound\n").is_err());
+        assert!(parse_spec("straight_ops = [(1, 2)]\n").is_err());
+    }
+
+    #[test]
+    fn checked_in_corpus_loads() {
+        let corpus = load_corpus();
+        assert!(
+            corpus.len() >= 2,
+            "expected the historical proptest regressions to be present"
+        );
+        for (name, spec) in &corpus {
+            assert!(!spec.straight_ops.is_empty(), "{name}");
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Random case generation and shrinking.
+//!
+//! [`Gen`] is the minimal contract a fuzzable input type must satisfy:
+//! generate a random instance from an [`Rng`], and (optionally) propose a
+//! list of strictly simpler candidates for shrinking. The runner
+//! ([`crate::runner::check`]) drives generation from per-case seeds and
+//! applies greedy shrinking: it repeatedly replaces a failing input by the
+//! first shrink candidate that still fails, until no candidate fails or the
+//! iteration budget runs out.
+//!
+//! Unlike `proptest`'s strategy combinators, shrinking here is a plain
+//! method on the input type — simpler, fully deterministic, and sufficient
+//! for the structured kernel specs this workspace fuzzes.
+
+use crate::rng::Rng;
+
+/// A type that can be randomly generated and (optionally) shrunk.
+pub trait Gen: Sized + Clone + std::fmt::Debug {
+    /// Produce a random instance.
+    fn generate(rng: &mut Rng) -> Self;
+
+    /// Propose strictly simpler candidate inputs, most aggressive first.
+    /// An empty list means the value cannot shrink further.
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+impl Gen for bool {
+    fn generate(rng: &mut Rng) -> Self {
+        rng.gen_bool()
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+macro_rules! gen_uint {
+    ($($t:ty),*) => {$(
+        impl Gen for $t {
+            fn generate(rng: &mut Rng) -> Self {
+                rng.next_u64() as $t
+            }
+
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                for c in [0, *self / 2, self.saturating_sub(1)] {
+                    if c != *self && !out.contains(&c) {
+                        out.push(c);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+gen_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! gen_int {
+    ($($t:ty),*) => {$(
+        impl Gen for $t {
+            fn generate(rng: &mut Rng) -> Self {
+                rng.next_u64() as $t
+            }
+
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                for c in [0, *self / 2, *self - self.signum()] {
+                    if c != *self && !out.contains(&c) {
+                        out.push(c);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+gen_int!(i8, i16, i32, i64);
+
+impl<T: Gen> Gen for Vec<T> {
+    fn generate(rng: &mut Rng) -> Self {
+        let len = rng.gen_range_usize(0, 9);
+        (0..len).map(|_| T::generate(rng)).collect()
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        let mut out: Vec<Self> = Vec::new();
+        if self.is_empty() {
+            return out;
+        }
+        // Structural reductions first: empty, first half, drop one end.
+        out.push(Vec::new());
+        if self.len() > 1 {
+            out.push(self[..self.len() / 2].to_vec());
+            out.push(self[..self.len() - 1].to_vec());
+            out.push(self[1..].to_vec());
+        }
+        // Then element-wise shrinks, one position at a time.
+        for (i, x) in self.iter().enumerate() {
+            for cand in x.shrink() {
+                let mut v = self.clone();
+                v[i] = cand;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+impl<A: Gen, B: Gen> Gen for (A, B) {
+    fn generate(rng: &mut Rng) -> Self {
+        (A::generate(rng), B::generate(rng))
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for a in self.0.shrink() {
+            out.push((a, self.1.clone()));
+        }
+        for b in self.1.shrink() {
+            out.push((self.0.clone(), b));
+        }
+        out
+    }
+}
+
+impl<A: Gen, B: Gen, C: Gen> Gen for (A, B, C) {
+    fn generate(rng: &mut Rng) -> Self {
+        (A::generate(rng), B::generate(rng), C::generate(rng))
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for a in self.0.shrink() {
+            out.push((a, self.1.clone(), self.2.clone()));
+        }
+        for b in self.1.shrink() {
+            out.push((self.0.clone(), b, self.2.clone()));
+        }
+        for c in self.2.shrink() {
+            out.push((self.0.clone(), self.1.clone(), c));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_shrink_descends_to_zero() {
+        let mut v: i64 = 1000;
+        let mut steps = 0;
+        while let Some(next) = v.shrink().first().copied() {
+            assert!(next.abs() < v.abs());
+            v = next;
+            steps += 1;
+            assert!(steps < 100);
+        }
+        assert_eq!(v, 0);
+    }
+
+    #[test]
+    fn vec_shrink_proposes_empty_first() {
+        let v: Vec<u8> = vec![3, 4, 5];
+        let cands = v.shrink();
+        assert_eq!(cands[0], Vec::<u8>::new());
+        assert!(cands.iter().all(|c| c != &v));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a: Vec<(u8, i64, bool)> = {
+            let mut rng = Rng::seed_from_u64(9);
+            (0..32).map(|_| Gen::generate(&mut rng)).collect()
+        };
+        let b: Vec<(u8, i64, bool)> = {
+            let mut rng = Rng::seed_from_u64(9);
+            (0..32).map(|_| Gen::generate(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,36 @@
+//! # uu-check — deterministic fuzzing, differential testing and
+//! micro-benchmarking with zero external dependencies
+//!
+//! The uu workspace builds and tests fully offline; this crate supplies,
+//! in-tree, everything the registry crates `rand`, `proptest` and
+//! `criterion` used to provide:
+//!
+//! * [`rng`] — [`SplitMix64`] and xoshiro256++ ([`Rng`]) PRNGs, the
+//!   deterministic randomness source for every test and workload;
+//! * [`gen`] + [`runner`] — a minimal property-testing framework: the
+//!   [`Gen`] trait, seeded case generation ([`check`] / [`Config`]), an
+//!   iteration budget and greedy input shrinking with replayable failure
+//!   reports (`UU_CHECK_SEED`, `UU_CHECK_CASES`);
+//! * [`bench`] — a wall-clock micro-bench harness (warmup calibration,
+//!   median-of-N, JSON output) driving the `crates/bench` targets;
+//! * [`oracle`] — the [`DiffOracle`]: random well-formed loop kernels
+//!   ([`KernelSpec`]) compiled under every pipeline configuration and
+//!   executed on the SIMT simulator, asserting bit-identical outputs and
+//!   verifier-clean IR after every pass — the repo's core correctness
+//!   argument (paper §IV);
+//! * [`corpus`] — a checked-in `.seed` regression corpus replayed before
+//!   novel fuzzing, so historical counterexamples keep running.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod corpus;
+pub mod gen;
+pub mod oracle;
+pub mod rng;
+pub mod runner;
+
+pub use gen::Gen;
+pub use oracle::{build_kernel, execute, DiffOracle, KernelSpec};
+pub use rng::{Rng, SplitMix64};
+pub use runner::{check, check_result, Config, Failure};

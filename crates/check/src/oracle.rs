@@ -1,0 +1,449 @@
+//! The differential-testing oracle.
+//!
+//! [`KernelSpec`] is a recipe for a random — but always well-formed — GPU
+//! loop kernel: a while-loop with a random arithmetic body, an optional
+//! diamond (possibly thread-divergent), and an optional inner counted loop
+//! so the loop-nest machinery is exercised. [`build_kernel`] lowers a spec
+//! to verifier-clean [`uu_ir`]; [`execute`] runs it on the SIMT simulator.
+//!
+//! [`DiffOracle`] is the correctness core of the whole repo: it compiles
+//! one spec under every pipeline configuration (baseline, unroll-only,
+//! unmerge-only, u&u at several factors, the heuristic) and demands
+//! bit-identical output memory plus verifier-cleanliness after every
+//! configuration — exactly the paper's §IV equivalence argument, checked on
+//! every commit.
+
+use crate::gen::Gen;
+use crate::rng::Rng;
+use uu_core::{compile, HeuristicOptions, LoopFilter, PipelineOptions, Transform, UnmergeOptions};
+use uu_ir::{Function, FunctionBuilder, ICmpPred, Module, Param, Type, Value};
+use uu_simt::{Gpu, KernelArg, LaunchConfig};
+
+/// A recipe for one random loop kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelSpec {
+    /// Loop bound (runtime value, 0..=24).
+    pub bound: i64,
+    /// Ops in the always-executed part of the body.
+    pub straight_ops: Vec<(u8, u8, u8)>,
+    /// Ops in the conditional arm (empty = no branch).
+    pub arm_ops: Vec<(u8, u8, u8)>,
+    /// Second conditional region (diamond) ops.
+    pub else_ops: Vec<(u8, u8, u8)>,
+    /// Which value the branch condition compares against the counter.
+    pub cond_sel: u8,
+    /// Whether the condition uses the thread id (divergent).
+    pub divergent: bool,
+    /// Per-thread input values.
+    pub input_a: i64,
+    /// When > 0, wrap the straight-line ops in an inner counted loop of
+    /// this trip count (exercises the loop-nest / super-node machinery).
+    pub inner_trip: u8,
+}
+
+fn gen_op(rng: &mut Rng) -> (u8, u8, u8) {
+    (
+        rng.gen_range_u64(0, 8) as u8,
+        rng.gen_range_u64(0, 4) as u8,
+        rng.gen_range_u64(0, 4) as u8,
+    )
+}
+
+fn gen_ops(rng: &mut Rng, min: usize, max: usize) -> Vec<(u8, u8, u8)> {
+    let len = rng.gen_range_usize(min, max);
+    (0..len).map(|_| gen_op(rng)).collect()
+}
+
+impl Gen for KernelSpec {
+    fn generate(rng: &mut Rng) -> Self {
+        KernelSpec {
+            bound: rng.gen_range_i64(0, 25),
+            straight_ops: gen_ops(rng, 1, 5),
+            arm_ops: gen_ops(rng, 0, 4),
+            else_ops: gen_ops(rng, 0, 3),
+            cond_sel: rng.gen_range_u64(0, 4) as u8,
+            divergent: rng.gen_bool(),
+            input_a: rng.gen_range_i64(-10, 10),
+            inner_trip: rng.gen_range_u64(0, 4) as u8,
+        }
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        // Structural reductions first: fewer iterations, no inner loop,
+        // fewer ops, no diamond.
+        if self.bound > 0 {
+            for nb in [0, self.bound / 2, self.bound - 1] {
+                if nb != self.bound {
+                    out.push(KernelSpec { bound: nb, ..self.clone() });
+                }
+            }
+        }
+        if self.inner_trip > 0 {
+            out.push(KernelSpec { inner_trip: 0, ..self.clone() });
+            out.push(KernelSpec { inner_trip: self.inner_trip - 1, ..self.clone() });
+        }
+        if !self.arm_ops.is_empty() {
+            // Dropping all arm ops removes the diamond entirely.
+            out.push(KernelSpec { arm_ops: Vec::new(), else_ops: Vec::new(), ..self.clone() });
+            out.push(KernelSpec {
+                arm_ops: self.arm_ops[..self.arm_ops.len() - 1].to_vec(),
+                ..self.clone()
+            });
+        }
+        if !self.else_ops.is_empty() {
+            out.push(KernelSpec {
+                else_ops: self.else_ops[..self.else_ops.len() - 1].to_vec(),
+                ..self.clone()
+            });
+        }
+        if self.straight_ops.len() > 1 {
+            out.push(KernelSpec {
+                straight_ops: self.straight_ops[..1].to_vec(),
+                ..self.clone()
+            });
+            out.push(KernelSpec {
+                straight_ops: self.straight_ops[..self.straight_ops.len() - 1].to_vec(),
+                ..self.clone()
+            });
+        }
+        if self.divergent {
+            out.push(KernelSpec { divergent: false, ..self.clone() });
+        }
+        if self.input_a != 0 {
+            out.push(KernelSpec { input_a: 0, ..self.clone() });
+            out.push(KernelSpec { input_a: self.input_a / 2, ..self.clone() });
+        }
+        if self.cond_sel != 0 {
+            out.push(KernelSpec { cond_sel: 0, ..self.clone() });
+        }
+        // Finally simplify individual ops toward (0, 0, 0) (op 0 is add).
+        for (vec_ix, ops) in [&self.straight_ops, &self.arm_ops, &self.else_ops]
+            .into_iter()
+            .enumerate()
+        {
+            for (i, &op) in ops.iter().enumerate() {
+                if op == (0, 0, 0) {
+                    continue;
+                }
+                let mut s = self.clone();
+                let target = match vec_ix {
+                    0 => &mut s.straight_ops,
+                    1 => &mut s.arm_ops,
+                    _ => &mut s.else_ops,
+                };
+                target[i] = (0, 0, 0);
+                out.push(s);
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for KernelSpec {
+    /// Prints the corpus `.seed` format (see [`crate::corpus`]); paste the
+    /// output into `crates/check/corpus/` to pin a counterexample forever.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ops = |v: &[(u8, u8, u8)]| {
+            let items: Vec<String> = v
+                .iter()
+                .map(|(a, b, c)| format!("({a}, {b}, {c})"))
+                .collect();
+            format!("[{}]", items.join(", "))
+        };
+        writeln!(f, "bound = {}", self.bound)?;
+        writeln!(f, "straight_ops = {}", ops(&self.straight_ops))?;
+        writeln!(f, "arm_ops = {}", ops(&self.arm_ops))?;
+        writeln!(f, "else_ops = {}", ops(&self.else_ops))?;
+        writeln!(f, "cond_sel = {}", self.cond_sel)?;
+        writeln!(f, "divergent = {}", self.divergent)?;
+        writeln!(f, "input_a = {}", self.input_a)?;
+        write!(f, "inner_trip = {}", self.inner_trip)
+    }
+}
+
+fn apply_op(b: &mut FunctionBuilder<'_>, (op, l, r): (u8, u8, u8), pool: &mut Vec<Value>) {
+    let lhs = pool[l as usize % pool.len()];
+    let rhs = pool[r as usize % pool.len()];
+    let v = match op % 8 {
+        0 => b.add(lhs, rhs),
+        1 => b.sub(lhs, rhs),
+        2 => b.mul(lhs, rhs),
+        3 => b.xor(lhs, rhs),
+        4 => b.and(lhs, rhs),
+        5 => b.or(lhs, rhs),
+        6 => {
+            let sh = b.and(rhs, Value::imm(7i64));
+            b.shl(lhs, sh)
+        }
+        _ => {
+            let sh = b.and(rhs, Value::imm(7i64));
+            b.ashr(lhs, sh)
+        }
+    };
+    pool.push(v);
+}
+
+/// Build the kernel for a spec: a while-loop whose body applies the ops,
+/// with an optional diamond, accumulating into an `i64` per thread.
+pub fn build_kernel(spec: &KernelSpec) -> Function {
+    let mut f = Function::new(
+        "prop_kernel",
+        vec![
+            Param::new("out", Type::Ptr),
+            Param::new("n", Type::I64),
+            Param::new("a", Type::I64),
+        ],
+        Type::Void,
+    );
+    let entry = f.entry();
+    let mut b = FunctionBuilder::new(&mut f);
+    let header = b.create_block();
+    let body = b.create_block();
+    let exit = b.create_block();
+    b.switch_to(entry);
+    let gid = b.global_thread_id();
+    b.br(header);
+    b.switch_to(header);
+    let i = b.phi(Type::I64);
+    let acc = b.phi(Type::I64);
+    b.add_phi_incoming(i, entry, Value::imm(0i64));
+    b.add_phi_incoming(acc, entry, Value::Arg(2));
+    let c = b.icmp(ICmpPred::Slt, i, Value::Arg(1));
+    b.cond_br(c, body, exit);
+    b.switch_to(body);
+    let mut pool = vec![i, acc, Value::Arg(2), Value::imm(3i64)];
+    let straight_result = if spec.inner_trip > 0 {
+        // Inner counted loop applying the ops repeatedly: the outer u&u
+        // must treat it as an indivisible super-node.
+        let ih = b.create_block();
+        let ibody = b.create_block();
+        let iexit = b.create_block();
+        let entry_of_inner = b.current();
+        b.br(ih);
+        b.switch_to(ih);
+        let j = b.phi(Type::I64);
+        let iv = b.phi(Type::I64);
+        b.add_phi_incoming(j, entry_of_inner, Value::imm(0i64));
+        b.add_phi_incoming(iv, entry_of_inner, acc);
+        let ic = b.icmp(ICmpPred::Slt, j, Value::imm(spec.inner_trip as i64));
+        b.cond_br(ic, ibody, iexit);
+        b.switch_to(ibody);
+        let mut ipool = pool.clone();
+        ipool.push(iv);
+        for op in &spec.straight_ops {
+            apply_op(&mut b, *op, &mut ipool);
+        }
+        let next_iv = *ipool.last().unwrap();
+        let j1 = b.add(j, Value::imm(1i64));
+        b.add_phi_incoming(j, ibody, j1);
+        b.add_phi_incoming(iv, ibody, next_iv);
+        b.br(ih);
+        b.switch_to(iexit);
+        // LCSSA-style hand-off out of the inner loop.
+        let out = b.phi(Type::I64);
+        b.add_phi_incoming(out, ih, iv);
+        pool.push(out);
+        out
+    } else {
+        for op in &spec.straight_ops {
+            apply_op(&mut b, *op, &mut pool);
+        }
+        *pool.last().unwrap()
+    };
+
+    let latch = b.create_block();
+    let (acc_next, i_from) = if spec.arm_ops.is_empty() {
+        // No branch: straight to latch.
+        b.br(latch);
+        b.switch_to(latch);
+        (straight_result, latch)
+    } else {
+        let arm = b.create_block();
+        let other = b.create_block();
+        let cond_lhs = if spec.divergent {
+            gid
+        } else {
+            pool[spec.cond_sel as usize % pool.len()]
+        };
+        let masked = b.and(cond_lhs, Value::imm(3i64));
+        let cc = b.icmp(ICmpPred::Ne, masked, Value::imm(0i64));
+        b.cond_br(cc, arm, other);
+        b.switch_to(arm);
+        let mut arm_pool = pool.clone();
+        for op in &spec.arm_ops {
+            apply_op(&mut b, *op, &mut arm_pool);
+        }
+        let arm_v = *arm_pool.last().unwrap();
+        b.br(latch);
+        b.switch_to(other);
+        let mut else_pool = pool.clone();
+        for op in &spec.else_ops {
+            apply_op(&mut b, *op, &mut else_pool);
+        }
+        let else_v = *else_pool.last().unwrap();
+        b.br(latch);
+        b.switch_to(latch);
+        let m = b.phi(Type::I64);
+        b.add_phi_incoming(m, arm, arm_v);
+        b.add_phi_incoming(m, other, else_v);
+        (m, latch)
+    };
+    let i1 = b.add(i, Value::imm(1i64));
+    b.add_phi_incoming(i, i_from, i1);
+    b.add_phi_incoming(acc, i_from, acc_next);
+    b.br(header);
+    b.switch_to(exit);
+    let po = b.gep(Value::Arg(0), gid, 8);
+    b.store(po, acc);
+    b.ret(None);
+    f
+}
+
+/// Execute a spec's kernel (one block of 32 threads) on a fresh simulated
+/// GPU and return the 32 per-thread outputs.
+///
+/// # Errors
+///
+/// Returns the simulator fault message if the launch traps — after a
+/// verifier-clean compile that always indicates a miscompilation.
+pub fn execute(f: &Function, spec: &KernelSpec) -> Result<Vec<i64>, String> {
+    let mut gpu = Gpu::new();
+    let out = gpu
+        .mem
+        .alloc_i64(&vec![0i64; 32])
+        .map_err(|e| format!("alloc failed: {e}"))?;
+    gpu.launch(
+        f,
+        LaunchConfig::new(1, 32),
+        &[
+            KernelArg::Buffer(out),
+            KernelArg::I64(spec.bound),
+            KernelArg::I64(spec.input_a),
+        ],
+    )
+    .map_err(|e| format!("exec failed: {e}\n{f}"))?;
+    Ok(gpu.mem.read_i64(out))
+}
+
+/// The pipeline configurations every kernel is differentially tested
+/// against (mirrors the paper's §IV-B measurement configurations).
+pub fn default_transforms() -> Vec<Transform> {
+    vec![
+        Transform::Baseline,
+        Transform::Unroll { factor: 3 },
+        Transform::Unmerge,
+        Transform::Uu {
+            factor: 2,
+            unmerge: UnmergeOptions::default(),
+        },
+        Transform::Uu {
+            factor: 5,
+            unmerge: UnmergeOptions::default(),
+        },
+        Transform::UuHeuristic(HeuristicOptions::default()),
+    ]
+}
+
+/// Differential oracle: compile under every configuration, execute, and
+/// demand verifier-cleanliness plus bit-identical outputs.
+#[derive(Debug, Clone)]
+pub struct DiffOracle {
+    /// The configurations compared against the raw kernel's execution.
+    pub transforms: Vec<Transform>,
+}
+
+impl Default for DiffOracle {
+    fn default() -> Self {
+        DiffOracle {
+            transforms: default_transforms(),
+        }
+    }
+}
+
+impl DiffOracle {
+    /// Check one spec end-to-end. `Err` carries a human-readable diagnosis
+    /// (invalid IR after a pass, a simulator trap, or diverging outputs).
+    pub fn check_spec(&self, spec: &KernelSpec) -> Result<(), String> {
+        let kernel = build_kernel(spec);
+        uu_ir::verify_function(&kernel)
+            .map_err(|e| format!("generator produced invalid IR: {e}"))?;
+        let golden = execute(&kernel, spec)?;
+        for t in &self.transforms {
+            let label = format!("{t:?}");
+            let mut m = Module::new("oracle");
+            let id = m.add_function(kernel.clone());
+            compile(
+                &mut m,
+                &PipelineOptions {
+                    transform: t.clone(),
+                    filter: LoopFilter::All,
+                    ..Default::default()
+                },
+            );
+            uu_ir::verify_module(&m).map_err(|e| format!("invalid IR after {label}: {e}"))?;
+            let got = execute(m.function(id), spec)?;
+            if got != golden {
+                return Err(format!(
+                    "config {label} diverged\n  want: {golden:?}\n  got:  {got:?}\n  spec:\n{spec}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_spec_builds_and_verifies() {
+        let spec = KernelSpec {
+            bound: 3,
+            straight_ops: vec![(0, 0, 0)],
+            arm_ops: vec![],
+            else_ops: vec![],
+            cond_sel: 0,
+            divergent: false,
+            input_a: 1,
+            inner_trip: 0,
+        };
+        let f = build_kernel(&spec);
+        uu_ir::verify_function(&f).unwrap();
+        let out = execute(&f, &spec).unwrap();
+        assert_eq!(out.len(), 32);
+    }
+
+    #[test]
+    fn generated_specs_are_always_well_formed() {
+        let mut rng = Rng::seed_from_u64(0xDEC0DE);
+        for _ in 0..64 {
+            let spec = KernelSpec::generate(&mut rng);
+            let f = build_kernel(&spec);
+            uu_ir::verify_function(&f).unwrap_or_else(|e| panic!("{e}\nspec:\n{spec}"));
+        }
+    }
+
+    #[test]
+    fn shrink_candidates_are_never_identical_to_self() {
+        let mut rng = Rng::seed_from_u64(0xCAFE);
+        for _ in 0..64 {
+            let spec = KernelSpec::generate(&mut rng);
+            for cand in spec.shrink() {
+                assert_ne!(cand, spec);
+            }
+        }
+    }
+
+    #[test]
+    fn display_round_trips_through_corpus_parser() {
+        let mut rng = Rng::seed_from_u64(0xF00D);
+        for _ in 0..32 {
+            let spec = KernelSpec::generate(&mut rng);
+            let text = spec.to_string();
+            let parsed = crate::corpus::parse_spec(&text).unwrap();
+            assert_eq!(parsed, spec, "corpus text:\n{text}");
+        }
+    }
+}

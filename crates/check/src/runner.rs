@@ -1,0 +1,300 @@
+//! The property-test runner: seeded case generation, iteration budget,
+//! greedy shrinking and replayable failure reports.
+//!
+//! ```
+//! use uu_check::{check, Config};
+//!
+//! // Addition of small numbers commutes.
+//! check("add_commutes", &Config::new(64), |&(a, b): &(i64, i64)| {
+//!     if a.wrapping_add(b) == b.wrapping_add(a) {
+//!         Ok(())
+//!     } else {
+//!         Err("addition does not commute".to_string())
+//!     }
+//! });
+//! ```
+//!
+//! ## Reproducibility
+//!
+//! Every case is generated from a per-case seed derived by
+//! [`SplitMix64`] from the master seed, so case `i` depends only on
+//! `(master_seed, i)` — never on how many random draws earlier cases made.
+//! `UU_CHECK_SEED` replays an entire run; the failure report additionally
+//! prints the failing case's own seed.
+//!
+//! ## Environment
+//!
+//! * `UU_CHECK_CASES` — overrides the per-property case count (CI smoke
+//!   runs use `UU_CHECK_CASES=200`);
+//! * `UU_CHECK_SEED` — overrides the master seed (decimal or `0x…` hex).
+
+use crate::gen::Gen;
+use crate::rng::{Rng, SplitMix64};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Default master seed. Fixed so every checkout fuzzes the same cases;
+/// grow coverage by raising `UU_CHECK_CASES`, not by randomizing the seed.
+pub const DEFAULT_SEED: u64 = 0x5EED_CAFE_0000_0001;
+
+/// Runner configuration for one property.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases to run.
+    pub cases: u32,
+    /// Master seed; each case derives its own seed from it.
+    pub seed: u64,
+    /// Upper bound on property evaluations spent shrinking a failure.
+    pub max_shrink_iters: u32,
+}
+
+impl Config {
+    /// A configuration with the default seed and shrink budget.
+    pub fn new(cases: u32) -> Self {
+        Config {
+            cases,
+            seed: DEFAULT_SEED,
+            max_shrink_iters: 400,
+        }
+    }
+
+    /// Like [`Config::new`], with `UU_CHECK_CASES` / `UU_CHECK_SEED`
+    /// environment overrides applied.
+    pub fn from_env(default_cases: u32) -> Self {
+        let mut cfg = Config::new(default_cases);
+        if let Ok(v) = std::env::var("UU_CHECK_CASES") {
+            match v.trim().parse::<u32>() {
+                Ok(n) => cfg.cases = n,
+                Err(_) => panic!("UU_CHECK_CASES must be an integer, got {v:?}"),
+            }
+        }
+        if let Ok(v) = std::env::var("UU_CHECK_SEED") {
+            let t = v.trim();
+            let parsed = match t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => t.parse::<u64>(),
+            };
+            match parsed {
+                Ok(s) => cfg.seed = s,
+                Err(_) => panic!("UU_CHECK_SEED must be a u64 (decimal or 0x-hex), got {v:?}"),
+            }
+        }
+        cfg
+    }
+}
+
+/// A minimized counterexample, with everything needed to replay it.
+#[derive(Debug, Clone)]
+pub struct Failure<T> {
+    /// Property name as passed to [`check`].
+    pub name: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Index of the failing case within the run.
+    pub case_index: u32,
+    /// Seed that generated the failing case.
+    pub case_seed: u64,
+    /// The input as originally generated.
+    pub original: T,
+    /// The input after greedy shrinking (equal to `original` if no shrink
+    /// candidate reproduced the failure).
+    pub shrunk: T,
+    /// Number of successful shrink steps taken.
+    pub shrink_steps: u32,
+    /// The error produced by the shrunk input.
+    pub error: String,
+}
+
+impl<T: std::fmt::Debug> std::fmt::Display for Failure<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "uu-check: property '{}' failed (master seed {:#x}, case {}, case seed {:#x})",
+            self.name, self.seed, self.case_index, self.case_seed
+        )?;
+        writeln!(f, "  original: {:?}", self.original)?;
+        writeln!(
+            f,
+            "  shrunk ({} steps): {:?}",
+            self.shrink_steps, self.shrunk
+        )?;
+        writeln!(f, "  error: {}", self.error)?;
+        write!(
+            f,
+            "  replay the whole run with UU_CHECK_SEED={:#x}",
+            self.seed
+        )
+    }
+}
+
+fn panic_payload_to_string(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+fn run_case<T, F>(prop: &F, input: &T) -> Result<(), String>
+where
+    F: Fn(&T) -> Result<(), String>,
+{
+    match catch_unwind(AssertUnwindSafe(|| prop(input))) {
+        Ok(r) => r,
+        Err(p) => Err(panic_payload_to_string(p)),
+    }
+}
+
+/// Run a property over `cfg.cases` generated inputs; on failure, greedily
+/// shrink and return the minimized [`Failure`]. `Ok(cases_run)` otherwise.
+///
+/// Prefer [`check`] in tests; this variant exists for asserting *on* the
+/// framework itself (e.g. that an injected miscompilation is caught).
+pub fn check_result<T, F>(name: &str, cfg: &Config, prop: F) -> Result<u32, Box<Failure<T>>>
+where
+    T: Gen,
+    F: Fn(&T) -> Result<(), String>,
+{
+    let mut seeder = SplitMix64::new(cfg.seed);
+    for case_index in 0..cfg.cases {
+        let case_seed = seeder.next_u64();
+        let mut rng = Rng::seed_from_u64(case_seed);
+        let input = T::generate(&mut rng);
+        if let Err(first_error) = run_case(&prop, &input) {
+            let mut shrunk = input.clone();
+            let mut error = first_error;
+            let mut steps = 0u32;
+            let mut iters = 0u32;
+            'shrinking: while iters < cfg.max_shrink_iters {
+                for cand in shrunk.shrink() {
+                    iters += 1;
+                    if let Err(e) = run_case(&prop, &cand) {
+                        shrunk = cand;
+                        error = e;
+                        steps += 1;
+                        continue 'shrinking;
+                    }
+                    if iters >= cfg.max_shrink_iters {
+                        break;
+                    }
+                }
+                break;
+            }
+            return Err(Box::new(Failure {
+                name: name.to_string(),
+                seed: cfg.seed,
+                case_index,
+                case_seed,
+                original: input,
+                shrunk,
+                shrink_steps: steps,
+                error,
+            }));
+        }
+    }
+    Ok(cfg.cases)
+}
+
+/// Run a property and panic with a replayable report on failure.
+///
+/// The property either returns `Err(message)` or panics (asserts are fine;
+/// panics are caught and treated as failures).
+pub fn check<T, F>(name: &str, cfg: &Config, prop: F)
+where
+    T: Gen,
+    F: Fn(&T) -> Result<(), String>,
+{
+    if let Err(failure) = check_result(name, cfg, prop) {
+        panic!("{failure}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let n = check_result("tautology", &Config::new(25), |_: &u32| Ok(())).unwrap();
+        assert_eq!(n, 25);
+    }
+
+    #[test]
+    fn failure_is_shrunk_to_the_boundary() {
+        // "No value is >= 100" — minimal counterexample is exactly 100.
+        let f = check_result("lt100", &Config::new(500), |&x: &u32| {
+            if x < 100 {
+                Ok(())
+            } else {
+                Err(format!("{x} >= 100"))
+            }
+        })
+        .unwrap_err();
+        assert_eq!(f.shrunk, 100, "greedy shrink must land on the boundary");
+        assert!(f.original >= 100);
+    }
+
+    #[test]
+    fn vec_failure_shrinks_structurally() {
+        // "No vec contains an element >= 50" — minimal form is one element
+        // of exactly 50.
+        let f = check_result("no_big_elem", &Config::new(200), |v: &Vec<u8>| {
+            match v.iter().find(|&&x| x >= 50) {
+                None => Ok(()),
+                Some(x) => Err(format!("{x} >= 50")),
+            }
+        })
+        .unwrap_err();
+        assert_eq!(f.shrunk.len(), 1);
+        assert_eq!(f.shrunk[0], 50);
+    }
+
+    #[test]
+    fn panicking_properties_are_caught() {
+        let f = check_result("panics", &Config::new(10), |&x: &u64| {
+            assert!(x == u64::MAX, "unlucky");
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(f.error.contains("panic"), "error was {:?}", f.error);
+    }
+
+    #[test]
+    fn same_seed_same_failure() {
+        let run = || {
+            check_result("det", &Config::new(300), |&x: &u32| {
+                if x % 7 != 3 {
+                    Ok(())
+                } else {
+                    Err("hit".into())
+                }
+            })
+            .unwrap_err()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.case_index, b.case_index);
+        assert_eq!(a.original, b.original);
+        assert_eq!(a.shrunk, b.shrunk);
+    }
+
+    #[test]
+    fn different_seeds_generate_different_cases() {
+        let collect = |seed: u64| {
+            let mut seen = Vec::new();
+            let cfg = Config {
+                seed,
+                ..Config::new(20)
+            };
+            let seen_cell = std::cell::RefCell::new(&mut seen);
+            check_result("collect", &cfg, |&x: &u64| {
+                seen_cell.borrow_mut().push(x);
+                Ok(())
+            })
+            .unwrap();
+            seen
+        };
+        assert_ne!(collect(1), collect(2));
+    }
+}

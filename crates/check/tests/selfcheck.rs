@@ -1,0 +1,77 @@
+//! The framework must catch real miscompilations: inject a deliberate
+//! semantic bug into compiled kernels and assert that the runner detects
+//! it, shrinks the counterexample to a minimal kernel, and reports the
+//! same failure for the same seed.
+
+use uu_check::{build_kernel, check_result, execute, Config, KernelSpec};
+
+/// A "mutated fold rule": textually rewrite the first `add` of the printed
+/// kernel into a `sub` and reparse. For any kernel whose result depends on
+/// that add, the mutant diverges — exactly the shape of bug a broken
+/// instsimplify rule would introduce.
+fn miscompile(f: &uu_ir::Function) -> Option<uu_ir::Function> {
+    let printed = f.to_string();
+    let mutated = printed.replacen(" add ", " sub ", 1);
+    if mutated == printed {
+        return None;
+    }
+    let parsed = uu_ir::parse_function(&mutated).expect("mutant must stay parseable");
+    uu_ir::verify_function(&parsed).expect("mutant must stay verifier-clean");
+    Some(parsed)
+}
+
+#[test]
+fn injected_miscompilation_is_caught_and_shrunk() {
+    let cfg = Config::new(300);
+    let failure = check_result("add_to_sub_mutant", &cfg, |spec: &KernelSpec| {
+        let kernel = build_kernel(spec);
+        let golden = execute(&kernel, spec)?;
+        let Some(mutant) = miscompile(&kernel) else {
+            return Ok(()); // no add in this kernel — mutation vacuous
+        };
+        let got = execute(&mutant, spec)?;
+        if got == golden {
+            Ok(()) // the add was dead or symmetric under this input
+        } else {
+            Err("mutant diverged from golden output".to_string())
+        }
+    })
+    .expect_err("a 300-case run must find a kernel whose add matters");
+
+    // The counterexample must have been minimized: greedy shrinking tries
+    // bound -> 0 and single-op bodies first, so a genuinely minimal
+    // diverging kernel has a tiny trip count and almost no ops.
+    let s = &failure.shrunk;
+    assert!(failure.shrink_steps > 0, "shrinking made no progress: {failure}");
+    assert!(s.bound <= 2, "bound not minimized: {failure}");
+    assert!(
+        s.straight_ops.len() + s.arm_ops.len() + s.else_ops.len() <= 2,
+        "ops not minimized: {failure}"
+    );
+    assert_eq!(s.inner_trip, 0, "inner loop not removed: {failure}");
+
+    // And the report must carry everything needed to replay it.
+    let report = failure.to_string();
+    assert!(report.contains("add_to_sub_mutant"));
+    assert!(report.contains("UU_CHECK_SEED="));
+}
+
+#[test]
+fn forced_failure_is_deterministic() {
+    let run = || {
+        check_result("mod_hit", &Config::new(200), |spec: &KernelSpec| {
+            if spec.bound % 5 == 4 {
+                Err("synthetic".to_string())
+            } else {
+                Ok(())
+            }
+        })
+        .expect_err("bound % 5 == 4 appears within 200 cases")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.case_index, b.case_index);
+    assert_eq!(a.original, b.original);
+    assert_eq!(a.shrunk, b.shrunk);
+    assert_eq!(a.shrunk.bound, 4, "greedy shrink lands on the smallest bound with bound % 5 == 4");
+}

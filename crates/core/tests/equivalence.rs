@@ -2,7 +2,7 @@
 //! semantics. Kernels are executed on the SIMT simulator before and after
 //! optimization and must produce bit-identical memory.
 
-use rand::{Rng, SeedableRng};
+use uu_check::Rng;
 use uu_core::{compile, HeuristicOptions, PipelineOptions, Transform, UnmergeOptions};
 use uu_ir::{
     CastOp, Function, FunctionBuilder, ICmpPred, Module, Param, Type, Value,
@@ -248,8 +248,8 @@ fn run_config(kernel: &Function, transform: Transform, out_len: usize) -> Vec<f6
     let n = 64i64;
     let grid: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
     let queries: Vec<f64> = {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
-        (0..out_len).map(|_| rng.gen_range(0.0..32.0)).collect()
+        let mut rng = Rng::seed_from_u64(42);
+        (0..out_len).map(|_| rng.gen_range_f64(0.0, 32.0)).collect()
     };
     let bgrid = gpu.mem.alloc_f64(&grid).unwrap();
     let bq = gpu.mem.alloc_f64(&queries).unwrap();
@@ -343,8 +343,8 @@ fn unoptimized_matches_baseline_output() {
     let out_len = 40usize;
     let grid: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
     let queries: Vec<f64> = {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
-        (0..out_len).map(|_| rng.gen_range(0.0..32.0)).collect()
+        let mut rng = Rng::seed_from_u64(42);
+        (0..out_len).map(|_| rng.gen_range_f64(0.0, 32.0)).collect()
     };
     let bgrid = gpu.mem.alloc_f64(&grid).unwrap();
     let bq = gpu.mem.alloc_f64(&queries).unwrap();

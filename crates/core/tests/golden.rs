@@ -1,0 +1,199 @@
+//! Golden-snapshot tests for the opt passes, using the textual IR printer.
+//!
+//! Each test applies exactly one pass to the standard branchy subject (the
+//! same 4-path loop the pass micro-benches use), after u&u duplication at
+//! factor 2 so every pass sees the duplicated control flow it exists to
+//! clean up. The printed IR is compared against
+//! `tests/golden/<name>.ir`.
+//!
+//! To regenerate after an intentional pass change:
+//!
+//! ```sh
+//! UU_UPDATE_GOLDEN=1 cargo test -p uu-core --test golden
+//! ```
+//!
+//! then inspect the diff like any other code review.
+
+use std::path::PathBuf;
+use uu_core::opt::{
+    condprop::CondProp, dce::Dce, gvn::Gvn, ifconvert::IfConvert, instsimplify::InstSimplify,
+    sccp::Sccp, simplifycfg::SimplifyCfg, Pass,
+};
+use uu_core::{uu_loop, UuOptions};
+use uu_ir::{Function, FunctionBuilder, ICmpPred, Param, Type, Value};
+
+/// The standard subject: a loop with a two-condition body (4 paths).
+fn subject() -> Function {
+    let mut f = Function::new(
+        "subject",
+        vec![
+            Param::new("n", Type::I64),
+            Param::new("k", Type::I64),
+            Param::new("out", Type::Ptr),
+        ],
+        Type::Void,
+    );
+    let entry = f.entry();
+    let mut b = FunctionBuilder::new(&mut f);
+    let h = b.create_block();
+    let body = b.create_block();
+    let t1 = b.create_block();
+    let m1 = b.create_block();
+    let t2 = b.create_block();
+    let latch = b.create_block();
+    let exit = b.create_block();
+    b.switch_to(entry);
+    b.br(h);
+    b.switch_to(h);
+    let i = b.phi(Type::I64);
+    let kv = b.phi(Type::I64);
+    let acc = b.phi(Type::I64);
+    b.add_phi_incoming(i, entry, Value::imm(0i64));
+    b.add_phi_incoming(kv, entry, Value::Arg(1));
+    b.add_phi_incoming(acc, entry, Value::imm(0i64));
+    let c = b.icmp(ICmpPred::Slt, i, Value::Arg(0));
+    b.cond_br(c, body, exit);
+    b.switch_to(body);
+    let acc1 = b.add(acc, i);
+    let c1 = b.icmp(ICmpPred::Sgt, kv, Value::imm(1i64));
+    b.cond_br(c1, t1, m1);
+    b.switch_to(t1);
+    let kv1 = b.sub(kv, Value::imm(1i64));
+    b.br(m1);
+    b.switch_to(m1);
+    let kvm = b.phi(Type::I64);
+    b.add_phi_incoming(kvm, body, kv);
+    b.add_phi_incoming(kvm, t1, kv1);
+    let c2 = b.icmp(ICmpPred::Sgt, acc1, Value::imm(100i64));
+    b.cond_br(c2, t2, latch);
+    b.switch_to(t2);
+    b.br(latch);
+    b.switch_to(latch);
+    let accm = b.phi(Type::I64);
+    b.add_phi_incoming(accm, m1, acc1);
+    b.add_phi_incoming(accm, t2, Value::imm(100i64));
+    let i1 = b.add(i, Value::imm(1i64));
+    b.add_phi_incoming(i, latch, i1);
+    b.add_phi_incoming(kv, latch, kvm);
+    b.add_phi_incoming(acc, latch, accm);
+    b.br(h);
+    b.switch_to(exit);
+    b.store(Value::Arg(2), acc);
+    b.ret(None);
+    f
+}
+
+/// The subject after u&u at factor 2 — the input every cleanup pass is
+/// snapshotted on.
+fn transformed() -> Function {
+    let mut f = subject();
+    let h = f.layout()[1];
+    uu_loop(
+        &mut f,
+        h,
+        &UuOptions {
+            factor: 2,
+            ..Default::default()
+        },
+    );
+    f
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.ir"))
+}
+
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("UU_UPDATE_GOLDEN").ok().as_deref() == Some("1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); regenerate with UU_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        want,
+        "golden snapshot '{name}' changed; if intentional, regenerate with \
+         UU_UPDATE_GOLDEN=1 cargo test -p uu-core --test golden"
+    );
+}
+
+fn snapshot_pass(name: &str, mut pass: impl Pass) {
+    let mut f = transformed();
+    pass.run(&mut f);
+    uu_ir::verify_function(&f).unwrap_or_else(|e| panic!("{name} corrupted the IR: {e}\n{f}"));
+    assert_golden(name, &f.to_string());
+}
+
+/// The u&u transform itself (the input all pass snapshots share).
+#[test]
+fn golden_uu2() {
+    let f = transformed();
+    uu_ir::verify_function(&f).unwrap();
+    assert_golden("uu2", &f.to_string());
+}
+
+#[test]
+fn golden_sccp() {
+    snapshot_pass("sccp", Sccp);
+}
+
+#[test]
+fn golden_gvn() {
+    snapshot_pass("gvn", Gvn);
+}
+
+#[test]
+fn golden_simplifycfg() {
+    snapshot_pass("simplifycfg", SimplifyCfg::default());
+}
+
+#[test]
+fn golden_instsimplify() {
+    snapshot_pass("instsimplify", InstSimplify);
+}
+
+#[test]
+fn golden_ifconvert() {
+    snapshot_pass("ifconvert", IfConvert);
+}
+
+#[test]
+fn golden_condprop() {
+    snapshot_pass("condprop", CondProp);
+}
+
+#[test]
+fn golden_dce() {
+    snapshot_pass("dce", Dce);
+}
+
+/// Snapshots must be reproducible within a process too — a pass whose
+/// output depends on hash-map iteration order would make the golden files
+/// flaky. Catch that directly.
+#[test]
+fn passes_are_deterministic() {
+    for _ in 0..3 {
+        let print = |mut pass: Box<dyn Pass>| {
+            let mut f = transformed();
+            pass.run(&mut f);
+            f.to_string()
+        };
+        assert_eq!(print(Box::new(Sccp)), print(Box::new(Sccp)));
+        assert_eq!(print(Box::new(Gvn)), print(Box::new(Gvn)));
+        assert_eq!(
+            print(Box::new(SimplifyCfg::default())),
+            print(Box::new(SimplifyCfg::default()))
+        );
+        assert_eq!(print(Box::new(CondProp)), print(Box::new(CondProp)));
+        assert_eq!(print(Box::new(Dce)), print(Box::new(Dce)));
+    }
+}

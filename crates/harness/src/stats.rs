@@ -7,7 +7,7 @@
 //! Table I. This is a *documented synthetic substitution* (see DESIGN.md):
 //! it exercises the methodology without inventing performance.
 
-use rand::{Rng, SeedableRng};
+use uu_check::Rng;
 
 /// Median of a sample (averages the middle pair for even sizes).
 pub fn median(xs: &[f64]) -> f64 {
@@ -48,13 +48,13 @@ pub fn geomean(xs: &[f64]) -> f64 {
 /// standard deviation `rsd_pct` (as a percentage), deterministically from
 /// `seed`.
 pub fn noisy_runs(time: f64, rsd_pct: f64, n: usize, seed: u64) -> Vec<f64> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let sigma = rsd_pct / 100.0;
     (0..n)
         .map(|_| {
             // Box-Muller via two uniforms.
-            let u1: f64 = rng.gen_range(1e-12..1.0);
-            let u2: f64 = rng.gen_range(0.0..1.0);
+            let u1: f64 = rng.gen_range_f64(1e-12, 1.0);
+            let u2: f64 = rng.gen_range_f64(0.0, 1.0);
             let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
             (time * (1.0 + sigma * z)).max(time * 0.2)
         })

@@ -1,0 +1,45 @@
+//! Property tests for the IR layer: the printer and parser must be exact
+//! inverses on every well-formed kernel, and the verifier must accept what
+//! the builder produces.
+
+use uu_check::{build_kernel, check, Config, KernelSpec};
+use uu_ir::{parse_function, verify_function};
+
+#[test]
+fn built_kernels_verify() {
+    check(
+        "built_kernels_verify",
+        &Config::from_env(64),
+        |spec: &KernelSpec| {
+            let f = build_kernel(spec);
+            verify_function(&f).map_err(|e| format!("builder produced invalid IR: {e}\n{f}"))
+        },
+    );
+}
+
+/// One print→parse round normalizes value numbering to textual order;
+/// after that, print→parse→print must be a fixpoint.
+#[test]
+fn print_parse_reaches_fixpoint_after_one_round() {
+    check(
+        "print_parse_reaches_fixpoint_after_one_round",
+        &Config::from_env(64),
+        |spec: &KernelSpec| {
+            let f = build_kernel(spec);
+            let text = f.to_string();
+            let g = parse_function(&text).map_err(|e| format!("parse failed: {e}\n{text}"))?;
+            verify_function(&g).map_err(|e| format!("reparsed IR invalid: {e}\n{g}"))?;
+            let normalized = g.to_string();
+            let h = parse_function(&normalized)
+                .map_err(|e| format!("reparse failed: {e}\n{normalized}"))?;
+            let text3 = h.to_string();
+            if normalized != text3 {
+                return Err(format!(
+                    "printer/parser not idempotent after normalization.\n\
+                     normalized:\n{normalized}\nthird print:\n{text3}"
+                ));
+            }
+            Ok(())
+        },
+    );
+}

@@ -1,0 +1,50 @@
+//! Property tests for the SIMT simulator: kernel execution must be a
+//! deterministic function of (program, launch, inputs) — two fresh GPUs
+//! running the same kernel must agree bit-for-bit — and baseline-compiled
+//! code must agree with the raw kernel.
+
+use uu_check::{build_kernel, check, execute, Config, KernelSpec};
+
+#[test]
+fn execution_is_deterministic_across_gpus() {
+    check(
+        "execution_is_deterministic_across_gpus",
+        &Config::from_env(64),
+        |spec: &KernelSpec| {
+            let f = build_kernel(spec);
+            let a = execute(&f, spec)?;
+            let b = execute(&f, spec)?;
+            if a != b {
+                return Err(format!(
+                    "two fresh GPUs disagree on the same kernel:\n{a:?}\nvs\n{b:?}"
+                ));
+            }
+            if a.len() != 32 {
+                return Err(format!("expected 32 lanes of output, got {}", a.len()));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn baseline_compile_preserves_execution() {
+    check(
+        "baseline_compile_preserves_execution",
+        &Config::from_env(32),
+        |spec: &KernelSpec| {
+            let f = build_kernel(spec);
+            let golden = execute(&f, spec)?;
+            let mut m = uu_ir::Module::new("prop");
+            let id = m.add_function(build_kernel(spec));
+            uu_core::compile(&mut m, &uu_core::PipelineOptions::default());
+            let got = execute(m.function(id), spec)?;
+            if golden != got {
+                return Err(format!(
+                    "baseline compile changed behaviour:\nraw {golden:?}\nopt {got:?}"
+                ));
+            }
+            Ok(())
+        },
+    );
+}

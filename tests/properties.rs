@@ -5,329 +5,178 @@
 //! configuration, and executed on the SIMT simulator. Every configuration
 //! must produce bit-identical output memory — any divergence is a
 //! miscompilation in the transforms or the cleanup optimizer.
+//!
+//! Generation, shrinking and the oracle live in `uu-check`
+//! (`crates/check`); this file wires them to the runner. Case counts are
+//! deliberately modest for the default `cargo test`; CI's fuzz smoke raises
+//! them with `UU_CHECK_CASES` (see `ci.sh`), and any failure prints a
+//! shrunk spec in the corpus format ready to check in under
+//! `crates/check/corpus/`.
 
-use proptest::prelude::*;
-use uu_core::{compile, HeuristicOptions, LoopFilter, PipelineOptions, Transform, UnmergeOptions};
-use uu_ir::{
-    Function, FunctionBuilder, ICmpPred, Module, Param, Type, Value,
-};
-use uu_simt::{Gpu, KernelArg, LaunchConfig};
+use uu_check::{build_kernel, check, execute, Config, DiffOracle, Gen, KernelSpec, Rng};
 
-/// A recipe for one random loop kernel.
-#[derive(Debug, Clone)]
-struct KernelSpec {
-    /// Loop bound (runtime value, 0..=24).
-    bound: i64,
-    /// Ops in the always-executed part of the body.
-    straight_ops: Vec<(u8, u8, u8)>,
-    /// Ops in the conditional arm (empty = no branch).
-    arm_ops: Vec<(u8, u8, u8)>,
-    /// Second conditional region (diamond) ops.
-    else_ops: Vec<(u8, u8, u8)>,
-    /// Which value the branch condition compares against the counter.
-    cond_sel: u8,
-    /// Whether the condition uses the thread id (divergent).
-    divergent: bool,
-    /// Per-thread input values.
-    input_a: i64,
-    /// When > 0, wrap the straight-line ops in an inner counted loop of
-    /// this trip count (exercises the loop-nest / super-node machinery).
-    inner_trip: u8,
+/// Replay the checked-in regression corpus through the full oracle before
+/// any novel fuzzing. Historical counterexamples keep running forever.
+#[test]
+fn corpus_replays_clean() {
+    let oracle = DiffOracle::default();
+    let corpus = uu_check::corpus::load_corpus();
+    assert!(corpus.len() >= 2, "regression corpus went missing");
+    for (name, spec) in corpus {
+        oracle
+            .check_spec(&spec)
+            .unwrap_or_else(|e| panic!("corpus entry {name} regressed: {e}"));
+    }
 }
 
-fn op_strategy() -> impl Strategy<Value = (u8, u8, u8)> {
-    (0u8..8, 0u8..4, 0u8..4)
-}
-
-fn spec_strategy() -> impl Strategy<Value = KernelSpec> {
-    (
-        0i64..=24,
-        proptest::collection::vec(op_strategy(), 1..5),
-        proptest::collection::vec(op_strategy(), 0..4),
-        proptest::collection::vec(op_strategy(), 0..3),
-        0u8..4,
-        any::<bool>(),
-        -10i64..10,
-        0u8..4,
-    )
-        .prop_map(
-            |(bound, straight_ops, arm_ops, else_ops, cond_sel, divergent, input_a, inner_trip)| {
-                KernelSpec {
-                    bound,
-                    straight_ops,
-                    arm_ops,
-                    else_ops,
-                    cond_sel,
-                    divergent,
-                    input_a,
-                    inner_trip,
-                }
-            },
-        )
-}
-
-fn apply_op(
-    b: &mut FunctionBuilder<'_>,
-    (op, l, r): (u8, u8, u8),
-    pool: &mut Vec<Value>,
-) {
-    let lhs = pool[l as usize % pool.len()];
-    let rhs = pool[r as usize % pool.len()];
-    let v = match op % 8 {
-        0 => b.add(lhs, rhs),
-        1 => b.sub(lhs, rhs),
-        2 => b.mul(lhs, rhs),
-        3 => b.xor(lhs, rhs),
-        4 => b.and(lhs, rhs),
-        5 => b.or(lhs, rhs),
-        6 => {
-            let sh = b.and(rhs, Value::imm(7i64));
-            b.shl(lhs, sh)
-        }
-        _ => {
-            let sh = b.and(rhs, Value::imm(7i64));
-            b.ashr(lhs, sh)
-        }
-    };
-    pool.push(v);
-}
-
-/// Build the kernel for a spec: a while-loop whose body applies the ops,
-/// with an optional diamond, accumulating into an `i64` per thread.
-fn build_kernel(spec: &KernelSpec) -> Function {
-    let mut f = Function::new(
-        "prop_kernel",
-        vec![
-            Param::new("out", Type::Ptr),
-            Param::new("n", Type::I64),
-            Param::new("a", Type::I64),
-        ],
-        Type::Void,
+/// Every pipeline configuration preserves the semantics of random loop
+/// kernels, and produces verifier-clean IR.
+#[test]
+fn all_configs_preserve_semantics() {
+    let oracle = DiffOracle::default();
+    check(
+        "all_configs_preserve_semantics",
+        &Config::from_env(48),
+        |spec: &KernelSpec| oracle.check_spec(spec),
     );
-    let entry = f.entry();
-    let mut b = FunctionBuilder::new(&mut f);
-    let header = b.create_block();
-    let body = b.create_block();
-    let exit = b.create_block();
-    b.switch_to(entry);
-    let gid = b.global_thread_id();
-    b.br(header);
-    b.switch_to(header);
-    let i = b.phi(Type::I64);
-    let acc = b.phi(Type::I64);
-    b.add_phi_incoming(i, entry, Value::imm(0i64));
-    b.add_phi_incoming(acc, entry, Value::Arg(2));
-    let c = b.icmp(ICmpPred::Slt, i, Value::Arg(1));
-    b.cond_br(c, body, exit);
-    b.switch_to(body);
-    let mut pool = vec![i, acc, Value::Arg(2), Value::imm(3i64)];
-    let straight_result = if spec.inner_trip > 0 {
-        // Inner counted loop applying the ops repeatedly: the outer u&u
-        // must treat it as an indivisible super-node.
-        let ih = b.create_block();
-        let ibody = b.create_block();
-        let iexit = b.create_block();
-        let entry_of_inner = b.current();
-        b.br(ih);
-        b.switch_to(ih);
-        let j = b.phi(Type::I64);
-        let iv = b.phi(Type::I64);
-        b.add_phi_incoming(j, entry_of_inner, Value::imm(0i64));
-        b.add_phi_incoming(iv, entry_of_inner, acc);
-        let ic = b.icmp(ICmpPred::Slt, j, Value::imm(spec.inner_trip as i64));
-        b.cond_br(ic, ibody, iexit);
-        b.switch_to(ibody);
-        let mut ipool = pool.clone();
-        ipool.push(iv);
-        for op in &spec.straight_ops {
-            apply_op(&mut b, *op, &mut ipool);
+}
+
+/// A spec paired with an unroll factor in 2..6, for the raw-transform
+/// properties.
+#[derive(Debug, Clone)]
+struct SpecWithFactor {
+    spec: KernelSpec,
+    factor: u32,
+}
+
+impl Gen for SpecWithFactor {
+    fn generate(rng: &mut Rng) -> Self {
+        SpecWithFactor {
+            spec: KernelSpec::generate(rng),
+            factor: rng.gen_range_u64(2, 6) as u32,
         }
-        let next_iv = *ipool.last().unwrap();
-        let j1 = b.add(j, Value::imm(1i64));
-        b.add_phi_incoming(j, ibody, j1);
-        b.add_phi_incoming(iv, ibody, next_iv);
-        b.br(ih);
-        b.switch_to(iexit);
-        // LCSSA-style hand-off out of the inner loop.
-        let out = b.phi(Type::I64);
-        b.add_phi_incoming(out, ih, iv);
-        pool.push(out);
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        let mut out: Vec<Self> = self
+            .spec
+            .shrink()
+            .into_iter()
+            .map(|spec| SpecWithFactor {
+                spec,
+                factor: self.factor,
+            })
+            .collect();
+        if self.factor > 2 {
+            out.push(SpecWithFactor {
+                spec: self.spec.clone(),
+                factor: 2,
+            });
+        }
         out
-    } else {
-        for op in &spec.straight_ops {
-            apply_op(&mut b, *op, &mut pool);
-        }
-        *pool.last().unwrap()
-    };
-
-    let latch = b.create_block();
-    let (acc_next, i_from) = if spec.arm_ops.is_empty() {
-        // No branch: straight to latch.
-        b.br(latch);
-        b.switch_to(latch);
-        (straight_result, latch)
-    } else {
-        let arm = b.create_block();
-        let other = b.create_block();
-        let cond_lhs = if spec.divergent {
-            gid
-        } else {
-            pool[spec.cond_sel as usize % pool.len()]
-        };
-        let masked = b.and(cond_lhs, Value::imm(3i64));
-        let cc = b.icmp(ICmpPred::Ne, masked, Value::imm(0i64));
-        b.cond_br(cc, arm, other);
-        b.switch_to(arm);
-        let mut arm_pool = pool.clone();
-        for op in &spec.arm_ops {
-            apply_op(&mut b, *op, &mut arm_pool);
-        }
-        let arm_v = *arm_pool.last().unwrap();
-        b.br(latch);
-        b.switch_to(other);
-        let mut else_pool = pool.clone();
-        for op in &spec.else_ops {
-            apply_op(&mut b, *op, &mut else_pool);
-        }
-        let else_v = *else_pool.last().unwrap();
-        b.br(latch);
-        b.switch_to(latch);
-        let m = b.phi(Type::I64);
-        b.add_phi_incoming(m, arm, arm_v);
-        b.add_phi_incoming(m, other, else_v);
-        (m, latch)
-    };
-    let i1 = b.add(i, Value::imm(1i64));
-    b.add_phi_incoming(i, i_from, i1);
-    b.add_phi_incoming(acc, i_from, acc_next);
-    b.br(header);
-    b.switch_to(exit);
-    let po = b.gep(Value::Arg(0), gid, 8);
-    b.store(po, acc);
-    b.ret(None);
-    f
+    }
 }
 
-fn execute(f: &Function, spec: &KernelSpec) -> Vec<i64> {
-    let mut gpu = Gpu::new();
-    let out = gpu.mem.alloc_i64(&vec![0i64; 32]).unwrap();
-    gpu.launch(
-        f,
-        LaunchConfig::new(1, 32),
-        &[
-            KernelArg::Buffer(out),
-            KernelArg::I64(spec.bound),
-            KernelArg::I64(spec.input_a),
-        ],
-    )
-    .unwrap_or_else(|e| panic!("exec failed: {e}\n{f}"));
-    gpu.mem.read_i64(out)
-}
-
-fn configs() -> Vec<Transform> {
-    vec![
-        Transform::Baseline,
-        Transform::Unroll { factor: 3 },
-        Transform::Unmerge,
-        Transform::Uu {
-            factor: 2,
-            unmerge: UnmergeOptions::default(),
+/// The raw transforms (without cleanup) are themselves
+/// semantics-preserving.
+#[test]
+fn raw_uu_preserves_semantics() {
+    check(
+        "raw_uu_preserves_semantics",
+        &Config::from_env(48),
+        |sf: &SpecWithFactor| {
+            let kernel = build_kernel(&sf.spec);
+            let golden = execute(&kernel, &sf.spec)?;
+            let mut transformed = kernel.clone();
+            let dom = uu_analysis::DomTree::compute(&transformed);
+            let forest = uu_analysis::LoopForest::compute(&transformed, &dom);
+            if let Some(l) = forest.loops().first().cloned() {
+                uu_core::uu_loop(
+                    &mut transformed,
+                    l.header,
+                    &uu_core::UuOptions {
+                        factor: sf.factor,
+                        ..Default::default()
+                    },
+                );
+                uu_ir::verify_function(&transformed)
+                    .map_err(|e| format!("invalid IR after raw u&u: {e}"))?;
+            }
+            let got = execute(&transformed, &sf.spec)?;
+            if got == golden {
+                Ok(())
+            } else {
+                Err(format!(
+                    "raw u&u (factor {}) diverged\n  want: {golden:?}\n  got:  {got:?}",
+                    sf.factor
+                ))
+            }
         },
-        Transform::Uu {
-            factor: 5,
-            unmerge: UnmergeOptions::default(),
-        },
-        Transform::UuHeuristic(HeuristicOptions::default()),
-    ]
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        max_shrink_iters: 200,
-        ..ProptestConfig::default()
-    })]
+/// Runtime unrolling alone preserves semantics.
+#[test]
+fn raw_runtime_unroll_preserves_semantics() {
+    check(
+        "raw_runtime_unroll_preserves_semantics",
+        &Config::from_env(48),
+        |sf: &SpecWithFactor| {
+            let kernel = build_kernel(&sf.spec);
+            let golden = execute(&kernel, &sf.spec)?;
+            let mut transformed = kernel.clone();
+            let dom = uu_analysis::DomTree::compute(&transformed);
+            let forest = uu_analysis::LoopForest::compute(&transformed, &dom);
+            if let Some(l) = forest.loops().first().cloned() {
+                uu_core::runtime_unroll::runtime_unroll(
+                    &mut transformed,
+                    l.header,
+                    &l.blocks,
+                    &l.latches,
+                    sf.factor,
+                );
+                uu_ir::verify_function(&transformed)
+                    .map_err(|e| format!("invalid IR after runtime unroll: {e}"))?;
+            }
+            let got = execute(&transformed, &sf.spec)?;
+            if got == golden {
+                Ok(())
+            } else {
+                Err(format!(
+                    "runtime unroll (factor {}) diverged\n  want: {golden:?}\n  got:  {got:?}",
+                    sf.factor
+                ))
+            }
+        },
+    );
+}
 
-    /// Every pipeline configuration preserves the semantics of random loop
-    /// kernels, and produces verifier-clean IR.
-    #[test]
-    fn all_configs_preserve_semantics(spec in spec_strategy()) {
-        let kernel = build_kernel(&spec);
-        uu_ir::verify_function(&kernel).expect("generator produced invalid IR");
-        let golden = execute(&kernel, &spec);
-        for t in configs() {
-            let mut m = Module::new("prop");
-            let id = m.add_function(kernel.clone());
-            let label = format!("{t:?}");
-            compile(&mut m, &PipelineOptions {
-                transform: t,
-                filter: LoopFilter::All,
-                ..Default::default()
-            });
-            uu_ir::verify_module(&m)
-                .unwrap_or_else(|e| panic!("invalid IR after {label}: {e}"));
-            let got = execute(m.function(id), &spec);
-            prop_assert_eq!(&got, &golden, "config {} diverged", label);
-        }
-    }
-
-    /// The raw transforms (without cleanup) are themselves
-    /// semantics-preserving.
-    #[test]
-    fn raw_uu_preserves_semantics(spec in spec_strategy(), factor in 2u32..6) {
-        let kernel = build_kernel(&spec);
-        let golden = execute(&kernel, &spec);
-        let mut transformed = kernel.clone();
-        let dom = uu_analysis::DomTree::compute(&transformed);
-        let forest = uu_analysis::LoopForest::compute(&transformed, &dom);
-        if let Some(l) = forest.loops().first().cloned() {
-            uu_core::uu_loop(&mut transformed, l.header, &uu_core::UuOptions {
-                factor,
-                ..Default::default()
-            });
-            uu_ir::verify_function(&transformed)
-                .unwrap_or_else(|e| panic!("invalid IR after raw u&u: {e}"));
-        }
-        let got = execute(&transformed, &spec);
-        prop_assert_eq!(&got, &golden);
-    }
-
-    /// The textual printer and parser round-trip on generated kernels: one
-    /// parse normalizes instruction numbering; after that, print∘parse is
-    /// the identity, and semantics are preserved throughout.
-    #[test]
-    fn printer_parser_roundtrip(spec in spec_strategy()) {
-        let kernel = build_kernel(&spec);
-        let printed = kernel.to_string();
-        let reparsed = uu_ir::parse_function(&printed)
-            .unwrap_or_else(|e| panic!("{e}\n{printed}"));
-        uu_ir::verify_function(&reparsed)
-            .unwrap_or_else(|e| panic!("reparsed invalid: {e}"));
-        let normalized = reparsed.to_string();
-        let again = uu_ir::parse_function(&normalized)
-            .unwrap_or_else(|e| panic!("{e}\n{normalized}"));
-        prop_assert_eq!(again.to_string(), normalized, "round-trip not idempotent");
-        // And the reparsed kernel executes identically.
-        let golden = execute(&kernel, &spec);
-        prop_assert_eq!(execute(&reparsed, &spec), golden.clone());
-        prop_assert_eq!(execute(&again, &spec), golden);
-    }
-
-    /// Runtime unrolling alone preserves semantics.
-    #[test]
-    fn raw_runtime_unroll_preserves_semantics(spec in spec_strategy(), factor in 2u32..6) {
-        let kernel = build_kernel(&spec);
-        let golden = execute(&kernel, &spec);
-        let mut transformed = kernel.clone();
-        let dom = uu_analysis::DomTree::compute(&transformed);
-        let forest = uu_analysis::LoopForest::compute(&transformed, &dom);
-        if let Some(l) = forest.loops().first().cloned() {
-            uu_core::runtime_unroll::runtime_unroll(
-                &mut transformed, l.header, &l.blocks, &l.latches, factor);
-            uu_ir::verify_function(&transformed)
-                .unwrap_or_else(|e| panic!("invalid IR after runtime unroll: {e}"));
-        }
-        let got = execute(&transformed, &spec);
-        prop_assert_eq!(&got, &golden);
-    }
+/// The textual printer and parser round-trip on generated kernels: one
+/// parse normalizes instruction numbering; after that, print∘parse is
+/// the identity, and semantics are preserved throughout.
+#[test]
+fn printer_parser_roundtrip() {
+    check(
+        "printer_parser_roundtrip",
+        &Config::from_env(48),
+        |spec: &KernelSpec| {
+            let kernel = build_kernel(spec);
+            let printed = kernel.to_string();
+            let reparsed =
+                uu_ir::parse_function(&printed).map_err(|e| format!("{e}\n{printed}"))?;
+            uu_ir::verify_function(&reparsed).map_err(|e| format!("reparsed invalid: {e}"))?;
+            let normalized = reparsed.to_string();
+            let again =
+                uu_ir::parse_function(&normalized).map_err(|e| format!("{e}\n{normalized}"))?;
+            if again.to_string() != normalized {
+                return Err("round-trip not idempotent".to_string());
+            }
+            // And the reparsed kernel executes identically.
+            let golden = execute(&kernel, spec)?;
+            if execute(&reparsed, spec)? != golden || execute(&again, spec)? != golden {
+                return Err("reparsed kernel diverged from original".to_string());
+            }
+            Ok(())
+        },
+    );
 }
