@@ -8,6 +8,7 @@
 # Knobs (see DESIGN.md "Testing & fuzzing"):
 #   UU_CHECK_SEED   replay a whole fuzz run (decimal or 0x-hex)
 #   UU_CHECK_CASES  per-property case budget (ci.sh smoke uses 200)
+#   UU_JOBS         worker count for the parallel sweep/fuzz engine
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -19,5 +20,18 @@ cargo test -q --offline
 
 echo "== fuzz smoke (200 cases per property) =="
 UU_CHECK_CASES=200 cargo test -q --offline --release -p uu-tests
+
+echo "== parallel determinism: uu-fuzz stdout must not depend on UU_JOBS =="
+# Same seed, serial vs 4 workers. stdout carries the corpus verdicts, the
+# per-case digests and (on failure) the shrunk spec; stderr carries the
+# timings. Any scheduling leak into the report shows up as a diff here.
+mkdir -p target/ci
+t1=$(date +%s)
+UU_CHECK_CASES=200 UU_JOBS=1 ./target/release/uu-fuzz > target/ci/fuzz-j1.txt
+t2=$(date +%s)
+UU_CHECK_CASES=200 UU_JOBS=4 ./target/release/uu-fuzz > target/ci/fuzz-j4.txt
+t3=$(date +%s)
+diff target/ci/fuzz-j1.txt target/ci/fuzz-j4.txt
+echo "fuzz smoke identical across UU_JOBS (serial $((t2-t1))s, 4 workers $((t3-t2))s)"
 
 echo "ci.sh: all green"

@@ -86,8 +86,13 @@ pub struct BenchResult {
 }
 
 impl BenchResult {
-    /// Median per-iteration time in nanoseconds.
+    /// Median per-iteration time in nanoseconds; `0.0` when no samples
+    /// were collected (an aborted or zero-sample run must serialize as a
+    /// defined value, not panic on an out-of-bounds index).
     pub fn median_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
         let mut v = self.samples_ns.clone();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let n = v.len();
@@ -98,18 +103,26 @@ impl BenchResult {
         }
     }
 
-    /// Fastest per-iteration sample in nanoseconds.
+    /// Fastest per-iteration sample in nanoseconds; `0.0` when empty.
     pub fn min_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
         self.samples_ns.iter().copied().fold(f64::INFINITY, f64::min)
     }
 
-    /// Slowest per-iteration sample in nanoseconds.
+    /// Slowest per-iteration sample in nanoseconds; `0.0` when empty.
     pub fn max_ns(&self) -> f64 {
         self.samples_ns.iter().copied().fold(0.0, f64::max)
     }
 
-    /// Mean per-iteration time in nanoseconds.
+    /// Mean per-iteration time in nanoseconds; `0.0` when empty (the
+    /// `sum / len` form used to return NaN, which poisons every JSON
+    /// consumer downstream).
     pub fn mean_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
         self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64
     }
 }
@@ -304,6 +317,32 @@ mod tests {
         assert!(json.contains("\"suite\": \"selftest\""));
         assert!(json.contains("\"name\": \"sum\""));
         assert!(json.contains("\"samples_ns\": ["));
+    }
+
+    #[test]
+    fn empty_sample_sets_have_defined_statistics() {
+        let r = BenchResult {
+            name: "empty".into(),
+            iters_per_sample: 1,
+            samples_ns: Vec::new(),
+        };
+        assert_eq!(r.median_ns(), 0.0, "median must not index out of bounds");
+        assert_eq!(r.mean_ns(), 0.0, "mean must not be NaN");
+        assert_eq!(r.min_ns(), 0.0);
+        assert_eq!(r.max_ns(), 0.0);
+    }
+
+    #[test]
+    fn empty_result_serializes_without_nan() {
+        let mut h = Harness::with_options("empty", tiny_opts());
+        h.results.push(BenchResult {
+            name: "none".into(),
+            iters_per_sample: 1,
+            samples_ns: Vec::new(),
+        });
+        let json = h.to_json();
+        assert!(!json.contains("NaN"), "JSON must stay numeric: {json}");
+        assert!(json.contains("\"median_ns\": 0.0"));
     }
 
     #[test]

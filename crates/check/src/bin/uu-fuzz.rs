@@ -1,0 +1,98 @@
+//! `uu-fuzz` — standalone differential-fuzzing driver.
+//!
+//! Replays the checked-in regression corpus, then fuzzes novel
+//! [`KernelSpec`]s through the [`DiffOracle`] across a `uu-par` worker
+//! pool. Everything written to **stdout** is byte-identical at any
+//! `UU_JOBS` value (ci.sh diffs the `UU_JOBS=1` and `UU_JOBS=4` outputs);
+//! timings go to **stderr** where they cannot perturb the diff.
+//!
+//! Knobs (all environment, matching the rest of the workspace):
+//!
+//! * `UU_CHECK_CASES` — novel cases to fuzz (default 200);
+//! * `UU_CHECK_SEED`  — master seed (decimal or `0x…` hex);
+//! * `UU_JOBS`        — worker count (default: available parallelism).
+//!
+//! Exit status: 0 when the corpus and every novel case pass; 1 with the
+//! shrunk counterexample — printed in the corpus `.seed` format, ready to
+//! be checked in — when the oracle finds a miscompilation.
+
+use uu_check::rng::Rng;
+use uu_check::{case_seeds, check_result, Config, DiffOracle, Gen, KernelSpec};
+
+/// FNV-1a over the spec's canonical text — a cheap, dependency-free digest
+/// that makes each stdout line witness the exact case generated.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn main() {
+    let cfg = Config::from_env(200);
+    let oracle = DiffOracle::default();
+    let started = std::time::Instant::now();
+
+    // Phase 1: corpus replay — historical counterexamples must keep
+    // passing before any novel fuzzing. Fanned out like the novel cases;
+    // results are reported in corpus (file-name) order.
+    let corpus = uu_check::corpus::load_corpus();
+    let replay =
+        uu_par::par_map_jobs(cfg.jobs, &corpus, |_, (name, spec)| {
+            (name.clone(), oracle.check_spec(spec))
+        });
+    let mut failed = false;
+    for (name, outcome) in &replay {
+        match outcome {
+            Ok(()) => println!("corpus {name}: ok"),
+            Err(e) => {
+                failed = true;
+                println!("corpus {name}: FAILED\n{e}");
+            }
+        }
+    }
+    if failed {
+        eprintln!("corpus replay failed after {:.1?}", started.elapsed());
+        std::process::exit(1);
+    }
+    eprintln!(
+        "corpus: {} specs replayed in {:.1?} ({} workers)",
+        corpus.len(),
+        started.elapsed(),
+        cfg.jobs
+    );
+
+    // Phase 2: novel cases. The digest lines pin down exactly which specs
+    // the per-case seeds produced, independent of scheduling.
+    for (i, &seed) in case_seeds(cfg.seed, cfg.cases).iter().enumerate() {
+        let spec = KernelSpec::generate(&mut Rng::seed_from_u64(seed));
+        println!(
+            "case {i:>4} seed {seed:#018x} digest {:#018x}",
+            fnv1a(spec.to_string().as_bytes())
+        );
+    }
+    let fuzz_started = std::time::Instant::now();
+    match check_result::<KernelSpec, _>("diff_oracle", &cfg, |spec| oracle.check_spec(spec)) {
+        Ok(n) => {
+            println!("ok: {} corpus specs + {n} novel cases", corpus.len());
+            eprintln!(
+                "fuzz: {n} cases in {:.1?} ({} workers)",
+                fuzz_started.elapsed(),
+                cfg.jobs
+            );
+        }
+        Err(failure) => {
+            println!("{failure}");
+            println!("--- shrunk spec (corpus .seed format) ---");
+            println!("{}", failure.shrunk);
+            eprintln!(
+                "fuzz: failed after {:.1?} ({} workers)",
+                fuzz_started.elapsed(),
+                cfg.jobs
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -33,4 +33,4 @@ pub mod runner;
 pub use gen::Gen;
 pub use oracle::{build_kernel, execute, DiffOracle, KernelSpec};
 pub use rng::{Rng, SplitMix64};
-pub use runner::{check, check_result, Config, Failure};
+pub use runner::{case_seeds, check, check_result, Config, Failure};

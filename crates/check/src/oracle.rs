@@ -323,7 +323,9 @@ pub fn execute(f: &Function, spec: &KernelSpec) -> Result<Vec<i64>, String> {
         ],
     )
     .map_err(|e| format!("exec failed: {e}\n{f}"))?;
-    Ok(gpu.mem.read_i64(out))
+    gpu.mem
+        .read_i64(out)
+        .map_err(|e| format!("readback failed: {e}"))
 }
 
 /// The pipeline configurations every kernel is differentially tested

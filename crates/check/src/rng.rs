@@ -111,9 +111,22 @@ impl Rng {
     }
 
     /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// The upper bound is exclusive even for adjacent-float and
+    /// huge-magnitude ranges, where the naive `lo + f * (hi - lo)` can
+    /// round up to exactly `hi`: such draws are resampled (consuming
+    /// further stream positions), and if the range is so degenerate that
+    /// rounding keeps hitting `hi`, the result is clamped to the largest
+    /// float below `hi`.
     pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "empty range {lo}..{hi}");
-        lo + self.gen_f64() * (hi - lo)
+        for _ in 0..4 {
+            let x = lo + self.gen_f64() * (hi - lo);
+            if x < hi {
+                return x;
+            }
+        }
+        hi.next_down().max(lo)
     }
 
     /// Derive an independent child generator (splits the stream).
@@ -177,6 +190,72 @@ mod tests {
         for &c in &counts {
             assert!((9_000..11_000).contains(&c), "bucket count {c}");
         }
+    }
+
+    #[test]
+    fn gen_range_f64_excludes_hi_on_adjacent_floats() {
+        // Regression: with `hi` one ulp above `lo`, `lo + f * (hi - lo)`
+        // rounds up to exactly `hi` for roughly half of all draws.
+        let cases = [
+            (1.0, 1.0 + f64::EPSILON),
+            (-1.0 - f64::EPSILON, -1.0),
+            (1e300, 1e300_f64.next_up()),
+            (-0.0, f64::MIN_POSITIVE),
+        ];
+        for (lo, hi) in cases {
+            let mut r = Rng::seed_from_u64(11);
+            for _ in 0..4_000 {
+                let x = r.gen_range_f64(lo, hi);
+                assert!(lo <= x && x < hi, "{x} outside [{lo}, {hi})");
+            }
+        }
+    }
+
+    /// A random range plus a seed for the draws made inside it.
+    #[derive(Debug, Clone)]
+    struct FRange {
+        lo: f64,
+        hi: f64,
+        seed: u64,
+    }
+
+    impl crate::gen::Gen for FRange {
+        fn generate(rng: &mut Rng) -> Self {
+            let exp = rng.gen_range_i64(-300, 301) as i32;
+            let lo = (rng.gen_f64() * 2.0 - 1.0) * 10f64.powi(exp);
+            let lo = if lo.is_finite() { lo } else { 0.0 };
+            // A third of the ranges are the adversarial one-ulp case; the
+            // rest span widths from 1e-10 to 1e9 around lo.
+            let hi = match rng.gen_range_u64(0, 3) {
+                0 => lo.next_up(),
+                1 => lo + 10f64.powi(rng.gen_range_i64(-10, 10) as i32),
+                _ => lo + lo.abs().max(1.0) * rng.gen_f64(),
+            };
+            let hi = if hi.is_finite() && hi > lo { hi } else { lo.next_up() };
+            FRange {
+                lo,
+                hi,
+                seed: rng.next_u64(),
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_f64_upper_bound_is_exclusive_for_random_ranges() {
+        crate::runner::check(
+            "gen_range_f64_exclusive_hi",
+            &crate::runner::Config::new(500),
+            |r: &FRange| {
+                let mut g = Rng::seed_from_u64(r.seed);
+                for _ in 0..64 {
+                    let x = g.gen_range_f64(r.lo, r.hi);
+                    if !(r.lo <= x && x < r.hi) {
+                        return Err(format!("{x} outside [{}, {})", r.lo, r.hi));
+                    }
+                }
+                Ok(())
+            },
+        );
     }
 
     #[test]

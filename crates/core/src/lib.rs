@@ -74,6 +74,8 @@ pub mod unroll;
 pub mod uu;
 
 pub use heuristic::{Decision, HeuristicOptions};
-pub use pipeline::{compile, CompileOutcome, LoopFilter, PassPosition, PipelineOptions, Transform};
+pub use pipeline::{
+    compile, CompileOutcome, LoopFilter, PassPosition, PipelineOptions, Transform, WORK_PER_MS,
+};
 pub use unmerge::{UnmergeMode, UnmergeOptions};
 pub use uu::{uu_loop, UuOptions};

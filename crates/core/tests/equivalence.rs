@@ -267,7 +267,7 @@ fn run_config(kernel: &Function, transform: Transform, out_len: usize) -> Vec<f6
     };
     gpu.launch(f, LaunchConfig::new(2, 32), &args)
         .unwrap_or_else(|e| panic!("exec failed: {e}\n{f}"));
-    gpu.mem.read_f64(bout)
+    gpu.mem.read_f64(bout).unwrap()
 }
 
 fn all_transforms() -> Vec<(&'static str, Transform)> {
@@ -361,7 +361,7 @@ fn unoptimized_matches_baseline_output() {
         ],
     )
     .unwrap();
-    let raw = gpu.mem.read_f64(bout);
+    let raw = gpu.mem.read_f64(bout).unwrap();
     let opt = run_config(&k, Transform::Baseline, out_len);
     assert_eq!(raw, opt);
 }

@@ -14,7 +14,9 @@ pub struct Measurement {
     pub time_ms: f64,
     /// Lowered code size of the whole module (Figure 6b's "binary size").
     pub code_size: u64,
-    /// Wall-clock compile time of the optimization pipeline.
+    /// Modeled compile time of the optimization pipeline, from the
+    /// deterministic compile clock ([`uu_core::WORK_PER_MS`]); wall clock
+    /// would leak scheduling noise into every compile-time figure.
     pub compile_ms: f64,
     /// Output checksum (must match the baseline's).
     pub checksum: f64,
@@ -53,7 +55,9 @@ pub fn loop_list(bench: &Benchmark) -> Vec<LoopRef> {
 }
 
 /// Compile timeout mirroring the paper's 5-minute cap, scaled to simulator
-/// scale.
+/// scale. Interpreted on the pipeline's deterministic compile clock
+/// ([`uu_core::WORK_PER_MS`]), so whether a configuration times out never
+/// depends on machine load or worker count.
 pub const COMPILE_TIMEOUT: Duration = Duration::from_secs(20);
 
 /// Compile `bench` under `transform`/`filter`; execute the workload unless
@@ -84,7 +88,7 @@ pub fn measure(
         return Ok(Measurement {
             time_ms: base.time_ms,
             code_size,
-            compile_ms: outcome.total.as_secs_f64() * 1e3,
+            compile_ms: outcome.work as f64 / uu_core::WORK_PER_MS,
             checksum: base.checksum,
             timed_out: outcome.timed_out,
             metrics: base.metrics,
@@ -100,7 +104,7 @@ pub fn measure(
     Ok(Measurement {
         time_ms: run.kernel_time_ms * repeats,
         code_size,
-        compile_ms: outcome.total.as_secs_f64() * 1e3,
+        compile_ms: outcome.work as f64 / uu_core::WORK_PER_MS,
         checksum: run.checksum,
         timed_out: outcome.timed_out,
         metrics: run.metrics,
@@ -111,6 +115,57 @@ pub fn measure(
 /// Measure the baseline configuration of a benchmark.
 pub fn measure_baseline(bench: &Benchmark) -> Result<Measurement, ExecError> {
     measure(bench, Transform::Baseline, LoopFilter::All, None)
+}
+
+/// One unit of per-loop sweep work: apply `transform` to exactly
+/// `loop_ref` of `bench` and measure it against the precomputed baseline.
+///
+/// Tasks share nothing mutable — each builds its own module and simulated
+/// GPU — so a batch of them is safe to fan out across a `uu-par` pool; the
+/// sweep driver does exactly that.
+#[derive(Debug, Clone)]
+pub struct PointTask<'a> {
+    /// The benchmark to compile and run.
+    pub bench: &'a Benchmark,
+    /// Its baseline measurement (skip-run source for cold loops, reference
+    /// for the hot-loop equivalence check).
+    pub base: &'a Measurement,
+    /// The single targeted loop.
+    pub loop_ref: LoopRef,
+    /// Whether that loop lives in a launched (hot) kernel.
+    pub hot: bool,
+    /// Configuration name (`uu2`, `unroll4`, `unmerge`, …).
+    pub config: &'static str,
+    /// The transform behind `config`.
+    pub transform: Transform,
+}
+
+impl PointTask<'_> {
+    /// Compile + execute this point (cold loops reuse the baseline run)
+    /// and assert semantic equivalence for hot loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics on simulator faults or checksum mismatches — both indicate a
+    /// miscompilation and must abort the experiment, exactly as in the
+    /// serial sweep.
+    pub fn measure(&self) -> Measurement {
+        let what = format!(
+            "{}/{}/{}",
+            self.bench.info.name, self.loop_ref.func, self.config
+        );
+        let filter = LoopFilter::Only {
+            func: self.loop_ref.func.clone(),
+            loop_id: self.loop_ref.loop_id,
+        };
+        let skip = if self.hot { None } else { Some(self.base) };
+        let m = measure(self.bench, self.transform.clone(), filter, skip)
+            .unwrap_or_else(|e| panic!("{what}: {e}"));
+        if self.hot {
+            assert_equivalent(self.base, &m, &what);
+        }
+        m
+    }
 }
 
 /// The per-loop sweep configurations of the paper's Figures 6–8.

@@ -28,39 +28,40 @@ fn bench(name: &str) -> Benchmark {
 }
 
 /// Collect the three §V cases: XSBench @8, rainflow @4, complex @8.
+///
+/// The cases are independent (each builds its own module and GPU), so
+/// they fan out across the `UU_JOBS` pool; `uu-par`'s ordered merge keeps
+/// the report order fixed.
 pub fn collect() -> Vec<CounterCase> {
     let cases = [
         ("XSBench", "xs_lookup", 8u32),
         ("rainflow", "rainflow_scan", 4),
         ("complex", "complex_pow", 8),
     ];
-    cases
-        .iter()
-        .map(|(app, func, factor)| {
-            let b = bench(app);
-            let base = measure_baseline(&b).expect("baseline");
-            let uu = measure(
-                &b,
-                Transform::Uu {
-                    factor: *factor,
-                    unmerge: UnmergeOptions::default(),
-                },
-                LoopFilter::Only {
-                    func: (*func).to_string(),
-                    loop_id: 0,
-                },
-                None,
-            )
-            .expect("u&u");
-            assert!(uu.checksum == base.checksum, "{app} miscompiled");
-            CounterCase {
-                app: (*app).to_string(),
+    uu_par::par_map(&cases, |_, (app, func, factor)| {
+        let b = bench(app);
+        let base = measure_baseline(&b).expect("baseline");
+        let uu = measure(
+            &b,
+            Transform::Uu {
                 factor: *factor,
-                base,
-                uu,
-            }
-        })
-        .collect()
+                unmerge: UnmergeOptions::default(),
+            },
+            LoopFilter::Only {
+                func: (*func).to_string(),
+                loop_id: 0,
+            },
+            None,
+        )
+        .expect("u&u");
+        assert!(uu.checksum == base.checksum, "{app} miscompiled");
+        CounterCase {
+            app: (*app).to_string(),
+            factor: *factor,
+            base,
+            uu,
+        }
+    })
 }
 
 /// Emit `indepth.txt`: counter tables in the style of the paper's §V.

@@ -101,7 +101,8 @@ fn main() {
                     std::process::exit(2);
                 }
             };
-            for b in &benches {
+            // Compile in parallel; print in benchmark order.
+            let dumps = uu_par::par_map(&benches, |_, b| {
                 let mut m = (b.build)();
                 uu_core::compile(
                     &mut m,
@@ -110,16 +111,26 @@ fn main() {
                         ..Default::default()
                     },
                 );
+                let mut text = String::new();
                 for hot in b.info.hot_kernels {
                     if let Some(id) = m.find(hot) {
-                        println!("; {} under {config}\n{}", b.info.name, m.function(id));
+                        text.push_str(&format!(
+                            "; {} under {config}\n{}\n",
+                            b.info.name,
+                            m.function(id)
+                        ));
                     }
                 }
+                text
+            });
+            for d in dumps {
+                print!("{d}");
             }
         }
         "decisions" => {
             // Dump the heuristic's per-loop reasoning (paper §III-C).
-            for b in &benches {
+            // Compile in parallel; print in benchmark order.
+            let dumps = uu_par::par_map(&benches, |_, b| {
                 let mut m = (b.build)();
                 let outcome = uu_core::compile(
                     &mut m,
@@ -128,16 +139,20 @@ fn main() {
                         ..Default::default()
                     },
                 );
-                println!("== {} ==", b.info.name);
+                let mut text = format!("== {} ==\n", b.info.name);
                 for (func, d) in outcome.decisions {
-                    println!(
-                        "  {func:<24} loop@{:<6} p={:<4} s={:<5} -> {:?}",
+                    text.push_str(&format!(
+                        "  {func:<24} loop@{:<6} p={:<4} s={:<5} -> {:?}\n",
                         d.header.to_string(),
                         d.paths,
                         d.size,
                         d.decision
-                    );
+                    ));
                 }
+                text
+            });
+            for d in dumps {
+                print!("{d}");
             }
         }
         other => {

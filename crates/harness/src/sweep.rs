@@ -7,6 +7,7 @@
 
 use crate::experiment::{
     assert_equivalent, loop_list, measure, measure_baseline, sweep_configs, LoopRef, Measurement,
+    PointTask,
 };
 use crate::stats::median_of_20;
 use std::collections::hash_map::DefaultHasher;
@@ -95,45 +96,71 @@ fn seed_for(app: &str, l: &LoopRef, config: &str) -> u64 {
     h.finish()
 }
 
-/// Run the sweep for the given benchmarks.
+/// Run the sweep for the given benchmarks across `UU_JOBS` workers (see
+/// [`run_sweep_jobs`]).
 ///
 /// `fast` restricts cold loops to three per application (hot loops are
-/// always measured) — used by tests and the Criterion benches; the real
-/// figures use the full population.
+/// always measured) — used by tests and the benches; the real figures use
+/// the full population.
 pub fn run_sweep(benches: &[Benchmark], fast: bool) -> Sweep {
-    let mut points = Vec::new();
-    let mut apps = Vec::new();
-    for bench in benches {
-        let app = bench.info.name.to_string();
-        eprintln!("  sweeping {app} ({} loops)...", bench.info.table_loops);
-        let base = measure_baseline(bench).expect("baseline must run");
-        let baseline_med = median_of_20(base.time_ms, bench.info.paper_rsd_pct, seed_for(&app, &LoopRef { func: "baseline".into(), loop_id: 0 }, "base"));
+    run_sweep_jobs(benches, fast, uu_par::num_jobs())
+}
 
-        // Heuristic over all loops.
-        let heur = measure(
-            bench,
-            Transform::UuHeuristic(HeuristicOptions::default()),
-            LoopFilter::All,
-            None,
-        )
-        .expect("heuristic must run");
-        assert_equivalent(&base, &heur, &format!("{app} heuristic"));
-        let heuristic_med = median_of_20(
-            heur.time_ms,
-            bench.info.paper_rsd_pct,
-            seed_for(&app, &LoopRef { func: "heuristic".into(), loop_id: 0 }, "heur"),
-        );
-        apps.push(AppSummary {
-            app: app.clone(),
-            baseline: base.clone(),
-            heuristic: heur,
-            baseline_med,
-            heuristic_med,
-            rsd: bench.info.paper_rsd_pct,
-            rest_size: bench.info.binary_rest_size,
+/// [`run_sweep`] with an explicit worker count.
+///
+/// The product space is embarrassingly parallel and is walked in two
+/// fan-out phases: per-application baselines + heuristic runs first, then
+/// the flat (application, loop, configuration) point list. Every point is
+/// an isolated compile + simulate with its own noise-model seed
+/// ([`seed_for`] keys on the point, not on execution order), and `uu-par`
+/// merges results in input order, so the returned [`Sweep`] — and every
+/// report derived from it — is byte-identical at any worker count;
+/// `jobs = 1` runs the exact serial loop of old.
+pub fn run_sweep_jobs(benches: &[Benchmark], fast: bool, jobs: usize) -> Sweep {
+    // Phase 1: per-application baseline + whole-app heuristic.
+    let apps_and_bases: Vec<(AppSummary, Measurement)> =
+        uu_par::par_map_jobs(jobs, benches, |_, bench| {
+            let app = bench.info.name.to_string();
+            eprintln!("  sweeping {app} ({} loops)...", bench.info.table_loops);
+            let base = measure_baseline(bench).expect("baseline must run");
+            let baseline_med = median_of_20(
+                base.time_ms,
+                bench.info.paper_rsd_pct,
+                seed_for(&app, &LoopRef { func: "baseline".into(), loop_id: 0 }, "base"),
+            );
+            let heur = measure(
+                bench,
+                Transform::UuHeuristic(HeuristicOptions::default()),
+                LoopFilter::All,
+                None,
+            )
+            .expect("heuristic must run");
+            assert_equivalent(&base, &heur, &format!("{app} heuristic"));
+            let heuristic_med = median_of_20(
+                heur.time_ms,
+                bench.info.paper_rsd_pct,
+                seed_for(&app, &LoopRef { func: "heuristic".into(), loop_id: 0 }, "heur"),
+            );
+            let summary = AppSummary {
+                app,
+                baseline: base.clone(),
+                heuristic: heur,
+                baseline_med,
+                heuristic_med,
+                rsd: bench.info.paper_rsd_pct,
+                rest_size: bench.info.binary_rest_size,
+            };
+            (summary, base)
         });
 
-        // Per-loop sweep.
+    // Phase 2: flatten the per-loop product in the serial nested-loop
+    // order (bench → loop → config) and fan the measurements out. The
+    // task list fixes the output order up front; scheduling only decides
+    // who computes what.
+    let (apps, bases): (Vec<AppSummary>, Vec<Measurement>) =
+        apps_and_bases.into_iter().unzip();
+    let mut tasks: Vec<PointTask<'_>> = Vec::new();
+    for (bench, base) in benches.iter().zip(&bases) {
         let mut cold_seen = 0usize;
         for l in loop_list(bench) {
             let hot = bench.info.hot_kernels.contains(&l.func.as_str());
@@ -144,37 +171,46 @@ pub fn run_sweep(benches: &[Benchmark], fast: bool) -> Sweep {
                 }
             }
             for (cname, transform) in sweep_configs() {
-                let filter = LoopFilter::Only {
-                    func: l.func.clone(),
-                    loop_id: l.loop_id,
-                };
-                let skip = if hot { None } else { Some(&base) };
-                let m = measure(bench, transform, filter, skip)
-                    .unwrap_or_else(|e| panic!("{app}/{}/{cname}: {e}", l.func));
-                if hot {
-                    assert_equivalent(&base, &m, &format!("{app}/{}/{cname}", l.func));
-                }
-                let med = median_of_20(
-                    m.time_ms,
-                    bench.info.paper_rsd_pct,
-                    seed_for(&app, &l, cname),
-                );
-                let rest = bench.info.binary_rest_size as f64;
-                points.push(LoopPoint {
-                    app: app.clone(),
+                tasks.push(PointTask {
+                    bench,
+                    base,
                     loop_ref: l.clone(),
                     hot,
-                    config: cname.to_string(),
-                    speedup: baseline_med / med,
-                    size_ratio: (rest + m.code_size as f64)
-                        / (rest + base.code_size as f64),
-                    compile_ratio: (FRONTEND_MS + m.compile_ms)
-                        / (FRONTEND_MS + base.compile_ms),
-                    timed_out: m.timed_out,
+                    config: cname,
+                    transform,
                 });
             }
         }
     }
+    let measurements = uu_par::par_map_jobs(jobs, &tasks, |_, t| t.measure());
+
+    let points = tasks
+        .iter()
+        .zip(measurements)
+        .map(|(t, m)| {
+            let info = &t.bench.info;
+            let summary = apps
+                .iter()
+                .find(|a| a.app == info.name)
+                .expect("phase 1 covered every benchmark");
+            let med = median_of_20(
+                m.time_ms,
+                info.paper_rsd_pct,
+                seed_for(&summary.app, &t.loop_ref, t.config),
+            );
+            let rest = info.binary_rest_size as f64;
+            LoopPoint {
+                app: summary.app.clone(),
+                loop_ref: t.loop_ref.clone(),
+                hot: t.hot,
+                config: t.config.to_string(),
+                speedup: summary.baseline_med / med,
+                size_ratio: (rest + m.code_size as f64) / (rest + t.base.code_size as f64),
+                compile_ratio: (FRONTEND_MS + m.compile_ms) / (FRONTEND_MS + t.base.compile_ms),
+                timed_out: m.timed_out,
+            }
+        })
+        .collect();
     Sweep { points, apps }
 }
 

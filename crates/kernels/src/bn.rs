@@ -188,8 +188,8 @@ fn run(m: &Module, gpu: &mut Gpu) -> Result<RunOutput, ExecError> {
         KernelArg::I64(STEPS),
     ];
     launch_into(gpu, m, "bn_rescore", LaunchConfig::new(4, 32), &args2, &mut acc)?;
-    let out1 = gpu.mem.read_f64(bo1);
-    let out2 = gpu.mem.read_f64(bo2);
+    let out1 = gpu.mem.read_f64(bo1)?;
+    let out2 = gpu.mem.read_f64(bo2)?;
     Ok(RunOutput {
         kernel_time_ms: acc.0,
         metrics: acc.1,

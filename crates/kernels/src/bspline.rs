@@ -151,7 +151,7 @@ fn run(m: &Module, gpu: &mut Gpu) -> Result<RunOutput, ExecError> {
         ],
         &mut acc,
     )?;
-    let out = gpu.mem.read_f64(bo);
+    let out = gpu.mem.read_f64(bo)?;
     // A large surrounding application: most end-to-end time is transfers
     // (the paper's %C is only 11.7%).
     Ok(RunOutput {

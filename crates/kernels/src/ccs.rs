@@ -141,7 +141,7 @@ fn run(m: &Module, gpu: &mut Gpu) -> Result<RunOutput, ExecError> {
         ],
         &mut acc,
     )?;
-    let out = gpu.mem.read_f64(bo);
+    let out = gpu.mem.read_f64(bo)?;
     Ok(RunOutput {
         kernel_time_ms: acc.0,
         metrics: acc.1,

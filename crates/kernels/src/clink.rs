@@ -150,7 +150,7 @@ fn run(m: &Module, gpu: &mut Gpu) -> Result<RunOutput, ExecError> {
         ],
         &mut acc,
     )?;
-    let h = gpu.mem.read_f64(bh);
+    let h = gpu.mem.read_f64(bh)?;
     Ok(RunOutput {
         kernel_time_ms: acc.0,
         metrics: acc.1,

@@ -132,7 +132,7 @@ fn run(m: &Module, gpu: &mut Gpu) -> Result<RunOutput, ExecError> {
         &[KernelArg::Buffer(bi), KernelArg::Buffer(bo)],
         &mut acc,
     )?;
-    let out = gpu.mem.read_f64(bo);
+    let out = gpu.mem.read_f64(bo)?;
     Ok(RunOutput {
         kernel_time_ms: acc.0,
         metrics: acc.1,

@@ -134,7 +134,7 @@ fn run(m: &Module, gpu: &mut Gpu) -> Result<RunOutput, ExecError> {
         &[KernelArg::Buffer(bo), KernelArg::F64(SCALE)],
         &mut acc,
     )?;
-    let out = gpu.mem.read_i64(bo);
+    let out = gpu.mem.read_i64(bo)?;
     Ok(RunOutput {
         kernel_time_ms: acc.0,
         metrics: acc.1,

@@ -171,8 +171,8 @@ fn run(m: &Module, gpu: &mut Gpu) -> Result<RunOutput, ExecError> {
         ],
         &mut acc,
     )?;
-    let out = gpu.mem.read_f64(bo);
-    let after = gpu.mem.read_f64(bd);
+    let out = gpu.mem.read_f64(bo)?;
+    let after = gpu.mem.read_f64(bd)?;
     Ok(RunOutput {
         kernel_time_ms: acc.0,
         metrics: acc.1,

@@ -203,8 +203,8 @@ fn run(m: &Module, gpu: &mut Gpu) -> Result<RunOutput, ExecError> {
         ],
         &mut acc,
     )?;
-    let out = gpu.mem.read_f64(bout);
-    let yv = gpu.mem.read_f64(by);
+    let out = gpu.mem.read_f64(bout)?;
+    let yv = gpu.mem.read_f64(by)?;
     Ok(RunOutput {
         kernel_time_ms: acc.0,
         metrics: acc.1,

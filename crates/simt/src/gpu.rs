@@ -276,7 +276,7 @@ mod tests {
                 ],
             )
             .unwrap();
-        let out = gpu.mem.read_f64(bo);
+        let out = gpu.mem.read_f64(bo).unwrap();
         for i in 0..n {
             assert_eq!(out[i], 3.0 * i as f64);
         }
@@ -373,7 +373,7 @@ mod tests {
         let report = gpu
             .launch(&f, LaunchConfig::new(1, 32), &[KernelArg::Buffer(out)])
             .unwrap();
-        let vals = gpu.mem.read_i64(out);
+        let vals = gpu.mem.read_i64(out).unwrap();
         for t in 0..32i64 {
             assert_eq!(vals[t as usize], t * (t - 1) / 2, "lane {t}");
         }
@@ -424,7 +424,7 @@ mod tests {
         let out = gpu.mem.alloc_i64(&vec![0i64; 32]).unwrap();
         gpu.launch(&f, LaunchConfig::new(1, 32), &[KernelArg::Buffer(out)])
             .unwrap();
-        let vals = gpu.mem.read_i64(out);
+        let vals = gpu.mem.read_i64(out).unwrap();
         for t in 0..32i64 {
             let expect = if t % 2 == 1 {
                 if t > 16 {
@@ -457,7 +457,7 @@ mod tests {
             .launch(&f, LaunchConfig::new(1, 64), &[KernelArg::Buffer(buf)])
             .unwrap();
         assert_eq!(rep.metrics.thread_sync, 64);
-        assert_eq!(gpu.mem.read_i64(buf)[63], 63);
+        assert_eq!(gpu.mem.read_i64(buf).unwrap()[63], 63);
     }
 
     /// f32 loads/stores round-trip with correct widths and byte accounting.
@@ -479,7 +479,7 @@ mod tests {
         let rep = gpu
             .launch(&f, LaunchConfig::new(1, 32), &[KernelArg::Buffer(buf)])
             .unwrap();
-        assert_eq!(gpu.mem.read_f32(buf), vec![3.0f32; 32]);
+        assert_eq!(gpu.mem.read_f32(buf).unwrap(), vec![3.0f32; 32]);
         assert_eq!(rep.metrics.gld_bytes, 32 * 4);
         assert_eq!(rep.metrics.gst_bytes, 32 * 4);
         // 32 lanes x 4 bytes = 128 bytes = 4 sectors per access.

@@ -36,7 +36,7 @@
 //! let report = gpu
 //!     .launch(&f, LaunchConfig::new(2, 32), &[KernelArg::Buffer(buf)])
 //!     .unwrap();
-//! assert_eq!(gpu.mem.read_i64(buf)[63], 63);
+//! assert_eq!(gpu.mem.read_i64(buf).unwrap()[63], 63);
 //! assert!(report.time_ms > 0.0);
 //! ```
 //!

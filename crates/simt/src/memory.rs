@@ -179,49 +179,60 @@ impl GlobalMemory {
     }
 
     /// Read back a buffer as `f64`s.
-    pub fn read_f64(&self, b: Buffer) -> Vec<f64> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] for a dangling or foreign
+    /// [`Buffer`] whose range falls outside this memory's allocations —
+    /// like [`GlobalMemory::alloc`], host-side readback reports faults
+    /// instead of panicking.
+    pub fn read_f64(&self, b: Buffer) -> Result<Vec<f64>, MemError> {
         (0..b.len / 8)
             .map(|i| {
                 self.read_scalar(b.addr + i * 8, Type::F64)
-                    .expect("in-bounds")
-                    .as_f64()
-                    .unwrap()
+                    .map(|c| c.as_f64().unwrap())
             })
             .collect()
     }
 
     /// Read back a buffer as `i64`s.
-    pub fn read_i64(&self, b: Buffer) -> Vec<i64> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] for dangling/foreign buffers.
+    pub fn read_i64(&self, b: Buffer) -> Result<Vec<i64>, MemError> {
         (0..b.len / 8)
             .map(|i| {
                 self.read_scalar(b.addr + i * 8, Type::I64)
-                    .expect("in-bounds")
-                    .as_i64()
-                    .unwrap()
+                    .map(|c| c.as_i64().unwrap())
             })
             .collect()
     }
 
     /// Read back a buffer as `i32`s.
-    pub fn read_i32(&self, b: Buffer) -> Vec<i32> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] for dangling/foreign buffers.
+    pub fn read_i32(&self, b: Buffer) -> Result<Vec<i32>, MemError> {
         (0..b.len / 4)
             .map(|i| {
                 self.read_scalar(b.addr + i * 4, Type::I32)
-                    .expect("in-bounds")
-                    .as_i64()
-                    .unwrap() as i32
+                    .map(|c| c.as_i64().unwrap() as i32)
             })
             .collect()
     }
 
     /// Read back a buffer as `f32`s.
-    pub fn read_f32(&self, b: Buffer) -> Vec<f32> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] for dangling/foreign buffers.
+    pub fn read_f32(&self, b: Buffer) -> Result<Vec<f32>, MemError> {
         (0..b.len / 4)
             .map(|i| {
                 self.read_scalar(b.addr + i * 4, Type::F32)
-                    .expect("in-bounds")
-                    .as_f64()
-                    .unwrap() as f32
+                    .map(|c| c.as_f64().unwrap() as f32)
             })
             .collect()
     }
@@ -235,14 +246,41 @@ mod tests {
     fn alloc_and_roundtrip() {
         let mut m = GlobalMemory::new(1 << 20);
         let b = m.alloc_f64(&[1.0, 2.5, -3.0]).unwrap();
-        assert_eq!(m.read_f64(b), vec![1.0, 2.5, -3.0]);
+        assert_eq!(m.read_f64(b).unwrap(), vec![1.0, 2.5, -3.0]);
         let c = m.alloc_i64(&[7, -9]).unwrap();
-        assert_eq!(m.read_i64(c), vec![7, -9]);
+        assert_eq!(m.read_i64(c).unwrap(), vec![7, -9]);
         assert_ne!(b.addr, c.addr);
         let d = m.alloc_i32(&[1, 2, 3]).unwrap();
-        assert_eq!(m.read_i32(d), vec![1, 2, 3]);
+        assert_eq!(m.read_i32(d).unwrap(), vec![1, 2, 3]);
         let e = m.alloc_f32(&[0.5]).unwrap();
-        assert_eq!(m.read_f32(e), vec![0.5]);
+        assert_eq!(m.read_f32(e).unwrap(), vec![0.5]);
+    }
+
+    #[test]
+    fn dangling_and_foreign_buffers_fault_instead_of_panicking() {
+        let mut m = GlobalMemory::new(1 << 12);
+        // A buffer that was never allocated here (e.g. from another Gpu
+        // with more memory in use) must report OutOfBounds on readback.
+        let foreign = Buffer {
+            addr: m.used() + 4096,
+            len: 64,
+        };
+        assert!(matches!(
+            m.read_i64(foreign),
+            Err(MemError::OutOfBounds { .. })
+        ));
+        assert!(m.read_f64(foreign).is_err());
+        assert!(m.read_i32(foreign).is_err());
+        assert!(m.read_f32(foreign).is_err());
+        // A buffer overhanging the end of the heap faults too.
+        let b = m.alloc(16).unwrap();
+        let overhang = Buffer {
+            addr: b.addr,
+            len: m.used() - b.addr + 8,
+        };
+        assert!(m.read_i64(overhang).is_err());
+        // Null-page reads fault.
+        assert!(m.read_i64(Buffer { addr: 0, len: 8 }).is_err());
     }
 
     #[test]

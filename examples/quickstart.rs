@@ -83,7 +83,7 @@ fn run(f: &uu_ir::Function) -> (Vec<f64>, u64, f64) {
             &[KernelArg::Buffer(bf), KernelArg::Buffer(bo), KernelArg::I64(24)],
         )
         .unwrap();
-    (gpu.mem.read_f64(bo), rep.metrics.thread_insts(), rep.time_ms)
+    (gpu.mem.read_f64(bo).unwrap(), rep.metrics.thread_insts(), rep.time_ms)
 }
 
 fn main() {
