@@ -34,4 +34,27 @@ t3=$(date +%s)
 diff target/ci/fuzz-j1.txt target/ci/fuzz-j4.txt
 echo "fuzz smoke identical across UU_JOBS (serial $((t2-t1))s, 4 workers $((t3-t2))s)"
 
+echo "== fault-injection smoke: degraded reports must not depend on UU_JOBS =="
+# Three fault kinds (a pass panic, a silent miscompile, a one-shot memory
+# fault), each swept at one and four workers on one benchmark. The sweep
+# must complete, the fault report must record the degradation, and the
+# whole report directory must be byte-identical across worker counts
+# (see DESIGN.md "Fault tolerance & crash recovery").
+for fault in 'panic@3' 'miscompile@2:7' 'mem@40'; do
+  for jobs in 1 4; do
+    out="target/ci/fault-${fault//[@:]/-}-j${jobs}"
+    rm -rf "$out"
+    UU_FAULT="$fault" UU_JOBS="$jobs" \
+      ./target/release/uu-harness fig7 --fast --bench bezier-surface --out "$out" \
+      > /dev/null
+  done
+  diff -r "target/ci/fault-${fault//[@:]/-}-j1" "target/ci/fault-${fault//[@:]/-}-j4"
+  # The fault report must actually record a degradation, not a clean run.
+  if grep -q 'ran cleanly' "target/ci/fault-${fault//[@:]/-}-j1/faults.txt"; then
+    echo "fault $fault left no trace in faults.txt" >&2
+    exit 1
+  fi
+  echo "fault $fault: contained, diagnosed, identical across UU_JOBS"
+done
+
 echo "ci.sh: all green"

@@ -32,6 +32,8 @@ fn run(b: &uu_kernels::Benchmark, opts: PipelineOptions) -> Measurement {
         timed_out: outcome.timed_out,
         metrics: run.metrics,
         transfer_ms: run.transfer_ms(),
+        rung: outcome.rung,
+        diag: outcome.failure_summary(),
     }
 }
 

@@ -258,7 +258,13 @@ impl Harness {
         let dir = std::env::var("UU_BENCH_DIR").unwrap_or_else(|_| "target/uu-bench".to_string());
         let json = self.to_json();
         let path = std::path::Path::new(&dir).join(format!("{}.json", self.suite));
-        if let Err(e) = std::fs::create_dir_all(&dir).and_then(|_| std::fs::write(&path, &json)) {
+        // Atomic: write a sibling temp file, then rename — a killed run
+        // never leaves truncated JSON behind.
+        let tmp = std::path::Path::new(&dir).join(format!(".{}.json.tmp", self.suite));
+        if let Err(e) = std::fs::create_dir_all(&dir)
+            .and_then(|_| std::fs::write(&tmp, &json))
+            .and_then(|_| std::fs::rename(&tmp, &path))
+        {
             eprintln!("uu-bench: could not write {}: {e}", path.display());
         } else {
             eprintln!("uu-bench: wrote {}", path.display());

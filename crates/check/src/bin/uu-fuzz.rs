@@ -14,10 +14,18 @@
 //!
 //! Exit status: 0 when the corpus and every novel case pass; 1 with the
 //! shrunk counterexample — printed in the corpus `.seed` format, ready to
-//! be checked in — when the oracle finds a miscompilation.
+//! be checked in — when the oracle finds a miscompilation. A miscompile
+//! is additionally bisected to the first bad pass invocation and a
+//! replayable crash report is written under `crash-reports/`
+//! (`UU_CRASH_DIR` overrides).
+//!
+//! `UU_FAULT=<kind>@<index>[:<seed>]` injects a deterministic fault into
+//! every compile (see `uu_core::recover`), exercising exactly this
+//! containment and bisection machinery.
 
 use uu_check::rng::Rng;
 use uu_check::{case_seeds, check_result, Config, DiffOracle, Gen, KernelSpec};
+use uu_core::FaultPlan;
 
 /// FNV-1a over the spec's canonical text — a cheap, dependency-free digest
 /// that makes each stdout line witness the exact case generated.
@@ -33,6 +41,10 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 fn main() {
     let cfg = Config::from_env(200);
     let oracle = DiffOracle::default();
+    let fault = FaultPlan::from_env();
+    if let Some(p) = &fault {
+        println!("fault plan: {p}");
+    }
     let started = std::time::Instant::now();
 
     // Phase 1: corpus replay — historical counterexamples must keep
@@ -41,7 +53,12 @@ fn main() {
     let corpus = uu_check::corpus::load_corpus();
     let replay =
         uu_par::par_map_jobs(cfg.jobs, &corpus, |_, (name, spec)| {
-            (name.clone(), oracle.check_spec(spec))
+            (
+                name.clone(),
+                oracle
+                    .check_spec_detailed(spec, fault)
+                    .map_err(|e| e.message),
+            )
         });
     let mut failed = false;
     for (name, outcome) in &replay {
@@ -74,7 +91,11 @@ fn main() {
         );
     }
     let fuzz_started = std::time::Instant::now();
-    match check_result::<KernelSpec, _>("diff_oracle", &cfg, |spec| oracle.check_spec(spec)) {
+    match check_result::<KernelSpec, _>("diff_oracle", &cfg, |spec| {
+        oracle
+            .check_spec_detailed(spec, fault)
+            .map_err(|e| e.message)
+    }) {
         Ok(n) => {
             println!("ok: {} corpus specs + {n} novel cases", corpus.len());
             eprintln!(
@@ -87,6 +108,31 @@ fn main() {
             println!("{failure}");
             println!("--- shrunk spec (corpus .seed format) ---");
             println!("{}", failure.shrunk);
+            // Bisect the shrunk counterexample to the first bad pass and
+            // persist a replayable crash report. Both the bisection and
+            // the artifact content are deterministic, so this block keeps
+            // stdout byte-identical across UU_JOBS values.
+            if let Err(of) = oracle.check_spec_detailed(&failure.shrunk, fault) {
+                if let Some(t) = of.transform {
+                    match uu_check::bisect(&failure.shrunk, &t, fault) {
+                        Ok(report) => {
+                            println!(
+                                "--- bisected: first bad pass {}#{}@{} ({} recompiles over {} invocations) ---",
+                                report.first_bad.pass,
+                                report.first_bad.index,
+                                report.first_bad.function,
+                                report.recompiles,
+                                report.total_invocations
+                            );
+                            match uu_check::write_crash_report(&report) {
+                                Ok(path) => println!("crash report: {}", path.display()),
+                                Err(e) => println!("crash report write failed: {e}"),
+                            }
+                        }
+                        Err(e) => println!("--- bisection inconclusive: {e} ---"),
+                    }
+                }
+            }
             eprintln!(
                 "fuzz: failed after {:.1?} ({} workers)",
                 fuzz_started.elapsed(),

@@ -19,18 +19,24 @@
 //!   verifier-clean IR after every pass — the repo's core correctness
 //!   argument (paper §IV);
 //! * [`corpus`] — a checked-in `.seed` regression corpus replayed before
-//!   novel fuzzing, so historical counterexamples keep running.
+//!   novel fuzzing, so historical counterexamples keep running;
+//! * [`bisect`] — opt-bisect over the pipeline's pass-invocation counter:
+//!   given an oracle-detected miscompile, binary-search to the first bad
+//!   pass and write a replayable crash-report artifact (the native
+//!   `-opt-bisect-limit` + `CrashRecoveryContext` workflow).
 
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod bisect;
 pub mod corpus;
 pub mod gen;
 pub mod oracle;
 pub mod rng;
 pub mod runner;
 
+pub use bisect::{bisect, write_crash_report, BisectReport};
 pub use gen::Gen;
-pub use oracle::{build_kernel, execute, DiffOracle, KernelSpec};
+pub use oracle::{build_kernel, execute, DiffOracle, KernelSpec, OracleFailure};
 pub use rng::{Rng, SplitMix64};
 pub use runner::{case_seeds, check, check_result, Config, Failure};

@@ -308,7 +308,12 @@ pub fn build_kernel(spec: &KernelSpec) -> Function {
 /// Returns the simulator fault message if the launch traps — after a
 /// verifier-clean compile that always indicates a miscompilation.
 pub fn execute(f: &Function, spec: &KernelSpec) -> Result<Vec<i64>, String> {
-    let mut gpu = Gpu::new();
+    // A tight step budget: spec kernels run a few hundred instructions, so
+    // a compile that breaks termination trips the watchdog in microseconds
+    // instead of grinding through the production default.
+    let mut params = uu_simt::GpuParams::default();
+    params.max_warp_insts = 2_000_000;
+    let mut gpu = Gpu::with_params(params);
     let out = gpu
         .mem
         .alloc_i64(&vec![0i64; 32])
@@ -363,32 +368,72 @@ impl Default for DiffOracle {
     }
 }
 
+/// A structured oracle verdict: what failed, under which configuration.
+///
+/// [`DiffOracle::check_spec`] flattens this to a string for the property
+/// runner; the bisector consumes it directly to know *which* transform to
+/// bisect.
+#[derive(Debug, Clone)]
+pub struct OracleFailure {
+    /// The failing pipeline configuration; `None` means the raw kernel
+    /// itself failed (a generator bug, not a compiler bug).
+    pub transform: Option<Transform>,
+    /// Human-readable diagnosis (verifier report, trap, or output diff).
+    pub message: String,
+}
+
+impl std::fmt::Display for OracleFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
 impl DiffOracle {
     /// Check one spec end-to-end. `Err` carries a human-readable diagnosis
     /// (invalid IR after a pass, a simulator trap, or diverging outputs).
     pub fn check_spec(&self, spec: &KernelSpec) -> Result<(), String> {
+        self.check_spec_detailed(spec, None).map_err(|f| f.message)
+    }
+
+    /// Like [`check_spec`](DiffOracle::check_spec), but returns the failing
+    /// transform so callers can hand it to the bisector, and accepts a
+    /// fault-injection plan forwarded to every compile (used by the fault
+    /// matrix tests and `UU_FAULT` runs).
+    pub fn check_spec_detailed(
+        &self,
+        spec: &KernelSpec,
+        fault: Option<uu_core::FaultPlan>,
+    ) -> Result<(), OracleFailure> {
+        let raw = |message: String| OracleFailure { transform: None, message };
         let kernel = build_kernel(spec);
         uu_ir::verify_function(&kernel)
-            .map_err(|e| format!("generator produced invalid IR: {e}"))?;
-        let golden = execute(&kernel, spec)?;
+            .map_err(|e| raw(format!("generator produced invalid IR: {e}")))?;
+        let golden = execute(&kernel, spec).map_err(raw)?;
         for t in &self.transforms {
             let label = format!("{t:?}");
+            let fail = |message: String| OracleFailure {
+                transform: Some(t.clone()),
+                message,
+            };
             let mut m = Module::new("oracle");
             let id = m.add_function(kernel.clone());
-            compile(
+            let out = compile(
                 &mut m,
                 &PipelineOptions {
                     transform: t.clone(),
                     filter: LoopFilter::All,
+                    fault,
                     ..Default::default()
                 },
             );
-            uu_ir::verify_module(&m).map_err(|e| format!("invalid IR after {label}: {e}"))?;
-            let got = execute(m.function(id), spec)?;
+            if let Some(e) = &out.verify_error {
+                return Err(fail(format!("invalid IR after {label}: {e}")));
+            }
+            let got = execute(m.function(id), spec).map_err(&fail)?;
             if got != golden {
-                return Err(format!(
+                return Err(fail(format!(
                     "config {label} diverged\n  want: {golden:?}\n  got:  {got:?}\n  spec:\n{spec}"
-                ));
+                )));
             }
         }
         Ok(())

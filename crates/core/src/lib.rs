@@ -68,6 +68,7 @@ pub mod heuristic;
 pub mod loopsimplify;
 pub mod opt;
 pub mod pipeline;
+pub mod recover;
 pub mod runtime_unroll;
 pub mod unmerge;
 pub mod unroll;
@@ -76,6 +77,9 @@ pub mod uu;
 pub use heuristic::{Decision, HeuristicOptions};
 pub use pipeline::{
     compile, CompileOutcome, LoopFilter, PassPosition, PipelineOptions, Transform, WORK_PER_MS,
+};
+pub use recover::{
+    FailureReason, FaultKind, FaultPlan, PassFailure, PassInvocation, Rung,
 };
 pub use unmerge::{UnmergeMode, UnmergeOptions};
 pub use uu::{uu_loop, UuOptions};

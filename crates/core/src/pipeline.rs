@@ -1,4 +1,4 @@
-//! Pipeline configurations and the pass manager.
+//! Pipeline configurations and the fault-tolerant pass manager.
 //!
 //! Reproduces the paper's five measurement configurations (§IV-B):
 //!
@@ -15,6 +15,18 @@
 //! the paper does, so every subsequent optimization can exploit the
 //! duplicated control flow. [`PassPosition::Late`] exists for the ablation
 //! showing why a late position is ineffective.
+//!
+//! ## Crash recovery
+//!
+//! Every pass invocation is *guarded* (see [`crate::recover`]): the
+//! function is snapshotted, the pass runs under `catch_unwind`, and any
+//! change is re-verified. A panicking or verifier-rejected pass is rolled
+//! back and recorded as a [`PassFailure`] instead of aborting the compile;
+//! [`CompileOutcome::rung`] reports which rung of the degradation ladder
+//! the compile landed on. An opt-bisect limit
+//! ([`PipelineOptions::bisect_limit`]) skips pass invocations past a
+//! given index, which is what lets `uu-check` binary-search a miscompile
+//! down to the first bad pass.
 
 use crate::baseline_unroll::{baseline_unroll, BaselineUnrollOptions};
 use crate::heuristic::{run_heuristic, HeuristicOptions, LoopDecision};
@@ -22,9 +34,14 @@ use crate::opt::{
     condprop::CondProp, dce::Dce, gvn::Gvn, ifconvert::IfConvert, instsimplify::InstSimplify,
     sccp::Sccp, simplifycfg::SimplifyCfg, Pass,
 };
+use crate::recover::{
+    corrupt_function, miscompile_function, panic_message, FailureReason, FaultKind, FaultPlan,
+    PassFailure, PassInvocation, Rung,
+};
 use crate::unmerge::UnmergeOptions;
 use crate::unroll::unroll_loop;
 use crate::uu::{uu_loop, UuOptions};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 use uu_analysis::{DomTree, LoopForest};
 use uu_ir::Module;
@@ -100,6 +117,20 @@ pub struct PipelineOptions {
     /// clock (see [`WORK_PER_MS`]), not wall time, so whether a
     /// configuration times out is a pure function of the input.
     pub timeout: Option<Duration>,
+    /// Guard every pass invocation with `catch_unwind` + snapshot +
+    /// post-pass verification, walking the degradation ladder on failure.
+    /// On (the default) for every production path; turning it off
+    /// reproduces the old abort-on-first-failure behaviour for debugging.
+    pub guard: bool,
+    /// Deterministic fault-injection plan (see [`FaultPlan`]); `None` in
+    /// production. [`FaultKind::Mem`] plans are ignored here — they target
+    /// the simulator and are armed by the harness.
+    pub fault: Option<FaultPlan>,
+    /// Opt-bisect limit: pass invocations with index `>= limit` are
+    /// skipped (LLVM's `-opt-bisect-limit`). Invocation `i` behaves
+    /// identically under every limit `> i`, so a binary search over the
+    /// limit pinpoints the first bad pass.
+    pub bisect_limit: Option<u64>,
 }
 
 impl Default for PipelineOptions {
@@ -111,6 +142,9 @@ impl Default for PipelineOptions {
             max_rounds: 8,
             baseline_unroll: BaselineUnrollOptions::default(),
             timeout: None,
+            guard: true,
+            fault: None,
+            bisect_limit: None,
         }
     }
 }
@@ -172,6 +206,23 @@ pub struct CompileOutcome {
     pub timed_out: bool,
     /// Heuristic decisions (only for [`Transform::UuHeuristic`]).
     pub decisions: Vec<(String, LoopDecision)>,
+    /// Contained pass failures, in invocation order (empty on a clean
+    /// compile).
+    pub failures: Vec<PassFailure>,
+    /// Which rung of the degradation ladder the compile landed on.
+    pub rung: Rung,
+    /// The executed pass invocations (the opt-bisect log). Skipped
+    /// invocations — past [`PipelineOptions::bisect_limit`] — are absent;
+    /// entries carry their stable index.
+    pub pass_log: Vec<PassInvocation>,
+    /// The final whole-module verification result, surfaced instead of
+    /// panicked: `None` means the emitted module verifies. With guarding
+    /// on this is always `None` — an unverifiable module degrades to
+    /// [`Rung::Unoptimized`], restoring the input — but the diagnostic
+    /// that forced the restore is kept in [`failures`].
+    ///
+    /// [`failures`]: CompileOutcome::failures
+    pub verify_error: Option<String>,
 }
 
 impl CompileOutcome {
@@ -183,24 +234,56 @@ impl CompileOutcome {
             .map(|t| t.elapsed)
             .sum()
     }
+
+    /// One-line summary of all contained failures (empty when clean) —
+    /// the diagnostic string sweep reports carry per data point.
+    pub fn failure_summary(&self) -> String {
+        self.failures
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
 }
 
-struct Timer {
+/// Pass names that belong to the transform under measurement (not the
+/// baseline pipeline): a contained failure in one of these means the
+/// config effectively ran without u&u.
+fn is_transform_pass(name: &str) -> bool {
+    matches!(name, "unroll" | "unmerge" | "uu" | "uu-heuristic")
+}
+
+struct Ctx {
     timings: Vec<PassTiming>,
     start: Instant,
     work: u64,
     work_budget: Option<u64>,
     timed_out: bool,
+    // Recovery state.
+    guard: bool,
+    fault: Option<FaultPlan>,
+    bisect_limit: Option<u64>,
+    counter: u64,
+    pass_log: Vec<PassInvocation>,
+    failures: Vec<PassFailure>,
 }
 
-impl Timer {
-    fn new(timeout: Option<Duration>) -> Self {
-        Timer {
+impl Ctx {
+    fn new(opts: &PipelineOptions) -> Self {
+        Ctx {
             timings: Vec::new(),
             start: Instant::now(),
             work: 0,
-            work_budget: timeout.map(|t| (t.as_secs_f64() * 1e3 * WORK_PER_MS) as u64),
+            work_budget: opts
+                .timeout
+                .map(|t| (t.as_secs_f64() * 1e3 * WORK_PER_MS) as u64),
             timed_out: false,
+            guard: opts.guard,
+            fault: opts.fault,
+            bisect_limit: opts.bisect_limit,
+            counter: 0,
+            pass_log: Vec::new(),
+            failures: Vec::new(),
         }
     }
 
@@ -219,45 +302,181 @@ impl Timer {
             }
         }
     }
+
+    /// Run one guarded pass invocation of `name` over `f`. Returns whether
+    /// the pass reported a change that survived verification; a contained
+    /// failure rolls `f` back and returns `false`.
+    fn invoke(
+        &mut self,
+        f: &mut uu_ir::Function,
+        name: &'static str,
+        body: &mut dyn FnMut(&mut uu_ir::Function) -> bool,
+    ) -> bool {
+        let index = self.counter;
+        self.counter += 1;
+        if let Some(limit) = self.bisect_limit {
+            if index >= limit {
+                return false; // opt-bisect: pass skipped, no work charged
+            }
+        }
+        self.pass_log.push(PassInvocation {
+            index,
+            pass: name,
+            function: f.name().to_string(),
+        });
+        let fault = self.fault.filter(|p| p.at == index);
+        let t0 = Instant::now();
+
+        if !self.guard {
+            let changed = body(f);
+            self.record(name, t0.elapsed(), uu_analysis::cost::function_size(f));
+            return changed;
+        }
+
+        let snapshot = f.clone();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if matches!(fault, Some(p) if p.kind == FaultKind::Panic) {
+                panic!("injected fault: {}", fault.unwrap().spec());
+            }
+            body(f)
+        }));
+        let mut changed = match outcome {
+            Ok(c) => c,
+            Err(payload) => {
+                *f = snapshot;
+                self.record(name, t0.elapsed(), uu_analysis::cost::function_size(f));
+                self.failures.push(PassFailure {
+                    pass: name,
+                    index,
+                    function: f.name().to_string(),
+                    reason: FailureReason::Panic(panic_message(payload)),
+                    rolled_back: true,
+                });
+                return false;
+            }
+        };
+        // Post-pass fault effects.
+        let mut must_verify = false;
+        if let Some(p) = fault {
+            match p.kind {
+                FaultKind::Corrupt => {
+                    changed |= corrupt_function(f, p.seed);
+                    must_verify = true;
+                }
+                FaultKind::Miscompile => {
+                    changed |= miscompile_function(f, p.seed);
+                }
+                FaultKind::Exhaust => {
+                    self.timed_out = true;
+                    self.failures.push(PassFailure {
+                        pass: name,
+                        index,
+                        function: f.name().to_string(),
+                        reason: FailureReason::Budget(format!(
+                            "injected work-budget exhaustion: {}",
+                            p.spec()
+                        )),
+                        rolled_back: false,
+                    });
+                }
+                FaultKind::Panic | FaultKind::Mem => {}
+            }
+        }
+        // Post-pass verification, on change only: an untouched function was
+        // verified when it was produced, and skipping it keeps the guarded
+        // happy path close to the unguarded one.
+        if changed || must_verify {
+            if let Err(e) = uu_ir::verify_function(f) {
+                *f = snapshot;
+                self.record(name, t0.elapsed(), uu_analysis::cost::function_size(f));
+                self.failures.push(PassFailure {
+                    pass: name,
+                    index,
+                    function: f.name().to_string(),
+                    reason: FailureReason::Verifier(e.to_string()),
+                    rolled_back: true,
+                });
+                return false;
+            }
+        }
+        self.record(name, t0.elapsed(), uu_analysis::cost::function_size(f));
+        changed
+    }
 }
 
 /// Compile (optimize) a module under the given configuration.
+///
+/// Never panics on pass misbehaviour when [`PipelineOptions::guard`] is
+/// set (the default): failures are contained, rolled back, and reported
+/// through [`CompileOutcome::failures`] / [`CompileOutcome::rung`], with
+/// the whole-module verdict in [`CompileOutcome::verify_error`].
 pub fn compile(m: &mut Module, opts: &PipelineOptions) -> CompileOutcome {
-    let mut timer = Timer::new(opts.timeout);
+    let mut ctx = Ctx::new(opts);
     let mut decisions = Vec::new();
+    let snapshot = if opts.guard { Some(m.clone()) } else { None };
 
     if opts.position == PassPosition::Early {
-        apply_transform(m, opts, &mut timer, &mut decisions);
+        apply_transform(m, opts, &mut ctx, &mut decisions);
     }
-    optimize_module(m, opts, &mut timer);
-    if opts.position == PassPosition::Late && !timer.timed_out {
-        apply_transform(m, opts, &mut timer, &mut decisions);
+    optimize_module(m, opts, &mut ctx);
+    if opts.position == PassPosition::Late && !ctx.timed_out {
+        apply_transform(m, opts, &mut ctx, &mut decisions);
         // A single cleanup round after — the point of the ablation is that
         // the pipeline does not restart.
         let funcs: Vec<_> = m.iter().map(|(id, _)| id).collect();
         for id in funcs {
-            run_timed_cleanup(m.function_mut(id), 1, &mut timer);
+            run_timed_cleanup(m.function_mut(id), 1, &mut ctx);
         }
     }
 
+    // The degradation ladder's verdict: which rung did this compile land
+    // on, and does the emitted module verify?
+    let mut rung = if ctx.failures.iter().all(|f| matches!(f.reason, FailureReason::Budget(_))) {
+        Rung::Full
+    } else if ctx.failures.iter().any(|f| is_transform_pass(f.pass)) {
+        Rung::NoTransform
+    } else {
+        Rung::DroppedPass
+    };
+    let mut verify_error = uu_ir::verify_module(m).err().map(|e| e.to_string());
+    if let (Some(err), Some(snap)) = (&verify_error, snapshot) {
+        // Last rung: the recovered module still does not verify (a pass
+        // corrupted a function while reporting no change, slipping past
+        // the on-change check). Restore the caller's input verbatim.
+        ctx.failures.push(PassFailure {
+            pass: "module-verify",
+            index: ctx.counter,
+            function: "<module>".to_string(),
+            reason: FailureReason::Verifier(err.clone()),
+            rolled_back: true,
+        });
+        *m = snap;
+        rung = Rung::Unoptimized;
+        verify_error = uu_ir::verify_module(m).err().map(|e| e.to_string());
+    }
+
     CompileOutcome {
-        total: timer.start.elapsed(),
-        work: timer.work,
-        timed_out: timer.timed_out,
-        timings: timer.timings,
+        total: ctx.start.elapsed(),
+        work: ctx.work,
+        timed_out: ctx.timed_out,
+        timings: ctx.timings,
         decisions,
+        failures: ctx.failures,
+        rung,
+        pass_log: ctx.pass_log,
+        verify_error,
     }
 }
 
 fn apply_transform(
     m: &mut Module,
     opts: &PipelineOptions,
-    timer: &mut Timer,
+    ctx: &mut Ctx,
     decisions: &mut Vec<(String, LoopDecision)>,
 ) {
     let funcs: Vec<_> = m.iter().map(|(id, _)| id).collect();
     for id in funcs {
-        if timer.timed_out {
+        if ctx.timed_out {
             return;
         }
         let fname = m.function(id).name().to_string();
@@ -274,115 +493,130 @@ fn apply_transform(
                 vec![forest.loops()[*loop_id].header]
             }
         };
-        let t0 = Instant::now();
         match &opts.transform {
             Transform::Baseline => {}
             Transform::Unroll { factor } => {
-                for h in headers {
-                    let dom = DomTree::compute(f);
-                    let forest = LoopForest::compute(f, &dom);
-                    if let Some(l) = forest.loops().iter().find(|l| l.header == h).cloned() {
-                        if uu_analysis::convergence::loop_has_convergent(
-                            f,
-                            &forest,
-                            uu_analysis::LoopId(
-                                forest.loops().iter().position(|x| x.header == h).unwrap(),
-                            ),
-                        ) {
-                            continue;
-                        }
-                        if unroll_loop(f, l.header, &l.blocks, &l.latches, *factor).is_some() {
-                            // The stock unroller owns this loop now.
-                            f.set_loop_pragma(h, uu_ir::LoopPragma::NoUnroll);
+                let factor = *factor;
+                ctx.invoke(f, "unroll", &mut |f| {
+                    let mut changed = false;
+                    for &h in &headers {
+                        let dom = DomTree::compute(f);
+                        let forest = LoopForest::compute(f, &dom);
+                        if let Some(l) = forest.loops().iter().find(|l| l.header == h).cloned() {
+                            if uu_analysis::convergence::loop_has_convergent(
+                                f,
+                                &forest,
+                                uu_analysis::LoopId(
+                                    forest.loops().iter().position(|x| x.header == h).unwrap(),
+                                ),
+                            ) {
+                                continue;
+                            }
+                            if unroll_loop(f, l.header, &l.blocks, &l.latches, factor).is_some() {
+                                // The stock unroller owns this loop now.
+                                f.set_loop_pragma(h, uu_ir::LoopPragma::NoUnroll);
+                                changed = true;
+                            }
                         }
                     }
-                }
-                timer.record("unroll", t0.elapsed(), uu_analysis::cost::function_size(f));
+                    changed
+                });
             }
             Transform::Unmerge => {
-                for h in headers {
-                    uu_loop(
-                        f,
-                        h,
-                        &UuOptions {
-                            factor: 1,
-                            ..Default::default()
-                        },
-                    );
-                }
-                timer.record("unmerge", t0.elapsed(), uu_analysis::cost::function_size(f));
+                ctx.invoke(f, "unmerge", &mut |f| {
+                    let mut changed = false;
+                    for &h in &headers {
+                        changed |= uu_loop(
+                            f,
+                            h,
+                            &UuOptions {
+                                factor: 1,
+                                ..Default::default()
+                            },
+                        )
+                        .applied;
+                    }
+                    changed
+                });
             }
             Transform::Uu { factor, unmerge } => {
-                for h in headers {
-                    uu_loop(
-                        f,
-                        h,
-                        &UuOptions {
-                            factor: *factor,
-                            unmerge: *unmerge,
-                            ..Default::default()
-                        },
-                    );
-                }
-                timer.record("uu", t0.elapsed(), uu_analysis::cost::function_size(f));
+                let (factor, unmerge) = (*factor, *unmerge);
+                ctx.invoke(f, "uu", &mut |f| {
+                    let mut changed = false;
+                    for &h in &headers {
+                        changed |= uu_loop(
+                            f,
+                            h,
+                            &UuOptions {
+                                factor,
+                                unmerge,
+                                ..Default::default()
+                            },
+                        )
+                        .applied;
+                    }
+                    changed
+                });
             }
             Transform::UuHeuristic(hopts) => {
-                for d in run_heuristic(f, hopts) {
+                let mut local = Vec::new();
+                ctx.invoke(f, "uu-heuristic", &mut |f| {
+                    local = run_heuristic(f, hopts);
+                    !local.is_empty()
+                });
+                for d in std::mem::take(&mut local) {
                     decisions.push((fname.clone(), d));
                 }
-                timer.record("uu-heuristic", t0.elapsed(), uu_analysis::cost::function_size(f));
             }
         }
     }
 }
 
-fn optimize_module(m: &mut Module, opts: &PipelineOptions, timer: &mut Timer) {
+fn optimize_module(m: &mut Module, opts: &PipelineOptions, ctx: &mut Ctx) {
     let funcs: Vec<_> = m.iter().map(|(id, _)| id).collect();
     for id in funcs {
-        if timer.timed_out {
+        if ctx.timed_out {
             return;
         }
         let f = m.function_mut(id);
-        run_timed_cleanup(f, opts.max_rounds, timer);
-        if timer.timed_out {
+        run_timed_cleanup(f, opts.max_rounds, ctx);
+        if ctx.timed_out {
             return;
         }
-        let t0 = Instant::now();
-        baseline_unroll(f, &opts.baseline_unroll);
-        timer.record("baseline-unroll", t0.elapsed(), uu_analysis::cost::function_size(f));
-        run_timed_cleanup(f, opts.max_rounds, timer);
-        if timer.timed_out {
+        let bopts = opts.baseline_unroll;
+        ctx.invoke(f, "baseline-unroll", &mut |f| {
+            let stats = baseline_unroll(f, &bopts);
+            stats.full + stats.runtime + stats.pragma > 0
+        });
+        run_timed_cleanup(f, opts.max_rounds, ctx);
+        if ctx.timed_out {
             return;
         }
-        let t0 = Instant::now();
-        IfConvert.run(f);
-        timer.record("ifconvert", t0.elapsed(), uu_analysis::cost::function_size(f));
-        run_timed_cleanup(f, opts.max_rounds, timer);
+        ctx.invoke(f, "ifconvert", &mut |f| IfConvert.run(f));
+        run_timed_cleanup(f, opts.max_rounds, ctx);
     }
 }
 
-fn run_timed_cleanup(f: &mut uu_ir::Function, max_rounds: usize, timer: &mut Timer) {
+fn run_timed_cleanup(f: &mut uu_ir::Function, max_rounds: usize, ctx: &mut Ctx) {
     for _ in 0..max_rounds {
-        if timer.timed_out {
+        if ctx.timed_out {
             return;
         }
         let mut changed = false;
-        macro_rules! timed {
+        macro_rules! guarded {
             ($pass:expr) => {{
                 let mut p = $pass;
-                let t0 = Instant::now();
-                let c = p.run(f);
-                timer.record(p.name(), t0.elapsed(), uu_analysis::cost::function_size(f));
-                changed |= c;
+                let name = p.name();
+                changed |= ctx.invoke(f, name, &mut |f| p.run(f));
             }};
         }
-        timed!(SimplifyCfg::default());
-        timed!(InstSimplify);
-        timed!(Sccp);
-        timed!(SimplifyCfg::default());
-        timed!(Gvn);
-        timed!(CondProp);
-        timed!(Dce);
+        guarded!(SimplifyCfg::default());
+        guarded!(InstSimplify);
+        guarded!(Sccp);
+        guarded!(SimplifyCfg::default());
+        guarded!(Gvn);
+        guarded!(CondProp);
+        guarded!(Dce);
         if !changed {
             break;
         }
@@ -451,8 +685,15 @@ mod tests {
             };
             let out = compile(&mut m, &opts);
             assert!(!out.timed_out);
-            uu_ir::verify_module(&m)
-                .unwrap_or_else(|e| panic!("{e}\nconfig {:?}", opts.transform));
+            // The verifier verdict is carried in the outcome, not panicked
+            // from inside the pipeline.
+            assert_eq!(
+                out.verify_error, None,
+                "config {:?} produced invalid IR",
+                opts.transform
+            );
+            assert_eq!(out.rung, crate::recover::Rung::Full, "{:?}", opts.transform);
+            assert!(out.failures.is_empty(), "{:?}: {}", opts.transform, out.failure_summary());
         }
     }
 
@@ -517,7 +758,7 @@ mod tests {
     fn late_position_is_less_effective() {
         let run = |pos| {
             let mut m = branchy_module();
-            compile(
+            let out = compile(
                 &mut m,
                 &PipelineOptions {
                     transform: Transform::Uu {
@@ -528,7 +769,7 @@ mod tests {
                     ..Default::default()
                 },
             );
-            uu_ir::verify_module(&m).unwrap();
+            assert_eq!(out.verify_error, None, "position {pos:?}");
             let f = m.function(uu_ir::FuncId::from_index(0));
             f.iter_insts()
                 .filter(|(_, i)| matches!(i.kind, uu_ir::InstKind::Select { .. }))
@@ -583,6 +824,28 @@ mod tests {
     }
 
     #[test]
+    fn guarding_does_not_change_the_compile_clock() {
+        // The checked-in results were produced on the modeled clock; the
+        // guards must not perturb it on the happy path.
+        let run = |guard: bool| {
+            let mut m = branchy_module();
+            compile(
+                &mut m,
+                &PipelineOptions {
+                    transform: Transform::Uu {
+                        factor: 4,
+                        unmerge: UnmergeOptions::default(),
+                    },
+                    guard,
+                    ..Default::default()
+                },
+            )
+            .work
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
     fn work_budget_timeout_fires_deterministically() {
         // A one-work-unit budget trips on the first pass, every time,
         // independent of machine speed — and leaves valid IR behind.
@@ -595,12 +858,146 @@ mod tests {
                     ..Default::default()
                 },
             );
-            uu_ir::verify_module(&m).unwrap();
+            assert_eq!(out.verify_error, None);
             (out.timed_out, out.work)
         };
         let a = run();
         let b = run();
         assert!(a.0, "tiny budget must time out");
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn injected_panic_is_contained_and_rolled_back() {
+        use crate::recover::{FaultKind, FaultPlan};
+        // Panic the very first pass invocation (the uu transform): the
+        // compile must finish on the no-transform rung with valid IR
+        // identical in spirit to a baseline compile.
+        let mut m = branchy_module();
+        let out = compile(
+            &mut m,
+            &PipelineOptions {
+                transform: Transform::Uu {
+                    factor: 2,
+                    unmerge: UnmergeOptions::default(),
+                },
+                fault: Some(FaultPlan { kind: FaultKind::Panic, at: 0, seed: 0 }),
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.verify_error, None);
+        assert_eq!(out.rung, crate::recover::Rung::NoTransform);
+        assert_eq!(out.failures.len(), 1);
+        assert_eq!(out.failures[0].pass, "uu");
+        assert!(matches!(out.failures[0].reason, FailureReason::Panic(_)));
+        assert!(out.failures[0].rolled_back);
+        // The u&u never survived, so the baseline's predication remains.
+        let f = m.function(uu_ir::FuncId::from_index(0));
+        let selects = f
+            .iter_insts()
+            .filter(|(_, i)| matches!(i.kind, uu_ir::InstKind::Select { .. }))
+            .count();
+        assert!(selects >= 1, "rolled-back u&u must leave the baseline result");
+    }
+
+    #[test]
+    fn injected_corruption_is_caught_by_the_verifier_and_rolled_back() {
+        use crate::recover::{FaultKind, FaultPlan};
+        for at in [0u64, 2, 5] {
+            let mut m = branchy_module();
+            let out = compile(
+                &mut m,
+                &PipelineOptions {
+                    transform: Transform::Uu {
+                        factor: 2,
+                        unmerge: UnmergeOptions::default(),
+                    },
+                    fault: Some(FaultPlan { kind: FaultKind::Corrupt, at, seed: at }),
+                    ..Default::default()
+                },
+            );
+            assert_eq!(out.verify_error, None, "at {at}");
+            assert_eq!(out.failures.len(), 1, "at {at}");
+            assert!(
+                matches!(out.failures[0].reason, FailureReason::Verifier(_)),
+                "at {at}: {}",
+                out.failure_summary()
+            );
+        }
+    }
+
+    #[test]
+    fn injected_exhaustion_times_out_without_failing_the_compile() {
+        use crate::recover::{FaultKind, FaultPlan};
+        let mut m = branchy_module();
+        let out = compile(
+            &mut m,
+            &PipelineOptions {
+                fault: Some(FaultPlan { kind: FaultKind::Exhaust, at: 1, seed: 0 }),
+                ..Default::default()
+            },
+        );
+        assert!(out.timed_out, "injected exhaustion must trip the budget");
+        assert_eq!(out.verify_error, None, "exhaustion leaves valid IR");
+        assert_eq!(out.rung, crate::recover::Rung::Full);
+        assert!(out
+            .failures
+            .iter()
+            .any(|f| matches!(f.reason, FailureReason::Budget(_))));
+    }
+
+    #[test]
+    fn bisect_limit_prefixes_are_stable() {
+        // Invocation i must behave identically under every limit > i: the
+        // pass log under limit k is exactly the first k entries of the
+        // full log.
+        let full = {
+            let mut m = branchy_module();
+            compile(
+                &mut m,
+                &PipelineOptions {
+                    transform: Transform::Uu {
+                        factor: 2,
+                        unmerge: UnmergeOptions::default(),
+                    },
+                    ..Default::default()
+                },
+            )
+            .pass_log
+        };
+        assert!(full.len() > 4, "expected a multi-pass pipeline");
+        for k in [0usize, 1, 3, full.len() - 1] {
+            let mut m = branchy_module();
+            let out = compile(
+                &mut m,
+                &PipelineOptions {
+                    transform: Transform::Uu {
+                        factor: 2,
+                        unmerge: UnmergeOptions::default(),
+                    },
+                    bisect_limit: Some(k as u64),
+                    ..Default::default()
+                },
+            );
+            assert_eq!(out.verify_error, None, "limit {k}");
+            assert_eq!(&out.pass_log[..], &full[..k], "limit {k}");
+        }
+    }
+
+    #[test]
+    fn zero_bisect_limit_is_the_identity_compile() {
+        let mut m = branchy_module();
+        let before = format!("{}", m.function(uu_ir::FuncId::from_index(0)));
+        let out = compile(
+            &mut m,
+            &PipelineOptions {
+                bisect_limit: Some(0),
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.work, 0);
+        assert!(out.pass_log.is_empty());
+        let after = format!("{}", m.function(uu_ir::FuncId::from_index(0)));
+        assert_eq!(before, after, "limit 0 must not touch the module");
     }
 }

@@ -3,7 +3,7 @@
 //! (kernel time, binary size, compile time) plus hardware counters.
 
 use std::time::Duration;
-use uu_core::{compile, LoopFilter, PipelineOptions, Transform};
+use uu_core::{compile, FaultKind, FaultPlan, LoopFilter, PipelineOptions, Rung, Transform};
 use uu_kernels::Benchmark;
 use uu_simt::{ExecError, Gpu, Metrics};
 
@@ -26,6 +26,20 @@ pub struct Measurement {
     pub metrics: Metrics,
     /// Host↔device transfer time (for Table I's %C).
     pub transfer_ms: f64,
+    /// Which rung of the degradation ladder the compile landed on
+    /// ([`Rung::Full`] on a clean compile).
+    pub rung: Rung,
+    /// Contained-failure diagnostics: the compile's `PassFailure` summary
+    /// plus any runtime fault or equivalence violation. Empty when clean.
+    pub diag: String,
+}
+
+impl Measurement {
+    /// Whether this point is fully clean (no contained failures, full
+    /// optimization rung).
+    pub fn is_clean(&self) -> bool {
+        self.rung == Rung::Full && self.diag.is_empty()
+    }
 }
 
 /// A loop identified by function name + deterministic per-function index.
@@ -60,43 +74,109 @@ pub fn loop_list(bench: &Benchmark) -> Vec<LoopRef> {
 /// depends on machine load or worker count.
 pub const COMPILE_TIMEOUT: Duration = Duration::from_secs(20);
 
+/// A failed measurement: the simulator trapped, but the compile-side
+/// context (rung, diagnostics, modeled compile time) survives so callers
+/// can degrade the data point instead of dying.
+#[derive(Debug, Clone)]
+pub struct MeasureError {
+    /// The simulator fault.
+    pub exec: ExecError,
+    /// The compile's degradation rung.
+    pub rung: Rung,
+    /// The compile's contained-failure summary (may be empty — a clean
+    /// compile can still trap on an injected memory fault).
+    pub failures: String,
+    /// Modeled compile time of the failed point.
+    pub compile_ms: f64,
+    /// Code size of the compiled (but trapping) module.
+    pub code_size: u64,
+    /// Whether the compile timed out.
+    pub timed_out: bool,
+}
+
+impl std::fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "exec fault: {}", self.exec)?;
+        if !self.failures.is_empty() {
+            write!(f, " (compile: {})", self.failures)?;
+        }
+        Ok(())
+    }
+}
+
 /// Compile `bench` under `transform`/`filter`; execute the workload unless
 /// `skip_run` is set (used for cold loops, whose kernel time provably equals
 /// the baseline's because the workload never launches them).
 ///
+/// Reads `UU_FAULT` for a deterministic fault-injection plan; use
+/// [`measure_with`] to pass one explicitly (tests do).
+///
 /// # Errors
 ///
-/// Propagates simulator faults — which, after a verified compile, indicate a
-/// miscompilation and should abort the experiment.
+/// Returns a [`MeasureError`] when the simulator traps — after a verified
+/// compile that indicates a miscompilation (or an injected fault); callers
+/// degrade the point rather than aborting the sweep.
 pub fn measure(
     bench: &Benchmark,
     transform: Transform,
     filter: LoopFilter,
     skip_run: Option<&Measurement>,
-) -> Result<Measurement, ExecError> {
+) -> Result<Measurement, MeasureError> {
+    measure_with(bench, transform, filter, skip_run, FaultPlan::from_env())
+}
+
+/// [`measure`] with an explicit fault plan. Pass/verifier/budget faults go
+/// to the pipeline; [`FaultKind::Mem`] arms the simulated GPU's one-shot
+/// memory-fault countdown (`fault.at` counts accesses) instead.
+///
+/// # Errors
+///
+/// See [`measure`].
+pub fn measure_with(
+    bench: &Benchmark,
+    transform: Transform,
+    filter: LoopFilter,
+    skip_run: Option<&Measurement>,
+    fault: Option<FaultPlan>,
+) -> Result<Measurement, MeasureError> {
     let mut m = (bench.build)();
     let opts = PipelineOptions {
         transform,
         filter,
         timeout: Some(COMPILE_TIMEOUT),
+        fault: fault.filter(|p| p.kind != FaultKind::Mem),
         ..Default::default()
     };
     let outcome = compile(&mut m, &opts);
-    debug_assert!(uu_ir::verify_module(&m).is_ok());
+    debug_assert!(outcome.verify_error.is_none(), "guarded compile must emit valid IR");
     let code_size = uu_analysis::cost::module_size(&m);
+    let compile_ms = outcome.work as f64 / uu_core::WORK_PER_MS;
+    let failures = outcome.failure_summary();
     if let Some(base) = skip_run {
         return Ok(Measurement {
             time_ms: base.time_ms,
             code_size,
-            compile_ms: outcome.work as f64 / uu_core::WORK_PER_MS,
+            compile_ms,
             checksum: base.checksum,
             timed_out: outcome.timed_out,
             metrics: base.metrics,
             transfer_ms: base.transfer_ms,
+            rung: outcome.rung,
+            diag: failures,
         });
     }
     let mut gpu = Gpu::new();
-    let run = (bench.run)(&m, &mut gpu)?;
+    if let Some(p) = fault.filter(|p| p.kind == FaultKind::Mem) {
+        gpu.mem.inject_fault_after(p.at);
+    }
+    let run = (bench.run)(&m, &mut gpu).map_err(|exec| MeasureError {
+        exec,
+        rung: outcome.rung,
+        failures: failures.clone(),
+        compile_ms,
+        code_size,
+        timed_out: outcome.timed_out,
+    })?;
     // The application launches its kernels `launch_repeats` times; the
     // workload simulates one representative launch (counters stay
     // per-launch; ratios are unaffected).
@@ -104,16 +184,22 @@ pub fn measure(
     Ok(Measurement {
         time_ms: run.kernel_time_ms * repeats,
         code_size,
-        compile_ms: outcome.work as f64 / uu_core::WORK_PER_MS,
+        compile_ms,
         checksum: run.checksum,
         timed_out: outcome.timed_out,
         metrics: run.metrics,
         transfer_ms: run.transfer_ms(),
+        rung: outcome.rung,
+        diag: failures,
     })
 }
 
 /// Measure the baseline configuration of a benchmark.
-pub fn measure_baseline(bench: &Benchmark) -> Result<Measurement, ExecError> {
+///
+/// # Errors
+///
+/// See [`measure`].
+pub fn measure_baseline(bench: &Benchmark) -> Result<Measurement, MeasureError> {
     measure(bench, Transform::Baseline, LoopFilter::All, None)
 }
 
@@ -138,17 +224,21 @@ pub struct PointTask<'a> {
     pub config: &'static str,
     /// The transform behind `config`.
     pub transform: Transform,
+    /// Fault-injection plan forwarded to the compile/execute of this point
+    /// (`None` in production sweeps unless `UU_FAULT` is set).
+    pub fault: Option<FaultPlan>,
 }
 
 impl PointTask<'_> {
     /// Compile + execute this point (cold loops reuse the baseline run)
-    /// and assert semantic equivalence for hot loops.
+    /// and check semantic equivalence for hot loops.
     ///
-    /// # Panics
-    ///
-    /// Panics on simulator faults or checksum mismatches — both indicate a
-    /// miscompilation and must abort the experiment, exactly as in the
-    /// serial sweep.
+    /// Never panics: a simulator trap degrades the point to the baseline's
+    /// numbers (ratio 1.0) with the fault recorded in
+    /// [`Measurement::diag`], and a checksum mismatch — a miscompile —
+    /// is recorded the same way instead of aborting the sweep. Every
+    /// failure path is deterministic, so faulted sweeps stay
+    /// byte-identical at any worker count.
     pub fn measure(&self) -> Measurement {
         let what = format!(
             "{}/{}/{}",
@@ -159,10 +249,27 @@ impl PointTask<'_> {
             loop_id: self.loop_ref.loop_id,
         };
         let skip = if self.hot { None } else { Some(self.base) };
-        let m = measure(self.bench, self.transform.clone(), filter, skip)
-            .unwrap_or_else(|e| panic!("{what}: {e}"));
+        let mut m = match measure_with(self.bench, self.transform.clone(), filter, skip, self.fault)
+        {
+            Ok(m) => m,
+            Err(e) => {
+                let mut degraded = self.base.clone();
+                degraded.compile_ms = e.compile_ms;
+                degraded.code_size = e.code_size;
+                degraded.timed_out = e.timed_out;
+                degraded.rung = e.rung;
+                degraded.diag = format!("{what}: {e}");
+                return degraded;
+            }
+        };
         if self.hot {
-            assert_equivalent(self.base, &m, &what);
+            if let Some(d) = equivalence_diag(self.base, &m, &what) {
+                if m.diag.is_empty() {
+                    m.diag = d;
+                } else {
+                    m.diag = format!("{}; {d}", m.diag);
+                }
+            }
         }
         m
     }
@@ -191,19 +298,30 @@ pub fn sweep_configs() -> Vec<(&'static str, Transform)> {
     ]
 }
 
+/// Diagnose a semantic-equivalence violation: `Some(description)` when the
+/// transformed measurement's checksum diverges from the baseline's — a
+/// miscompilation, which must never be reported as a speedup.
+pub fn equivalence_diag(base: &Measurement, got: &Measurement, what: &str) -> Option<String> {
+    (got.checksum != base.checksum).then(|| {
+        format!(
+            "MISCOMPILE under {what}: checksum {} != baseline {}",
+            got.checksum, base.checksum
+        )
+    })
+}
+
 /// Assert that a transformed measurement preserved semantics.
+///
+/// Test helper; production sweeps record [`equivalence_diag`] instead of
+/// panicking.
 ///
 /// # Panics
 ///
-/// Panics on checksum mismatch — a miscompilation, which must never be
-/// reported as a speedup.
+/// Panics on checksum mismatch.
 pub fn assert_equivalent(base: &Measurement, got: &Measurement, what: &str) {
-    assert!(
-        got.checksum == base.checksum,
-        "MISCOMPILE under {what}: checksum {} != baseline {}",
-        got.checksum,
-        base.checksum
-    );
+    if let Some(d) = equivalence_diag(base, got, what) {
+        panic!("{d}");
+    }
 }
 
 #[cfg(test)]

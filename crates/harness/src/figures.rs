@@ -3,10 +3,15 @@
 use crate::report::{ascii_table, bar, write_csv, write_text};
 use crate::stats::{geomean, noisy_runs, rsd_pct};
 use crate::sweep::Sweep;
+use std::io;
 use std::path::Path;
 
 /// Emit `table1.txt` / `table1.csv`: the Table I reproduction.
-pub fn table1(sweep: &Sweep, out: &Path, benches: &[uu_kernels::Benchmark]) {
+///
+/// # Errors
+///
+/// Propagates report-write I/O failures.
+pub fn table1(sweep: &Sweep, out: &Path, benches: &[uu_kernels::Benchmark]) -> io::Result<()> {
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for (s, b) in sweep.apps.iter().zip(benches) {
@@ -56,16 +61,21 @@ pub fn table1(sweep: &Sweep, out: &Path, benches: &[uu_kernels::Benchmark]) {
             &rows
         )
     );
-    write_text(&out.join("table1.txt"), &text);
+    write_text(&out.join("table1.txt"), &text)?;
     write_csv(
         &out.join("table1.csv"),
         "name,loops,cli,compute_pct,baseline_mean_ms,baseline_rsd_pct,heuristic_mean_ms,heuristic_rsd_pct",
         &csv,
-    );
+    )?;
+    Ok(())
 }
 
 /// Emit Figure 6a/6b/6c data (`fig6{a,b,c}.csv`) and an ASCII summary.
-pub fn fig6(sweep: &Sweep, out: &Path) {
+///
+/// # Errors
+///
+/// Propagates report-write I/O failures.
+pub fn fig6(sweep: &Sweep, out: &Path) -> io::Result<()> {
     for (fig, field, label) in [
         ("fig6a", 0usize, "speedup"),
         ("fig6b", 1, "code size increase"),
@@ -79,20 +89,30 @@ pub fn fig6(sweep: &Sweep, out: &Path) {
         {
             let v = [p.speedup, p.size_ratio, p.compile_ratio][field];
             csv.push(format!(
-                "{},{},{},{},{:.6},{}",
-                p.app, p.loop_ref.func, p.loop_ref.loop_id, p.config, v, p.timed_out
+                "{},{},{},{},{:.6},{},{}",
+                p.app,
+                p.loop_ref.func,
+                p.loop_ref.loop_id,
+                p.config,
+                v,
+                p.timed_out,
+                p.rung.as_str()
             ));
         }
         // Heuristic rows (one per app).
         for s in &sweep.apps {
             let v = [s.speedup(), s.size_ratio(), s.compile_ratio()][field];
-            csv.push(format!("{},heuristic,,heuristic,{v:.6},false", s.app));
+            csv.push(format!(
+                "{},heuristic,,heuristic,{v:.6},false,{}",
+                s.app,
+                s.heuristic.rung.as_str()
+            ));
         }
         write_csv(
             &out.join(format!("{fig}.csv")),
-            "app,func,loop,config,value,timed_out",
+            "app,func,loop,config,value,timed_out,rung",
             &csv,
-        );
+        )?;
 
         // ASCII: per-app best/worst/heuristic.
         let mut rows = Vec::new();
@@ -128,12 +148,17 @@ pub fn fig6(sweep: &Sweep, out: &Path) {
             ascii_table(&["app", "min", "max", "heuristic", ""], &rows),
             geomean(&heur_all),
         );
-        write_text(&out.join(format!("{fig}.txt")), &text);
+        write_text(&out.join(format!("{fig}.txt")), &text)?;
     }
+    Ok(())
 }
 
 /// Emit Figure 7: per-application best speedup per configuration.
-pub fn fig7(sweep: &Sweep, out: &Path) {
+///
+/// # Errors
+///
+/// Propagates report-write I/O failures.
+pub fn fig7(sweep: &Sweep, out: &Path) -> io::Result<()> {
     let configs = ["uu2", "uu4", "uu8", "unroll2", "unroll4", "unroll8", "unmerge"];
     let mut rows = Vec::new();
     let mut csv = Vec::new();
@@ -160,17 +185,22 @@ pub fn fig7(sweep: &Sweep, out: &Path) {
             &rows
         )
     );
-    write_text(&out.join("fig7.txt"), &text);
+    write_text(&out.join("fig7.txt"), &text)?;
     write_csv(
         &out.join("fig7.csv"),
         "app,uu2,uu4,uu8,unroll2,unroll4,unroll8,unmerge",
         &csv,
-    );
+    )?;
+    Ok(())
 }
 
 /// Emit Figure 8a/8b scatter data: u&u speedup vs unroll (8a) / unmerge
 /// (8b) per loop.
-pub fn fig8(sweep: &Sweep, out: &Path) {
+///
+/// # Errors
+///
+/// Propagates report-write I/O failures.
+pub fn fig8(sweep: &Sweep, out: &Path) -> io::Result<()> {
     let mut a = Vec::new();
     let mut b = Vec::new();
     // Index once: (app, func, loop, config) → speedup (the sweep has one
@@ -220,12 +250,12 @@ pub fn fig8(sweep: &Sweep, out: &Path) {
         &out.join("fig8a.csv"),
         "app,func,loop,factor,uu_speedup,unroll_speedup",
         &a,
-    );
+    )?;
     write_csv(
         &out.join("fig8b.csv"),
         "app,func,loop,factor,uu_speedup,unmerge_speedup",
         &b,
-    );
+    )?;
     // ASCII summary: counts by region relative to the diagonal.
     let summarize = |rows: &[String], other: &str| -> String {
         let mut below = 0;
@@ -255,7 +285,88 @@ pub fn fig8(sweep: &Sweep, out: &Path) {
             summarize(&a, "unroll"),
             summarize(&b, "unmerge")
         ),
-    );
+    )?;
+    Ok(())
+}
+
+/// Emit `faults.csv` / `faults.txt`: the fault-tolerance report listing
+/// every data point that did not compile-and-run cleanly — its degradation
+/// rung and contained-failure diagnostics. Always written (an empty table
+/// on a clean sweep) so downstream tooling and the CI determinism diff see
+/// a stable file set.
+///
+/// # Errors
+///
+/// Propagates report-write I/O failures.
+pub fn faults(sweep: &Sweep, out: &Path) -> io::Result<()> {
+    // CSV-quote the diag column: diagnostics contain commas and newlines.
+    let quote = |s: &str| format!("\"{}\"", s.replace('"', "\"\"").replace('\n', " | "));
+    let mut csv = Vec::new();
+    let mut rows = Vec::new();
+    for s in &sweep.apps {
+        if s.baseline.rung != uu_core::Rung::Full
+            || s.heuristic.rung != uu_core::Rung::Full
+            || !s.diag.is_empty()
+        {
+            let rung = s.baseline.rung.max(s.heuristic.rung);
+            csv.push(format!(
+                "{},app,,heuristic,{},{}",
+                s.app,
+                rung.as_str(),
+                quote(&s.diag)
+            ));
+            rows.push(vec![
+                s.app.clone(),
+                "<app>".to_string(),
+                "heuristic".to_string(),
+                rung.as_str().to_string(),
+                truncate(&s.diag, 80),
+            ]);
+        }
+    }
+    for p in &sweep.points {
+        if p.rung == uu_core::Rung::Full && p.diag.is_empty() {
+            continue;
+        }
+        csv.push(format!(
+            "{},{},{},{},{},{}",
+            p.app,
+            p.loop_ref.func,
+            p.loop_ref.loop_id,
+            p.config,
+            p.rung.as_str(),
+            quote(&p.diag)
+        ));
+        rows.push(vec![
+            p.app.clone(),
+            format!("{}#{}", p.loop_ref.func, p.loop_ref.loop_id),
+            p.config.clone(),
+            p.rung.as_str().to_string(),
+            truncate(&p.diag, 80),
+        ]);
+    }
+    let text = if rows.is_empty() {
+        "Fault report — all points compiled and ran cleanly (rung: full)\n".to_string()
+    } else {
+        format!(
+            "Fault report — {} point(s) degraded or diagnosed\n{}",
+            rows.len(),
+            ascii_table(&["app", "loop", "config", "rung", "diagnostic"], &rows)
+        )
+    };
+    write_csv(&out.join("faults.csv"), "app,func,loop,config,rung,diag", &csv)?;
+    write_text(&out.join("faults.txt"), &text)?;
+    Ok(())
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    let one_line = s.replace('\n', " | ");
+    if one_line.chars().count() <= n {
+        one_line
+    } else {
+        let cut: String = one_line.chars().take(n).collect();
+        format!("{cut}…")
+    }
 }
 
 #[cfg(test)]
@@ -273,10 +384,11 @@ mod tests {
         let sweep = run_sweep(&benches, true);
         let dir = std::env::temp_dir().join("uu_fig_test");
         let _ = std::fs::remove_dir_all(&dir);
-        table1(&sweep, &dir, &benches);
-        fig6(&sweep, &dir);
-        fig7(&sweep, &dir);
-        fig8(&sweep, &dir);
+        table1(&sweep, &dir, &benches).unwrap();
+        fig6(&sweep, &dir).unwrap();
+        fig7(&sweep, &dir).unwrap();
+        fig8(&sweep, &dir).unwrap();
+        faults(&sweep, &dir).unwrap();
         for f in [
             "table1.txt",
             "table1.csv",
@@ -289,10 +401,15 @@ mod tests {
             "fig8a.csv",
             "fig8b.csv",
             "fig8.txt",
+            "faults.csv",
+            "faults.txt",
         ] {
             assert!(dir.join(f).exists(), "{f} missing");
         }
         let t1 = std::fs::read_to_string(dir.join("table1.txt")).unwrap();
         assert!(t1.contains("bezier-surface"));
+        // A clean sweep reports a clean fault table.
+        let ft = std::fs::read_to_string(dir.join("faults.txt")).unwrap();
+        assert!(ft.contains("cleanly"), "{ft}");
     }
 }

@@ -1,7 +1,7 @@
 //! §V in-depth analysis: hardware-counter deltas for XSBench, rainflow and
 //! complex — the paper's explanation of *why* u&u wins or loses.
 
-use crate::experiment::{measure, measure_baseline, Measurement};
+use crate::experiment::{equivalence_diag, measure, measure_baseline, Measurement};
 use crate::report::{ascii_table, write_text};
 use std::path::Path;
 use uu_core::{LoopFilter, Transform, UnmergeOptions};
@@ -31,7 +31,9 @@ fn bench(name: &str) -> Benchmark {
 ///
 /// The cases are independent (each builds its own module and GPU), so
 /// they fan out across the `UU_JOBS` pool; `uu-par`'s ordered merge keeps
-/// the report order fixed.
+/// the report order fixed. A case whose measurement faults (or whose
+/// checksums diverge — a miscompile) is dropped with a diagnostic on
+/// stderr rather than aborting the run; the report renders the survivors.
 pub fn collect() -> Vec<CounterCase> {
     let cases = [
         ("XSBench", "xs_lookup", 8u32),
@@ -40,8 +42,14 @@ pub fn collect() -> Vec<CounterCase> {
     ];
     uu_par::par_map(&cases, |_, (app, func, factor)| {
         let b = bench(app);
-        let base = measure_baseline(&b).expect("baseline");
-        let uu = measure(
+        let base = match measure_baseline(&b) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("indepth: {app} baseline failed: {e}");
+                return None;
+            }
+        };
+        let uu = match measure(
             &b,
             Transform::Uu {
                 factor: *factor,
@@ -52,20 +60,35 @@ pub fn collect() -> Vec<CounterCase> {
                 loop_id: 0,
             },
             None,
-        )
-        .expect("u&u");
-        assert!(uu.checksum == base.checksum, "{app} miscompiled");
-        CounterCase {
+        ) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("indepth: {app} u&u failed: {e}");
+                return None;
+            }
+        };
+        if let Some(d) = equivalence_diag(&base, &uu, app) {
+            eprintln!("indepth: {d}");
+            return None;
+        }
+        Some(CounterCase {
             app: (*app).to_string(),
             factor: *factor,
             base,
             uu,
-        }
+        })
     })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Emit `indepth.txt`: counter tables in the style of the paper's §V.
-pub fn report(cases: &[CounterCase], out: &Path) {
+///
+/// # Errors
+///
+/// Propagates report-write I/O failures.
+pub fn report(cases: &[CounterCase], out: &Path) -> std::io::Result<()> {
     let clock = uu_simt::GpuParams::default().clock_ghz;
     let warp = uu_simt::GpuParams::default().warp_size;
     let mut text = String::from("In-depth analysis (paper §V): counters baseline vs u&u\n\n");
@@ -103,7 +126,7 @@ pub fn report(cases: &[CounterCase], out: &Path) {
         text.push_str(&ascii_table(&["counter", "baseline", "u&u", "ratio"], &rows));
         text.push('\n');
     }
-    write_text(&out.join("indepth.txt"), &text);
+    write_text(&out.join("indepth.txt"), &text)
 }
 
 fn row(name: &str, base: f64, uu: f64) -> Vec<String> {

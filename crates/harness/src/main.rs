@@ -42,19 +42,28 @@ fn main() {
                 if fast { " (fast)" } else { "" }
             );
             let s = sweep::run_sweep(&benches, fast);
-            match cmd {
-                "table1" => figures::table1(&s, &out, &benches),
-                "fig6" | "fig6a" | "fig6b" | "fig6c" => figures::fig6(&s, &out),
-                "fig7" => figures::fig7(&s, &out),
-                "fig8" | "fig8a" | "fig8b" => figures::fig8(&s, &out),
-                _ => {
-                    figures::table1(&s, &out, &benches);
-                    figures::fig6(&s, &out);
-                    figures::fig7(&s, &out);
-                    figures::fig8(&s, &out);
-                    let cases = indepth::collect();
-                    indepth::report(&cases, &out);
+            let emitted = (|| -> std::io::Result<()> {
+                match cmd {
+                    "table1" => figures::table1(&s, &out, &benches)?,
+                    "fig6" | "fig6a" | "fig6b" | "fig6c" => figures::fig6(&s, &out)?,
+                    "fig7" => figures::fig7(&s, &out)?,
+                    "fig8" | "fig8a" | "fig8b" => figures::fig8(&s, &out)?,
+                    _ => {
+                        figures::table1(&s, &out, &benches)?;
+                        figures::fig6(&s, &out)?;
+                        figures::fig7(&s, &out)?;
+                        figures::fig8(&s, &out)?;
+                        let cases = indepth::collect();
+                        indepth::report(&cases, &out)?;
+                    }
                 }
+                // Every sweep-based command also emits the fault report,
+                // so a faulted run is diagnosable from the results dir.
+                figures::faults(&s, &out)
+            })();
+            if let Err(e) = emitted {
+                eprintln!("could not write results to {}: {e}", out.display());
+                std::process::exit(1);
             }
             eprintln!("wrote results to {}", out.display());
             // Print the headline table to stdout for quick inspection.
@@ -71,7 +80,10 @@ fn main() {
         }
         "indepth" => {
             let cases = indepth::collect();
-            indepth::report(&cases, &out);
+            if let Err(e) = indepth::report(&cases, &out) {
+                eprintln!("could not write results to {}: {e}", out.display());
+                std::process::exit(1);
+            }
             if let Ok(t) = std::fs::read_to_string(out.join("indepth.txt")) {
                 println!("{t}");
             }

@@ -1,36 +1,61 @@
 //! Text and CSV emission for the regenerated tables and figures.
+//!
+//! All writes are atomic (temp file + rename in the destination
+//! directory), so a run killed or faulted mid-write never leaves a
+//! truncated report behind — readers see either the old file or the
+//! complete new one. I/O errors are surfaced as [`std::io::Result`]s, not
+//! panics; the CLI turns them into a nonzero exit.
 
 use std::fs;
-use std::io::Write;
+use std::io;
 use std::path::Path;
 
-/// Write a CSV file with a header row.
+/// Atomically replace `path` with `contents`: write a sibling temp file
+/// (same directory, so the rename cannot cross filesystems) and rename it
+/// over the destination.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on I/O errors — the harness treats an unwritable results
-/// directory as fatal.
-pub fn write_csv(path: &Path, header: &str, rows: &[String]) {
-    if let Some(dir) = path.parent() {
-        fs::create_dir_all(dir).expect("create results directory");
+/// Propagates directory-creation, write and rename failures.
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        fs::create_dir_all(dir)?;
     }
-    let mut f = fs::File::create(path).expect("create csv");
-    writeln!(f, "{header}").unwrap();
-    for r in rows {
-        writeln!(f, "{r}").unwrap();
-    }
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp = path.with_file_name(format!(".{}.tmp", file_name.to_string_lossy()));
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = fs::remove_file(&tmp);
+    })
 }
 
-/// Write plain text.
+/// Write a CSV file with a header row (atomically).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on I/O errors.
-pub fn write_text(path: &Path, text: &str) {
-    if let Some(dir) = path.parent() {
-        fs::create_dir_all(dir).expect("create results directory");
+/// Propagates I/O errors — the harness treats an unwritable results
+/// directory as fatal and exits nonzero.
+pub fn write_csv(path: &Path, header: &str, rows: &[String]) -> io::Result<()> {
+    let mut s = String::with_capacity(header.len() + 1 + rows.iter().map(|r| r.len() + 1).sum::<usize>());
+    s.push_str(header);
+    s.push('\n');
+    for r in rows {
+        s.push_str(r);
+        s.push('\n');
     }
-    fs::write(path, text).expect("write text");
+    write_atomic(path, &s)
+}
+
+/// Write plain text (atomically).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_text(path: &Path, text: &str) -> io::Result<()> {
+    write_atomic(path, text)
 }
 
 /// Render a fixed-width ASCII table.
@@ -99,12 +124,24 @@ mod tests {
     fn csv_and_text_roundtrip() {
         let dir = std::env::temp_dir().join("uu_report_test");
         let p = dir.join("t.csv");
-        write_csv(&p, "a,b", &["1,2".to_string()]);
+        write_csv(&p, "a,b", &["1,2".to_string()]).unwrap();
         let s = std::fs::read_to_string(&p).unwrap();
         assert_eq!(s, "a,b\n1,2\n");
         let p2 = dir.join("t.txt");
-        write_text(&p2, "hello");
+        write_text(&p2, "hello").unwrap();
         assert_eq!(std::fs::read_to_string(&p2).unwrap(), "hello");
+        // Atomicity: no temp files linger after successful writes.
+        assert!(std::fs::read_dir(&dir).unwrap().all(|e| {
+            !e.unwrap().file_name().to_string_lossy().ends_with(".tmp")
+        }));
+    }
+
+    #[test]
+    fn unwritable_destination_surfaces_an_error() {
+        // A directory where the file should be → error, not panic.
+        let dir = std::env::temp_dir().join("uu_report_test_dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(write_text(&dir, "x").is_err());
     }
 
     #[test]

@@ -13,7 +13,9 @@ use uu_check::Rng;
 pub fn median(xs: &[f64]) -> f64 {
     assert!(!xs.is_empty(), "median of empty sample");
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // total_cmp: NaN-safe (a degraded measurement must not panic the
+    // median; NaNs sort to the ends and leave the middle untouched).
+    v.sort_by(f64::total_cmp);
     let n = v.len();
     if n % 2 == 1 {
         v[n / 2]

@@ -6,13 +6,12 @@
 //! baseline median.
 
 use crate::experiment::{
-    assert_equivalent, loop_list, measure, measure_baseline, sweep_configs, LoopRef, Measurement,
-    PointTask,
+    equivalence_diag, loop_list, measure_with, sweep_configs, LoopRef, Measurement, PointTask,
 };
 use crate::stats::median_of_20;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
-use uu_core::{HeuristicOptions, LoopFilter, Transform};
+use uu_core::{FaultPlan, HeuristicOptions, LoopFilter, Rung, Transform};
 use uu_kernels::Benchmark;
 
 /// Stand-in for the frontend + backend compile time that our pipeline does
@@ -41,6 +40,12 @@ pub struct LoopPoint {
     pub compile_ratio: f64,
     /// Whether compilation timed out.
     pub timed_out: bool,
+    /// Degradation-ladder rung the point's compile landed on
+    /// ([`Rung::Full`] when every pass succeeded).
+    pub rung: Rung,
+    /// Contained-failure diagnostics (pass failures, runtime faults,
+    /// equivalence violations); empty when clean.
+    pub diag: String,
 }
 
 /// Per-application summary of the heuristic configuration.
@@ -60,6 +65,9 @@ pub struct AppSummary {
     pub rsd: f64,
     /// Size of the non-kernel part of the binary (see `BenchmarkInfo`).
     pub rest_size: u64,
+    /// Baseline/heuristic contained-failure diagnostics; empty when both
+    /// app-level measurements are clean.
+    pub diag: String,
 }
 
 impl AppSummary {
@@ -106,7 +114,9 @@ pub fn run_sweep(benches: &[Benchmark], fast: bool) -> Sweep {
     run_sweep_jobs(benches, fast, uu_par::num_jobs())
 }
 
-/// [`run_sweep`] with an explicit worker count.
+/// [`run_sweep`] with an explicit worker count. Reads `UU_FAULT` for a
+/// deterministic fault-injection plan; [`run_sweep_faulted`] takes one
+/// explicitly.
 ///
 /// The product space is embarrassingly parallel and is walked in two
 /// fan-out phases: per-application baselines + heuristic runs first, then
@@ -115,32 +125,84 @@ pub fn run_sweep(benches: &[Benchmark], fast: bool) -> Sweep {
 /// ([`seed_for`] keys on the point, not on execution order), and `uu-par`
 /// merges results in input order, so the returned [`Sweep`] — and every
 /// report derived from it — is byte-identical at any worker count;
-/// `jobs = 1` runs the exact serial loop of old.
+/// `jobs = 1` runs the exact serial loop of old. Fault containment keeps
+/// this property: every degradation decision is a pure function of the
+/// point, never of scheduling.
 pub fn run_sweep_jobs(benches: &[Benchmark], fast: bool, jobs: usize) -> Sweep {
-    // Phase 1: per-application baseline + whole-app heuristic.
+    run_sweep_faulted(benches, fast, jobs, FaultPlan::from_env())
+}
+
+/// The baseline every other number is ratioed against must exist even when
+/// the baseline run itself faults (e.g. an injected memory fault): a
+/// sentinel with unit time keeps every downstream ratio finite and the
+/// report renderable, with the fault recorded in `diag`.
+fn sentinel_baseline(diag: String) -> Measurement {
+    Measurement {
+        time_ms: 1.0,
+        code_size: 1,
+        compile_ms: 0.0,
+        checksum: 0.0,
+        timed_out: false,
+        metrics: Default::default(),
+        transfer_ms: 0.0,
+        rung: Rung::Unoptimized,
+        diag,
+    }
+}
+
+/// [`run_sweep_jobs`] with an explicit fault-injection plan (tests inject
+/// directly instead of mutating the process environment).
+pub fn run_sweep_faulted(
+    benches: &[Benchmark],
+    fast: bool,
+    jobs: usize,
+    fault: Option<FaultPlan>,
+) -> Sweep {
+    // Phase 1: per-application baseline + whole-app heuristic. A faulted
+    // baseline or heuristic degrades to a diagnosed sentinel instead of
+    // aborting the sweep.
     let apps_and_bases: Vec<(AppSummary, Measurement)> =
         uu_par::par_map_jobs(jobs, benches, |_, bench| {
             let app = bench.info.name.to_string();
             eprintln!("  sweeping {app} ({} loops)...", bench.info.table_loops);
-            let base = measure_baseline(bench).expect("baseline must run");
+            let base = measure_with(bench, Transform::Baseline, LoopFilter::All, None, fault)
+                .unwrap_or_else(|e| sentinel_baseline(format!("{app}/baseline: {e}")));
             let baseline_med = median_of_20(
                 base.time_ms,
                 bench.info.paper_rsd_pct,
                 seed_for(&app, &LoopRef { func: "baseline".into(), loop_id: 0 }, "base"),
             );
-            let heur = measure(
+            let mut heur = measure_with(
                 bench,
                 Transform::UuHeuristic(HeuristicOptions::default()),
                 LoopFilter::All,
                 None,
+                fault,
             )
-            .expect("heuristic must run");
-            assert_equivalent(&base, &heur, &format!("{app} heuristic"));
+            .unwrap_or_else(|e| {
+                let mut h = base.clone();
+                h.rung = e.rung;
+                h.diag = format!("{app}/heuristic: {e}");
+                h
+            });
+            if let Some(d) = equivalence_diag(&base, &heur, &format!("{app} heuristic")) {
+                heur.diag = if heur.diag.is_empty() {
+                    d
+                } else {
+                    format!("{}; {d}", heur.diag)
+                };
+            }
             let heuristic_med = median_of_20(
                 heur.time_ms,
                 bench.info.paper_rsd_pct,
                 seed_for(&app, &LoopRef { func: "heuristic".into(), loop_id: 0 }, "heur"),
             );
+            let diag = [&base.diag, &heur.diag]
+                .iter()
+                .filter(|d| !d.is_empty())
+                .map(|d| d.as_str())
+                .collect::<Vec<_>>()
+                .join("; ");
             let summary = AppSummary {
                 app,
                 baseline: base.clone(),
@@ -149,6 +211,7 @@ pub fn run_sweep_jobs(benches: &[Benchmark], fast: bool, jobs: usize) -> Sweep {
                 heuristic_med,
                 rsd: bench.info.paper_rsd_pct,
                 rest_size: bench.info.binary_rest_size,
+                diag,
             };
             (summary, base)
         });
@@ -178,6 +241,7 @@ pub fn run_sweep_jobs(benches: &[Benchmark], fast: bool, jobs: usize) -> Sweep {
                     hot,
                     config: cname,
                     transform,
+                    fault,
                 });
             }
         }
@@ -208,6 +272,8 @@ pub fn run_sweep_jobs(benches: &[Benchmark], fast: bool, jobs: usize) -> Sweep {
                 size_ratio: (rest + m.code_size as f64) / (rest + t.base.code_size as f64),
                 compile_ratio: (FRONTEND_MS + m.compile_ms) / (FRONTEND_MS + t.base.compile_ms),
                 timed_out: m.timed_out,
+                rung: m.rung,
+                diag: m.diag,
             }
         })
         .collect();

@@ -123,9 +123,9 @@ pub(crate) fn launch_into(
     args: &[uu_simt::KernelArg],
     acc: &mut (f64, Metrics),
 ) -> Result<(), ExecError> {
-    let id = m
-        .find(kernel)
-        .unwrap_or_else(|| panic!("kernel @{kernel} missing from module"));
+    let id = m.find(kernel).ok_or_else(|| {
+        ExecError::BadArguments(format!("kernel @{kernel} missing from module"))
+    })?;
     let rep = gpu.launch(m.function(id), cfg, args)?;
     acc.0 += rep.time_ms;
     acc.1.merge(&rep.metrics);

@@ -26,8 +26,14 @@ pub enum ExecError {
         /// The instruction whose result was read.
         inst: InstId,
     },
-    /// The per-warp dynamic instruction limit was hit (runaway loop).
-    InstLimit,
+    /// The per-warp dynamic step budget was exhausted — the watchdog
+    /// against runaway (fuzz-generated nonterminating) kernels, which
+    /// trap deterministically here instead of hanging a worker.
+    StepBudgetExceeded {
+        /// The budget that was exceeded
+        /// ([`crate::GpuParams::max_warp_insts`]).
+        budget: u64,
+    },
     /// A phi had no incoming entry for the executing predecessor.
     MissingPhiIncoming {
         /// The phi instruction.
@@ -50,7 +56,9 @@ impl std::fmt::Display for ExecError {
             ExecError::UndefinedValue { inst } => {
                 write!(f, "read of undefined SSA value %{}", inst.index())
             }
-            ExecError::InstLimit => write!(f, "per-warp instruction limit exceeded"),
+            ExecError::StepBudgetExceeded { budget } => {
+                write!(f, "per-warp step budget of {budget} instructions exceeded")
+            }
             ExecError::MissingPhiIncoming { phi } => {
                 write!(f, "phi %{} has no incoming for predecessor", phi.index())
             }
@@ -270,7 +278,9 @@ impl<'a> Warp<'a> {
                 }
             }
             if self.executed > self.params.max_warp_insts {
-                return Err(ExecError::InstLimit);
+                return Err(ExecError::StepBudgetExceeded {
+                    budget: self.params.max_warp_insts,
+                });
             }
 
             // Phase 2: straight-line instructions and the terminator.
@@ -282,7 +292,9 @@ impl<'a> Warp<'a> {
                 issue += Self::issue_cost(&inst.kind);
                 self.executed += 1;
                 if self.executed > self.params.max_warp_insts {
-                    return Err(ExecError::InstLimit);
+                    return Err(ExecError::StepBudgetExceeded {
+                    budget: self.params.max_warp_insts,
+                });
                 }
                 match &inst.kind {
                     InstKind::Load { ptr } => {

@@ -487,7 +487,7 @@ mod tests {
     }
 
     #[test]
-    fn runaway_loop_hits_inst_limit() {
+    fn runaway_loop_hits_step_budget() {
         let mut f = Function::new("inf", vec![], Type::Void);
         let entry = f.entry();
         let mut b = FunctionBuilder::new(&mut f);
@@ -500,7 +500,7 @@ mod tests {
         params.max_warp_insts = 10_000;
         let mut gpu = Gpu::with_params(params);
         let err = gpu.launch(&f, LaunchConfig::new(1, 32), &[]).unwrap_err();
-        assert_eq!(err, ExecError::InstLimit);
+        assert_eq!(err, ExecError::StepBudgetExceeded { budget: 10_000 });
     }
 
     #[test]

@@ -27,6 +27,10 @@ pub enum MemError {
     },
     /// Device memory exhausted.
     OutOfMemory,
+    /// Deterministically injected fault (see
+    /// [`GlobalMemory::inject_fault_after`]) — exercises the harness's
+    /// fault-containment paths; never produced by real workloads.
+    Injected,
 }
 
 impl std::fmt::Display for MemError {
@@ -36,6 +40,7 @@ impl std::fmt::Display for MemError {
                 write!(f, "out of bounds access of {width} bytes at address {addr:#x}")
             }
             MemError::OutOfMemory => write!(f, "device memory exhausted"),
+            MemError::Injected => write!(f, "injected memory fault"),
         }
     }
 }
@@ -48,6 +53,9 @@ pub struct GlobalMemory {
     bytes: Vec<u8>,
     top: u64,
     capacity: u64,
+    // One-shot fault countdown: the (n+1)-th checked access traps with
+    // MemError::Injected. Cell so read paths (&self) can tick it.
+    fault_after: std::cell::Cell<Option<u64>>,
 }
 
 const ALIGN: u64 = 256;
@@ -59,7 +67,17 @@ impl GlobalMemory {
             bytes: Vec::new(),
             top: ALIGN, // address 0..ALIGN reserved (null page)
             capacity,
+            fault_after: std::cell::Cell::new(None),
         }
+    }
+
+    /// Arm a deterministic one-shot fault: after `n` further successful
+    /// checked accesses (reads or writes, host- or device-side), the next
+    /// access returns [`MemError::Injected`] and the countdown disarms.
+    /// Because the simulator executes warps in a fixed deterministic
+    /// order, the same `n` always faults the same access.
+    pub fn inject_fault_after(&mut self, n: u64) {
+        self.fault_after.set(Some(n));
     }
 
     /// Bytes currently allocated.
@@ -125,6 +143,14 @@ impl GlobalMemory {
     }
 
     fn check(&self, addr: u64, width: u64) -> Result<(), MemError> {
+        match self.fault_after.get() {
+            Some(0) => {
+                self.fault_after.set(None);
+                return Err(MemError::Injected);
+            }
+            Some(n) => self.fault_after.set(Some(n - 1)),
+            None => {}
+        }
         if addr < ALIGN || addr.saturating_add(width) > self.top {
             return Err(MemError::OutOfBounds { addr, width });
         }
@@ -301,6 +327,21 @@ mod tests {
         assert!(m.read_scalar(b.addr + 8, Type::I64).is_ok());
         assert!(m.read_scalar(m.used(), Type::I64).is_err());
         assert!(m.alloc(1 << 13).is_err());
+    }
+
+    #[test]
+    fn injected_fault_fires_once_at_the_armed_access() {
+        let mut m = GlobalMemory::new(1 << 12);
+        let b = m.alloc_i64(&[1, 2, 3, 4]).unwrap();
+        m.inject_fault_after(2);
+        assert!(m.read_scalar(b.addr, Type::I64).is_ok());
+        assert!(m.read_scalar(b.addr + 8, Type::I64).is_ok());
+        assert_eq!(
+            m.read_scalar(b.addr + 16, Type::I64),
+            Err(MemError::Injected)
+        );
+        // One-shot: the countdown disarms after firing.
+        assert!(m.read_scalar(b.addr + 16, Type::I64).is_ok());
     }
 
     #[test]

@@ -26,10 +26,11 @@ fn job_counts() -> Vec<usize> {
 /// return `(file name, bytes)` pairs sorted by name.
 fn render_all(s: &sweep::Sweep, benches: &[uu_kernels::Benchmark], dir: &Path) -> Vec<(String, Vec<u8>)> {
     std::fs::create_dir_all(dir).unwrap();
-    figures::table1(s, dir, benches);
-    figures::fig6(s, dir);
-    figures::fig7(s, dir);
-    figures::fig8(s, dir);
+    figures::table1(s, dir, benches).unwrap();
+    figures::fig6(s, dir).unwrap();
+    figures::fig7(s, dir).unwrap();
+    figures::fig8(s, dir).unwrap();
+    figures::faults(s, dir).unwrap();
     let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
         .unwrap()
         .map(|e| {
