@@ -57,4 +57,20 @@ for fault in 'panic@3' 'miscompile@2:7' 'mem@40'; do
   echo "fault $fault: contained, diagnosed, identical across UU_JOBS"
 done
 
+echo "== engine identity: checked-in results-fast/ must reproduce byte-identically =="
+# The decoded execution engine must not change a single reported byte
+# relative to the committed reports (the cycle model is engine-invariant).
+rm -rf target/ci/results-fast
+./target/release/uu-harness all --fast --out target/ci/results-fast > /dev/null
+diff -r results-fast target/ci/results-fast
+echo "results-fast reproduces byte-identically"
+
+echo "== simulator throughput bench smoke + BENCH_sim.json well-formedness =="
+# Smoke only — no thresholds; the JSON is the perf trajectory artifact.
+# Bench binaries run with CWD = the package dir, so the artifact dir
+# must be absolute to land under the workspace target/.
+UU_BENCH_SAMPLES=3 UU_BENCH_WARMUP_MS=20 UU_BENCH_DIR="$PWD/target/ci/uu-bench" \
+  cargo bench -q --offline -p uu-bench --bench sim > /dev/null
+./target/release/uu-jsonck target/ci/uu-bench/BENCH_sim.json
+
 echo "ci.sh: all green"

@@ -13,9 +13,10 @@
 //! (different threads read different cells, so the data is thread-varying).
 //! Kernel arguments are uniform (the same for all threads).
 
+use crate::dominators::DomTree;
 use crate::loops::{LoopForest, LoopId};
 use std::collections::HashSet;
-use uu_ir::{Function, InstId, InstKind, Intrinsic, Value};
+use uu_ir::{BlockId, Function, InstId, InstKind, Intrinsic, Value};
 
 /// Result of the taint analysis: the set of thread-dependent (divergent)
 /// instruction results.
@@ -79,6 +80,191 @@ impl Divergence {
     }
 
     /// Number of divergent values found.
+    pub fn num_divergent(&self) -> usize {
+        self.tainted.len()
+    }
+}
+
+/// Sound warp-level uniformity: the query surface behind the simulator's
+/// scalarization of warp-uniform values.
+///
+/// [`Divergence`] is a pure *data* taint — exactly what the paper's
+/// divergence guard calls for, but not sound as "this value is identical in
+/// every active lane", because divergent *control* also makes values vary
+/// per lane even when their operands are uniform:
+///
+/// 1. **Join rule (sync dependence).** A phi at a join point reachable from
+///    both sides of a thread-divergent branch reads a lane-varying
+///    predecessor, so its result varies across lanes even if every incoming
+///    value is uniform.
+/// 2. **Temporal rule.** A value defined inside a loop with a
+///    thread-divergent exit branch and used outside the loop is frozen at a
+///    different iteration in each lane, so the post-loop use sees
+///    lane-varying data even though each iteration's value was uniform.
+///
+/// `Uniformity` closes the data taint under both control rules, iterated to
+/// a fixed point (a tainted phi can make a branch condition tainted, which
+/// re-triggers both rules). The join rule uses plain CFG reachability from
+/// the two branch successors — an overapproximation of the divergent region
+/// that is sound for any reconvergence discipline, including the
+/// immediate-post-dominator stack the simulator models.
+#[derive(Debug, Clone)]
+pub struct Uniformity {
+    tainted: HashSet<InstId>,
+}
+
+impl Uniformity {
+    /// Run the analysis on `f` to a fixed point.
+    pub fn compute(f: &Function) -> Self {
+        let mut tainted: HashSet<InstId> = HashSet::new();
+        for (id, inst) in f.iter_insts() {
+            if let InstKind::Intr { which, .. } = &inst.kind {
+                if which.is_thread_id() {
+                    tainted.insert(id);
+                }
+            }
+        }
+
+        let dom = DomTree::compute(f);
+        let forest = LoopForest::compute(f, &dom);
+        let preds = f.predecessors();
+        let nblocks = preds.len();
+
+        // reach[b] = linked blocks reachable from linked block b (incl. b).
+        let mut reach = vec![vec![false; nblocks]; nblocks];
+        for &b in f.layout() {
+            let r = &mut reach[b.index()];
+            let mut stack = vec![b];
+            while let Some(x) = stack.pop() {
+                if std::mem::replace(&mut r[x.index()], true) {
+                    continue;
+                }
+                for s in f.successors(x) {
+                    stack.push(s);
+                }
+            }
+        }
+
+        // use_blocks: for each inst slot, the linked blocks that use it as an
+        // operand (for the temporal rule's "used outside the loop" test).
+        let mut use_blocks: Vec<Vec<BlockId>> = vec![Vec::new(); f.num_inst_slots()];
+        for &b in f.layout() {
+            for &uid in &f.block(b).insts {
+                f.inst(uid).kind.for_each_operand(|v| {
+                    if let Value::Inst(d) = v {
+                        use_blocks[d.index()].push(b);
+                    }
+                });
+            }
+        }
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Data rule: identical to `Divergence`.
+            for (id, inst) in f.iter_insts() {
+                if tainted.contains(&id) {
+                    continue;
+                }
+                if matches!(
+                    inst.kind,
+                    InstKind::Store { .. }
+                        | InstKind::Br { .. }
+                        | InstKind::CondBr { .. }
+                        | InstKind::Ret { .. }
+                ) {
+                    continue;
+                }
+                let mut any = false;
+                inst.kind.for_each_operand(|v| {
+                    if let Value::Inst(d) = v {
+                        if tainted.contains(d) {
+                            any = true;
+                        }
+                    }
+                });
+                if any && tainted.insert(id) {
+                    changed = true;
+                }
+            }
+            // Control rules, driven by each thread-divergent branch.
+            for &b in f.layout() {
+                let Some(t) = f.terminator(b) else { continue };
+                let InstKind::CondBr {
+                    cond,
+                    if_true,
+                    if_false,
+                } = f.inst(t).kind
+                else {
+                    continue;
+                };
+                // A branch with both edges to one target never splits lanes.
+                if if_true == if_false {
+                    continue;
+                }
+                let div_cond = match cond {
+                    Value::Inst(id) => tainted.contains(&id),
+                    Value::Arg(_) | Value::Const(_) => false,
+                };
+                if !div_cond {
+                    continue;
+                }
+                // Join rule: taint phis of every join reachable from both
+                // successors.
+                for &j in f.layout() {
+                    if preds[j.index()].len() < 2 {
+                        continue;
+                    }
+                    if reach[if_true.index()][j.index()] && reach[if_false.index()][j.index()] {
+                        for phi in f.phis(j) {
+                            if tainted.insert(phi) {
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                // Temporal rule: if this branch exits a containing loop,
+                // lanes leave that loop on different iterations, so every
+                // loop-defined value used outside the loop varies per lane.
+                let mut lp = forest.innermost_containing(b);
+                while let Some(lid) = lp {
+                    let l = forest.get(lid);
+                    let exits = !l.contains(if_true) || !l.contains(if_false);
+                    if exits {
+                        for &lb in &l.blocks {
+                            for &def in &f.block(lb).insts {
+                                if tainted.contains(&def) {
+                                    continue;
+                                }
+                                let escapes =
+                                    use_blocks[def.index()].iter().any(|ub| !l.contains(*ub));
+                                if escapes && tainted.insert(def) {
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                    lp = l.parent;
+                }
+            }
+        }
+        Uniformity { tainted }
+    }
+
+    /// Whether the value is identical across all active lanes of any warp.
+    pub fn is_uniform(&self, v: Value) -> bool {
+        !self.is_divergent(v)
+    }
+
+    /// Whether the value may differ between lanes of a warp.
+    pub fn is_divergent(&self, v: Value) -> bool {
+        match v {
+            Value::Inst(id) => self.tainted.contains(&id),
+            Value::Arg(_) | Value::Const(_) => false,
+        }
+    }
+
+    /// Number of lane-varying values found.
     pub fn num_divergent(&self) -> usize {
         self.tainted.len()
     }
@@ -192,6 +378,162 @@ mod tests {
         assert!(div.is_divergent(y));
         assert!(div.is_divergent(addr));
         assert!(!div.is_divergent(Value::Arg(0)));
+    }
+
+    /// Diamond joined by a phi of two *uniform* constants, branched on a
+    /// thread-divergent condition: `Divergence` (data-only) calls the phi
+    /// uniform, `Uniformity`'s join rule must not.
+    fn divergent_diamond() -> (uu_ir::Function, Value) {
+        let mut f = uu_ir::Function::new("dj", vec![Param::new("n", Type::I64)], Type::Void);
+        let entry = f.entry();
+        let mut b = FunctionBuilder::new(&mut f);
+        let left = b.create_block();
+        let right = b.create_block();
+        let join = b.create_block();
+        b.switch_to(entry);
+        let gid = b.global_thread_id();
+        let c = b.icmp(ICmpPred::Slt, gid, Value::imm(16i64));
+        b.cond_br(c, left, right);
+        b.switch_to(left);
+        b.br(join);
+        b.switch_to(right);
+        b.br(join);
+        b.switch_to(join);
+        let m = b.phi(Type::I64);
+        b.add_phi_incoming(m, left, Value::imm(1i64));
+        b.add_phi_incoming(m, right, Value::imm(2i64));
+        b.ret(None);
+        (f, m)
+    }
+
+    #[test]
+    fn join_rule_taints_phi_of_divergent_branch() {
+        let (f, m) = divergent_diamond();
+        let data = Divergence::compute(&f);
+        let uni = Uniformity::compute(&f);
+        // The data taint misses the control dependence; the join rule closes it.
+        assert!(!data.is_divergent(m));
+        assert!(uni.is_divergent(m));
+    }
+
+    #[test]
+    fn uniform_branch_phi_stays_uniform() {
+        // Same diamond but branched on a uniform argument comparison.
+        let mut f = uu_ir::Function::new("uj", vec![Param::new("n", Type::I64)], Type::Void);
+        let entry = f.entry();
+        let mut b = FunctionBuilder::new(&mut f);
+        let left = b.create_block();
+        let right = b.create_block();
+        let join = b.create_block();
+        b.switch_to(entry);
+        let c = b.icmp(ICmpPred::Slt, Value::Arg(0), Value::imm(16i64));
+        b.cond_br(c, left, right);
+        b.switch_to(left);
+        b.br(join);
+        b.switch_to(right);
+        b.br(join);
+        b.switch_to(join);
+        let m = b.phi(Type::I64);
+        b.add_phi_incoming(m, left, Value::imm(1i64));
+        b.add_phi_incoming(m, right, Value::imm(2i64));
+        b.ret(None);
+        let uni = Uniformity::compute(&f);
+        assert!(uni.is_uniform(m));
+        assert_eq!(uni.num_divergent(), 0);
+    }
+
+    #[test]
+    fn temporal_rule_taints_loop_values_escaping_divergent_exit() {
+        // `tri`-shaped loop: `while (i < tid) { acc += 1; i += 1 }; use acc`.
+        // Each lane exits at a different iteration, so the escaping `acc`
+        // (and the loop counter) are lane-varying outside the loop even
+        // though per-iteration arithmetic on them is data-uniform.
+        let mut f = uu_ir::Function::new("tri", vec![Param::new("p", Type::Ptr)], Type::Void);
+        let entry = f.entry();
+        let mut b = FunctionBuilder::new(&mut f);
+        let h = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        b.switch_to(entry);
+        let gid = b.global_thread_id();
+        b.br(h);
+        b.switch_to(h);
+        let i = b.phi(Type::I64);
+        let acc = b.phi(Type::I64);
+        b.add_phi_incoming(i, entry, Value::imm(0i64));
+        b.add_phi_incoming(acc, entry, Value::imm(0i64));
+        let c = b.icmp(ICmpPred::Slt, i, gid);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let acc2 = b.add(acc, Value::imm(1i64));
+        let i2 = b.add(i, Value::imm(1i64));
+        b.add_phi_incoming(i, body, i2);
+        b.add_phi_incoming(acc, body, acc2);
+        b.br(h);
+        b.switch_to(exit);
+        let addr = b.gep(Value::Arg(0), gid, 8);
+        b.store(addr, acc);
+        b.ret(None);
+        let data = Divergence::compute(&f);
+        let uni = Uniformity::compute(&f);
+        // Data taint sees the condition but not the escaping accumulator.
+        assert!(data.is_divergent(c));
+        assert!(!data.is_divergent(acc));
+        // Temporal rule: `acc` escapes a divergently-exited loop, and the
+        // data rule then carries the taint into its add.
+        assert!(uni.is_divergent(acc));
+        assert!(uni.is_divergent(acc2));
+        // `i` never escapes the loop: at every in-loop read it is identical
+        // across the lanes still active, so it precisely stays uniform.
+        assert!(uni.is_uniform(i));
+    }
+
+    #[test]
+    fn uniform_trip_count_loop_stays_uniform() {
+        // `while (i < n) { s += 2; i += 1 }; use s` with uniform `n`: every
+        // lane runs the same iterations, so the escaping sum is uniform.
+        let mut f = uu_ir::Function::new("ut", vec![Param::new("n", Type::I64)], Type::I64);
+        let entry = f.entry();
+        let mut b = FunctionBuilder::new(&mut f);
+        let h = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        b.switch_to(entry);
+        b.br(h);
+        b.switch_to(h);
+        let i = b.phi(Type::I64);
+        let s = b.phi(Type::I64);
+        b.add_phi_incoming(i, entry, Value::imm(0i64));
+        b.add_phi_incoming(s, entry, Value::imm(0i64));
+        let c = b.icmp(ICmpPred::Slt, i, Value::Arg(0));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let s2 = b.add(s, Value::imm(2i64));
+        let i2 = b.add(i, Value::imm(1i64));
+        b.add_phi_incoming(i, body, i2);
+        b.add_phi_incoming(s, body, s2);
+        b.br(h);
+        b.switch_to(exit);
+        b.ret(Some(s));
+        let uni = Uniformity::compute(&f);
+        assert!(uni.is_uniform(s));
+        assert!(uni.is_uniform(i));
+        assert_eq!(uni.num_divergent(), 0);
+    }
+
+    #[test]
+    fn uniformity_refines_divergence_on_complex_shape() {
+        // Every data-divergent value is also Uniformity-divergent (the
+        // control rules only ever *add* taint).
+        let f = complex_like(true);
+        let data = Divergence::compute(&f);
+        let uni = Uniformity::compute(&f);
+        for (id, _) in f.iter_insts() {
+            if data.is_divergent(Value::Inst(id)) {
+                assert!(uni.is_divergent(Value::Inst(id)));
+            }
+        }
+        assert!(uni.num_divergent() >= data.num_divergent());
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub mod paths;
 pub mod tripcount;
 
 pub use cfg::{back_edges, is_reducible, post_order, reverse_post_order, split_edge, Edge};
-pub use divergence::{loop_has_divergent_branch, Divergence};
+pub use divergence::{loop_has_divergent_branch, Divergence, Uniformity};
 pub use dominators::{DomTree, PostDomTree};
 pub use loops::{Loop, LoopForest, LoopId};
 pub use paths::{count_loop_paths, uu_size_estimate};

@@ -83,6 +83,10 @@ pub struct BenchResult {
     pub iters_per_sample: u64,
     /// Per-iteration wall time of each sample, in nanoseconds.
     pub samples_ns: Vec<f64>,
+    /// Work units performed per iteration (e.g. simulated warp
+    /// instructions), for throughput reporting; `0` means "not a
+    /// throughput benchmark".
+    pub units_per_iter: u64,
 }
 
 impl BenchResult {
@@ -124,6 +128,16 @@ impl BenchResult {
             return 0.0;
         }
         self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64
+    }
+
+    /// Median throughput in work units per second; `0.0` for
+    /// non-throughput benchmarks or empty sample sets.
+    pub fn units_per_sec(&self) -> f64 {
+        let med = self.median_ns();
+        if self.units_per_iter == 0 || med <= 0.0 {
+            return 0.0;
+        }
+        self.units_per_iter as f64 / (med * 1e-9)
     }
 }
 
@@ -168,6 +182,19 @@ impl Harness {
     pub fn bench_batched<S, R>(
         &mut self,
         name: &str,
+        setup: impl FnMut() -> S,
+        routine: impl FnMut(S) -> R,
+    ) {
+        self.bench_batched_units(name, 0, setup, routine);
+    }
+
+    /// Like [`Harness::bench_batched`], but records that each iteration
+    /// performs `units_per_iter` work units (e.g. simulated warp
+    /// instructions), so the report carries a units-per-second throughput.
+    pub fn bench_batched_units<S, R>(
+        &mut self,
+        name: &str,
+        units_per_iter: u64,
         mut setup: impl FnMut() -> S,
         mut routine: impl FnMut(S) -> R,
     ) {
@@ -203,13 +230,24 @@ impl Harness {
             samples_ns.push(total_ns / iters_per_sample as f64);
         }
 
-        let r = BenchResult {
+        self.push_result(BenchResult {
             name: name.to_string(),
             iters_per_sample,
             samples_ns,
+            units_per_iter,
+        });
+    }
+
+    /// Record an externally measured result (e.g. a synthetic aggregate
+    /// over other results), printing it like a measured benchmark.
+    pub fn push_result(&mut self, r: BenchResult) {
+        let units = if r.units_per_iter > 0 {
+            format!("  {:.2} Munits/s", r.units_per_sec() / 1e6)
+        } else {
+            String::new()
         };
         eprintln!(
-            "  {:<44} {:>12}  ({} .. {}, {} samples x {} iters)",
+            "  {:<44} {:>12}  ({} .. {}, {} samples x {} iters){units}",
             r.name,
             fmt_ns(r.median_ns()),
             fmt_ns(r.min_ns()),
@@ -238,6 +276,8 @@ impl Harness {
             s.push_str(&format!("\"median_ns\": {:.1}, ", r.median_ns()));
             s.push_str(&format!("\"min_ns\": {:.1}, ", r.min_ns()));
             s.push_str(&format!("\"mean_ns\": {:.1}, ", r.mean_ns()));
+            s.push_str(&format!("\"units_per_iter\": {}, ", r.units_per_iter));
+            s.push_str(&format!("\"units_per_sec\": {:.1}, ", r.units_per_sec()));
             s.push_str("\"samples_ns\": [");
             for (j, x) in r.samples_ns.iter().enumerate() {
                 if j > 0 {
@@ -331,11 +371,30 @@ mod tests {
             name: "empty".into(),
             iters_per_sample: 1,
             samples_ns: Vec::new(),
+            units_per_iter: 7,
         };
         assert_eq!(r.median_ns(), 0.0, "median must not index out of bounds");
         assert_eq!(r.mean_ns(), 0.0, "mean must not be NaN");
         assert_eq!(r.min_ns(), 0.0);
         assert_eq!(r.max_ns(), 0.0);
+        assert_eq!(r.units_per_sec(), 0.0, "throughput must not divide by 0");
+    }
+
+    #[test]
+    fn units_yield_throughput() {
+        let r = BenchResult {
+            name: "t".into(),
+            iters_per_sample: 1,
+            samples_ns: vec![1000.0, 1000.0, 1000.0], // 1 µs per iter
+            units_per_iter: 500,
+        };
+        // 500 units per microsecond = 5e8 units/s.
+        assert!((r.units_per_sec() - 5e8).abs() < 1.0);
+        let mut h = Harness::with_options("units", tiny_opts());
+        h.bench_batched_units("work", 100, || (), |()| (0..100u64).sum::<u64>());
+        let json = h.to_json();
+        assert!(json.contains("\"units_per_iter\": 100"));
+        assert!(json.contains("\"units_per_sec\": "));
     }
 
     #[test]
@@ -345,6 +404,7 @@ mod tests {
             name: "none".into(),
             iters_per_sample: 1,
             samples_ns: Vec::new(),
+            units_per_iter: 0,
         });
         let json = h.to_json();
         assert!(!json.contains("NaN"), "JSON must stay numeric: {json}");

@@ -20,6 +20,8 @@
 //!   argument (paper §IV);
 //! * [`corpus`] — a checked-in `.seed` regression corpus replayed before
 //!   novel fuzzing, so historical counterexamples keep running;
+//! * [`json`] — a JSON well-formedness checker behind the `uu-jsonck` bin,
+//!   which CI runs over generated reports;
 //! * [`bisect`] — opt-bisect over the pipeline's pass-invocation counter:
 //!   given an oracle-detected miscompile, binary-search to the first bad
 //!   pass and write a replayable crash-report artifact (the native
@@ -31,12 +33,15 @@ pub mod bench;
 pub mod bisect;
 pub mod corpus;
 pub mod gen;
+pub mod json;
 pub mod oracle;
 pub mod rng;
 pub mod runner;
 
 pub use bisect::{bisect, write_crash_report, BisectReport};
 pub use gen::Gen;
-pub use oracle::{build_kernel, execute, DiffOracle, KernelSpec, OracleFailure};
+pub use oracle::{
+    build_kernel, execute, execute_on, execute_with_params, DiffOracle, KernelSpec, OracleFailure,
+};
 pub use rng::{Rng, SplitMix64};
 pub use runner::{case_seeds, check, check_result, Config, Failure};

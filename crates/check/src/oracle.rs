@@ -313,24 +313,60 @@ pub fn execute(f: &Function, spec: &KernelSpec) -> Result<Vec<i64>, String> {
     // instead of grinding through the production default.
     let mut params = uu_simt::GpuParams::default();
     params.max_warp_insts = 2_000_000;
+    execute_with_params(f, spec, params).map(|(out, _, _)| out)
+}
+
+/// Execute a spec's kernel under an explicit interpreter engine, returning
+/// the outputs plus the launch metrics and simulated kernel time — the full
+/// comparison payload of the decoded-vs-reference differential tests (the
+/// engines must agree on *all three*, not just the outputs).
+///
+/// # Errors
+///
+/// As [`execute`].
+pub fn execute_on(
+    f: &Function,
+    spec: &KernelSpec,
+    engine: uu_simt::ExecEngine,
+) -> Result<(Vec<i64>, uu_simt::Metrics, f64), String> {
+    let mut params = uu_simt::GpuParams::default();
+    params.max_warp_insts = 2_000_000;
+    params.engine = engine;
+    execute_with_params(f, spec, params)
+}
+
+/// Execute a spec's kernel (one block of 32 threads) under explicit GPU
+/// parameters, returning `(outputs, metrics, time_ms)`.
+///
+/// # Errors
+///
+/// As [`execute`].
+pub fn execute_with_params(
+    f: &Function,
+    spec: &KernelSpec,
+    params: uu_simt::GpuParams,
+) -> Result<(Vec<i64>, uu_simt::Metrics, f64), String> {
     let mut gpu = Gpu::with_params(params);
     let out = gpu
         .mem
         .alloc_i64(&vec![0i64; 32])
         .map_err(|e| format!("alloc failed: {e}"))?;
-    gpu.launch(
-        f,
-        LaunchConfig::new(1, 32),
-        &[
-            KernelArg::Buffer(out),
-            KernelArg::I64(spec.bound),
-            KernelArg::I64(spec.input_a),
-        ],
-    )
-    .map_err(|e| format!("exec failed: {e}\n{f}"))?;
-    gpu.mem
+    let report = gpu
+        .launch(
+            f,
+            LaunchConfig::new(1, 32),
+            &[
+                KernelArg::Buffer(out),
+                KernelArg::I64(spec.bound),
+                KernelArg::I64(spec.input_a),
+            ],
+        )
+        .map_err(|e| format!("exec failed: {e}\n{f}"))?;
+    let vals = gpu
+        .mem
         .read_i64(out)
-        .map_err(|e| format!("readback failed: {e}"))
+        .map_err(|e| format!("readback failed: {e}"))?;
+    Ok((vals, report.metrics, report.time_ms))
 }
 
 /// The pipeline configurations every kernel is differentially tested

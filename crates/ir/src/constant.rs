@@ -62,6 +62,7 @@ impl Constant {
 
     /// The type of this constant. Pointer-typed constants are represented as
     /// `I64` (a raw address); there is no dedicated pointer constant.
+    #[inline]
     pub fn ty(self) -> Type {
         match self {
             Constant::I1(_) => Type::I1,
@@ -73,6 +74,7 @@ impl Constant {
     }
 
     /// Numeric value as `f64` if this is a float constant.
+    #[inline]
     pub fn as_f64(self) -> Option<f64> {
         match self {
             Constant::F32Bits(b) => Some(f32::from_bits(b) as f64),
@@ -82,6 +84,7 @@ impl Constant {
     }
 
     /// Integer value (sign extended to `i64`) if this is an integer constant.
+    #[inline]
     pub fn as_i64(self) -> Option<i64> {
         match self {
             Constant::I1(b) => Some(b as i64),
@@ -92,6 +95,7 @@ impl Constant {
     }
 
     /// Boolean value if this is an `i1` constant.
+    #[inline]
     pub fn as_bool(self) -> Option<bool> {
         match self {
             Constant::I1(b) => Some(b),

@@ -14,6 +14,7 @@ use crate::types::Type;
 /// Returns `None` on type mismatch. Integer division/remainder by zero
 /// evaluates to zero (a total semantics chosen for the simulator; real GPUs
 /// leave it undefined).
+#[inline]
 pub fn fold_bin(op: BinOp, lhs: Constant, rhs: Constant) -> Option<Constant> {
     if op.is_float() {
         let a = lhs.as_f64()?;
@@ -92,6 +93,7 @@ pub fn fold_bin(op: BinOp, lhs: Constant, rhs: Constant) -> Option<Constant> {
 }
 
 /// Evaluate an integer comparison over two constants.
+#[inline]
 pub fn fold_icmp(pred: ICmpPred, lhs: Constant, rhs: Constant) -> Option<Constant> {
     let a = lhs.as_i64()?;
     let b = rhs.as_i64()?;
@@ -115,6 +117,7 @@ pub fn fold_icmp(pred: ICmpPred, lhs: Constant, rhs: Constant) -> Option<Constan
 }
 
 /// Evaluate a float comparison over two constants.
+#[inline]
 pub fn fold_fcmp(pred: FCmpPred, lhs: Constant, rhs: Constant) -> Option<Constant> {
     let a = lhs.as_f64()?;
     let b = rhs.as_f64()?;
@@ -130,6 +133,7 @@ pub fn fold_fcmp(pred: FCmpPred, lhs: Constant, rhs: Constant) -> Option<Constan
 }
 
 /// Evaluate a cast over a constant, producing a value of `to` type.
+#[inline]
 pub fn fold_cast(op: CastOp, value: Constant, to: Type) -> Option<Constant> {
     match op {
         CastOp::Sext => {
@@ -193,6 +197,7 @@ pub fn fold_cast(op: CastOp, value: Constant, to: Type) -> Option<Constant> {
 ///
 /// Returns `None` for non-pure intrinsics (thread geometry, barriers) — those
 /// depend on execution context.
+#[inline]
 pub fn fold_intrinsic(which: Intrinsic, args: &[Constant], ty: Type) -> Option<Constant> {
     let f = |v: f64| -> Constant {
         match ty {

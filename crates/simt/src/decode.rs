@@ -1,0 +1,1079 @@
+//! Decode-once warp execution engine with warp-uniform scalarization.
+//!
+//! The reference interpreter ([`crate::Warp`]) walks the `Function` arena
+//! for every dynamic instruction of every warp: it re-fetches and clones
+//! each [`uu_ir::Inst`] (heap traffic for phi/intrinsic operand vectors),
+//! searches phi incoming lists linearly, allocates a fresh sector `HashSet`
+//! and lane `Vec` per memory operation, and evaluates every value once per
+//! lane even when all 32 lanes compute the same thing. Since each launch
+//! runs the *same* function over hundreds of warps, this module instead
+//! lowers the function once per launch into a dense [`DecodedKernel`]:
+//!
+//! * contiguous per-block instruction arrays ([`DInst`]) with the issue
+//!   cost and metrics class precomputed;
+//! * operands pre-resolved to [`Operand`] — an encoded constant (kernel
+//!   arguments are baked in, since a decode is per launch) or a compact
+//!   register slot (no arena lookups at run time);
+//! * registers hold raw 64-bit payloads plus a one-byte runtime type tag
+//!   instead of `Option<Constant>`, and evaluation mirrors the
+//!   [`uu_ir::fold`] semantics directly on those words — no enum boxing
+//!   or unboxing per lane;
+//! * phi incomings pre-indexed by predecessor position, so a phi read is
+//!   one table lookup instead of a list search;
+//! * **warp-uniform scalarization**: values `uu_analysis::Uniformity`
+//!   proves identical across lanes live in a scalar register file and are
+//!   evaluated once per warp instead of once per lane.
+//!
+//! All warps of a launch share the decoded kernel immutably; the mutable
+//! per-warp state lives in a [`Scratch`] that is reused across warps
+//! without reallocation.
+//!
+//! The engine is observationally identical to the reference interpreter:
+//! same results, same [`Metrics`], same issue cycles, same memory access
+//! order (uniform loads/stores still perform one checked access per active
+//! lane, so fault injection counts match), same errors in the same order.
+//! The evaluation helpers below intentionally transliterate
+//! `uu_ir::fold::{fold_bin, fold_icmp, fold_fcmp, fold_cast,
+//! fold_intrinsic}` onto the tagged-word representation; the differential
+//! oracle (`tests/engine_differential.rs` and the uu-check corpus) pins
+//! the two engines together bit-for-bit. The only permitted difference is
+//! host speed.
+
+use crate::exec::{classify, issue_cost, ExecError, WarpGeometry};
+use crate::memory::GlobalMemory;
+use crate::metrics::{InstClass, Metrics};
+use crate::params::GpuParams;
+use std::collections::HashSet;
+use uu_analysis::{PostDomTree, Uniformity};
+use uu_ir::{
+    BinOp, CastOp, Constant, FCmpPred, Function, ICmpPred, InstId, InstKind, Intrinsic, Type,
+    Value,
+};
+
+/// Reserved "no block" encoding for predecessor bookkeeping (the decoded
+/// replacement for the reference interpreter's old sentinel block id).
+const NO_BLOCK: u32 = u32::MAX;
+
+/// Runtime type tags of a register's current value. Tag 0 doubles as
+/// "undefined" — `Scratch::reset` zeroes the tag arrays and every write
+/// stores a real tag, so a zero tag is exactly a never-written register.
+const TAG_UNDEF: u8 = 0;
+const TAG_I1: u8 = 1;
+const TAG_I32: u8 = 2;
+const TAG_I64: u8 = 3;
+const TAG_F32: u8 = 4;
+const TAG_F64: u8 = 5;
+
+/// Encode a [`Constant`] as (tag, payload). Integers are stored
+/// sign-extended to `i64` (matching `Constant::as_i64`), floats as their
+/// raw bits, so the typed readers below are single moves.
+#[inline]
+fn encode(c: Constant) -> (u8, u64) {
+    match c {
+        Constant::I1(b) => (TAG_I1, b as u64),
+        Constant::I32(v) => (TAG_I32, v as i64 as u64),
+        Constant::I64(v) => (TAG_I64, v as u64),
+        Constant::F32Bits(b) => (TAG_F32, b as u64),
+        Constant::F64Bits(b) => (TAG_F64, b),
+    }
+}
+
+/// Decode (tag, payload) back into a [`Constant`]; the inverse of
+/// [`encode`], used on the slow edges (stores, load results).
+#[inline]
+fn decode_const(tag: u8, bits: u64) -> Constant {
+    match tag {
+        TAG_I1 => Constant::I1(bits != 0),
+        TAG_I32 => Constant::I32(bits as i64 as i32),
+        TAG_I64 => Constant::I64(bits as i64),
+        TAG_F32 => Constant::F32Bits(bits as u32),
+        TAG_F64 => Constant::F64Bits(bits),
+        _ => unreachable!("read of an undefined register is rejected earlier"),
+    }
+}
+
+/// `Constant::as_i64` on the tagged-word representation.
+#[inline]
+fn t_as_i64(tag: u8, bits: u64) -> Option<i64> {
+    if (TAG_I1..=TAG_I64).contains(&tag) {
+        Some(bits as i64)
+    } else {
+        None
+    }
+}
+
+/// `Constant::as_f64` on the tagged-word representation.
+#[inline]
+fn t_as_f64(tag: u8, bits: u64) -> Option<f64> {
+    match tag {
+        TAG_F32 => Some(f32::from_bits(bits as u32) as f64),
+        TAG_F64 => Some(f64::from_bits(bits)),
+        _ => None,
+    }
+}
+
+/// `Constant::as_bool` on the tagged-word representation.
+#[inline]
+fn t_as_bool(tag: u8, bits: u64) -> Option<bool> {
+    if tag == TAG_I1 {
+        Some(bits != 0)
+    } else {
+        None
+    }
+}
+
+/// `Type::int_bits` on a runtime tag.
+#[inline]
+fn t_int_bits(tag: u8) -> Option<u32> {
+    match tag {
+        TAG_I1 => Some(1),
+        TAG_I32 => Some(32),
+        TAG_I64 => Some(64),
+        _ => None,
+    }
+}
+
+/// A pre-resolved operand: everything `Warp::eval` decides per dynamic
+/// instruction is decided once at decode time. Kernel arguments are baked
+/// into `Const` because a [`DecodedKernel`] is built per launch, where the
+/// argument constants are already known.
+#[derive(Debug, Clone, Copy)]
+enum Operand {
+    /// An encoded constant (IR constant or kernel argument).
+    Const(u8, u64),
+    /// Scalar (warp-uniform) register slot.
+    SReg(u32),
+    /// Vector (per-lane) register slot.
+    VReg(u32),
+    /// Argument index that is out of range for this launch; reading it
+    /// reproduces the reference interpreter's `BadArguments` error.
+    BadArg(u32),
+    /// An instruction result that is never defined (the instruction is in
+    /// no linked block). Reading it reproduces the reference interpreter's
+    /// `UndefinedValue` error for the recorded instruction.
+    Undef(InstId),
+}
+
+/// Destination register of a value-producing instruction.
+#[derive(Debug, Clone, Copy)]
+enum Dest {
+    /// Warp-uniform: evaluated once into the scalar file.
+    S(u32),
+    /// Lane-varying: evaluated per active lane into the vector file.
+    V(u32),
+}
+
+/// Decoded instruction payload.
+#[derive(Debug, Clone)]
+enum DOp {
+    /// Binary arithmetic.
+    Bin(BinOp, Operand, Operand),
+    /// Integer compare.
+    ICmp(ICmpPred, Operand, Operand),
+    /// Float compare.
+    FCmp(FCmpPred, Operand, Operand),
+    /// Predicated select.
+    Select(Operand, Operand, Operand),
+    /// Type conversion.
+    Cast(CastOp, Operand),
+    /// `base + index * scale`, scale pre-cast to `i64`.
+    Gep(Operand, Operand, i64),
+    /// Geometry intrinsic (threadIdx/blockIdx/blockDim/gridDim) or
+    /// `__syncthreads`; no operands.
+    Geom(Intrinsic),
+    /// Math intrinsic with pre-resolved args (max arity 2, stored inline).
+    Math(Intrinsic, [Operand; 2], u8),
+    /// Load; the width is the decoded type's size in bytes.
+    Load(Operand, u64),
+    /// Store of (ptr, value, width).
+    Store(Operand, Operand, u64),
+    /// Unconditional branch to a block arena index.
+    Br(u32),
+    /// Conditional branch `(cond, if_true, if_false)`; the flag records
+    /// whether the condition is warp-uniform (no lane split possible).
+    CondBr(Operand, u32, u32, bool),
+    /// Return (lane retirement).
+    Ret,
+}
+
+/// One decoded non-phi instruction.
+#[derive(Debug, Clone)]
+struct DInst {
+    op: DOp,
+    /// Metrics class, precomputed.
+    class: InstClass,
+    /// Issue cost in cycles, precomputed.
+    cost: u64,
+    /// Where the result goes, if the instruction produces a value.
+    dest: Option<Dest>,
+    /// Result type (load width / cast target / intrinsic result pick).
+    ty: Type,
+    /// Originating instruction, for error reporting parity with the
+    /// reference interpreter.
+    id: InstId,
+}
+
+/// One decoded phi.
+#[derive(Debug, Clone)]
+struct DPhi {
+    dest: Dest,
+    id: InstId,
+}
+
+/// A decoded basic block.
+#[derive(Debug, Clone, Default)]
+struct DBlock {
+    /// Leading phis, in program order.
+    phis: Vec<DPhi>,
+    /// Phi incomings as a dense `phis.len() × npreds` row-major table:
+    /// `phi_inc[p * npreds + k]` is phi `p`'s value when entering from the
+    /// k-th predecessor; `None` reproduces `MissingPhiIncoming`.
+    phi_inc: Vec<Option<Operand>>,
+    /// Number of CFG predecessors (row stride of `phi_inc`).
+    npreds: usize,
+    /// Block arena index → predecessor position, `NO_BLOCK` if the block is
+    /// not a predecessor.
+    pred_pos: Vec<u32>,
+    /// Non-phi instructions including the terminator.
+    insts: Vec<DInst>,
+    /// Immediate post-dominator (reconvergence point of a divergent branch
+    /// in this block), `NO_BLOCK` if none.
+    ipdom: u32,
+}
+
+/// A function lowered for execution: built once per launch by
+/// [`DecodedKernel::decode`], then shared immutably by every warp.
+#[derive(Debug, Clone)]
+pub struct DecodedKernel {
+    blocks: Vec<DBlock>,
+    entry: u32,
+    num_sregs: u32,
+    num_vregs: u32,
+    /// Scalar slot → defining instruction (for `UndefinedValue` parity).
+    sreg_inst: Vec<InstId>,
+    /// Vector slot → defining instruction.
+    vreg_inst: Vec<InstId>,
+}
+
+/// SIMT stack frame of the decoded engine. `pending` is a single slot: the
+/// interpreter only ever parks one (block, mask) side per divergence.
+#[derive(Debug, Clone, Copy)]
+struct DFrame {
+    /// Reconvergence block arena index, `NO_BLOCK` if the branch has no
+    /// post-dominator.
+    reconv: u32,
+    /// The not-yet-run side of the divergence.
+    pending: Option<(u32, u32)>,
+    joined: u32,
+}
+
+/// Reusable per-warp mutable state. One `Scratch` serves every warp of a
+/// launch; [`DecodedKernel::run_warp`] resets it without reallocating.
+///
+/// Register payloads and their type tags live in parallel arrays; only the
+/// tag arrays are cleared between warps (tag 0 = undefined), so a stale
+/// payload is never observable.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    sreg_bits: Vec<u64>,
+    sreg_tag: Vec<u8>,
+    vreg_bits: Vec<u64>,
+    vreg_tag: Vec<u8>,
+    /// Per-lane predecessor block arena index (`NO_BLOCK` before the first
+    /// branch) for phi resolution.
+    prev: Vec<u32>,
+    stack: Vec<DFrame>,
+    /// Distinct sectors of the current memory op (≤ warp_size entries, so a
+    /// linear scan beats a `HashSet`).
+    sectors: Vec<u64>,
+    /// Parallel-copy staging for scalar phis `(slot, tag, payload)`.
+    phi_s: Vec<(u32, u8, u64)>,
+    /// Parallel-copy staging for vector phis `(slot, lane, tag, payload)`.
+    phi_v: Vec<(u32, u32, u8, u64)>,
+}
+
+impl Scratch {
+    /// Create an empty scratch; it sizes itself to the kernel on first use.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    fn reset(&mut self, k: &DecodedKernel, warp_size: u32) {
+        let ws = warp_size as usize;
+        self.sreg_bits.resize(k.num_sregs as usize, 0);
+        self.sreg_tag.clear();
+        self.sreg_tag.resize(k.num_sregs as usize, TAG_UNDEF);
+        self.vreg_bits.resize(k.num_vregs as usize * ws, 0);
+        self.vreg_tag.clear();
+        self.vreg_tag.resize(k.num_vregs as usize * ws, TAG_UNDEF);
+        self.prev.clear();
+        self.prev.resize(ws, NO_BLOCK);
+        self.stack.clear();
+    }
+}
+
+impl DecodedKernel {
+    /// Lower `f` for execution with the launch arguments `args` (baked into
+    /// operands). `uni` decides which values are scalarized; `pdom` provides
+    /// the reconvergence points. Both are computed from the same `f` by the
+    /// caller (the launch path).
+    pub fn decode(f: &Function, pdom: &PostDomTree, uni: &Uniformity, args: &[Constant]) -> Self {
+        let nslots = f.num_inst_slots();
+        // Pass 1: allocate a register slot for every linked value-producing
+        // instruction. Conservative and simple: every non-terminator,
+        // non-store instruction gets a slot (the reference interpreter also
+        // writes a register for void intrinsic results).
+        let mut dest: Vec<Option<Dest>> = vec![None; nslots];
+        let mut sreg_inst = Vec::new();
+        let mut vreg_inst = Vec::new();
+        for (id, inst) in f.iter_insts() {
+            if matches!(
+                inst.kind,
+                InstKind::Store { .. }
+                    | InstKind::Br { .. }
+                    | InstKind::CondBr { .. }
+                    | InstKind::Ret { .. }
+            ) {
+                continue;
+            }
+            let d = if uni.is_uniform(Value::Inst(id)) {
+                let s = sreg_inst.len() as u32;
+                sreg_inst.push(id);
+                Dest::S(s)
+            } else {
+                let v = vreg_inst.len() as u32;
+                vreg_inst.push(id);
+                Dest::V(v)
+            };
+            dest[id.index()] = Some(d);
+        }
+
+        let resolve = |v: Value| -> Operand {
+            match v {
+                Value::Const(c) => {
+                    let (tag, bits) = encode(c);
+                    Operand::Const(tag, bits)
+                }
+                Value::Arg(i) => match args.get(i as usize) {
+                    Some(c) => {
+                        let (tag, bits) = encode(*c);
+                        Operand::Const(tag, bits)
+                    }
+                    None => Operand::BadArg(i),
+                },
+                Value::Inst(id) => match dest[id.index()] {
+                    Some(Dest::S(s)) => Operand::SReg(s),
+                    Some(Dest::V(r)) => Operand::VReg(r),
+                    // Defined in no linked block: reading it is always an
+                    // undefined-value error, as in the reference.
+                    None => Operand::Undef(id),
+                },
+            }
+        };
+        let uniform_op = |o: &Operand| !matches!(o, Operand::VReg(_));
+
+        // Pass 2: lower blocks (arena-indexed; unlinked slots stay empty).
+        let preds = f.predecessors();
+        let nblocks = preds.len();
+        let mut blocks = vec![DBlock::default(); nblocks];
+        for &b in f.layout() {
+            let db = &mut blocks[b.index()];
+            let bpreds = &preds[b.index()];
+            db.npreds = bpreds.len();
+            db.pred_pos = vec![NO_BLOCK; nblocks];
+            for (k, p) in bpreds.iter().enumerate() {
+                db.pred_pos[p.index()] = k as u32;
+            }
+            db.ipdom = match pdom.ipdom(b) {
+                Some(r) => r.index() as u32,
+                None => NO_BLOCK,
+            };
+            for &id in &f.block(b).insts {
+                let inst = f.inst(id);
+                if let InstKind::Phi { incomings } = &inst.kind {
+                    // Phis lead the block (verifier-enforced); index their
+                    // incomings by predecessor position.
+                    debug_assert!(db.insts.is_empty());
+                    for p in bpreds {
+                        let inc = incomings
+                            .iter()
+                            .find(|(pb, _)| pb == p)
+                            .map(|(_, v)| resolve(*v));
+                        db.phi_inc.push(inc);
+                    }
+                    db.phis.push(DPhi {
+                        dest: dest[id.index()].expect("phi produces a value"),
+                        id,
+                    });
+                    continue;
+                }
+                let op = match &inst.kind {
+                    InstKind::Bin { op, lhs, rhs } => DOp::Bin(*op, resolve(*lhs), resolve(*rhs)),
+                    InstKind::ICmp { pred, lhs, rhs } => {
+                        DOp::ICmp(*pred, resolve(*lhs), resolve(*rhs))
+                    }
+                    InstKind::FCmp { pred, lhs, rhs } => {
+                        DOp::FCmp(*pred, resolve(*lhs), resolve(*rhs))
+                    }
+                    InstKind::Select {
+                        cond,
+                        on_true,
+                        on_false,
+                    } => DOp::Select(resolve(*cond), resolve(*on_true), resolve(*on_false)),
+                    InstKind::Cast { op, value } => DOp::Cast(*op, resolve(*value)),
+                    InstKind::Gep { base, index, scale } => {
+                        DOp::Gep(resolve(*base), resolve(*index), *scale as i64)
+                    }
+                    InstKind::Load { ptr } => DOp::Load(resolve(*ptr), inst.ty.size_bytes()),
+                    InstKind::Store { ptr, value } => DOp::Store(
+                        resolve(*ptr),
+                        resolve(*value),
+                        f.value_type(*value).size_bytes(),
+                    ),
+                    InstKind::Intr { which, args: iargs } => match which {
+                        Intrinsic::ThreadIdxX
+                        | Intrinsic::BlockIdxX
+                        | Intrinsic::BlockDimX
+                        | Intrinsic::GridDimX
+                        | Intrinsic::Syncthreads => DOp::Geom(*which),
+                        _ => {
+                            let mut ops = [Operand::Const(TAG_I1, 0); 2];
+                            for (k, a) in iargs.iter().enumerate() {
+                                ops[k] = resolve(*a);
+                            }
+                            DOp::Math(*which, ops, iargs.len() as u8)
+                        }
+                    },
+                    InstKind::Br { target } => DOp::Br(target.index() as u32),
+                    InstKind::CondBr {
+                        cond,
+                        if_true,
+                        if_false,
+                    } => {
+                        let c = resolve(*cond);
+                        let uniform = uniform_op(&c);
+                        DOp::CondBr(c, if_true.index() as u32, if_false.index() as u32, uniform)
+                    }
+                    InstKind::Ret { .. } => DOp::Ret,
+                    InstKind::Phi { .. } => unreachable!("handled above"),
+                };
+                db.insts.push(DInst {
+                    class: classify(&inst.kind),
+                    cost: issue_cost(&inst.kind),
+                    dest: dest[id.index()],
+                    ty: inst.ty,
+                    id,
+                    op,
+                });
+            }
+        }
+        DecodedKernel {
+            blocks,
+            entry: f.entry().index() as u32,
+            num_sregs: sreg_inst.len() as u32,
+            num_vregs: vreg_inst.len() as u32,
+            sreg_inst,
+            vreg_inst,
+        }
+    }
+
+    /// Number of scalar (warp-uniform) register slots.
+    pub fn num_scalar_regs(&self) -> u32 {
+        self.num_sregs
+    }
+
+    /// Number of vector (per-lane) register slots.
+    pub fn num_vector_regs(&self) -> u32 {
+        self.num_vregs
+    }
+
+    /// Read an operand as (tag, payload) for `lane`.
+    #[inline]
+    fn read(&self, s: &Scratch, ws: usize, lane: usize, op: Operand) -> Result<(u8, u64), ExecError> {
+        match op {
+            Operand::Const(tag, bits) => Ok((tag, bits)),
+            Operand::SReg(r) => {
+                let tag = s.sreg_tag[r as usize];
+                if tag == TAG_UNDEF {
+                    return Err(ExecError::UndefinedValue {
+                        inst: self.sreg_inst[r as usize],
+                    });
+                }
+                Ok((tag, s.sreg_bits[r as usize]))
+            }
+            Operand::VReg(r) => {
+                let at = r as usize * ws + lane;
+                let tag = s.vreg_tag[at];
+                if tag == TAG_UNDEF {
+                    return Err(ExecError::UndefinedValue {
+                        inst: self.vreg_inst[r as usize],
+                    });
+                }
+                Ok((tag, s.vreg_bits[at]))
+            }
+            Operand::BadArg(i) => Err(ExecError::BadArguments(format!("missing argument {i}"))),
+            Operand::Undef(id) => Err(ExecError::UndefinedValue { inst: id }),
+        }
+    }
+
+    /// Evaluate a pure instruction for `lane`, returning the encoded
+    /// result. Transliterates `uu_ir::fold` onto tagged words — every
+    /// arithmetic rule, wrap, and failure case below must match the fold
+    /// semantics exactly (the differential oracle enforces it).
+    fn eval_pure(
+        &self,
+        s: &Scratch,
+        geom: &WarpGeometry,
+        ws: usize,
+        lane: usize,
+        inst: &DInst,
+    ) -> Result<(u8, u64), ExecError> {
+        let bad = || ExecError::UndefinedValue { inst: inst.id };
+        let rd = |op: Operand| self.read(s, ws, lane, op);
+        match &inst.op {
+            DOp::Bin(op, a, b) => {
+                let (ltag, lbits) = rd(*a)?;
+                let (rtag, rbits) = rd(*b)?;
+                if op.is_float() {
+                    let x = t_as_f64(ltag, lbits).ok_or_else(bad)?;
+                    let y = t_as_f64(rtag, rbits).ok_or_else(bad)?;
+                    let r = match op {
+                        BinOp::FAdd => x + y,
+                        BinOp::FSub => x - y,
+                        BinOp::FMul => x * y,
+                        BinOp::FDiv => x / y,
+                        _ => unreachable!(),
+                    };
+                    // fold_bin picks the result width from the lhs type.
+                    return Ok(if ltag == TAG_F32 {
+                        (TAG_F32, (r as f32).to_bits() as u64)
+                    } else {
+                        (TAG_F64, r.to_bits())
+                    });
+                }
+                let x = t_as_i64(ltag, lbits).ok_or_else(bad)?;
+                let y = t_as_i64(rtag, rbits).ok_or_else(bad)?;
+                let bits = t_int_bits(ltag).unwrap_or(64);
+                let umask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+                let ua = (x as u64) & umask;
+                let ub = (y as u64) & umask;
+                let shamt = (ub % bits as u64) as u32;
+                let r = match op {
+                    BinOp::Add => x.wrapping_add(y),
+                    BinOp::Sub => x.wrapping_sub(y),
+                    BinOp::Mul => x.wrapping_mul(y),
+                    BinOp::SDiv => {
+                        if y == 0 {
+                            0
+                        } else {
+                            x.wrapping_div(y)
+                        }
+                    }
+                    BinOp::UDiv => {
+                        if ub == 0 {
+                            0
+                        } else {
+                            (ua / ub) as i64
+                        }
+                    }
+                    BinOp::SRem => {
+                        if y == 0 {
+                            0
+                        } else {
+                            x.wrapping_rem(y)
+                        }
+                    }
+                    BinOp::URem => {
+                        if ub == 0 {
+                            0
+                        } else {
+                            (ua % ub) as i64
+                        }
+                    }
+                    BinOp::Shl => ((ua << shamt) & umask) as i64,
+                    BinOp::LShr => (ua >> shamt) as i64,
+                    BinOp::AShr => match ltag {
+                        TAG_I32 => ((x as i32) >> shamt) as i64,
+                        _ => x >> shamt,
+                    },
+                    BinOp::And => x & y,
+                    BinOp::Or => x | y,
+                    BinOp::Xor => x ^ y,
+                    _ => unreachable!(),
+                };
+                // fold_bin's `wrap`: truncate to the lhs width, stored
+                // sign-extended (the Constant encoding).
+                Ok(match ltag {
+                    TAG_I1 => (TAG_I1, (r & 1 != 0) as u64),
+                    TAG_I32 => (TAG_I32, r as i32 as i64 as u64),
+                    _ => (TAG_I64, r as u64),
+                })
+            }
+            DOp::ICmp(pred, a, b) => {
+                let (ltag, lbits) = rd(*a)?;
+                let (rtag, rbits) = rd(*b)?;
+                let x = t_as_i64(ltag, lbits).ok_or_else(bad)?;
+                let y = t_as_i64(rtag, rbits).ok_or_else(bad)?;
+                let bits = t_int_bits(ltag).unwrap_or(64);
+                let umask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+                let ua = (x as u64) & umask;
+                let ub = (y as u64) & umask;
+                let r = match pred {
+                    ICmpPred::Eq => x == y,
+                    ICmpPred::Ne => x != y,
+                    ICmpPred::Slt => x < y,
+                    ICmpPred::Sle => x <= y,
+                    ICmpPred::Sgt => x > y,
+                    ICmpPred::Sge => x >= y,
+                    ICmpPred::Ult => ua < ub,
+                    ICmpPred::Ule => ua <= ub,
+                    ICmpPred::Ugt => ua > ub,
+                    ICmpPred::Uge => ua >= ub,
+                };
+                Ok((TAG_I1, r as u64))
+            }
+            DOp::FCmp(pred, a, b) => {
+                let (ltag, lbits) = rd(*a)?;
+                let (rtag, rbits) = rd(*b)?;
+                let x = t_as_f64(ltag, lbits).ok_or_else(bad)?;
+                let y = t_as_f64(rtag, rbits).ok_or_else(bad)?;
+                let r = match pred {
+                    FCmpPred::Oeq => x == y,
+                    FCmpPred::Une => x != y || x.is_nan() || y.is_nan(),
+                    FCmpPred::Olt => x < y,
+                    FCmpPred::Ole => x <= y,
+                    FCmpPred::Ogt => x > y,
+                    FCmpPred::Oge => x >= y,
+                };
+                Ok((TAG_I1, r as u64))
+            }
+            DOp::Select(c, t, e) => {
+                let (ctag, cbits) = rd(*c)?;
+                let cond = t_as_bool(ctag, cbits).ok_or_else(bad)?;
+                rd(if cond { *t } else { *e })
+            }
+            DOp::Cast(op, v) => {
+                let (vtag, vbits) = rd(*v)?;
+                match op {
+                    CastOp::Sext => {
+                        let x = t_as_i64(vtag, vbits).ok_or_else(bad)?;
+                        // LLVM sext i1 true == -1 (as_i64 gives +1).
+                        let x = if vtag == TAG_I1 && x == 1 { -1 } else { x };
+                        Ok(match inst.ty {
+                            Type::I32 => (TAG_I32, x as i32 as i64 as u64),
+                            _ => (TAG_I64, x as u64),
+                        })
+                    }
+                    CastOp::Zext => {
+                        let x = t_as_i64(vtag, vbits).ok_or_else(bad)?;
+                        let bits = t_int_bits(vtag).ok_or_else(bad)?;
+                        let umask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+                        let x = ((x as u64) & umask) as i64;
+                        Ok(match inst.ty {
+                            Type::I32 => (TAG_I32, x as i32 as i64 as u64),
+                            _ => (TAG_I64, x as u64),
+                        })
+                    }
+                    CastOp::Trunc => {
+                        let x = t_as_i64(vtag, vbits).ok_or_else(bad)?;
+                        Ok(match inst.ty {
+                            Type::I1 => (TAG_I1, (x & 1 != 0) as u64),
+                            Type::I32 => (TAG_I32, x as i32 as i64 as u64),
+                            _ => (TAG_I64, x as u64),
+                        })
+                    }
+                    CastOp::SiToFp => {
+                        let x = t_as_i64(vtag, vbits).ok_or_else(bad)?;
+                        Ok(match inst.ty {
+                            Type::F32 => (TAG_F32, (x as f32).to_bits() as u64),
+                            _ => (TAG_F64, (x as f64).to_bits()),
+                        })
+                    }
+                    CastOp::FpToSi => {
+                        let x = t_as_f64(vtag, vbits).ok_or_else(bad)?;
+                        let x = if x.is_nan() { 0.0 } else { x };
+                        Ok(match inst.ty {
+                            Type::I32 => (TAG_I32, x as i32 as i64 as u64),
+                            _ => (TAG_I64, (x as i64) as u64),
+                        })
+                    }
+                    CastOp::FpCast => {
+                        let x = t_as_f64(vtag, vbits).ok_or_else(bad)?;
+                        Ok(match inst.ty {
+                            Type::F32 => (TAG_F32, (x as f32).to_bits() as u64),
+                            _ => (TAG_F64, x.to_bits()),
+                        })
+                    }
+                    CastOp::IntToPtr | CastOp::PtrToInt => {
+                        let x = t_as_i64(vtag, vbits).ok_or_else(bad)?;
+                        Ok((TAG_I64, x as u64))
+                    }
+                }
+            }
+            DOp::Gep(base, index, scale) => {
+                // Base is read *and* converted before the index is touched
+                // (the reference interpreter's error order).
+                let (btag, bbits) = rd(*base)?;
+                let b = t_as_i64(btag, bbits).ok_or_else(bad)?;
+                let (itag, ibits) = rd(*index)?;
+                let i = t_as_i64(itag, ibits).ok_or_else(bad)?;
+                Ok((TAG_I64, b.wrapping_add(i.wrapping_mul(*scale)) as u64))
+            }
+            DOp::Geom(which) => Ok(match which {
+                Intrinsic::ThreadIdxX => (
+                    TAG_I32,
+                    (geom.first_thread + lane as u32) as i32 as i64 as u64,
+                ),
+                Intrinsic::BlockIdxX => (TAG_I32, geom.block_idx as i32 as i64 as u64),
+                Intrinsic::BlockDimX => (TAG_I32, geom.block_dim as i32 as i64 as u64),
+                Intrinsic::GridDimX => (TAG_I32, geom.grid_dim as i32 as i64 as u64),
+                Intrinsic::Syncthreads => (TAG_I1, 0), // void; never read
+                _ => unreachable!("decoded as Math"),
+            }),
+            DOp::Math(which, ops, n) => {
+                let mut vals = [(TAG_I1, 0u64); 2];
+                for k in 0..*n as usize {
+                    vals[k] = rd(ops[k])?;
+                }
+                let n = *n as usize;
+                // fold_intrinsic picks the result width from inst.ty.
+                let fout = |v: f64| -> (u8, u64) {
+                    if inst.ty == Type::F32 {
+                        (TAG_F32, (v as f32).to_bits() as u64)
+                    } else {
+                        (TAG_F64, v.to_bits())
+                    }
+                };
+                let farg = |k: usize| -> Option<f64> {
+                    if k < n {
+                        t_as_f64(vals[k].0, vals[k].1)
+                    } else {
+                        None
+                    }
+                };
+                let iarg = |k: usize| -> Option<i64> {
+                    if k < n {
+                        t_as_i64(vals[k].0, vals[k].1)
+                    } else {
+                        None
+                    }
+                };
+                match which {
+                    Intrinsic::Sqrt => Ok(fout(farg(0).ok_or_else(bad)?.sqrt())),
+                    Intrinsic::Fabs => Ok(fout(farg(0).ok_or_else(bad)?.abs())),
+                    Intrinsic::Exp => Ok(fout(farg(0).ok_or_else(bad)?.exp())),
+                    Intrinsic::Log => Ok(fout(farg(0).ok_or_else(bad)?.ln())),
+                    Intrinsic::Sin => Ok(fout(farg(0).ok_or_else(bad)?.sin())),
+                    Intrinsic::Cos => Ok(fout(farg(0).ok_or_else(bad)?.cos())),
+                    Intrinsic::FMin => Ok(fout(
+                        farg(0).ok_or_else(bad)?.min(farg(1).ok_or_else(bad)?),
+                    )),
+                    Intrinsic::FMax => Ok(fout(
+                        farg(0).ok_or_else(bad)?.max(farg(1).ok_or_else(bad)?),
+                    )),
+                    Intrinsic::SMin | Intrinsic::SMax => {
+                        let a = iarg(0).ok_or_else(bad)?;
+                        let b = iarg(1).ok_or_else(bad)?;
+                        let r = if *which == Intrinsic::SMin {
+                            a.min(b)
+                        } else {
+                            a.max(b)
+                        };
+                        Ok(match inst.ty {
+                            Type::I32 => (TAG_I32, r as i32 as i64 as u64),
+                            _ => (TAG_I64, r as u64),
+                        })
+                    }
+                    // Context-dependent intrinsics never fold.
+                    _ => Err(bad()),
+                }
+            }
+            DOp::Load(..) | DOp::Store(..) | DOp::Br(_) | DOp::CondBr(..) | DOp::Ret => {
+                unreachable!("handled in run_warp()")
+            }
+        }
+    }
+
+    /// Execute one warp to completion — the decoded counterpart of
+    /// [`crate::Warp::run`], with identical observable behaviour. Returns
+    /// the issue cycles consumed.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the reference interpreter's errors, in the same order.
+    pub fn run_warp(
+        &self,
+        scratch: &mut Scratch,
+        geom: WarpGeometry,
+        params: &GpuParams,
+        mem: &mut GlobalMemory,
+        m: &mut Metrics,
+        touched: &mut HashSet<u64>,
+    ) -> Result<u64, ExecError> {
+        scratch.reset(self, params.warp_size);
+        let ws = params.warp_size as usize;
+        let mut cur = self.entry;
+        let mut mask: u32 = if params.warp_size == 32 {
+            u32::MAX
+        } else {
+            (1u32 << params.warp_size) - 1
+        };
+        for l in 0..params.warp_size {
+            if geom.first_thread + l >= geom.block_dim {
+                mask &= !(1 << l);
+            }
+        }
+        let mut issue: u64 = 0;
+        let mut executed: u64 = 0;
+        let budget = params.max_warp_insts;
+
+        macro_rules! lanes {
+            ($mask:expr) => {
+                (0..ws).filter(|l| $mask & (1u32 << l) != 0)
+            };
+        }
+
+        'run: loop {
+            // Drain reconvergence arrivals and dead masks before executing.
+            loop {
+                if mask == 0 {
+                    match scratch.stack.last_mut() {
+                        None => break 'run,
+                        Some(top) => {
+                            if let Some((b, m2)) = top.pending.take() {
+                                cur = b;
+                                mask = m2;
+                                continue;
+                            }
+                            let joined = top.joined;
+                            let reconv = top.reconv;
+                            scratch.stack.pop();
+                            if joined != 0 {
+                                mask = joined;
+                                assert!(
+                                    reconv != NO_BLOCK,
+                                    "joined lanes require a reconvergence block"
+                                );
+                                cur = reconv;
+                            }
+                            continue;
+                        }
+                    }
+                }
+                match scratch.stack.last_mut() {
+                    Some(top) if top.reconv == cur => {
+                        top.joined |= mask;
+                        if let Some((b, m2)) = top.pending.take() {
+                            cur = b;
+                            mask = m2;
+                        } else {
+                            mask = top.joined;
+                            scratch.stack.pop();
+                        }
+                        continue;
+                    }
+                    _ => break,
+                }
+            }
+
+            let blk = &self.blocks[cur as usize];
+
+            // Phase 1: phis as a parallel copy via the staging buffers.
+            if !blk.phis.is_empty() {
+                scratch.phi_s.clear();
+                scratch.phi_v.clear();
+                for (pix, phi) in blk.phis.iter().enumerate() {
+                    let row = pix * blk.npreds;
+                    let incoming = |prev: u32| -> Result<Operand, ExecError> {
+                        let pos = if prev == NO_BLOCK {
+                            NO_BLOCK
+                        } else {
+                            blk.pred_pos[prev as usize]
+                        };
+                        if pos == NO_BLOCK {
+                            return Err(ExecError::MissingPhiIncoming { phi: phi.id });
+                        }
+                        blk.phi_inc[row + pos as usize]
+                            .ok_or(ExecError::MissingPhiIncoming { phi: phi.id })
+                    };
+                    match phi.dest {
+                        Dest::S(slot) => {
+                            // Uniform phi: prev and the incoming value are
+                            // identical across active lanes — read once via
+                            // the first active lane.
+                            let lane = mask.trailing_zeros() as usize;
+                            let op = incoming(scratch.prev[lane])?;
+                            let (tag, bits) = self.read(scratch, ws, lane, op)?;
+                            scratch.phi_s.push((slot, tag, bits));
+                        }
+                        Dest::V(slot) => {
+                            for lane in lanes!(mask) {
+                                let op = incoming(scratch.prev[lane])?;
+                                let (tag, bits) = self.read(scratch, ws, lane, op)?;
+                                scratch.phi_v.push((slot, lane as u32, tag, bits));
+                            }
+                        }
+                    }
+                    m.count(InstClass::Misc, mask.count_ones());
+                    issue += 1;
+                    executed += 1;
+                }
+                for &(slot, tag, bits) in &scratch.phi_s {
+                    scratch.sreg_bits[slot as usize] = bits;
+                    scratch.sreg_tag[slot as usize] = tag;
+                }
+                for &(slot, lane, tag, bits) in &scratch.phi_v {
+                    let at = slot as usize * ws + lane as usize;
+                    scratch.vreg_bits[at] = bits;
+                    scratch.vreg_tag[at] = tag;
+                }
+            }
+            if executed > budget {
+                return Err(ExecError::StepBudgetExceeded { budget });
+            }
+
+            // Phase 2: straight-line instructions and the terminator.
+            let mut next: Option<(u32, u32)> = None;
+            for inst in &blk.insts {
+                let active = mask.count_ones();
+                m.count(inst.class, active);
+                issue += inst.cost;
+                executed += 1;
+                if executed > budget {
+                    return Err(ExecError::StepBudgetExceeded { budget });
+                }
+                match &inst.op {
+                    DOp::Load(ptr, width) => {
+                        scratch.sectors.clear();
+                        for lane in lanes!(mask) {
+                            let (ptag, pbits) = self.read(scratch, ws, lane, *ptr)?;
+                            let addr = t_as_i64(ptag, pbits).ok_or_else(|| {
+                                ExecError::BadArguments("non-integer address".into())
+                            })? as u64;
+                            let c = mem.read_scalar(addr, inst.ty)?;
+                            let (tag, bits) = encode(c);
+                            match inst.dest {
+                                Some(Dest::S(slot)) => {
+                                    scratch.sreg_bits[slot as usize] = bits;
+                                    scratch.sreg_tag[slot as usize] = tag;
+                                }
+                                Some(Dest::V(slot)) => {
+                                    let at = slot as usize * ws + lane;
+                                    scratch.vreg_bits[at] = bits;
+                                    scratch.vreg_tag[at] = tag;
+                                }
+                                None => {}
+                            }
+                            let sector = addr / params.sector_bytes;
+                            if !scratch.sectors.contains(&sector) {
+                                scratch.sectors.push(sector);
+                                // Only a new sector can change the
+                                // launch-wide distinct-sector set.
+                                touched.insert(sector);
+                            }
+                            m.gld_bytes += width;
+                        }
+                        let tx = scratch.sectors.len() as u64;
+                        m.mem_transactions += tx;
+                        issue += tx * params.mem_tx_cycles;
+                        // Sublinear cache-hit latency charge; see the
+                        // reference interpreter for the model rationale.
+                        let frac = active as f64 / params.warp_size as f64;
+                        issue += (params.l1_latency as f64 * frac.powf(1.5)) as u64;
+                    }
+                    DOp::Store(ptr, value, width) => {
+                        scratch.sectors.clear();
+                        for lane in lanes!(mask) {
+                            let (ptag, pbits) = self.read(scratch, ws, lane, *ptr)?;
+                            let addr = t_as_i64(ptag, pbits).ok_or_else(|| {
+                                ExecError::BadArguments("non-integer address".into())
+                            })? as u64;
+                            let (vtag, vbits) = self.read(scratch, ws, lane, *value)?;
+                            mem.write_scalar(addr, decode_const(vtag, vbits))?;
+                            let sector = addr / params.sector_bytes;
+                            if !scratch.sectors.contains(&sector) {
+                                scratch.sectors.push(sector);
+                                touched.insert(sector);
+                            }
+                            m.gst_bytes += width;
+                        }
+                        let tx = scratch.sectors.len() as u64;
+                        m.mem_transactions += tx;
+                        issue += tx * params.mem_tx_cycles;
+                    }
+                    DOp::Br(target) => {
+                        for l in lanes!(mask) {
+                            scratch.prev[l] = cur;
+                        }
+                        next = Some((*target, mask));
+                    }
+                    DOp::Ret => {
+                        next = Some((cur, 0)); // mask 0 triggers stack drain
+                    }
+                    DOp::CondBr(cond, if_true, if_false, uniform) => {
+                        let mut tmask = 0u32;
+                        if *uniform {
+                            // One evaluation decides the whole warp.
+                            let lane = mask.trailing_zeros() as usize;
+                            let (ctag, cbits) = self.read(scratch, ws, lane, *cond)?;
+                            let c = t_as_bool(ctag, cbits).ok_or_else(|| {
+                                ExecError::BadArguments("non-boolean condition".into())
+                            })?;
+                            if c {
+                                tmask = mask;
+                            }
+                        } else {
+                            for lane in lanes!(mask) {
+                                let (ctag, cbits) = self.read(scratch, ws, lane, *cond)?;
+                                let c = t_as_bool(ctag, cbits).ok_or_else(|| {
+                                    ExecError::BadArguments("non-boolean condition".into())
+                                })?;
+                                if c {
+                                    tmask |= 1 << lane;
+                                }
+                            }
+                        }
+                        let fmask = mask & !tmask;
+                        for l in lanes!(mask) {
+                            scratch.prev[l] = cur;
+                        }
+                        if if_true == if_false || fmask == 0 {
+                            next = Some((*if_true, mask));
+                        } else if tmask == 0 {
+                            next = Some((*if_false, mask));
+                        } else {
+                            scratch.stack.push(DFrame {
+                                reconv: blk.ipdom,
+                                pending: Some((*if_false, fmask)),
+                                joined: 0,
+                            });
+                            next = Some((*if_true, tmask));
+                        }
+                    }
+                    _ => match inst.dest {
+                        Some(Dest::S(slot)) => {
+                            // Warp-uniform: evaluate once for the warp.
+                            let lane = mask.trailing_zeros() as usize;
+                            let (tag, bits) = self.eval_pure(scratch, &geom, ws, lane, inst)?;
+                            scratch.sreg_bits[slot as usize] = bits;
+                            scratch.sreg_tag[slot as usize] = tag;
+                        }
+                        Some(Dest::V(slot)) => {
+                            for lane in lanes!(mask) {
+                                let (tag, bits) = self.eval_pure(scratch, &geom, ws, lane, inst)?;
+                                let at = slot as usize * ws + lane;
+                                scratch.vreg_bits[at] = bits;
+                                scratch.vreg_tag[at] = tag;
+                            }
+                        }
+                        None => unreachable!("pure instructions produce a value"),
+                    },
+                }
+            }
+            let (nb, nm) = next.expect("block must end in a terminator");
+            cur = nb;
+            mask = nm;
+        }
+        Ok(issue)
+    }
+}

@@ -88,7 +88,49 @@ struct Frame {
     joined: u32,
 }
 
-/// Per-warp interpreter.
+/// Issue-throughput cost of one warp instruction, in cycles. Shared by the
+/// reference interpreter and the decoded engine (which precomputes it).
+pub(crate) fn issue_cost(kind: &InstKind) -> u64 {
+    use uu_ir::BinOp::*;
+    match kind {
+        InstKind::Bin { op, .. } => match op {
+            SDiv | UDiv | SRem | URem => 8,
+            FDiv => 8,
+            FAdd | FSub | FMul => 2,
+            _ => 1,
+        },
+        InstKind::Intr { which, .. } => match which {
+            Intrinsic::Exp | Intrinsic::Log | Intrinsic::Sin | Intrinsic::Cos => 16,
+            Intrinsic::Sqrt => 8,
+            Intrinsic::Syncthreads => 4,
+            _ => 1,
+        },
+        InstKind::Load { .. } | InstKind::Store { .. } => 2,
+        _ => 1,
+    }
+}
+
+/// Metrics class of one instruction; shared with the decoded engine.
+pub(crate) fn classify(kind: &InstKind) -> InstClass {
+    match kind {
+        InstKind::Bin { .. } | InstKind::ICmp { .. } | InstKind::FCmp { .. } => InstClass::Arith,
+        InstKind::Intr { which, .. } => match which {
+            Intrinsic::Syncthreads => InstClass::Sync,
+            _ => InstClass::Arith,
+        },
+        InstKind::Load { .. } => InstClass::Load,
+        InstKind::Store { .. } => InstClass::Store,
+        InstKind::Br { .. } | InstKind::CondBr { .. } | InstKind::Ret { .. } => InstClass::Control,
+        InstKind::Select { .. } | InstKind::Cast { .. } | InstKind::Gep { .. }
+        | InstKind::Phi { .. } => InstClass::Misc,
+    }
+}
+
+/// Per-warp reference interpreter.
+///
+/// This is the semantic baseline the decoded engine
+/// ([`crate::DecodedKernel`]) is differentially tested against; launches use
+/// it when [`crate::ExecEngine::Reference`] is selected.
 pub struct Warp<'a> {
     func: &'a Function,
     args: &'a [Constant],
@@ -96,8 +138,13 @@ pub struct Warp<'a> {
     params: &'a GpuParams,
     pdom: &'a PostDomTree,
     regs: Vec<Vec<Option<Constant>>>,
-    prev: Vec<BlockId>,
+    /// Per-lane predecessor block for phi resolution; `None` until the lane
+    /// executes its first branch.
+    prev: Vec<Option<BlockId>>,
     executed: u64,
+    /// When set, every write of an instruction marked `true` is asserted
+    /// identical across active lanes (the scalarization oracle).
+    verify_uniform: Option<Vec<bool>>,
 }
 
 impl<'a> Warp<'a> {
@@ -119,8 +166,56 @@ impl<'a> Warp<'a> {
             params,
             pdom,
             regs: vec![vec![None; slots]; ws],
-            prev: vec![BlockId::from_index(usize::MAX & 0xFFFF); ws],
+            prev: vec![None; ws],
             executed: 0,
+            verify_uniform: None,
+        }
+    }
+
+    /// Arm the uniformity oracle: `slots[i]` marks instruction slot `i` as
+    /// warp-uniform per `uu_analysis::Uniformity`; any register write where
+    /// active lanes disagree on such a slot panics with a diagnostic.
+    pub fn verify_uniform(&mut self, slots: Vec<bool>) {
+        assert_eq!(slots.len(), self.func.num_inst_slots());
+        self.verify_uniform = Some(slots);
+    }
+
+    /// Watchdog: error out once the warp exceeds its dynamic step budget.
+    fn check_step_budget(&self) -> Result<(), ExecError> {
+        if self.executed > self.params.max_warp_insts {
+            return Err(ExecError::StepBudgetExceeded {
+                budget: self.params.max_warp_insts,
+            });
+        }
+        Ok(())
+    }
+
+    /// Oracle check after `id` was written under `mask`: all active lanes
+    /// must agree if the uniformity analysis claims the value is uniform.
+    fn assert_uniform_write(&self, id: InstId, mask: u32) {
+        let Some(slots) = &self.verify_uniform else {
+            return;
+        };
+        if !slots[id.index()] {
+            return;
+        }
+        let mut first: Option<(usize, Option<Constant>)> = None;
+        for lane in self.lanes(mask) {
+            let v = self.regs[lane][id.index()];
+            match first {
+                None => first = Some((lane, v)),
+                Some((l0, v0)) => assert_eq!(
+                    v0,
+                    v,
+                    "uniformity violation in @{}: %{} differs between lane {} ({:?}) and lane {} ({:?})",
+                    self.func.name(),
+                    id.index(),
+                    l0,
+                    v0,
+                    lane,
+                    v
+                ),
+            }
         }
     }
 
@@ -139,46 +234,6 @@ impl<'a> Warp<'a> {
 
     fn lanes(&self, mask: u32) -> impl Iterator<Item = usize> + '_ {
         (0..self.params.warp_size as usize).filter(move |l| mask & (1 << l) != 0)
-    }
-
-    /// Issue-throughput cost of one warp instruction, in cycles.
-    fn issue_cost(kind: &InstKind) -> u64 {
-        use uu_ir::BinOp::*;
-        match kind {
-            InstKind::Bin { op, .. } => match op {
-                SDiv | UDiv | SRem | URem => 8,
-                FDiv => 8,
-                FAdd | FSub | FMul => 2,
-                _ => 1,
-            },
-            InstKind::Intr { which, .. } => match which {
-                Intrinsic::Exp | Intrinsic::Log | Intrinsic::Sin | Intrinsic::Cos => 16,
-                Intrinsic::Sqrt => 8,
-                Intrinsic::Syncthreads => 4,
-                _ => 1,
-            },
-            InstKind::Load { .. } | InstKind::Store { .. } => 2,
-            _ => 1,
-        }
-    }
-
-    fn classify(kind: &InstKind) -> InstClass {
-        match kind {
-            InstKind::Bin { .. } | InstKind::ICmp { .. } | InstKind::FCmp { .. } => {
-                InstClass::Arith
-            }
-            InstKind::Intr { which, .. } => match which {
-                Intrinsic::Syncthreads => InstClass::Sync,
-                _ => InstClass::Arith,
-            },
-            InstKind::Load { .. } => InstClass::Load,
-            InstKind::Store { .. } => InstClass::Store,
-            InstKind::Br { .. } | InstKind::CondBr { .. } | InstKind::Ret { .. } => {
-                InstClass::Control
-            }
-            InstKind::Select { .. } | InstKind::Cast { .. } | InstKind::Gep { .. }
-            | InstKind::Phi { .. } => InstClass::Misc,
-        }
     }
 
     /// Run the warp to completion, accumulating metrics and returning the
@@ -258,11 +313,11 @@ impl<'a> Warp<'a> {
                 };
                 let mut writes = Vec::new();
                 for lane in self.lanes(mask) {
-                    let pred = self.prev[lane];
-                    let v = incomings
-                        .iter()
-                        .find(|(p, _)| *p == pred)
-                        .map(|(_, v)| *v)
+                    let v = self
+                        .prev[lane]
+                        .and_then(|pred| {
+                            incomings.iter().find(|(p, _)| *p == pred).map(|(_, v)| *v)
+                        })
                         .ok_or(ExecError::MissingPhiIncoming { phi: id })?;
                     writes.push((lane, self.eval(lane, v)?));
                 }
@@ -276,26 +331,19 @@ impl<'a> Warp<'a> {
                 for (lane, c) in writes {
                     self.regs[lane][id.index()] = Some(c);
                 }
+                self.assert_uniform_write(id, mask);
             }
-            if self.executed > self.params.max_warp_insts {
-                return Err(ExecError::StepBudgetExceeded {
-                    budget: self.params.max_warp_insts,
-                });
-            }
+            self.check_step_budget()?;
 
             // Phase 2: straight-line instructions and the terminator.
             let mut next: Option<(BlockId, u32)> = None;
             for &id in &insts[ip..] {
                 let inst = self.func.inst(id).clone();
                 let active = mask.count_ones();
-                m.count(Self::classify(&inst.kind), active);
-                issue += Self::issue_cost(&inst.kind);
+                m.count(classify(&inst.kind), active);
+                issue += issue_cost(&inst.kind);
                 self.executed += 1;
-                if self.executed > self.params.max_warp_insts {
-                    return Err(ExecError::StepBudgetExceeded {
-                    budget: self.params.max_warp_insts,
-                });
-                }
+                self.check_step_budget()?;
                 match &inst.kind {
                     InstKind::Load { ptr } => {
                         let mut sectors: HashSet<u64> = HashSet::new();
@@ -311,6 +359,7 @@ impl<'a> Warp<'a> {
                             touched.insert(addr / self.params.sector_bytes);
                             m.gld_bytes += width;
                         }
+                        self.assert_uniform_write(id, mask);
                         let tx = sectors.len() as u64;
                         m.mem_transactions += tx;
                         issue += tx * self.params.mem_tx_cycles;
@@ -342,10 +391,6 @@ impl<'a> Warp<'a> {
                         issue += tx * self.params.mem_tx_cycles;
                     }
                     InstKind::Br { target } => {
-                        for lane in self.lanes(mask) {
-                            // prev is per-lane but uniform here.
-                            let _ = lane;
-                        }
                         self.set_prev(mask, cur);
                         next = Some((*target, mask));
                     }
@@ -391,6 +436,7 @@ impl<'a> Warp<'a> {
                             let c = self.eval_pure(lane, id, kind, inst.ty)?;
                             self.regs[lane][id.index()] = Some(c);
                         }
+                        self.assert_uniform_write(id, mask);
                     }
                 }
             }
@@ -404,7 +450,7 @@ impl<'a> Warp<'a> {
     fn set_prev(&mut self, mask: u32, block: BlockId) {
         for l in 0..self.params.warp_size as usize {
             if mask & (1 << l) != 0 {
-                self.prev[l] = block;
+                self.prev[l] = Some(block);
             }
         }
     }

@@ -13,12 +13,13 @@
 //! * code growth past the i-cache ⇒ fetch stalls (`stall_inst_fetch`),
 //!   the *haccmk*/*complex* slowdown mode.
 
+use crate::decode::{DecodedKernel, Scratch};
 use crate::exec::{ExecError, Warp, WarpGeometry};
 use crate::memory::{Buffer, GlobalMemory, MemError};
 use crate::metrics::Metrics;
-use crate::params::GpuParams;
-use uu_analysis::{cost, PostDomTree};
-use uu_ir::{Constant, Function, Type};
+use crate::params::{ExecEngine, GpuParams};
+use uu_analysis::{cost, PostDomTree, Uniformity};
+use uu_ir::{Constant, Function, Type, Value};
 
 /// One kernel argument.
 #[derive(Debug, Clone, Copy)]
@@ -162,6 +163,31 @@ impl Gpu {
         let code_size = cost::function_size(kernel);
         let fetch_penalty = self.params.fetch_penalty(code_size);
 
+        // Decode-once: both launch-wide analyses and the lowered kernel are
+        // built a single time here and shared by every warp below.
+        let decoded = match self.params.engine {
+            ExecEngine::Decoded => {
+                let uni = Uniformity::compute(kernel);
+                Some(DecodedKernel::decode(kernel, &pdom, &uni, &consts))
+            }
+            ExecEngine::Reference => None,
+            ExecEngine::ReferenceVerifyUniform => None,
+        };
+        let uniform_slots = match self.params.engine {
+            ExecEngine::ReferenceVerifyUniform => {
+                let uni = Uniformity::compute(kernel);
+                Some(
+                    (0..kernel.num_inst_slots())
+                        .map(|i| {
+                            uni.is_uniform(Value::Inst(uu_ir::InstId::from_index(i)))
+                        })
+                        .collect::<Vec<bool>>(),
+                )
+            }
+            _ => None,
+        };
+        let mut scratch = Scratch::new();
+
         let mut metrics = Metrics::default();
         let mut issue_total: u64 = 0;
         let mut touched = std::collections::HashSet::new();
@@ -174,9 +200,24 @@ impl Gpu {
                     grid_dim: cfg.grid_dim,
                     first_thread: w * self.params.warp_size,
                 };
-                let mut warp = Warp::new(kernel, &consts, geom, &self.params, &pdom);
                 let before = metrics.warp_insts;
-                issue_total += warp.run(&mut self.mem, &mut metrics, &mut touched)?;
+                issue_total += match &decoded {
+                    Some(k) => k.run_warp(
+                        &mut scratch,
+                        geom,
+                        &self.params,
+                        &mut self.mem,
+                        &mut metrics,
+                        &mut touched,
+                    )?,
+                    None => {
+                        let mut warp = Warp::new(kernel, &consts, geom, &self.params, &pdom);
+                        if let Some(slots) = &uniform_slots {
+                            warp.verify_uniform(slots.clone());
+                        }
+                        warp.run(&mut self.mem, &mut metrics, &mut touched)?
+                    }
+                };
                 let issued = metrics.warp_insts - before;
                 metrics.fetch_stall_cycles += (issued as f64 * fetch_penalty) as u64;
                 metrics.warps += 1;

@@ -49,6 +49,7 @@
 
 #![warn(missing_docs)]
 
+pub mod decode;
 pub mod exec;
 pub mod memory;
 pub mod metrics;
@@ -56,8 +57,9 @@ pub mod params;
 
 mod gpu;
 
+pub use decode::{DecodedKernel, Scratch};
 pub use exec::{ExecError, Warp, WarpGeometry};
 pub use gpu::{Gpu, KernelArg, LaunchConfig, LaunchReport};
 pub use memory::{Buffer, GlobalMemory, MemError};
 pub use metrics::{InstClass, Metrics};
-pub use params::GpuParams;
+pub use params::{ExecEngine, GpuParams};

@@ -6,6 +6,49 @@
 //! overflow it (the paper's `stall_inst_fetch` effect on *complex* and
 //! *haccmk*).
 
+/// Which warp interpreter executes launches.
+///
+/// The engines are observationally identical on verifier-clean IR — same
+/// outputs, same [`crate::Metrics`], same simulated cycles, same memory
+/// access order (so fault injection hits the same access) — and the
+/// differential tests in `tests/engine_differential.rs` hold them to that.
+/// The decoded engine is the fast path; the reference interpreter is the
+/// semantic baseline it is checked against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecEngine {
+    /// Decode-once engine: the kernel is lowered per launch into a dense
+    /// [`crate::DecodedKernel`] shared by all warps, with warp-uniform
+    /// values scalarized to a single register (the default).
+    Decoded,
+    /// The straightforward per-`Inst` reference interpreter.
+    Reference,
+    /// The reference interpreter plus a checking oracle: every register
+    /// write of a value the `uu_analysis::Uniformity` analysis calls
+    /// warp-uniform is asserted identical across all active lanes. Panics
+    /// on violation; used by the scalarization property tests.
+    ReferenceVerifyUniform,
+}
+
+impl Default for ExecEngine {
+    /// The process-wide default engine: `Decoded`, overridable once via the
+    /// `UU_SIMT_ENGINE` environment variable (`decoded`, `reference`, or
+    /// `verify-uniform`), read on first use.
+    fn default() -> Self {
+        static FROM_ENV: std::sync::OnceLock<ExecEngine> = std::sync::OnceLock::new();
+        *FROM_ENV.get_or_init(|| match std::env::var("UU_SIMT_ENGINE") {
+            Err(_) => ExecEngine::Decoded,
+            Ok(v) => match v.as_str() {
+                "" | "decoded" => ExecEngine::Decoded,
+                "reference" => ExecEngine::Reference,
+                "verify-uniform" => ExecEngine::ReferenceVerifyUniform,
+                other => panic!(
+                    "UU_SIMT_ENGINE={other:?}: expected decoded | reference | verify-uniform"
+                ),
+            },
+        })
+    }
+}
+
 /// Simulated GPU parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct GpuParams {
@@ -39,6 +82,9 @@ pub struct GpuParams {
     pub launch_overhead: u64,
     /// Per-warp dynamic instruction limit (runaway-loop guard).
     pub max_warp_insts: u64,
+    /// Which interpreter executes launches (not an architectural knob; the
+    /// engines are observationally identical).
+    pub engine: ExecEngine,
 }
 
 impl Default for GpuParams {
@@ -56,6 +102,7 @@ impl Default for GpuParams {
             fetch_penalty_max: 3.0,
             launch_overhead: 300,
             max_warp_insts: 200_000_000,
+            engine: ExecEngine::default(),
         }
     }
 }

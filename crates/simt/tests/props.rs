@@ -48,3 +48,36 @@ fn baseline_compile_preserves_execution() {
         },
     );
 }
+
+#[test]
+fn decoded_engine_matches_reference_interpreter() {
+    use uu_simt::ExecEngine;
+    check(
+        "decoded_engine_matches_reference_interpreter",
+        &Config::from_env(64),
+        |spec: &KernelSpec| {
+            let f = build_kernel(spec);
+            let reference = uu_check::execute_on(&f, spec, ExecEngine::Reference)?;
+            let decoded = uu_check::execute_on(&f, spec, ExecEngine::Decoded)?;
+            if reference.0 != decoded.0 {
+                return Err(format!(
+                    "outputs differ:\nref {:?}\ndec {:?}",
+                    reference.0, decoded.0
+                ));
+            }
+            if reference.1 != decoded.1 {
+                return Err(format!(
+                    "metrics differ:\nref {:?}\ndec {:?}",
+                    reference.1, decoded.1
+                ));
+            }
+            if reference.2.to_bits() != decoded.2.to_bits() {
+                return Err(format!(
+                    "simulated time differs: ref {} vs dec {}",
+                    reference.2, decoded.2
+                ));
+            }
+            Ok(())
+        },
+    );
+}

@@ -1,0 +1,137 @@
+//! Decoded-vs-reference engine differential tests.
+//!
+//! The decoded warp engine (`uu_simt::DecodedKernel`) must be
+//! observationally identical to the reference interpreter (`uu_simt::Warp`)
+//! — same outputs, same metrics, same simulated time — on the seed corpus
+//! and on all 16 paper kernels, at any `uu-par` worker count. A separate
+//! oracle mode (`ExecEngine::ReferenceVerifyUniform`) asserts the
+//! scalarization precondition: every value `uu_analysis::Uniformity` calls
+//! warp-uniform holds the same constant in all active lanes.
+
+use uu_check::corpus::load_corpus;
+use uu_check::{build_kernel, execute_on, KernelSpec};
+use uu_kernels::all_benchmarks;
+use uu_simt::{ExecEngine, Gpu, GpuParams};
+
+/// Engine-tagged payload of one corpus execution, formatted for exact
+/// (bitwise, via Debug) comparison.
+fn run_spec(spec: &KernelSpec, engine: ExecEngine) -> String {
+    let f = build_kernel(spec);
+    match execute_on(&f, spec, engine) {
+        Ok((out, metrics, time_ms)) => {
+            format!("ok out={out:?} metrics={metrics:?} time={:016x}", time_ms.to_bits())
+        }
+        Err(e) => format!("err {e}"),
+    }
+}
+
+#[test]
+fn decoded_matches_reference_on_corpus() {
+    let corpus = load_corpus();
+    assert!(!corpus.is_empty(), "seed corpus must exist");
+    for jobs in [1usize, 4] {
+        let reference = uu_par::par_map_jobs(jobs, &corpus, |_, (_, spec)| {
+            run_spec(spec, ExecEngine::Reference)
+        });
+        let decoded = uu_par::par_map_jobs(jobs, &corpus, |_, (_, spec)| {
+            run_spec(spec, ExecEngine::Decoded)
+        });
+        for (((name, _), r), d) in corpus.iter().zip(&reference).zip(&decoded) {
+            assert_eq!(r, d, "engines disagree on corpus spec {name} (jobs={jobs})");
+        }
+    }
+}
+
+#[test]
+fn decoded_is_deterministic_across_job_counts() {
+    let corpus = load_corpus();
+    let j1 = uu_par::par_map_jobs(1, &corpus, |_, (_, spec)| {
+        run_spec(spec, ExecEngine::Decoded)
+    });
+    let j4 = uu_par::par_map_jobs(4, &corpus, |_, (_, spec)| {
+        run_spec(spec, ExecEngine::Decoded)
+    });
+    assert_eq!(j1, j4, "decoded engine must not depend on worker count");
+}
+
+/// Run one suite benchmark under `engine` and flatten everything the launch
+/// reports into an exactly-comparable string.
+fn run_benchmark(b: &uu_kernels::Benchmark, engine: ExecEngine) -> String {
+    let m = (b.build)();
+    let mut params = GpuParams::default();
+    params.engine = engine;
+    let mut gpu = Gpu::with_params(params);
+    match (b.run)(&m, &mut gpu) {
+        Ok(out) => format!(
+            "ok time={:016x} checksum={:016x} transfer={} metrics={:?}",
+            out.kernel_time_ms.to_bits(),
+            out.checksum.to_bits(),
+            out.transfer_bytes,
+            out.metrics,
+        ),
+        Err(e) => format!("err {e}"),
+    }
+}
+
+#[test]
+fn decoded_matches_reference_on_all_16_kernels() {
+    let benches = all_benchmarks();
+    assert_eq!(benches.len(), 16);
+    for jobs in [1usize, 4] {
+        let reference = uu_par::par_map_jobs(jobs, &benches, |_, b| {
+            run_benchmark(b, ExecEngine::Reference)
+        });
+        let decoded = uu_par::par_map_jobs(jobs, &benches, |_, b| {
+            run_benchmark(b, ExecEngine::Decoded)
+        });
+        for ((b, r), d) in benches.iter().zip(&reference).zip(&decoded) {
+            assert!(r.starts_with("ok "), "{}: reference failed: {r}", b.info.name);
+            assert_eq!(r, d, "engines disagree on {} (jobs={jobs})", b.info.name);
+        }
+    }
+}
+
+#[test]
+fn uniform_values_identical_across_lanes_on_corpus() {
+    // ReferenceVerifyUniform panics inside the interpreter if any
+    // analysis-uniform value ever differs between active lanes.
+    for (name, spec) in load_corpus() {
+        let got = run_spec(&spec, ExecEngine::ReferenceVerifyUniform);
+        let want = run_spec(&spec, ExecEngine::Reference);
+        assert_eq!(got, want, "verify-uniform changed behaviour on {name}");
+    }
+}
+
+#[test]
+fn uniform_values_identical_across_lanes_on_kernel_suite() {
+    for b in all_benchmarks() {
+        let got = run_benchmark(&b, ExecEngine::ReferenceVerifyUniform);
+        assert!(
+            got.starts_with("ok "),
+            "{}: verify-uniform run failed: {got}",
+            b.info.name
+        );
+    }
+}
+
+#[test]
+fn uniform_values_identical_across_lanes_on_random_programs() {
+    // Beyond the checked-in corpus: freshly generated spec kernels. The
+    // decoded engine must also agree with the reference on every one.
+    uu_check::check(
+        "uniform_values_identical_across_lanes_on_random_programs",
+        &uu_check::Config::from_env(48),
+        |spec: &KernelSpec| {
+            let want = run_spec(spec, ExecEngine::Reference);
+            let verified = run_spec(spec, ExecEngine::ReferenceVerifyUniform);
+            if verified != want {
+                return Err(format!("verify-uniform diverged: {verified} vs {want}"));
+            }
+            let decoded = run_spec(spec, ExecEngine::Decoded);
+            if decoded != want {
+                return Err(format!("decoded diverged: {decoded} vs {want}"));
+            }
+            Ok(())
+        },
+    );
+}
