@@ -57,6 +57,36 @@ for fault in 'panic@3' 'miscompile@2:7' 'mem@40'; do
   echo "fault $fault: contained, diagnosed, identical across UU_JOBS"
 done
 
+echo "== meld smoke: golden snapshots, study determinism, injected meld panic =="
+# The meld golden before/after snapshots must match the checked-in files
+# (the full test suite above runs them too; this rung re-runs just the
+# meld ones so a meld regression is named in the CI log).
+cargo test -q --offline --release -p uu-core --test golden golden_meld > /dev/null
+# The three-way unmerge/meld study must be byte-identical at 1 and 4
+# workers, like every other report artifact.
+for jobs in 1 4; do
+  rm -rf "target/ci/study-j${jobs}"
+  UU_JOBS="$jobs" ./target/release/uu-harness study --bench mandelbrot \
+    --out "target/ci/study-j${jobs}" > /dev/null
+done
+diff -r target/ci/study-j1 target/ci/study-j4
+# A panic injected into pass invocation 1 — the meld invocation of every
+# uu<k>+meld compile — must be contained (study completes), must leave a
+# `meld#1` trace in the fig9 diag column, and must stay byte-identical
+# across worker counts.
+for jobs in 1 4; do
+  out="target/ci/study-fault-j${jobs}"
+  rm -rf "$out"
+  UU_FAULT='panic@1' UU_JOBS="$jobs" \
+    ./target/release/uu-harness study --bench mandelbrot --out "$out" > /dev/null
+done
+diff -r target/ci/study-fault-j1 target/ci/study-fault-j4
+if ! grep -q 'meld#1' target/ci/study-fault-j1/fig9.csv; then
+  echo "injected meld panic left no meld#1 trace in fig9.csv" >&2
+  exit 1
+fi
+echo "meld smoke: golden + study + faulted study identical across UU_JOBS"
+
 echo "== engine identity: checked-in results-fast/ must reproduce byte-identically =="
 # The decoded execution engine must not change a single reported byte
 # relative to the committed reports (the cycle model is engine-invariant).

@@ -255,6 +255,40 @@ mod tests {
     }
 
     #[test]
+    fn bisection_pinpoints_miscompiles_in_the_meld_pass() {
+        // The combined uu+meld config runs "uu" as invocation 0 and "meld"
+        // as invocation 1; a miscompile injected into the meld invocation
+        // must bisect back to the meld pass by name, exactly like any
+        // other transform. Not every seed produces an observable mutation,
+        // so probe a few and require at least one hit.
+        let transform = Transform::UuMeld {
+            factor: 2,
+            unmerge: Default::default(),
+        };
+        let mut meld_hits = 0;
+        for seed in [7u64, 0x9E37, 0xBEEF, 0x1234, 0xFEED5] {
+            let fault = Some(FaultPlan {
+                kind: FaultKind::Miscompile,
+                at: 1,
+                seed,
+            });
+            let Ok(report) = bisect(&spec(), &transform, fault) else {
+                continue;
+            };
+            assert_eq!(report.first_bad.index, 1);
+            assert_eq!(
+                report.first_bad.pass, "meld",
+                "invocation 1 under uu+meld must be the meld pass"
+            );
+            meld_hits += 1;
+        }
+        assert!(
+            meld_hits >= 1,
+            "no seed produced an observable meld miscompile"
+        );
+    }
+
+    #[test]
     fn clean_compiles_refuse_to_bisect() {
         let transform = Transform::Baseline;
         let err = bisect(&spec(), &transform, None).unwrap_err();

@@ -385,6 +385,11 @@ pub fn default_transforms() -> Vec<Transform> {
             unmerge: UnmergeOptions::default(),
         },
         Transform::UuHeuristic(HeuristicOptions::default()),
+        Transform::Meld,
+        Transform::UuMeld {
+            factor: 2,
+            unmerge: UnmergeOptions::default(),
+        },
     ]
 }
 

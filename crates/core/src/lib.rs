@@ -14,7 +14,9 @@
 //!   `u_max`, pragma/convergence skipping and the optional divergence guard;
 //! * [`opt`] — the *subsequent optimizations* that u&u enables: SCCP, GVN
 //!   with alias-aware load elimination, branch-condition propagation,
-//!   if-conversion (the baseline's predication), CFG simplification and DCE;
+//!   if-conversion (the baseline's predication), CFG simplification and DCE
+//!   — plus [`opt::meld`], the DARM-style rival transform that *melds*
+//!   divergent diamonds instead of splitting merged control flow;
 //! * [`baseline_unroll`] — the baseline compiler's own unrolling;
 //! * [`pipeline`] — the five measurement configurations of §IV-B.
 //!
@@ -75,6 +77,7 @@ pub mod unroll;
 pub mod uu;
 
 pub use heuristic::{Decision, HeuristicOptions};
+pub use opt::meld::{meld_function, meld_loop, Meld};
 pub use pipeline::{
     compile, CompileOutcome, LoopFilter, PassPosition, PipelineOptions, Transform, WORK_PER_MS,
 };

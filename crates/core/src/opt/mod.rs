@@ -20,12 +20,17 @@
 //! * [`dce`] — dead code elimination;
 //! * [`ifconvert`] — select formation (predication), the reason the
 //!   *baseline* compiles branchy loop bodies into PTX `selp` instructions.
+//!
+//! [`meld`] is the odd one out: not cleanup but a rival transform —
+//! DARM-style control-flow melding of divergent diamonds, run head-to-head
+//! against unmerging by the harness's three-way study.
 
 pub mod condprop;
 pub mod dce;
 pub mod gvn;
 pub mod ifconvert;
 pub mod instsimplify;
+pub mod meld;
 pub mod sccp;
 pub mod simplifycfg;
 

@@ -67,6 +67,19 @@ pub enum Transform {
     },
     /// The size heuristic deciding per-loop factors.
     UuHeuristic(HeuristicOptions),
+    /// DARM-style control-flow melding of divergent diamonds in the
+    /// selected loops (see [`crate::opt::meld`]) — the rival philosophy the
+    /// three-way study compares against unmerging.
+    Meld,
+    /// Unroll-and-unmerge at `factor`, then meld whatever divergent
+    /// diamonds remain in the selected loops — the "both" leg of the
+    /// three-way study.
+    UuMeld {
+        /// Unroll factor for the u&u step.
+        factor: u32,
+        /// Unmerge cascade options for the u&u step.
+        unmerge: UnmergeOptions,
+    },
 }
 
 /// Which loops the transform applies to.
@@ -250,7 +263,7 @@ impl CompileOutcome {
 /// baseline pipeline): a contained failure in one of these means the
 /// config effectively ran without u&u.
 fn is_transform_pass(name: &str) -> bool {
-    matches!(name, "unroll" | "unmerge" | "uu" | "uu-heuristic")
+    matches!(name, "unroll" | "unmerge" | "uu" | "uu-heuristic" | "meld")
 }
 
 struct Ctx {
@@ -568,6 +581,46 @@ fn apply_transform(
                     decisions.push((fname.clone(), d));
                 }
             }
+            Transform::Meld => {
+                ctx.invoke(f, "meld", &mut |f| {
+                    let mut changed = false;
+                    for &h in &headers {
+                        changed |= crate::opt::meld::meld_loop(f, h);
+                    }
+                    changed
+                });
+            }
+            Transform::UuMeld { factor, unmerge } => {
+                // Two guarded invocations so each step degrades
+                // independently: a panicking meld rolls back to the u&u
+                // result, not all the way to baseline. The loop header
+                // block survives `uu_loop` (the unrolled loop keeps it),
+                // so the meld step can target the same headers.
+                let (factor, unmerge) = (*factor, *unmerge);
+                ctx.invoke(f, "uu", &mut |f| {
+                    let mut changed = false;
+                    for &h in &headers {
+                        changed |= uu_loop(
+                            f,
+                            h,
+                            &UuOptions {
+                                factor,
+                                unmerge,
+                                ..Default::default()
+                            },
+                        )
+                        .applied;
+                    }
+                    changed
+                });
+                ctx.invoke(f, "meld", &mut |f| {
+                    let mut changed = false;
+                    for &h in &headers {
+                        changed |= crate::opt::meld::meld_loop(f, h);
+                    }
+                    changed
+                });
+            }
         }
     }
 }
@@ -677,6 +730,11 @@ mod tests {
                 unmerge: UnmergeOptions::default(),
             },
             Transform::UuHeuristic(HeuristicOptions::default()),
+            Transform::Meld,
+            Transform::UuMeld {
+                factor: 2,
+                unmerge: UnmergeOptions::default(),
+            },
         ] {
             let mut m = branchy_module();
             let opts = PipelineOptions {
@@ -898,6 +956,93 @@ mod tests {
             .filter(|(_, i)| matches!(i.kind, uu_ir::InstKind::Select { .. }))
             .count();
         assert!(selects >= 1, "rolled-back u&u must leave the baseline result");
+    }
+
+    /// `branchy_module` with the diamond condition derived from
+    /// `threadIdx.x`, so the meld pass has a divergent diamond to chew on.
+    fn divergent_branchy_module() -> Module {
+        let mut f = uu_ir::Function::new("k", vec![Param::new("n", Type::I64)], Type::I64);
+        let entry = f.entry();
+        let mut b = FunctionBuilder::new(&mut f);
+        let h = b.create_block();
+        let t = b.create_block();
+        let a1 = b.create_block();
+        let a2 = b.create_block();
+        let m = b.create_block();
+        let exit = b.create_block();
+        b.switch_to(entry);
+        let tid = b.thread_idx();
+        let tid64 = b.cast(uu_ir::CastOp::Sext, tid, Type::I64);
+        let bit = b.and(tid64, Value::imm(1i64));
+        let odd = b.icmp(ICmpPred::Ne, bit, Value::imm(0i64));
+        b.br(h);
+        b.switch_to(h);
+        let i = b.phi(Type::I64);
+        b.add_phi_incoming(i, entry, Value::imm(0i64));
+        let c = b.icmp(ICmpPred::Slt, i, Value::Arg(0));
+        b.cond_br(c, t, exit);
+        b.switch_to(t);
+        b.cond_br(odd, a1, a2);
+        b.switch_to(a1);
+        let x2 = b.mul(i, Value::imm(2i64));
+        b.br(m);
+        b.switch_to(a2);
+        let x3 = b.mul(i, Value::imm(3i64));
+        b.br(m);
+        b.switch_to(m);
+        let p = b.phi(Type::I64);
+        b.add_phi_incoming(p, a1, x2);
+        b.add_phi_incoming(p, a2, x3);
+        let i1 = b.add(i, Value::imm(1i64));
+        b.add_phi_incoming(i, m, i1);
+        let _ = p;
+        b.br(h);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let mut m_ = Module::new("t");
+        m_.add_function(f);
+        m_
+    }
+
+    #[test]
+    fn meld_config_compiles_the_divergent_diamond_cleanly() {
+        let mut m = divergent_branchy_module();
+        let out = compile(
+            &mut m,
+            &PipelineOptions {
+                transform: Transform::Meld,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.verify_error, None);
+        assert_eq!(out.rung, crate::recover::Rung::Full, "{}", out.failure_summary());
+        assert!(out.pass_log.iter().any(|p| p.pass == "meld"));
+    }
+
+    #[test]
+    fn injected_meld_panic_degrades_to_no_transform() {
+        use crate::recover::{FaultKind, FaultPlan};
+        // Under uu+meld, invocation 0 is the uu step and invocation 1 the
+        // meld step. Panicking the meld must roll back to the u&u result
+        // and land the compile on the no-transform rung ("the measured
+        // transform did not fully run"), with valid IR.
+        let mut m = divergent_branchy_module();
+        let out = compile(
+            &mut m,
+            &PipelineOptions {
+                transform: Transform::UuMeld {
+                    factor: 2,
+                    unmerge: UnmergeOptions::default(),
+                },
+                fault: Some(FaultPlan { kind: FaultKind::Panic, at: 1, seed: 0 }),
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.verify_error, None);
+        assert_eq!(out.rung, crate::recover::Rung::NoTransform);
+        assert_eq!(out.failures.len(), 1);
+        assert_eq!(out.failures[0].pass, "meld");
+        assert!(out.failures[0].rolled_back);
     }
 
     #[test]

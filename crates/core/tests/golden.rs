@@ -17,10 +17,10 @@
 use std::path::PathBuf;
 use uu_core::opt::{
     condprop::CondProp, dce::Dce, gvn::Gvn, ifconvert::IfConvert, instsimplify::InstSimplify,
-    sccp::Sccp, simplifycfg::SimplifyCfg, Pass,
+    meld::Meld, sccp::Sccp, simplifycfg::SimplifyCfg, Pass,
 };
-use uu_core::{uu_loop, UuOptions};
-use uu_ir::{Function, FunctionBuilder, ICmpPred, Param, Type, Value};
+use uu_core::{meld_function, uu_loop, UuOptions};
+use uu_ir::{CastOp, Function, FunctionBuilder, ICmpPred, Param, Type, Value};
 
 /// The standard subject: a loop with a two-condition body (4 paths).
 fn subject() -> Function {
@@ -176,6 +176,95 @@ fn golden_dce() {
     snapshot_pass("dce", Dce);
 }
 
+/// The meld subject: a loop whose body diamond branches on a
+/// `threadIdx.x`-derived (divergent) condition, with one aligned
+/// `gep`+`store` pair per arm, a multiplier the arms disagree on (melds
+/// into a select), and a gap `add` only the false arm executes (gets
+/// speculated). The uniform `subject()` above is useless for meld — its
+/// diamonds never diverge — so the meld snapshots get their own fixture.
+fn meld_subject() -> Function {
+    let mut f = Function::new(
+        "meld_subject",
+        vec![
+            Param::new("n", Type::I64),
+            Param::new("x", Type::I64),
+            Param::new("out", Type::Ptr),
+        ],
+        Type::Void,
+    );
+    let entry = f.entry();
+    let mut b = FunctionBuilder::new(&mut f);
+    let h = b.create_block();
+    let body = b.create_block();
+    let t = b.create_block();
+    let e2 = b.create_block();
+    let latch = b.create_block();
+    let exit = b.create_block();
+    b.switch_to(entry);
+    let tid = b.thread_idx();
+    let tid64 = b.cast(CastOp::Sext, tid, Type::I64);
+    let bit = b.and(tid64, Value::imm(1i64));
+    let odd = b.icmp(ICmpPred::Ne, bit, Value::imm(0i64));
+    b.br(h);
+    b.switch_to(h);
+    let i = b.phi(Type::I64);
+    b.add_phi_incoming(i, entry, Value::imm(0i64));
+    let c = b.icmp(ICmpPred::Slt, i, Value::Arg(0));
+    b.cond_br(c, body, exit);
+    b.switch_to(body);
+    b.cond_br(odd, t, e2);
+    b.switch_to(t);
+    let x2 = b.mul(Value::Arg(1), Value::imm(2i64));
+    let p1 = b.gep(Value::Arg(2), tid64, 8);
+    b.store(p1, x2);
+    b.br(latch);
+    b.switch_to(e2);
+    let x3 = b.mul(Value::Arg(1), Value::imm(3i64));
+    let x31 = b.add(x3, Value::imm(1i64));
+    let p2 = b.gep(Value::Arg(2), tid64, 8);
+    b.store(p2, x31);
+    b.br(latch);
+    b.switch_to(latch);
+    let i1 = b.add(i, Value::imm(1i64));
+    b.add_phi_incoming(i, latch, i1);
+    b.br(h);
+    b.switch_to(exit);
+    b.ret(None);
+    f
+}
+
+/// Meld before/after on the divergent subject: the diamond must meld into
+/// a single predicated path (exactly one store, no divergent branch left).
+#[test]
+fn golden_meld_subject() {
+    let f = meld_subject();
+    uu_ir::verify_function(&f).unwrap();
+    assert_golden("meld-subject-before", &f.to_string());
+    let mut melded = f.clone();
+    assert!(meld_function(&mut melded), "the divergent diamond must meld");
+    uu_ir::verify_function(&melded).unwrap_or_else(|e| panic!("{e}\n{melded}"));
+    assert_golden("meld-subject-after", &melded.to_string());
+}
+
+/// Meld before/after over every checked-in fuzz corpus seed: the exact IR
+/// the pass sees and emits for each regression kernel, diffed byte-for-byte
+/// against the snapshot.
+#[test]
+fn golden_meld_corpus() {
+    let corpus = uu_check::corpus::load_corpus();
+    assert!(corpus.len() >= 2, "regression corpus went missing");
+    for (name, spec) in corpus {
+        let f = uu_check::build_kernel(&spec);
+        uu_ir::verify_function(&f).unwrap();
+        assert_golden(&format!("meld-corpus-{name}-before"), &f.to_string());
+        let mut melded = f.clone();
+        meld_function(&mut melded);
+        uu_ir::verify_function(&melded)
+            .unwrap_or_else(|e| panic!("meld corrupted corpus {name}: {e}\n{melded}"));
+        assert_golden(&format!("meld-corpus-{name}-after"), &melded.to_string());
+    }
+}
+
 /// Snapshots must be reproducible within a process too — a pass whose
 /// output depends on hash-map iteration order would make the golden files
 /// flaky. Catch that directly.
@@ -195,5 +284,11 @@ fn passes_are_deterministic() {
         );
         assert_eq!(print(Box::new(CondProp)), print(Box::new(CondProp)));
         assert_eq!(print(Box::new(Dce)), print(Box::new(Dce)));
+        let print_meld = || {
+            let mut f = meld_subject();
+            Meld.run(&mut f);
+            f.to_string()
+        };
+        assert_eq!(print_meld(), print_meld());
     }
 }

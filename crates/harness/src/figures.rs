@@ -359,6 +359,142 @@ pub fn faults(sweep: &Sweep, out: &Path) -> io::Result<()> {
     Ok(())
 }
 
+/// Emit Figure 9: the three-way unmerge/meld study — every (hot loop,
+/// configuration) point as CSV, plus an ASCII per-application summary of
+/// the best speedup each leg (u&u, meld, u&u+meld) achieves.
+///
+/// # Errors
+///
+/// Propagates report-write I/O failures.
+pub fn fig9(study: &crate::study::Study, out: &Path) -> io::Result<()> {
+    let quote = |s: &str| format!("\"{}\"", s.replace('"', "\"\"").replace('\n', " | "));
+    let mut csv = Vec::new();
+    for p in &study.points {
+        csv.push(format!(
+            "{},{},{},{},{:.6},{:.6},{:.6},{},{},{}",
+            p.app,
+            p.loop_ref.func,
+            p.loop_ref.loop_id,
+            p.config,
+            p.speedup,
+            p.size_ratio,
+            p.compile_ratio,
+            p.timed_out,
+            p.rung.as_str(),
+            quote(&p.diag)
+        ));
+    }
+    write_csv(
+        &out.join("fig9.csv"),
+        "app,func,loop,config,speedup,size_ratio,compile_ratio,timed_out,rung,diag",
+        &csv,
+    )?;
+
+    // ASCII: per-app best of each leg, plus geomeans across apps.
+    let mut apps: Vec<&str> = Vec::new();
+    for p in &study.points {
+        if !apps.contains(&p.app.as_str()) {
+            apps.push(&p.app);
+        }
+    }
+    let best = |app: &str, pred: &dyn Fn(&str) -> bool| -> f64 {
+        study
+            .points
+            .iter()
+            .filter(|p| p.app == app && pred(&p.config))
+            .map(|p| p.speedup)
+            .fold(f64::MIN, f64::max)
+    };
+    let mut rows = Vec::new();
+    let (mut uus, mut melds, mut boths) = (Vec::new(), Vec::new(), Vec::new());
+    for app in &apps {
+        let u = best(app, &|c| c.starts_with("uu") && !c.ends_with("+meld"));
+        let m = best(app, &|c| c == "meld");
+        let b = best(app, &|c| c.ends_with("+meld"));
+        uus.push(u);
+        melds.push(m);
+        boths.push(b);
+        rows.push(vec![
+            app.to_string(),
+            format!("{u:.3}"),
+            format!("{m:.3}"),
+            format!("{b:.3}"),
+            bar(u.max(m).max(b), 24),
+        ]);
+    }
+    let text = format!(
+        "Figure 9 — three-way study: best per-loop speedup of u&u (2/4/8), meld, and u&u+meld (2/4/8)\n{}\ngeomean: u&u {:.3}   meld {:.3}   u&u+meld {:.3}\n",
+        ascii_table(&["app", "u&u", "meld", "u&u+meld", ""], &rows),
+        geomean(&uus),
+        geomean(&melds),
+        geomean(&boths),
+    );
+    write_text(&out.join("fig9.txt"), &text)?;
+    Ok(())
+}
+
+/// Emit Table II: the per-loop verdicts of the three-way study — which of
+/// u&u, meld, or the combination wins each hot loop (±2% tie band).
+///
+/// # Errors
+///
+/// Propagates report-write I/O failures.
+pub fn table2(study: &crate::study::Study, out: &Path) -> io::Result<()> {
+    let verdicts = crate::study::verdicts(study);
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for v in &verdicts {
+        rows.push(vec![
+            v.app.clone(),
+            format!("{}#{}", v.loop_ref.func, v.loop_ref.loop_id),
+            format!("{} ({})", fmt3(v.best_uu.1), v.best_uu.0),
+            fmt3(v.meld),
+            format!("{} ({})", fmt3(v.best_both.1), v.best_both.0),
+            v.winner.to_string(),
+        ]);
+        csv.push(format!(
+            "{},{},{},{},{:.6},meld,{:.6},{},{:.6},{}",
+            v.app,
+            v.loop_ref.func,
+            v.loop_ref.loop_id,
+            v.best_uu.0,
+            v.best_uu.1,
+            v.meld,
+            v.best_both.0,
+            v.best_both.1,
+            v.winner,
+        ));
+    }
+    let mut tally: Vec<(&str, usize)> = Vec::new();
+    for w in ["u&u", "meld", "both", "tie"] {
+        let n = verdicts.iter().filter(|v| v.winner == w).count();
+        tally.push((w, n));
+    }
+    let text = format!(
+        "Table II — per-loop verdicts of the three-way unmerge/meld study (±2% tie band)\n{}\nwins: {}\n",
+        ascii_table(
+            &["app", "loop", "best u&u", "meld", "best u&u+meld", "winner"],
+            &rows
+        ),
+        tally
+            .iter()
+            .map(|(w, n)| format!("{w} {n}"))
+            .collect::<Vec<_>>()
+            .join("   "),
+    );
+    write_text(&out.join("table2.txt"), &text)?;
+    write_csv(
+        &out.join("table2.csv"),
+        "app,func,loop,best_uu_config,best_uu,meld_config,meld,best_both_config,best_both,winner",
+        &csv,
+    )?;
+    Ok(())
+}
+
+fn fmt3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
 fn truncate(s: &str, n: usize) -> String {
     let one_line = s.replace('\n', " | ");
     if one_line.chars().count() <= n {

@@ -20,7 +20,9 @@
 //!   is not a speedup).
 //!
 //! Run `cargo run --release -p uu-harness -- all` to regenerate everything
-//! into `results/`.
+//! into `results/`. Beyond the paper's own evaluation, the [`study`]
+//! module runs the three-way unmerge/meld comparison (u&u vs DARM-style
+//! melding vs both) rendered as `fig9` / `table2`.
 
 #![warn(missing_docs)]
 
@@ -29,7 +31,9 @@ pub mod figures;
 pub mod indepth;
 pub mod report;
 pub mod stats;
+pub mod study;
 pub mod sweep;
 
 pub use experiment::{measure, measure_baseline, Measurement};
+pub use study::{run_study, Study};
 pub use sweep::{run_sweep, Sweep};

@@ -1,7 +1,7 @@
 //! Command-line entry point: `uu-harness <command> [--fast] [--out DIR]`.
 
 use std::path::PathBuf;
-use uu_harness::{figures, indepth, sweep};
+use uu_harness::{figures, indepth, study, sweep};
 use uu_kernels::all_benchmarks;
 
 fn main() {
@@ -55,6 +55,10 @@ fn main() {
                         figures::fig8(&s, &out)?;
                         let cases = indepth::collect();
                         indepth::report(&cases, &out)?;
+                        eprintln!("running three-way unmerge/meld study...");
+                        let st = study::run_study(&benches);
+                        figures::fig9(&st, &out)?;
+                        figures::table2(&st, &out)?;
                     }
                 }
                 // Every sweep-based command also emits the fault report,
@@ -76,6 +80,27 @@ fn main() {
                 if let Ok(t) = std::fs::read_to_string(out.join("fig7.txt")) {
                     println!("{t}");
                 }
+            }
+        }
+        "study" | "fig9" | "table2" => {
+            // The three-way unmerge/meld study (hot loops only; identical
+            // in fast and full runs, byte-identical at any UU_JOBS).
+            eprintln!(
+                "running three-way unmerge/meld study over {} benchmark(s)...",
+                benches.len()
+            );
+            let st = study::run_study(&benches);
+            let emitted = (|| -> std::io::Result<()> {
+                figures::fig9(&st, &out)?;
+                figures::table2(&st, &out)
+            })();
+            if let Err(e) = emitted {
+                eprintln!("could not write results to {}: {e}", out.display());
+                std::process::exit(1);
+            }
+            eprintln!("wrote results to {}", out.display());
+            if let Ok(t) = std::fs::read_to_string(out.join("table2.txt")) {
+                println!("{t}");
             }
         }
         "indepth" => {
@@ -101,9 +126,16 @@ fn main() {
                 "baseline" => uu_core::Transform::Baseline,
                 "unmerge" => uu_core::Transform::Unmerge,
                 "heuristic" => uu_core::Transform::UuHeuristic(Default::default()),
+                "meld" => uu_core::Transform::Meld,
                 c if c.starts_with("unroll") => uu_core::Transform::Unroll {
                     factor: c[6..].parse().unwrap_or(4),
                 },
+                c if c.starts_with("uu") && c.ends_with("+meld") => {
+                    uu_core::Transform::UuMeld {
+                        factor: c[2..c.len() - 5].parse().unwrap_or(4),
+                        unmerge: Default::default(),
+                    }
+                }
                 c if c.starts_with("uu") => uu_core::Transform::Uu {
                     factor: c[2..].parse().unwrap_or(4),
                     unmerge: Default::default(),
@@ -169,7 +201,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command `{other}`; expected one of: all, table1, fig6[a|b|c], fig7, fig8[a|b], indepth, decisions, dump"
+                "unknown command `{other}`; expected one of: all, table1, fig6[a|b|c], fig7, fig8[a|b], study, fig9, table2, indepth, decisions, dump"
             );
             std::process::exit(2);
         }

@@ -98,7 +98,7 @@ pub struct Sweep {
     pub apps: Vec<AppSummary>,
 }
 
-fn seed_for(app: &str, l: &LoopRef, config: &str) -> u64 {
+pub(crate) fn seed_for(app: &str, l: &LoopRef, config: &str) -> u64 {
     let mut h = DefaultHasher::new();
     (app, &l.func, l.loop_id, config).hash(&mut h);
     h.finish()
@@ -136,7 +136,7 @@ pub fn run_sweep_jobs(benches: &[Benchmark], fast: bool, jobs: usize) -> Sweep {
 /// the baseline run itself faults (e.g. an injected memory fault): a
 /// sentinel with unit time keeps every downstream ratio finite and the
 /// report renderable, with the fault recorded in `diag`.
-fn sentinel_baseline(diag: String) -> Measurement {
+pub(crate) fn sentinel_baseline(diag: String) -> Measurement {
     Measurement {
         time_ms: 1.0,
         code_size: 1,

@@ -13,16 +13,21 @@ use uu_check::{build_kernel, execute_on, KernelSpec};
 use uu_kernels::all_benchmarks;
 use uu_simt::{ExecEngine, Gpu, GpuParams};
 
-/// Engine-tagged payload of one corpus execution, formatted for exact
-/// (bitwise, via Debug) comparison.
-fn run_spec(spec: &KernelSpec, engine: ExecEngine) -> String {
-    let f = build_kernel(spec);
-    match execute_on(&f, spec, engine) {
+/// Engine-tagged payload of one execution of a prepared kernel function,
+/// formatted for exact (bitwise, via Debug) comparison.
+fn run_fn(f: &uu_ir::Function, spec: &KernelSpec, engine: ExecEngine) -> String {
+    match execute_on(f, spec, engine) {
         Ok((out, metrics, time_ms)) => {
             format!("ok out={out:?} metrics={metrics:?} time={:016x}", time_ms.to_bits())
         }
         Err(e) => format!("err {e}"),
     }
+}
+
+/// Engine-tagged payload of one corpus execution of the raw (untransformed)
+/// kernel.
+fn run_spec(spec: &KernelSpec, engine: ExecEngine) -> String {
+    run_fn(&build_kernel(spec), spec, engine)
 }
 
 #[test]
@@ -54,14 +59,14 @@ fn decoded_is_deterministic_across_job_counts() {
     assert_eq!(j1, j4, "decoded engine must not depend on worker count");
 }
 
-/// Run one suite benchmark under `engine` and flatten everything the launch
-/// reports into an exactly-comparable string.
-fn run_benchmark(b: &uu_kernels::Benchmark, engine: ExecEngine) -> String {
-    let m = (b.build)();
+/// Run one already-built (possibly compiled) module of a suite benchmark
+/// under `engine` and flatten everything the launch reports into an
+/// exactly-comparable string.
+fn run_module(b: &uu_kernels::Benchmark, m: &uu_ir::Module, engine: ExecEngine) -> String {
     let mut params = GpuParams::default();
     params.engine = engine;
     let mut gpu = Gpu::with_params(params);
-    match (b.run)(&m, &mut gpu) {
+    match (b.run)(m, &mut gpu) {
         Ok(out) => format!(
             "ok time={:016x} checksum={:016x} transfer={} metrics={:?}",
             out.kernel_time_ms.to_bits(),
@@ -71,6 +76,11 @@ fn run_benchmark(b: &uu_kernels::Benchmark, engine: ExecEngine) -> String {
         ),
         Err(e) => format!("err {e}"),
     }
+}
+
+/// Run one suite benchmark under `engine` without any transform.
+fn run_benchmark(b: &uu_kernels::Benchmark, engine: ExecEngine) -> String {
+    run_module(b, &(b.build)(), engine)
 }
 
 #[test]
@@ -111,6 +121,104 @@ fn uniform_values_identical_across_lanes_on_kernel_suite() {
             "{}: verify-uniform run failed: {got}",
             b.info.name
         );
+    }
+}
+
+/// The two compilation configs that involve control-flow melding, paired
+/// with their harness labels.
+fn meld_transforms() -> Vec<(&'static str, uu_core::Transform)> {
+    vec![
+        ("meld", uu_core::Transform::Meld),
+        (
+            "uu2+meld",
+            uu_core::Transform::UuMeld {
+                factor: 2,
+                unmerge: Default::default(),
+            },
+        ),
+    ]
+}
+
+#[test]
+fn decoded_matches_reference_on_melded_corpus() {
+    // Melded kernels exercise `Select` chains and predicated stores the raw
+    // corpus never produces; both engines (and the uniformity verifier)
+    // must still agree exactly.
+    let corpus = load_corpus();
+    assert!(!corpus.is_empty(), "seed corpus must exist");
+    for (label, t) in meld_transforms() {
+        for (name, spec) in &corpus {
+            let mut m = uu_ir::Module::new("diff");
+            let id = m.add_function(build_kernel(spec));
+            let out = uu_core::compile(
+                &mut m,
+                &uu_core::PipelineOptions {
+                    transform: t.clone(),
+                    filter: uu_core::LoopFilter::All,
+                    ..Default::default()
+                },
+            );
+            assert!(
+                out.verify_error.is_none(),
+                "{label} broke corpus spec {name}: {:?}",
+                out.verify_error
+            );
+            let f = m.function(id);
+            let reference = run_fn(f, spec, ExecEngine::Reference);
+            assert_eq!(
+                reference,
+                run_fn(f, spec, ExecEngine::Decoded),
+                "engines disagree on corpus spec {name} under {label}"
+            );
+            assert_eq!(
+                reference,
+                run_fn(f, spec, ExecEngine::ReferenceVerifyUniform),
+                "verify-uniform changed behaviour on corpus spec {name} under {label}"
+            );
+        }
+    }
+}
+
+#[test]
+fn decoded_matches_reference_on_melded_kernel_suite() {
+    // All 16 paper kernels compiled under both meld configs, executed on
+    // every engine. Compilation happens once per (kernel, config); the
+    // compiled module is shared across engines so any disagreement is the
+    // engine's fault, not compile nondeterminism.
+    let benches = all_benchmarks();
+    assert_eq!(benches.len(), 16);
+    for (label, t) in meld_transforms() {
+        let results = uu_par::par_map(&benches, |_, b| {
+            let mut m = (b.build)();
+            uu_core::compile(
+                &mut m,
+                &uu_core::PipelineOptions {
+                    transform: t.clone(),
+                    ..Default::default()
+                },
+            );
+            let reference = run_module(b, &m, ExecEngine::Reference);
+            let decoded = run_module(b, &m, ExecEngine::Decoded);
+            let verified = run_module(b, &m, ExecEngine::ReferenceVerifyUniform);
+            (reference, decoded, verified)
+        });
+        for (b, (reference, decoded, verified)) in benches.iter().zip(&results) {
+            assert!(
+                reference.starts_with("ok "),
+                "{} under {label}: reference failed: {reference}",
+                b.info.name
+            );
+            assert_eq!(
+                reference, decoded,
+                "engines disagree on {} under {label}",
+                b.info.name
+            );
+            assert_eq!(
+                reference, verified,
+                "verify-uniform changed behaviour on {} under {label}",
+                b.info.name
+            );
+        }
     }
 }
 

@@ -10,7 +10,7 @@
 
 use std::path::Path;
 use uu_check::{check_result, Config, DiffOracle, KernelSpec};
-use uu_harness::{figures, sweep};
+use uu_harness::{figures, study, sweep};
 use uu_kernels::all_benchmarks;
 
 fn job_counts() -> Vec<usize> {
@@ -58,6 +58,69 @@ fn sweep_reports_are_byte_identical_at_any_worker_count() {
         let s = sweep::run_sweep_jobs(&benches, true, jobs);
         let files = render_all(&s, &benches, &tmp.join(format!("j{jobs}")));
         assert!(!files.is_empty(), "sweep produced no report files");
+        match &reference {
+            None => reference = Some((jobs, files)),
+            Some((ref_jobs, ref_files)) => {
+                assert_eq!(
+                    ref_files.len(),
+                    files.len(),
+                    "file sets differ between jobs={ref_jobs} and jobs={jobs}"
+                );
+                for ((an, ab), (bn, bb)) in ref_files.iter().zip(&files) {
+                    assert_eq!(an, bn, "file names diverged");
+                    assert_eq!(
+                        ab, bb,
+                        "{an}: bytes differ between jobs={ref_jobs} and jobs={jobs}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Render the three-way study figure and table into a fresh directory and
+/// return `(file name, bytes)` pairs sorted by name.
+fn render_study(st: &study::Study, dir: &Path) -> Vec<(String, Vec<u8>)> {
+    std::fs::create_dir_all(dir).unwrap();
+    figures::fig9(st, dir).unwrap();
+    figures::table2(st, dir).unwrap();
+    let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| {
+            let p = e.unwrap().path();
+            (
+                p.file_name().unwrap().to_string_lossy().into_owned(),
+                std::fs::read(&p).unwrap(),
+            )
+        })
+        .collect();
+    out.sort();
+    std::fs::remove_dir_all(dir).ok();
+    out
+}
+
+#[test]
+fn study_reports_are_byte_identical_at_any_worker_count() {
+    // The three-way unmerge/meld study (fig9 + table2) carries the same
+    // guarantee as the sweep: one flat task list, per-point noise seeds, and
+    // an in-order merge, so worker count can never leak into the bytes.
+    let benches: Vec<_> = all_benchmarks()
+        .into_iter()
+        .filter(|b| b.info.name == "mandelbrot")
+        .collect();
+    let tmp = std::env::temp_dir().join(format!("uu-study-det-{}", std::process::id()));
+    let mut reference: Option<(usize, Vec<(String, Vec<u8>)>)> = None;
+    for jobs in job_counts() {
+        let st = study::run_study_jobs(&benches, jobs);
+        let files = render_study(&st, &tmp.join(format!("j{jobs}")));
+        assert!(
+            files.iter().any(|(n, _)| n == "fig9.csv"),
+            "study produced no fig9.csv"
+        );
+        assert!(
+            files.iter().any(|(n, _)| n == "table2.csv"),
+            "study produced no table2.csv"
+        );
         match &reference {
             None => reference = Some((jobs, files)),
             Some((ref_jobs, ref_files)) => {

@@ -151,6 +151,88 @@ fn raw_runtime_unroll_preserves_semantics() {
     );
 }
 
+/// The raw meld transform (without cleanup) preserves semantics, emits
+/// verifier-clean IR, and preserves the structural invariants the rest of
+/// the stack depends on.
+#[test]
+fn raw_meld_preserves_semantics() {
+    check(
+        "raw_meld_preserves_semantics",
+        &Config::from_env(48),
+        |spec: &KernelSpec| {
+            let kernel = build_kernel(spec);
+            let golden = execute(&kernel, spec)?;
+            let mut melded = kernel.clone();
+            uu_core::meld_function(&mut melded);
+            uu_ir::verify_function(&melded)
+                .map_err(|e| format!("invalid IR after raw meld: {e}\n{melded}"))?;
+            let got = execute(&melded, spec)?;
+            if got == golden {
+                Ok(())
+            } else {
+                Err(format!(
+                    "raw meld diverged\n  want: {golden:?}\n  got:  {got:?}"
+                ))
+            }
+        },
+    );
+}
+
+/// Melding preserves the analysis invariants it claims to: dominance is
+/// recomputable (no orphaned blocks), the convergent-instruction count is
+/// untouched, and the number of *divergent* conditional branches reported
+/// by `uu_analysis::Divergence` never increases — reducing them is the
+/// pass's entire purpose.
+#[test]
+fn meld_preserves_divergence_and_convergence_invariants() {
+    fn divergent_branches(f: &uu_ir::Function) -> usize {
+        let div = uu_analysis::Divergence::compute(f);
+        f.iter_insts()
+            .filter(|(_, i)| match i.kind {
+                uu_ir::InstKind::CondBr { cond, .. } => div.is_divergent(cond),
+                _ => false,
+            })
+            .count()
+    }
+    fn convergent_insts(f: &uu_ir::Function) -> usize {
+        f.iter_insts().filter(|(_, i)| i.kind.is_convergent()).count()
+    }
+    check(
+        "meld_preserves_divergence_and_convergence_invariants",
+        &Config::from_env(48),
+        |spec: &KernelSpec| {
+            let kernel = build_kernel(spec);
+            let before_div = divergent_branches(&kernel);
+            let before_conv = convergent_insts(&kernel);
+            let mut melded = kernel.clone();
+            uu_core::meld_function(&mut melded);
+            uu_ir::verify_function(&melded)
+                .map_err(|e| format!("invalid IR after meld: {e}"))?;
+            // Dominance must be recomputable over a coherent CFG: every
+            // reachable block is in the layout and entry dominates all.
+            let dom = uu_analysis::DomTree::compute(&melded);
+            for b in melded.reachable_blocks() {
+                if !dom.dominates(melded.entry(), b) {
+                    return Err(format!("entry no longer dominates {b} after meld"));
+                }
+            }
+            let after_div = divergent_branches(&melded);
+            if after_div > before_div {
+                return Err(format!(
+                    "meld increased divergent branches: {before_div} -> {after_div}"
+                ));
+            }
+            if convergent_insts(&melded) != before_conv {
+                return Err(format!(
+                    "meld changed the convergent-instruction count: {before_conv} -> {}",
+                    convergent_insts(&melded)
+                ));
+            }
+            Ok(())
+        },
+    );
+}
+
 /// The textual printer and parser round-trip on generated kernels: one
 /// parse normalizes instruction numbering; after that, print∘parse is
 /// the identity, and semantics are preserved throughout.
