@@ -95,6 +95,59 @@ rm -rf target/ci/results-fast
 diff -r results-fast target/ci/results-fast
 echo "results-fast reproduces byte-identically"
 
+echo "== serve smoke: daemon round-trip, cache hit, fault containment, cached-sweep identity =="
+# Start the compile-service daemon on a Unix socket with a disk cache,
+# round-trip the same kernel compile twice (the second must be a cache
+# hit), inject a pass panic into a request (the daemon must survive and
+# report the degradation rung), and check the stats verb answers with
+# valid versioned JSON.
+rm -rf target/ci/serve-cache target/ci/serve.sock
+UU_CACHE_DIR=target/ci/serve-cache \
+  ./target/release/uu-harness serve --socket target/ci/serve.sock 2> /dev/null &
+serve_pid=$!
+trap 'kill "$serve_pid" 2> /dev/null || true' EXIT
+./target/release/uu-harness client --socket target/ci/serve.sock \
+  --bench mandelbrot --config uu4 > target/ci/serve-first.txt
+grep -q '^cached: miss$' target/ci/serve-first.txt
+./target/release/uu-harness client --socket target/ci/serve.sock \
+  --bench mandelbrot --config uu4 > target/ci/serve-second.txt
+grep -q '^cached: hit$' target/ci/serve-second.txt
+# Identical compile metadata on hit and miss (only the cached header flips).
+diff <(grep -v '^cached:' target/ci/serve-first.txt) \
+     <(grep -v '^cached:' target/ci/serve-second.txt)
+# A faulted request: contained, answered, degraded rung reported.
+./target/release/uu-harness client --socket target/ci/serve.sock \
+  --bench mandelbrot --config uu4 --fault panic@1 > target/ci/serve-fault.txt
+grep -q '^rung: ' target/ci/serve-fault.txt
+if grep -q '^rung: full$' target/ci/serve-fault.txt; then
+  echo "injected fault did not degrade the service compile rung" >&2
+  exit 1
+fi
+# The daemon survived the faulted request: stats still answers, as JSON.
+./target/release/uu-harness client --socket target/ci/serve.sock --verb stats \
+  | tail -n +2 > target/ci/serve-stats.json
+./target/release/uu-jsonck target/ci/serve-stats.json
+grep -q '"stats_version": 1' target/ci/serve-stats.json
+./target/release/uu-harness client --socket target/ci/serve.sock --verb shutdown > /dev/null
+wait "$serve_pid"
+trap - EXIT
+echo "serve smoke: round-trip, hit, fault containment, shutdown all good"
+
+# Cache-aware sweep identity: the fast sweep through a disk cache (cold,
+# then warm) must be byte-identical to the cacheless reference directory
+# produced by the engine-identity rung above.
+rm -rf target/ci/sweep-cache
+for pass in cold warm; do
+  rm -rf "target/ci/results-fast-cache-$pass"
+  t0=$(date +%s)
+  UU_CACHE_DIR=target/ci/sweep-cache \
+    ./target/release/uu-harness all --fast --out "target/ci/results-fast-cache-$pass" \
+    > /dev/null 2> /dev/null
+  eval "t_$pass=$(( $(date +%s) - t0 ))"
+  diff -r target/ci/results-fast "target/ci/results-fast-cache-$pass"
+done
+echo "cached fast sweep byte-identical (cold ${t_cold}s, warm ${t_warm}s)"
+
 echo "== simulator throughput bench smoke + BENCH_sim.json well-formedness =="
 # Smoke only — no thresholds; the JSON is the perf trajectory artifact.
 # Bench binaries run with CWD = the package dir, so the artifact dir

@@ -79,7 +79,8 @@ pub mod uu;
 pub use heuristic::{Decision, HeuristicOptions};
 pub use opt::meld::{meld_function, meld_loop, Meld};
 pub use pipeline::{
-    compile, CompileOutcome, LoopFilter, PassPosition, PipelineOptions, Transform, WORK_PER_MS,
+    compile, fingerprint_of, pipeline_fingerprint, CompileOutcome, LoopFilter, PassPosition,
+    PipelineOptions, Transform, PASS_VERSIONS, PIPELINE_SCHEMA_VERSION, WORK_PER_MS,
 };
 pub use recover::{
     FailureReason, FaultKind, FaultPlan, PassFailure, PassInvocation, Rung,

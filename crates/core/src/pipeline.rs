@@ -201,6 +201,55 @@ pub struct PassTiming {
 /// milliseconds scale.
 pub const WORK_PER_MS: f64 = 100.0;
 
+/// Every pass the pipeline can invoke, with a per-pass version counter.
+/// **Bump a pass's version whenever its behaviour changes**: the list is
+/// the input to [`pipeline_fingerprint`], which keys the `uu-serve`
+/// content-addressed artifact cache — a stale fingerprint would let a
+/// behaviourally different compiler serve old artifacts.
+pub const PASS_VERSIONS: &[(&str, u32)] = &[
+    ("simplifycfg", 1),
+    ("instsimplify", 1),
+    ("sccp", 1),
+    ("gvn", 1),
+    ("condprop", 1),
+    ("dce", 1),
+    ("ifconvert", 1),
+    ("baseline-unroll", 1),
+    ("unroll", 1),
+    ("unmerge", 1),
+    ("uu", 1),
+    ("uu-heuristic", 1),
+    ("meld", 1),
+];
+
+/// Version of the pipeline *structure* (pass order, guarding, degradation
+/// ladder, compile clock). Bump on any pipeline.rs change that can alter a
+/// compile's output or modeled work without touching an individual pass.
+pub const PIPELINE_SCHEMA_VERSION: u32 = 1;
+
+/// Deterministic fingerprint of the whole pass pipeline: the cache-key
+/// component that invalidates every cached artifact when any pass (or the
+/// pipeline itself) changes. Stable across processes and machines
+/// (FNV-1a, not `DefaultHasher`).
+pub fn pipeline_fingerprint() -> u64 {
+    fingerprint_of(PIPELINE_SCHEMA_VERSION, PASS_VERSIONS)
+}
+
+/// [`pipeline_fingerprint`] over an explicit pass list — split out so
+/// tests can prove that adding, removing, renaming or re-versioning any
+/// pass changes the fingerprint.
+pub fn fingerprint_of(schema: u32, passes: &[(&str, u32)]) -> u64 {
+    let mut h = uu_ir::fnv1a(b"uu-pipeline");
+    h = uu_ir::fnv1a_continue(h, &schema.to_le_bytes());
+    h = uu_ir::fnv1a_continue(h, &WORK_PER_MS.to_bits().to_le_bytes());
+    for (name, version) in passes {
+        h = uu_ir::fnv1a_continue(h, name.as_bytes());
+        h = uu_ir::fnv1a_continue(h, &[0]); // separator: ("ab",1) != ("a",b1)
+        h = uu_ir::fnv1a_continue(h, &version.to_le_bytes());
+    }
+    h
+}
+
 /// Result of compiling a module.
 #[derive(Debug, Clone)]
 pub struct CompileOutcome {
@@ -1144,5 +1193,37 @@ mod tests {
         assert!(out.pass_log.is_empty());
         let after = format!("{}", m.function(uu_ir::FuncId::from_index(0)));
         assert_eq!(before, after, "limit 0 must not touch the module");
+    }
+
+    #[test]
+    fn pipeline_fingerprint_is_stable_and_sensitive() {
+        let base = pipeline_fingerprint();
+        assert_eq!(base, fingerprint_of(PIPELINE_SCHEMA_VERSION, PASS_VERSIONS));
+
+        // Bumping any pass version must invalidate the fingerprint.
+        for i in 0..PASS_VERSIONS.len() {
+            let mut v = PASS_VERSIONS.to_vec();
+            v[i].1 += 1;
+            assert_ne!(
+                fingerprint_of(PIPELINE_SCHEMA_VERSION, &v),
+                base,
+                "version bump of {} must change the fingerprint",
+                PASS_VERSIONS[i].0
+            );
+        }
+        // So must removing, adding or renaming a pass, or a schema bump.
+        assert_ne!(fingerprint_of(PIPELINE_SCHEMA_VERSION, &PASS_VERSIONS[1..]), base);
+        let mut added = PASS_VERSIONS.to_vec();
+        added.push(("newpass", 1));
+        assert_ne!(fingerprint_of(PIPELINE_SCHEMA_VERSION, &added), base);
+        let mut renamed = PASS_VERSIONS.to_vec();
+        renamed[0].0 = "renamed";
+        assert_ne!(fingerprint_of(PIPELINE_SCHEMA_VERSION, &renamed), base);
+        assert_ne!(fingerprint_of(PIPELINE_SCHEMA_VERSION + 1, PASS_VERSIONS), base);
+        // The name/version separator prevents adjacent-field aliasing.
+        assert_ne!(
+            fingerprint_of(1, &[("ab", 1), ("c", 1)]),
+            fingerprint_of(1, &[("a", 1), ("bc", 1)])
+        );
     }
 }

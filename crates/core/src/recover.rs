@@ -256,6 +256,14 @@ pub enum Rung {
 }
 
 impl Rung {
+    /// Every rung, best to worst — the indexing base for per-rung stats.
+    pub const ALL: [Rung; 4] = [
+        Rung::Full,
+        Rung::DroppedPass,
+        Rung::NoTransform,
+        Rung::Unoptimized,
+    ];
+
     /// Stable report label.
     pub fn as_str(&self) -> &'static str {
         match self {
@@ -264,6 +272,17 @@ impl Rung {
             Rung::NoTransform => "no-transform",
             Rung::Unoptimized => "unoptimized",
         }
+    }
+
+    /// Parse an [`as_str`](Rung::as_str) label back — the disk round-trip
+    /// for cached compile artifacts.
+    pub fn from_str(s: &str) -> Option<Rung> {
+        Rung::ALL.into_iter().find(|r| r.as_str() == s)
+    }
+
+    /// Position in [`Rung::ALL`] (0 = full ... 3 = unoptimized).
+    pub fn index(&self) -> usize {
+        Rung::ALL.iter().position(|r| r == self).unwrap_or(0)
     }
 }
 

@@ -139,14 +139,61 @@ pub fn measure_with(
     skip_run: Option<&Measurement>,
     fault: Option<FaultPlan>,
 ) -> Result<Measurement, MeasureError> {
+    measure_cached(bench, transform, filter, skip_run, fault, None)
+}
+
+/// The *run*-side cache-key tag: everything outside the module + pipeline
+/// config that can change simulator output — benchmark identity, workload
+/// version, launch repeats, the simulator engine selection, and any
+/// memory-fault plan (which is armed on the GPU, not the pipeline).
+fn workload_tag(bench: &Benchmark, fault: Option<&FaultPlan>) -> String {
+    let engine = std::env::var("UU_SIMT_ENGINE").unwrap_or_default();
+    let mem_fault = fault
+        .filter(|p| p.kind == FaultKind::Mem)
+        .map(|p| p.spec())
+        .unwrap_or_default();
+    format!(
+        "{}|wl{}|x{}|{engine}|{mem_fault}",
+        bench.info.name,
+        uu_kernels::WORKLOAD_VERSION,
+        bench.info.launch_repeats.max(1),
+    )
+}
+
+/// [`measure_with`] through an optional content-addressed cache.
+///
+/// With `cache: None` this *is* the uncached path. With a cache, the
+/// compile half is served from compile artifacts and — for executed
+/// (hot) points — the whole measurement is served from run artifacts, so
+/// a warm sweep skips both the pipeline and the simulator. Every cached
+/// field round-trips exactly (f64s as bit patterns), so cached and
+/// cacheless measurements are identical, not merely close. Faulted
+/// simulator runs ([`MeasureError`]) are never cached.
+///
+/// # Errors
+///
+/// See [`measure`].
+pub fn measure_cached(
+    bench: &Benchmark,
+    transform: Transform,
+    filter: LoopFilter,
+    skip_run: Option<&Measurement>,
+    fault: Option<FaultPlan>,
+    cache: Option<&uu_serve::CompileCache>,
+) -> Result<Measurement, MeasureError> {
     let mut m = (bench.build)();
     let opts = PipelineOptions {
         transform,
         filter,
         timeout: Some(COMPILE_TIMEOUT),
-        fault: fault.filter(|p| p.kind != FaultKind::Mem),
+        fault: fault.clone().filter(|p| p.kind != FaultKind::Mem),
         ..Default::default()
     };
+
+    if let Some(cache) = cache {
+        return measure_through_cache(bench, &mut m, &opts, skip_run, fault, cache);
+    }
+
     let outcome = compile(&mut m, &opts);
     debug_assert!(outcome.verify_error.is_none(), "guarded compile must emit valid IR");
     let code_size = uu_analysis::cost::module_size(&m);
@@ -194,6 +241,88 @@ pub fn measure_with(
     })
 }
 
+/// The cache-aware measurement path: compile artifacts cover every point;
+/// run artifacts additionally cover executed points.
+fn measure_through_cache(
+    bench: &Benchmark,
+    m: &mut uu_ir::Module,
+    opts: &PipelineOptions,
+    skip_run: Option<&Measurement>,
+    fault: Option<FaultPlan>,
+    cache: &uu_serve::CompileCache,
+) -> Result<Measurement, MeasureError> {
+    use uu_serve::CompileCache;
+
+    if let Some(base) = skip_run {
+        // Skip-run points only consume compile metadata — no need to
+        // materialize the optimized module on a hit.
+        let c = cache.compile(m, opts, false);
+        return Ok(Measurement {
+            time_ms: base.time_ms,
+            code_size: c.meta.code_size,
+            compile_ms: c.meta.work as f64 / uu_core::WORK_PER_MS,
+            checksum: base.checksum,
+            timed_out: c.meta.timed_out,
+            metrics: base.metrics,
+            transfer_ms: base.transfer_ms,
+            rung: c.meta.rung,
+            diag: c.meta.diag,
+        });
+    }
+
+    let run_key = CompileCache::run_key(
+        CompileCache::compile_key(m, opts),
+        &workload_tag(bench, fault.as_ref()),
+    );
+    if let Some((meta, run)) = cache.lookup_run(run_key) {
+        return Ok(Measurement {
+            time_ms: run.time_ms,
+            code_size: meta.code_size,
+            compile_ms: meta.work as f64 / uu_core::WORK_PER_MS,
+            checksum: run.checksum,
+            timed_out: meta.timed_out,
+            metrics: run.metrics,
+            transfer_ms: run.transfer_ms,
+            rung: meta.rung,
+            diag: meta.diag,
+        });
+    }
+
+    let c = cache.compile(m, opts, true);
+    let mut gpu = Gpu::new();
+    if let Some(p) = fault.filter(|p| p.kind == FaultKind::Mem) {
+        gpu.mem.inject_fault_after(p.at);
+    }
+    let compile_ms = c.meta.work as f64 / uu_core::WORK_PER_MS;
+    let run = (bench.run)(m, &mut gpu).map_err(|exec| MeasureError {
+        exec,
+        rung: c.meta.rung,
+        failures: c.meta.diag.clone(),
+        compile_ms,
+        code_size: c.meta.code_size,
+        timed_out: c.meta.timed_out,
+    })?;
+    let repeats = bench.info.launch_repeats.max(1) as f64;
+    let record = uu_serve::RunRecord {
+        time_ms: run.kernel_time_ms * repeats,
+        checksum: run.checksum,
+        transfer_ms: run.transfer_ms(),
+        metrics: run.metrics,
+    };
+    cache.store_run(run_key, &c.meta, &record);
+    Ok(Measurement {
+        time_ms: record.time_ms,
+        code_size: c.meta.code_size,
+        compile_ms,
+        checksum: record.checksum,
+        timed_out: c.meta.timed_out,
+        metrics: record.metrics,
+        transfer_ms: record.transfer_ms,
+        rung: c.meta.rung,
+        diag: c.meta.diag,
+    })
+}
+
 /// Measure the baseline configuration of a benchmark.
 ///
 /// # Errors
@@ -227,6 +356,10 @@ pub struct PointTask<'a> {
     /// Fault-injection plan forwarded to the compile/execute of this point
     /// (`None` in production sweeps unless `UU_FAULT` is set).
     pub fault: Option<FaultPlan>,
+    /// Shared content-addressed artifact cache; `None` compiles and runs
+    /// everything from scratch. Cached and cacheless measurements are
+    /// identical by construction, so this only changes wall time.
+    pub cache: Option<&'a uu_serve::CompileCache>,
 }
 
 impl PointTask<'_> {
@@ -249,8 +382,14 @@ impl PointTask<'_> {
             loop_id: self.loop_ref.loop_id,
         };
         let skip = if self.hot { None } else { Some(self.base) };
-        let mut m = match measure_with(self.bench, self.transform.clone(), filter, skip, self.fault)
-        {
+        let mut m = match measure_cached(
+            self.bench,
+            self.transform.clone(),
+            filter,
+            skip,
+            self.fault,
+            self.cache,
+        ) {
             Ok(m) => m,
             Err(e) => {
                 let mut degraded = self.base.clone();

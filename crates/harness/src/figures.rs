@@ -256,37 +256,57 @@ pub fn fig8(sweep: &Sweep, out: &Path) -> io::Result<()> {
         "app,func,loop,factor,uu_speedup,unmerge_speedup",
         &b,
     )?;
-    // ASCII summary: counts by region relative to the diagonal.
-    let summarize = |rows: &[String], other: &str| -> String {
-        let mut below = 0;
-        let mut near = 0;
-        let mut above = 0;
-        for r in rows {
-            let cols: Vec<&str> = r.split(',').collect();
-            let uu: f64 = cols[4].parse().unwrap();
-            let ot: f64 = cols[5].parse().unwrap();
-            if uu > ot * 1.02 {
-                below += 1;
-            } else if ot > uu * 1.02 {
-                above += 1;
-            } else {
-                near += 1;
-            }
-        }
-        format!(
-            "u&u wins: {below}   ties (±2%): {near}   {other} wins: {above}   (n = {})\n",
-            rows.len()
-        )
-    };
     write_text(
         &out.join("fig8.txt"),
         &format!(
             "Figure 8a (u&u vs unroll, per loop & factor)\n{}\nFigure 8b (u&u vs unmerge)\n{}",
-            summarize(&a, "unroll"),
-            summarize(&b, "unmerge")
+            scatter_summary(&a, "unroll")?,
+            scatter_summary(&b, "unmerge")?
         ),
     )?;
     Ok(())
+}
+
+/// ASCII summary of fig8 scatter rows: counts by region relative to the
+/// diagonal. Row parsing follows the Result-based figure I/O idiom — a
+/// malformed or short row is an [`io::ErrorKind::InvalidData`] error
+/// naming the offending row, never a panic: in a long-running report
+/// service one bad row must fail the one report, not the process.
+///
+/// # Errors
+///
+/// Returns `InvalidData` when a row has fewer than 6 columns or a
+/// non-numeric speedup column.
+fn scatter_summary(rows: &[String], other: &str) -> io::Result<String> {
+    let col = |row: &str, cols: &[&str], i: usize| -> io::Result<f64> {
+        cols.get(i)
+            .and_then(|c| c.parse::<f64>().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed fig8 row (column {i}): {row:?}"),
+                )
+            })
+    };
+    let mut below = 0;
+    let mut near = 0;
+    let mut above = 0;
+    for r in rows {
+        let cols: Vec<&str> = r.split(',').collect();
+        let uu = col(r, &cols, 4)?;
+        let ot = col(r, &cols, 5)?;
+        if uu > ot * 1.02 {
+            below += 1;
+        } else if ot > uu * 1.02 {
+            above += 1;
+        } else {
+            near += 1;
+        }
+    }
+    Ok(format!(
+        "u&u wins: {below}   ties (±2%): {near}   {other} wins: {above}   (n = {})\n",
+        rows.len()
+    ))
 }
 
 /// Emit `faults.csv` / `faults.txt`: the fault-tolerance report listing
@@ -510,6 +530,42 @@ mod tests {
     use super::*;
     use crate::sweep::run_sweep;
     use uu_kernels::all_benchmarks;
+
+    #[test]
+    fn scatter_summary_counts_regions() {
+        let rows = vec![
+            "app,f,0,2,2.000000,1.000000".to_string(), // u&u wins
+            "app,f,1,2,1.000000,2.000000".to_string(), // other wins
+            "app,f,2,2,1.000000,1.010000".to_string(), // tie within 2%
+        ];
+        let s = scatter_summary(&rows, "unroll").unwrap();
+        assert_eq!(s, "u&u wins: 1   ties (±2%): 1   unroll wins: 1   (n = 3)\n");
+    }
+
+    #[test]
+    fn scatter_summary_rejects_malformed_rows_without_panicking() {
+        // Regression: these rows used to `unwrap()` inside the summarize
+        // closure and panic the whole report pass.
+        for bad in [
+            "short,row",                        // too few columns
+            "app,f,0,2,not-a-number,1.0",       // non-numeric uu column
+            "app,f,0,2,1.0,NaN?",               // non-numeric partner column
+            "",                                 // empty row
+        ] {
+            let rows = vec![bad.to_string()];
+            let e = scatter_summary(&rows, "unroll")
+                .expect_err(&format!("row {bad:?} must be rejected"));
+            assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+            assert!(e.to_string().contains("malformed fig8 row"), "{e}");
+        }
+        // And a malformed row among good ones still fails the summary
+        // (reports never silently drop data points).
+        let rows = vec![
+            "app,f,0,2,2.0,1.0".to_string(),
+            "oops".to_string(),
+        ];
+        assert!(scatter_summary(&rows, "unroll").is_err());
+    }
 
     #[test]
     fn figures_emit_files_for_small_sweep() {

@@ -1,26 +1,42 @@
 //! Command-line entry point: `uu-harness <command> [--fast] [--out DIR]`.
+//!
+//! Batch commands (`all`, `table1`, `fig6`–`fig9`, `table2`, `study`,
+//! `indepth`, `decisions`, `dump`) regenerate the paper's reports. The
+//! service commands turn the same pipeline into a long-running daemon:
+//!
+//! * `serve --socket PATH` (or `--stdio`) — compile-service daemon
+//!   answering framed requests (see `uu-serve`);
+//! * `client --socket PATH [--config C] [--fault SPEC] [--verb V]` —
+//!   one request against a running daemon, using `--bench NAME`'s module
+//!   (or a module read from stdin).
+//!
+//! Batch commands honour the artifact-cache environment knobs:
+//! `UU_CACHE_DIR=<dir>` enables the persistent content-addressed cache,
+//! `UU_CACHE=mem` an in-process one; both leave every report
+//! byte-identical to a cacheless run.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use uu_harness::{figures, indepth, study, sweep};
 use uu_kernels::all_benchmarks;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
-    let out = args
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out = flag("--out").map(PathBuf::from).unwrap_or_else(|| PathBuf::from("results"));
+    let only: Option<String> = flag("--bench");
+    let flag_values: Vec<String> = ["--out", "--bench", "--config", "--socket", "--fault", "--verb"]
         .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("results"));
-    let only: Option<String> = args
-        .iter()
-        .position(|a| a == "--bench")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+        .filter_map(|f| flag(f))
+        .collect();
     let cmd = args
         .iter()
-        .find(|a| !a.starts_with("--") && Some(a.as_str()) != only.as_deref())
+        .find(|a| !a.starts_with("--") && !flag_values.contains(a))
         .map(String::as_str)
         .unwrap_or("all");
 
@@ -36,12 +52,16 @@ fn main() {
     match cmd {
         "table1" | "fig6a" | "fig6b" | "fig6c" | "fig6" | "fig7" | "fig8a" | "fig8b"
         | "fig8" | "all" => {
+            let cache = uu_serve::CompileCache::from_env();
             eprintln!(
-                "running sweep over {} benchmark(s){} ...",
+                "running sweep over {} benchmark(s){}{} ...",
                 benches.len(),
-                if fast { " (fast)" } else { "" }
+                if fast { " (fast)" } else { "" },
+                if cache.is_some() { " [cached]" } else { "" }
             );
-            let s = sweep::run_sweep(&benches, fast);
+            let fault = uu_core::FaultPlan::from_env();
+            let jobs = uu_par::num_jobs();
+            let s = sweep::run_sweep_cached(&benches, fast, jobs, fault, cache.as_ref());
             let emitted = (|| -> std::io::Result<()> {
                 match cmd {
                     "table1" => figures::table1(&s, &out, &benches)?,
@@ -56,7 +76,7 @@ fn main() {
                         let cases = indepth::collect();
                         indepth::report(&cases, &out)?;
                         eprintln!("running three-way unmerge/meld study...");
-                        let st = study::run_study(&benches);
+                        let st = study::run_study_cached(&benches, jobs, fault, cache.as_ref());
                         figures::fig9(&st, &out)?;
                         figures::table2(&st, &out)?;
                     }
@@ -70,6 +90,7 @@ fn main() {
                 std::process::exit(1);
             }
             eprintln!("wrote results to {}", out.display());
+            report_cache(cache.as_ref());
             // Print the headline table to stdout for quick inspection.
             if matches!(cmd, "table1" | "all") {
                 if let Ok(t) = std::fs::read_to_string(out.join("table1.txt")) {
@@ -85,11 +106,17 @@ fn main() {
         "study" | "fig9" | "table2" => {
             // The three-way unmerge/meld study (hot loops only; identical
             // in fast and full runs, byte-identical at any UU_JOBS).
+            let cache = uu_serve::CompileCache::from_env();
             eprintln!(
                 "running three-way unmerge/meld study over {} benchmark(s)...",
                 benches.len()
             );
-            let st = study::run_study(&benches);
+            let st = study::run_study_cached(
+                &benches,
+                uu_par::num_jobs(),
+                uu_core::FaultPlan::from_env(),
+                cache.as_ref(),
+            );
             let emitted = (|| -> std::io::Result<()> {
                 figures::fig9(&st, &out)?;
                 figures::table2(&st, &out)
@@ -99,6 +126,7 @@ fn main() {
                 std::process::exit(1);
             }
             eprintln!("wrote results to {}", out.display());
+            report_cache(cache.as_ref());
             if let Ok(t) = std::fs::read_to_string(out.join("table2.txt")) {
                 println!("{t}");
             }
@@ -113,37 +141,101 @@ fn main() {
                 println!("{t}");
             }
         }
-        "dump" => {
-            // Print each hot kernel after optimization under a config given
-            // by --config (baseline|unroll<k>|unmerge|uu<k>|heuristic).
-            let config = args
-                .iter()
-                .position(|a| a == "--config")
-                .and_then(|i| args.get(i + 1))
-                .cloned()
-                .unwrap_or_else(|| "uu4".to_string());
-            let transform = match config.as_str() {
-                "baseline" => uu_core::Transform::Baseline,
-                "unmerge" => uu_core::Transform::Unmerge,
-                "heuristic" => uu_core::Transform::UuHeuristic(Default::default()),
-                "meld" => uu_core::Transform::Meld,
-                c if c.starts_with("unroll") => uu_core::Transform::Unroll {
-                    factor: c[6..].parse().unwrap_or(4),
-                },
-                c if c.starts_with("uu") && c.ends_with("+meld") => {
-                    uu_core::Transform::UuMeld {
-                        factor: c[2..c.len() - 5].parse().unwrap_or(4),
-                        unmerge: Default::default(),
+        "serve" => {
+            // Long-running compile service. The cache honours the same env
+            // knobs as the batch commands; without one, it runs an
+            // in-memory cache (a daemon without a cache would re-do every
+            // repeat compile).
+            let cache = uu_serve::CompileCache::from_env()
+                .unwrap_or_else(uu_serve::CompileCache::new_mem);
+            let r = if args.iter().any(|a| a == "--stdio") {
+                eprintln!("uu-serve: serving on stdio");
+                uu_serve::serve_stdio(&cache)
+            } else {
+                let sock = flag("--socket").unwrap_or_else(|| "uu-serve.sock".to_string());
+                eprintln!("uu-serve: serving on {sock}");
+                uu_serve::serve_unix(Path::new(&sock), &cache)
+            };
+            let stats = cache.stats();
+            eprintln!(
+                "uu-serve: exiting; {} hits / {} misses ({:.1}% hit rate)",
+                stats.hits(),
+                stats.misses(),
+                stats.hit_rate() * 100.0
+            );
+            if let Err(e) = r {
+                eprintln!("uu-serve: {e}");
+                std::process::exit(1);
+            }
+        }
+        "client" => {
+            let sock = flag("--socket").unwrap_or_else(|| "uu-serve.sock".to_string());
+            let verb = flag("--verb").unwrap_or_else(|| "compile".to_string());
+            let req = match verb.as_str() {
+                "compile" => {
+                    let config = flag("--config").unwrap_or_else(|| "uu4".to_string());
+                    // `--bench NAME` sends that benchmark's module; with the
+                    // default filter (all benches), read the module from stdin.
+                    let module_text = if only.is_some() {
+                        (benches[0].build)().to_string()
+                    } else {
+                        let mut s = String::new();
+                        use std::io::Read as _;
+                        if std::io::stdin().read_to_string(&mut s).is_err() || s.is_empty() {
+                            eprintln!("client: pass --bench NAME or pipe a module on stdin");
+                            std::process::exit(2);
+                        }
+                        s
+                    };
+                    let mut req = uu_serve::Message::new("compile")
+                        .header("config", &config)
+                        .with_body(module_text);
+                    if let Some(fault) = flag("--fault") {
+                        req = req.header("fault", fault);
                     }
+                    if !args.iter().any(|a| a == "--print-ir") {
+                        req = req.header("want-module", 0);
+                    }
+                    req
                 }
-                c if c.starts_with("uu") => uu_core::Transform::Uu {
-                    factor: c[2..].parse().unwrap_or(4),
-                    unmerge: Default::default(),
-                },
+                v @ ("stats" | "ping" | "shutdown") => uu_serve::Message::new(v),
                 other => {
-                    eprintln!("unknown --config `{other}`");
+                    eprintln!("client: unknown --verb `{other}` (compile|stats|ping|shutdown)");
                     std::process::exit(2);
                 }
+            };
+            let resp = uu_serve::connect_unix(Path::new(&sock), std::time::Duration::from_secs(5))
+                .and_then(|mut stream| uu_serve::request_over(&mut stream, &req));
+            match resp {
+                Ok(resp) => {
+                    println!("{}", resp.verb);
+                    for (k, v) in &resp.headers {
+                        println!("{k}: {v}");
+                    }
+                    if !resp.body.is_empty() {
+                        println!();
+                        print!("{}", resp.body);
+                    }
+                    if resp.verb != "ok" {
+                        std::process::exit(1);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("client: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "dump" => {
+            // Print each hot kernel after optimization under a config given
+            // by --config (see `uu_serve::config_names`).
+            let config = flag("--config").unwrap_or_else(|| "uu4".to_string());
+            let Some(transform) = uu_serve::parse_config(&config) else {
+                eprintln!(
+                    "unknown --config `{config}`; expected {}",
+                    uu_serve::config_names()
+                );
+                std::process::exit(2);
             };
             // Compile in parallel; print in benchmark order.
             let dumps = uu_par::par_map(&benches, |_, b| {
@@ -201,9 +293,25 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command `{other}`; expected one of: all, table1, fig6[a|b|c], fig7, fig8[a|b], study, fig9, table2, indepth, decisions, dump"
+                "unknown command `{other}`; expected one of: all, table1, fig6[a|b|c], fig7, fig8[a|b], study, fig9, table2, indepth, decisions, dump, serve, client"
             );
             std::process::exit(2);
         }
+    }
+}
+
+/// After a cached batch run, surface the cache's versioned stats on
+/// stderr (reports on stdout/disk stay byte-identical to cacheless runs).
+fn report_cache(cache: Option<&uu_serve::CompileCache>) {
+    if let Some(c) = cache {
+        let st = c.stats();
+        eprintln!(
+            "cache: {} hits / {} misses ({:.1}% hit rate), {} work units saved",
+            st.hits(),
+            st.misses(),
+            st.hit_rate() * 100.0,
+            st.work_saved
+        );
+        eprintln!("cache stats JSON:\n{}", st.to_json());
     }
 }

@@ -21,7 +21,7 @@
 //! Rendered as `fig9` (per-point data + per-app summary) and `table2`
 //! (per-loop verdicts) by [`crate::figures`].
 
-use crate::experiment::{loop_list, measure_with, LoopRef, PointTask};
+use crate::experiment::{loop_list, measure_cached, LoopRef, PointTask};
 use crate::stats::median_of_20;
 use crate::sweep::{seed_for, sentinel_baseline, LoopPoint, FRONTEND_MS};
 use uu_core::{FaultPlan, LoopFilter, Transform, UnmergeOptions};
@@ -83,6 +83,19 @@ pub fn run_study_faulted(
     jobs: usize,
     fault: Option<FaultPlan>,
 ) -> Study {
+    run_study_cached(benches, jobs, fault, None)
+}
+
+/// [`run_study_faulted`] through an optional content-addressed artifact
+/// cache shared with the sweep: the study's `uu2`/`uu4`/`uu8` legs hit
+/// the very artifacts the sweep produced for the same loops, and warm
+/// reruns skip compile and simulation alike — with byte-identical output.
+pub fn run_study_cached(
+    benches: &[Benchmark],
+    jobs: usize,
+    fault: Option<FaultPlan>,
+    cache: Option<&uu_serve::CompileCache>,
+) -> Study {
     // Phase 1: per-application baselines (the denominator of every
     // speedup). Seeds match the sweep's, so a configuration shared by both
     // reports (e.g. `uu2`) produces the same numbers in both.
@@ -90,7 +103,7 @@ pub fn run_study_faulted(
         uu_par::par_map_jobs(jobs, benches, |_, bench| {
             let app = bench.info.name;
             eprintln!("  study baseline {app}...");
-            measure_with(bench, Transform::Baseline, LoopFilter::All, None, fault)
+            measure_cached(bench, Transform::Baseline, LoopFilter::All, None, fault, cache)
                 .unwrap_or_else(|e| sentinel_baseline(format!("{app}/baseline: {e}")))
         });
 
@@ -110,6 +123,7 @@ pub fn run_study_faulted(
                     config: cname,
                     transform,
                     fault,
+                    cache,
                 });
             }
         }

@@ -6,7 +6,7 @@
 //! baseline median.
 
 use crate::experiment::{
-    equivalence_diag, loop_list, measure_with, sweep_configs, LoopRef, Measurement, PointTask,
+    equivalence_diag, loop_list, measure_cached, sweep_configs, LoopRef, Measurement, PointTask,
 };
 use crate::stats::median_of_20;
 use std::collections::hash_map::DefaultHasher;
@@ -158,6 +158,21 @@ pub fn run_sweep_faulted(
     jobs: usize,
     fault: Option<FaultPlan>,
 ) -> Sweep {
+    run_sweep_cached(benches, fast, jobs, fault, None)
+}
+
+/// [`run_sweep_faulted`] through an optional content-addressed artifact
+/// cache (see [`uu_serve::CompileCache`]). Points share compiles across
+/// (kernel, loop, config) triples and a warm cache serves previously
+/// measured executions outright; cached and cacheless sweeps are
+/// byte-identical at any worker count — the cache only changes wall time.
+pub fn run_sweep_cached(
+    benches: &[Benchmark],
+    fast: bool,
+    jobs: usize,
+    fault: Option<FaultPlan>,
+    cache: Option<&uu_serve::CompileCache>,
+) -> Sweep {
     // Phase 1: per-application baseline + whole-app heuristic. A faulted
     // baseline or heuristic degrades to a diagnosed sentinel instead of
     // aborting the sweep.
@@ -165,19 +180,21 @@ pub fn run_sweep_faulted(
         uu_par::par_map_jobs(jobs, benches, |_, bench| {
             let app = bench.info.name.to_string();
             eprintln!("  sweeping {app} ({} loops)...", bench.info.table_loops);
-            let base = measure_with(bench, Transform::Baseline, LoopFilter::All, None, fault)
-                .unwrap_or_else(|e| sentinel_baseline(format!("{app}/baseline: {e}")));
+            let base =
+                measure_cached(bench, Transform::Baseline, LoopFilter::All, None, fault, cache)
+                    .unwrap_or_else(|e| sentinel_baseline(format!("{app}/baseline: {e}")));
             let baseline_med = median_of_20(
                 base.time_ms,
                 bench.info.paper_rsd_pct,
                 seed_for(&app, &LoopRef { func: "baseline".into(), loop_id: 0 }, "base"),
             );
-            let mut heur = measure_with(
+            let mut heur = measure_cached(
                 bench,
                 Transform::UuHeuristic(HeuristicOptions::default()),
                 LoopFilter::All,
                 None,
                 fault,
+                cache,
             )
             .unwrap_or_else(|e| {
                 let mut h = base.clone();
@@ -242,6 +259,7 @@ pub fn run_sweep_faulted(
                     config: cname,
                     transform,
                     fault,
+                    cache,
                 });
             }
         }

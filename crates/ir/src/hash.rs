@@ -1,0 +1,96 @@
+//! Stable content hashing for modules.
+//!
+//! The compile-service cache (`uu-serve`) addresses artifacts by the hash
+//! of the *printed* module text, so the hash contract is exactly the
+//! printer/parser round-trip contract: `parse(print(m))` prints
+//! identically, therefore hashes identically. The hash must be stable
+//! across processes and machines — `std::hash` makes no such promise, so
+//! this module pins FNV-1a 64 explicitly.
+
+use crate::module::Module;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 over `bytes` — the workspace's stable, documented content
+/// hash (process- and machine-independent, unlike `DefaultHasher`).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Continue an FNV-1a 64 hash with more bytes (for composite keys).
+pub fn fnv1a_continue(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Stable content hash of a module: FNV-1a 64 over its printed text.
+///
+/// Two modules that print identically hash identically, and a module
+/// survives a print → parse → print round trip with the same hash (the
+/// parser reconstructs the printed form byte-for-byte). This is the
+/// module component of the `uu-serve` cache key.
+pub fn module_hash(m: &Module) -> u64 {
+    fnv1a(m.to_string().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FunctionBuilder, Module, Param, Type, Value};
+
+    fn sample() -> Module {
+        let mut f = crate::Function::new("k", vec![Param::new("n", Type::I64)], Type::I64);
+        let entry = f.entry();
+        let mut b = FunctionBuilder::new(&mut f);
+        b.switch_to(entry);
+        let s = b.add(Value::Arg(0), Value::imm(1i64));
+        b.ret(Some(s));
+        let mut m = Module::new("t");
+        m.add_function(f);
+        m
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn continue_composes() {
+        assert_eq!(fnv1a_continue(fnv1a(b"foo"), b"bar"), fnv1a(b"foobar"));
+    }
+
+    #[test]
+    fn module_hash_is_round_trip_stable() {
+        let m = sample();
+        let h = module_hash(&m);
+        let reparsed = crate::parse_module(&m.to_string()).unwrap();
+        assert_eq!(module_hash(&reparsed), h);
+        // And the hash actually distinguishes different modules.
+        let mut other = sample();
+        let id = other.find("k").unwrap();
+        let entry = other.function(id).entry();
+        let f = other.function_mut(id);
+        let insts = f.block(entry).insts.clone();
+        let _ = insts;
+        let mut b = FunctionBuilder::new(f);
+        let extra = b.create_block();
+        b.switch_to(extra);
+        b.ret(None);
+        assert_ne!(module_hash(&other), h);
+    }
+}

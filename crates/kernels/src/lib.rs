@@ -45,6 +45,12 @@ pub use bench::{all_benchmarks, Benchmark, BenchmarkInfo, RunOutput};
 
 use uu_ir::Module;
 
+/// Version of the benchmark workloads (input sizes, launch counts,
+/// checksummed outputs). Part of the harness's *run* cache key: bump it
+/// whenever any workload changes in a way that alters simulator output,
+/// so stale cached measurements can never masquerade as fresh ones.
+pub const WORKLOAD_VERSION: u32 = 1;
+
 /// Count the natural loops across every function of a module (the paper's
 /// per-application `L`).
 pub fn count_loops(m: &Module) -> usize {

@@ -25,6 +25,11 @@
 //! task spawns another), so a single failed scan over all deques means the
 //! pool is drained and the worker can retire.
 //!
+//! A panicking task cannot take the pool down with it: deque mutexes are
+//! locked with poison *recovery* (`unwrap_or_else(into_inner)`), so one
+//! panic never cascades into every surviving worker — the remaining tasks
+//! drain and the original panic is then propagated to the caller.
+//!
 //! ## Environment
 //!
 //! * `UU_JOBS` — worker count for [`num_jobs`]-driven entry points;
@@ -157,15 +162,26 @@ fn block_distribute(n: usize, workers: usize) -> Vec<VecDeque<usize>> {
         .collect()
 }
 
+/// Lock a deque, recovering from poisoning. A task body that panics can
+/// leave a deque mutex poisoned (e.g. a panic unwinding through a caller
+/// that holds the guard); treating that as fatal would cascade the panic
+/// into every surviving worker and defeat the fault isolation that
+/// `uu-core`'s guarded pipeline provides. The protected data — a queue of
+/// plain indices mutated only by `pop_front`/`pop_back` — cannot be left
+/// in a torn state, so recovering the guard is sound.
+fn lock_deque(m: &Mutex<VecDeque<usize>>) -> std::sync::MutexGuard<'_, VecDeque<usize>> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// Pop the next task for worker `w`: own deque front first, then steal
 /// from the back of the other deques, round-robin from `w + 1`.
 fn claim_task(w: usize, deques: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
-    if let Some(i) = deques[w].lock().unwrap().pop_front() {
+    if let Some(i) = lock_deque(&deques[w]).pop_front() {
         return Some(i);
     }
     for k in 1..deques.len() {
         let victim = (w + k) % deques.len();
-        if let Some(i) = deques[victim].lock().unwrap().pop_back() {
+        if let Some(i) = lock_deque(&deques[victim]).pop_back() {
             return Some(i);
         }
     }
@@ -239,6 +255,51 @@ mod tests {
         par_map_jobs(1, &[1u8, 2, 3], |_, _| {
             assert_eq!(std::thread::current().id(), main_id);
         });
+    }
+
+    #[test]
+    fn poisoned_deques_are_recovered_not_cascaded() {
+        // Poison-injection: panic while holding a deque guard, as a
+        // panicking task unwinding through pool internals would. Work must
+        // remain claimable from both the poisoned own deque and a
+        // poisoned victim deque — a poisoned mutex must degrade to a
+        // recovered lock, not to a panic in every surviving worker.
+        let deques: Vec<Mutex<VecDeque<usize>>> = block_distribute(4, 2)
+            .into_iter()
+            .map(Mutex::new)
+            .collect();
+        for victim in 0..deques.len() {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = deques[victim].lock().unwrap();
+                panic!("injected poison");
+            }));
+            assert!(r.is_err());
+            assert!(deques[victim].is_poisoned(), "deque {victim} must be poisoned");
+        }
+        // Own-deque pop and steal both still work.
+        let mut claimed = Vec::new();
+        while let Some(i) = claim_task(0, &deques) {
+            claimed.push(i);
+        }
+        claimed.sort_unstable();
+        assert_eq!(claimed, vec![0, 1, 2, 3], "all tasks claimable after poisoning");
+        assert_eq!(claim_task(1, &deques), None, "drained pool still terminates");
+    }
+
+    #[test]
+    fn panicking_task_does_not_lose_other_results() {
+        // One task panics; the pool must still drain every other task and
+        // then propagate the panic (no deadlock, no cascaded poison).
+        let done: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map_jobs(4, &(0..64usize).collect::<Vec<_>>(), |_, &i| {
+                assert!(i != 20, "boom on 20");
+                done[i].fetch_add(1, Ordering::Relaxed);
+            })
+        }));
+        assert!(r.is_err(), "the injected panic must propagate");
+        let completed = done.iter().filter(|d| d.load(Ordering::Relaxed) == 1).count();
+        assert!(completed >= 62, "only the panicking task may be missing: {completed}");
     }
 
     #[test]

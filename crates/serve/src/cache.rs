@@ -1,0 +1,497 @@
+//! Content-addressed compile/measure cache.
+//!
+//! The key is the triple `(module hash, canonical config, pipeline
+//! fingerprint)` — see the crate docs. Two layers:
+//!
+//! * **memory**: modules kept as live [`Module`] values, so a hit is a
+//!   clone — bit-identical to the compile that produced it by
+//!   construction;
+//! * **disk** (optional): artifacts in the text format of
+//!   [`crate::artifact`], content-addressed under
+//!   `<dir>/<kk>/<32-hex-key>.uuart`, written atomically
+//!   (tmp + rename) and strictly validated on load. A corrupt, truncated
+//!   or version-skewed file is a miss, never a wrong answer. Loading
+//!   re-parses the stored IR, which renumbers SSA ids into compact form —
+//!   semantically identical, same structure, size and cost, but not the
+//!   same byte string as the original print (report byte-identity never
+//!   depends on optimized-IR text; the numbers all come from the cached
+//!   metadata and run records, which round-trip exactly).
+//!
+//! Measured runs are cached too (`run` artifacts): simulation dominates
+//! wall time for hot sweep points, so a warm sweep skips both halves.
+//! The run key extends the compile key with a workload tag supplied by
+//! the caller (bench identity, workload version, simulator engine,
+//! memory-fault plan — everything outside the module/config that can
+//! change simulator output).
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::artifact::{Artifact, CompileMeta, RunRecord};
+use crate::stats::CacheStats;
+use uu_core::{FaultKind, PipelineOptions};
+use uu_ir::Module;
+
+/// A 128-bit content-address (two FNV-1a lanes over the same key
+/// material with distinct domain prefixes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Key {
+    /// First hash lane.
+    pub hi: u64,
+    /// Second hash lane (independent seed).
+    pub lo: u64,
+}
+
+impl Key {
+    /// 32-hex-digit rendering — the on-disk file stem.
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// Result of a cache-mediated compile: the metadata the harness needs,
+/// plus whether it was served from cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedCompile {
+    /// Compile metadata (work, rung, diag, code size).
+    pub meta: CompileMeta,
+    /// `true` when served from memory or disk without running the
+    /// pipeline.
+    pub hit: bool,
+}
+
+/// The two-layer content-addressed cache. All methods take `&self`; the
+/// cache is shared across worker threads by reference.
+pub struct CompileCache {
+    dir: Option<PathBuf>,
+    mem_compile: Mutex<HashMap<Key, (CompileMeta, Module)>>,
+    mem_run: Mutex<HashMap<Key, (CompileMeta, RunRecord)>>,
+    stats: Mutex<CacheStats>,
+}
+
+impl std::fmt::Debug for CompileCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompileCache")
+            .field("dir", &self.dir)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CompileCache {
+    /// Memory-only cache (lives and dies with the process).
+    pub fn new_mem() -> CompileCache {
+        CompileCache {
+            dir: None,
+            mem_compile: Mutex::new(HashMap::new()),
+            mem_run: Mutex::new(HashMap::new()),
+            stats: Mutex::new(CacheStats::default()),
+        }
+    }
+
+    /// Memory + disk cache rooted at `dir` (created if missing).
+    pub fn at_dir(dir: &Path) -> io::Result<CompileCache> {
+        std::fs::create_dir_all(dir)?;
+        let mut c = CompileCache::new_mem();
+        c.dir = Some(dir.to_path_buf());
+        Ok(c)
+    }
+
+    /// Build from the environment: `UU_CACHE_DIR=<path>` → disk-backed,
+    /// `UU_CACHE=mem` → memory-only, otherwise `None` (caching off).
+    pub fn from_env() -> Option<CompileCache> {
+        if let Ok(dir) = std::env::var("UU_CACHE_DIR") {
+            if !dir.is_empty() {
+                match CompileCache::at_dir(Path::new(&dir)) {
+                    Ok(c) => return Some(c),
+                    Err(e) => {
+                        eprintln!("warning: cannot open cache dir {dir}: {e}; caching disabled");
+                        return None;
+                    }
+                }
+            }
+        }
+        match std::env::var("UU_CACHE") {
+            Ok(v) if v == "mem" => Some(CompileCache::new_mem()),
+            _ => None,
+        }
+    }
+
+    /// The compile-side cache key for `(module, options)` under the
+    /// current pipeline fingerprint.
+    ///
+    /// [`FaultKind::Mem`] plans are stripped before keying: they target
+    /// the simulator, not the pipeline, so two compiles differing only in
+    /// a mem-fault plan share an artifact (the fault belongs in the *run*
+    /// key's workload tag instead).
+    pub fn compile_key(m: &Module, opts: &PipelineOptions) -> Key {
+        let mut opts = opts.clone();
+        if opts.fault.as_ref().is_some_and(|p| p.kind == FaultKind::Mem) {
+            opts.fault = None;
+        }
+        let cfg = format!("{opts:?}");
+        let module_h = uu_ir::module_hash(m);
+        let fp = uu_core::pipeline_fingerprint();
+        let lane = |seed: &[u8]| {
+            let mut h = uu_ir::fnv1a(seed);
+            h = uu_ir::fnv1a_continue(h, &module_h.to_le_bytes());
+            h = uu_ir::fnv1a_continue(h, cfg.as_bytes());
+            h = uu_ir::fnv1a_continue(h, &fp.to_le_bytes());
+            h
+        };
+        Key {
+            hi: lane(b"uu-key-hi"),
+            lo: lane(b"uu-key-lo"),
+        }
+    }
+
+    /// Extend a compile key into a run key with a workload tag (bench
+    /// identity + workload version + simulator engine + mem-fault spec).
+    pub fn run_key(compile: Key, workload: &str) -> Key {
+        let lane = |seed: &[u8], base: u64| {
+            let mut h = uu_ir::fnv1a(seed);
+            h = uu_ir::fnv1a_continue(h, &base.to_le_bytes());
+            h = uu_ir::fnv1a_continue(h, workload.as_bytes());
+            h
+        };
+        Key {
+            hi: lane(b"uu-run-hi", compile.hi),
+            lo: lane(b"uu-run-lo", compile.lo),
+        }
+    }
+
+    /// Compile `m` under `opts` through the cache. On a hit, `m` is
+    /// replaced with the cached optimized module when `want_module` is
+    /// set (skip-run callers that only consume the metadata pass `false`
+    /// and keep their input module untouched). On a miss, the pipeline
+    /// runs and the result is stored in every layer.
+    pub fn compile(&self, m: &mut Module, opts: &PipelineOptions, want_module: bool) -> CachedCompile {
+        let t0 = Instant::now();
+        let key = CompileCache::compile_key(m, opts);
+
+        // Memory layer: a hit is a clone of the stored value.
+        if let Some((meta, module)) = self.mem_compile.lock().unwrap().get(&key) {
+            let meta = meta.clone();
+            if want_module {
+                *m = module.clone();
+            }
+            self.note_compile_hit(&meta, true, t0);
+            return CachedCompile { meta, hit: true };
+        }
+
+        // Disk layer: decode + validate; promote to memory on success.
+        if let Some(Artifact::Compile { meta, ir }) = self.load(key) {
+            if let Ok(module) = uu_ir::parse_module(&ir) {
+                if want_module {
+                    *m = module.clone();
+                }
+                self.mem_compile
+                    .lock()
+                    .unwrap()
+                    .insert(key, (meta.clone(), module));
+                self.note_compile_hit(&meta, false, t0);
+                return CachedCompile { meta, hit: true };
+            }
+        }
+
+        // Miss: run the real pipeline and populate both layers.
+        let lookup = t0.elapsed();
+        let t1 = Instant::now();
+        let outcome = uu_core::compile(m, opts);
+        let meta = CompileMeta {
+            work: outcome.work,
+            timed_out: outcome.timed_out,
+            rung: outcome.rung,
+            diag: outcome.failure_summary(),
+            code_size: uu_analysis::cost::module_size(m),
+        };
+        self.mem_compile
+            .lock()
+            .unwrap()
+            .insert(key, (meta.clone(), m.clone()));
+        self.store(
+            key,
+            &Artifact::Compile {
+                meta: meta.clone(),
+                ir: m.to_string(),
+            },
+        );
+        {
+            let mut st = self.stats.lock().unwrap();
+            st.compile_misses += 1;
+            st.count_rung(meta.rung);
+            st.lookup_micros += lookup.as_micros() as u64;
+            st.compile_micros += t1.elapsed().as_micros() as u64;
+        }
+        CachedCompile { meta, hit: false }
+    }
+
+    /// Look up a cached measured run. `None` counts as a run miss — the
+    /// caller is expected to measure and [`store_run`](Self::store_run).
+    pub fn lookup_run(&self, key: Key) -> Option<(CompileMeta, RunRecord)> {
+        let t0 = Instant::now();
+        if let Some((meta, run)) = self.mem_run.lock().unwrap().get(&key) {
+            let (meta, run) = (meta.clone(), run.clone());
+            let mut st = self.stats.lock().unwrap();
+            st.run_mem_hits += 1;
+            st.work_saved += meta.work;
+            st.count_rung(meta.rung);
+            st.lookup_micros += t0.elapsed().as_micros() as u64;
+            return Some((meta, run));
+        }
+        if let Some(Artifact::Run { meta, run }) = self.load(key) {
+            self.mem_run
+                .lock()
+                .unwrap()
+                .insert(key, (meta.clone(), run.clone()));
+            let mut st = self.stats.lock().unwrap();
+            st.run_disk_hits += 1;
+            st.work_saved += meta.work;
+            st.count_rung(meta.rung);
+            st.lookup_micros += t0.elapsed().as_micros() as u64;
+            return Some((meta, run));
+        }
+        let mut st = self.stats.lock().unwrap();
+        st.run_misses += 1;
+        st.lookup_micros += t0.elapsed().as_micros() as u64;
+        None
+    }
+
+    /// Store a measured run in every layer.
+    pub fn store_run(&self, key: Key, meta: &CompileMeta, run: &RunRecord) {
+        self.mem_run
+            .lock()
+            .unwrap()
+            .insert(key, (meta.clone(), run.clone()));
+        self.store(
+            key,
+            &Artifact::Run {
+                meta: meta.clone(),
+                run: run.clone(),
+            },
+        );
+    }
+
+    /// Snapshot of the cumulative stats.
+    pub fn stats(&self) -> CacheStats {
+        self.stats.lock().unwrap().clone()
+    }
+
+    fn note_compile_hit(&self, meta: &CompileMeta, mem: bool, t0: Instant) {
+        let mut st = self.stats.lock().unwrap();
+        if mem {
+            st.compile_mem_hits += 1;
+        } else {
+            st.compile_disk_hits += 1;
+        }
+        st.work_saved += meta.work;
+        st.count_rung(meta.rung);
+        st.lookup_micros += t0.elapsed().as_micros() as u64;
+    }
+
+    fn path_of(&self, key: Key) -> Option<PathBuf> {
+        let dir = self.dir.as_ref()?;
+        let hex = key.hex();
+        Some(dir.join(&hex[..2]).join(format!("{hex}.uuart")))
+    }
+
+    fn load(&self, key: Key) -> Option<Artifact> {
+        let path = self.path_of(key)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        Artifact::decode(&text)
+    }
+
+    /// Best-effort atomic write; a full disk or permission error degrades
+    /// to "not cached", never to a broken artifact (readers validate).
+    fn store(&self, key: Key, artifact: &Artifact) {
+        let Some(path) = self.path_of(key) else {
+            return;
+        };
+        let Some(parent) = path.parent() else {
+            return;
+        };
+        if std::fs::create_dir_all(parent).is_err() {
+            return;
+        }
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        if std::fs::write(&tmp, artifact.encode()).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uu_core::Transform;
+
+    fn module() -> Module {
+        // A counted loop with a diamond in the body — enough structure for
+        // every transform family to have real work to do.
+        let text = "\
+; module t
+fn @k(i64 %n) -> i64 {
+bb0:
+  br bb1
+bb1:
+  %1 = phi i64 [0, bb0], [%6, bb5]
+  %2 = phi i64 [0, bb0], [%5, bb5]
+  %3 = icmp slt i64 %1, %n
+  br i1 %3, bb2, bb6
+bb2:
+  %4 = icmp slt i64 %2, 50
+  br i1 %4, bb3, bb4
+bb3:
+  %7 = add i64 %2, 1
+  br bb5
+bb4:
+  %8 = add i64 %2, 2
+  br bb5
+bb5:
+  %5 = phi i64 [%7, bb3], [%8, bb4]
+  %6 = add i64 %1, 1
+  br bb1
+bb6:
+  ret i64 %2
+}
+";
+        uu_ir::parse_module(text).expect("test module parses")
+    }
+
+    fn opts() -> PipelineOptions {
+        PipelineOptions {
+            transform: Transform::Uu {
+                factor: 2,
+                unmerge: Default::default(),
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn memory_hit_returns_identical_module_and_meta() {
+        let cache = CompileCache::new_mem();
+        let mut a = module();
+        let first = cache.compile(&mut a, &opts(), true);
+        assert!(!first.hit);
+        let mut b = module();
+        let second = cache.compile(&mut b, &opts(), true);
+        assert!(second.hit);
+        assert_eq!(first.meta, second.meta);
+        assert_eq!(a.to_string(), b.to_string());
+        let st = cache.stats();
+        assert_eq!(st.compile_mem_hits, 1);
+        assert_eq!(st.compile_misses, 1);
+        assert_eq!(st.work_saved, first.meta.work);
+    }
+
+    #[test]
+    fn disk_artifacts_survive_a_fresh_cache() {
+        let dir = std::env::temp_dir().join(format!("uu-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let first;
+        {
+            let cache = CompileCache::at_dir(&dir).unwrap();
+            let mut m = module();
+            first = cache.compile(&mut m, &opts(), true);
+            assert!(!first.hit);
+        }
+        // New cache object, empty memory: must hit via disk, with the
+        // metadata of the original compile. The module text is the parse
+        // round trip of the stored IR (SSA ids renumber; structure and
+        // size are identical) and is itself a print↔parse fixed point.
+        let cache = CompileCache::at_dir(&dir).unwrap();
+        let mut warm = module();
+        let r = cache.compile(&mut warm, &opts(), true);
+        assert!(r.hit);
+        assert_eq!(r.meta, first.meta);
+        assert_eq!(cache.stats().compile_disk_hits, 1);
+        let printed = warm.to_string();
+        let reprinted = uu_ir::parse_module(&printed).unwrap().to_string();
+        assert_eq!(printed, reprinted);
+        assert_eq!(uu_analysis::cost::module_size(&warm), r.meta.code_size);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_artifact_degrades_to_miss() {
+        let dir = std::env::temp_dir().join(format!("uu-cache-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = CompileCache::at_dir(&dir).unwrap();
+        let mut m = module();
+        cache.compile(&mut m, &opts(), true);
+        // Flip bytes in the stored artifact body.
+        let key = CompileCache::compile_key(&module(), &opts());
+        let path = cache.path_of(key).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("ret", "rot")).unwrap();
+        // Fresh cache (empty memory): the damaged artifact must be a miss
+        // that recompiles, not a wrong answer.
+        let cache2 = CompileCache::at_dir(&dir).unwrap();
+        let mut w = module();
+        let r = cache2.compile(&mut w, &opts(), true);
+        assert!(!r.hit);
+        assert_eq!(w.to_string(), m.to_string());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_separates_module_config_and_workload() {
+        let base = CompileCache::compile_key(&module(), &opts());
+        assert_eq!(base, CompileCache::compile_key(&module(), &opts()));
+        let other_opts = PipelineOptions {
+            transform: Transform::Baseline,
+            ..Default::default()
+        };
+        assert_ne!(base, CompileCache::compile_key(&module(), &other_opts));
+        let run_a = CompileCache::run_key(base, "bench-a");
+        let run_b = CompileCache::run_key(base, "bench-b");
+        assert_ne!(run_a, run_b);
+        assert_ne!(run_a, base);
+    }
+
+    #[test]
+    fn mem_fault_plans_do_not_split_compile_keys() {
+        let with_mem = PipelineOptions {
+            fault: uu_core::FaultPlan::parse("mem@3").ok(),
+            ..opts()
+        };
+        let with_panic = PipelineOptions {
+            fault: uu_core::FaultPlan::parse("panic@3").ok(),
+            ..opts()
+        };
+        let base = CompileCache::compile_key(&module(), &opts());
+        assert_eq!(base, CompileCache::compile_key(&module(), &with_mem));
+        assert_ne!(base, CompileCache::compile_key(&module(), &with_panic));
+    }
+
+    #[test]
+    fn run_records_round_trip_through_the_cache() {
+        let cache = CompileCache::new_mem();
+        let key = CompileCache::run_key(CompileCache::compile_key(&module(), &opts()), "w");
+        assert!(cache.lookup_run(key).is_none());
+        let meta = CompileMeta {
+            work: 10,
+            timed_out: false,
+            rung: uu_core::Rung::Full,
+            diag: String::new(),
+            code_size: 5,
+        };
+        let run = RunRecord {
+            time_ms: 1.5,
+            checksum: 2.5,
+            transfer_ms: 0.25,
+            metrics: Default::default(),
+        };
+        cache.store_run(key, &meta, &run);
+        assert_eq!(cache.lookup_run(key), Some((meta, run)));
+        let st = cache.stats();
+        assert_eq!(st.run_misses, 1);
+        assert_eq!(st.run_mem_hits, 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! Client side: connect to a daemon and exchange framed messages.
+
+use std::io::{self, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use crate::proto::{read_frame, write_frame, Message};
+
+/// Connect to the daemon's Unix socket, retrying briefly — the common
+/// pattern is "start daemon in background, then connect", and the bind
+/// may land a few milliseconds after the client starts.
+pub fn connect_unix(path: &Path, patience: Duration) -> io::Result<UnixStream> {
+    let deadline = Instant::now() + patience;
+    loop {
+        match UnixStream::connect(path) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// One request/response exchange over any framed stream. A clean EOF in
+/// place of a response is an error (the server died mid-request).
+pub fn request_over(stream: &mut (impl Read + Write), req: &Message) -> io::Result<Message> {
+    write_frame(stream, req)?;
+    read_frame(stream)?.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed the connection without responding",
+        )
+    })
+}

@@ -1,0 +1,293 @@
+//! The compile-service daemon: accepts framed requests, compiles through
+//! the guarded pipeline via the cache, answers with optimized IR + rung
+//! + metrics.
+//!
+//! Request verbs:
+//!
+//! * `compile` — headers `config: <name>` (required, see
+//!   [`crate::config`]), `fault: <spec>` (optional [`FaultPlan`] for
+//!   drills), `want-module: 0|1` (default 1); body = module text.
+//!   Response `ok` carries `cached: hit|miss`, `rung`, `work`,
+//!   `timed-out`, `code-size`, `key`, `diag` headers and the optimized
+//!   module as the body.
+//! * `stats` — response body is the cache's [`CacheStats`] JSON.
+//! * `ping` — liveness probe.
+//! * `shutdown` — acknowledge and stop serving.
+//!
+//! Every request is wrapped in `catch_unwind` *in addition to* the
+//! pipeline's own pass guards: a panic that escapes anywhere in request
+//! handling produces an `error` response and the daemon keeps serving —
+//! one poisoned request must never take down the service.
+//!
+//! [`CacheStats`]: crate::stats::CacheStats
+
+use std::io::{self, Read, Write};
+use std::os::unix::net::UnixListener;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::time::Duration;
+
+use crate::cache::CompileCache;
+use crate::config::{config_names, parse_config};
+use crate::proto::{read_frame, write_frame, Message};
+use uu_core::{FaultPlan, PipelineOptions};
+
+/// Work-clock budget for service compiles — the same budget the batch
+/// harness uses, so daemon and sweep share cache artifacts for the same
+/// `(module, config)`.
+pub const SERVICE_COMPILE_TIMEOUT: Duration = Duration::from_secs(20);
+
+/// Serve one framed stream until EOF or a `shutdown` request. Returns
+/// `true` if a shutdown was requested (callers owning a listener stop
+/// accepting).
+pub fn serve_stream(
+    r: &mut impl Read,
+    w: &mut impl Write,
+    cache: &CompileCache,
+) -> io::Result<bool> {
+    while let Some(req) = read_frame(r)? {
+        let verb = req.verb.clone();
+        let resp = catch_unwind(AssertUnwindSafe(|| handle(&req, cache)))
+            .unwrap_or_else(|_| error("internal panic while handling request (contained)"));
+        write_frame(w, &resp)?;
+        if verb == "shutdown" {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Serve on a Unix socket at `path` (any stale socket file is replaced)
+/// until a client sends `shutdown`. Connections are handled sequentially
+/// — request-level parallelism comes from the cache making repeat work
+/// free, not from threads.
+pub fn serve_unix(path: &Path, cache: &CompileCache) -> io::Result<()> {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    for conn in listener.incoming() {
+        let mut conn = match conn {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        let done = {
+            let mut rd = conn.try_clone()?;
+            serve_stream(&mut rd, &mut conn, cache)
+        };
+        match done {
+            Ok(true) => break,
+            Ok(false) => {}
+            // A dropped client must not kill the daemon.
+            Err(e) => eprintln!("uu-serve: connection error (continuing): {e}"),
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+/// Serve a single session over stdin/stdout — the socketless transport
+/// for pipes and tests.
+pub fn serve_stdio(cache: &CompileCache) -> io::Result<()> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    serve_stream(&mut stdin.lock(), &mut stdout.lock(), cache)?;
+    Ok(())
+}
+
+fn error(reason: &str) -> Message {
+    Message::new("error").header("reason", reason.replace('\n', " "))
+}
+
+fn handle(req: &Message, cache: &CompileCache) -> Message {
+    match req.verb.as_str() {
+        "ping" => Message::new("ok").header("service", "uu-serve"),
+        "shutdown" => Message::new("ok").header("service", "uu-serve"),
+        "stats" => Message::new("ok").with_body(cache.stats().to_json()),
+        "compile" => compile(req, cache),
+        other => error(&format!("unknown verb `{other}`")),
+    }
+}
+
+fn compile(req: &Message, cache: &CompileCache) -> Message {
+    let Some(config) = req.get("config") else {
+        return error("missing `config` header");
+    };
+    let Some(transform) = parse_config(config) else {
+        return error(&format!(
+            "unknown config `{config}`; expected {}",
+            config_names()
+        ));
+    };
+    let fault = match req.get("fault") {
+        None | Some("") => None,
+        Some(spec) => match FaultPlan::parse(spec) {
+            Ok(p) => Some(p),
+            Err(e) => return error(&format!("malformed fault spec: {e}")),
+        },
+    };
+    let want_module = req.get("want-module") != Some("0");
+    let mut module = match uu_ir::parse_module(&req.body) {
+        Ok(m) => m,
+        Err(e) => return error(&format!("module does not parse: {e}")),
+    };
+    let opts = PipelineOptions {
+        transform,
+        timeout: Some(SERVICE_COMPILE_TIMEOUT),
+        fault,
+        ..Default::default()
+    };
+    let key = CompileCache::compile_key(&module, &opts);
+    let out = cache.compile(&mut module, &opts, want_module);
+    let mut resp = Message::new("ok")
+        .header("cached", if out.hit { "hit" } else { "miss" })
+        .header("key", key.hex())
+        .header("rung", out.meta.rung.as_str())
+        .header("work", out.meta.work)
+        .header("timed-out", u8::from(out.meta.timed_out))
+        .header("code-size", out.meta.code_size);
+    if !out.meta.diag.is_empty() {
+        resp = resp.header("diag", out.meta.diag.replace('\n', "; "));
+    }
+    if want_module {
+        resp = resp.with_body(module.to_string());
+    }
+    resp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MODULE: &str = "\
+; module t
+fn @k(i64 %n) -> i64 {
+bb0:
+  br bb1
+bb1:
+  %1 = phi i64 [0, bb0], [%6, bb5]
+  %2 = phi i64 [0, bb0], [%5, bb5]
+  %3 = icmp slt i64 %1, %n
+  br i1 %3, bb2, bb6
+bb2:
+  %4 = icmp slt i64 %2, 50
+  br i1 %4, bb3, bb4
+bb3:
+  %7 = add i64 %2, 1
+  br bb5
+bb4:
+  %8 = add i64 %2, 2
+  br bb5
+bb5:
+  %5 = phi i64 [%7, bb3], [%8, bb4]
+  %6 = add i64 %1, 1
+  br bb1
+bb6:
+  ret i64 %2
+}
+";
+
+    fn roundtrip(cache: &CompileCache, req: &Message) -> Message {
+        handle(req, cache)
+    }
+
+    #[test]
+    fn compile_twice_hits_the_cache_with_identical_output() {
+        let cache = CompileCache::new_mem();
+        let req = Message::new("compile").header("config", "uu4").with_body(MODULE);
+        let a = roundtrip(&cache, &req);
+        let b = roundtrip(&cache, &req);
+        assert_eq!(a.verb, "ok");
+        assert_eq!(a.get("cached"), Some("miss"));
+        assert_eq!(b.get("cached"), Some("hit"));
+        assert_eq!(a.get("rung"), Some("full"));
+        assert_eq!(a.body, b.body);
+        assert_eq!(a.get("key"), b.get("key"));
+        assert_ne!(a.body, MODULE); // uu4 actually transformed the kernel
+    }
+
+    #[test]
+    fn faulted_request_reports_degraded_rung_and_service_survives() {
+        let cache = CompileCache::new_mem();
+        let req = Message::new("compile")
+            .header("config", "uu4")
+            .header("fault", "panic@1")
+            .with_body(MODULE);
+        let a = roundtrip(&cache, &req);
+        assert_eq!(a.verb, "ok", "faulted compile must be contained");
+        assert_ne!(a.get("rung"), Some("full"));
+        assert!(a.get("diag").is_some());
+        // Service still answers afterwards.
+        let ping = roundtrip(&cache, &Message::new("ping"));
+        assert_eq!(ping.verb, "ok");
+        // And the faulted artifact is keyed separately from the clean one.
+        let clean = roundtrip(
+            &cache,
+            &Message::new("compile").header("config", "uu4").with_body(MODULE),
+        );
+        assert_eq!(clean.get("cached"), Some("miss"));
+        assert_eq!(clean.get("rung"), Some("full"));
+    }
+
+    #[test]
+    fn bad_requests_get_error_responses_not_crashes() {
+        let cache = CompileCache::new_mem();
+        let no_config = roundtrip(&cache, &Message::new("compile").with_body(MODULE));
+        assert_eq!(no_config.verb, "error");
+        let bad_config = roundtrip(
+            &cache,
+            &Message::new("compile").header("config", "warp9").with_body(MODULE),
+        );
+        assert_eq!(bad_config.verb, "error");
+        let bad_module = roundtrip(
+            &cache,
+            &Message::new("compile")
+                .header("config", "uu4")
+                .with_body("fn @broken(i64 %n) -> i64 {\nbb0:\n  frobnicate\n}\n"),
+        );
+        assert_eq!(bad_module.verb, "error");
+        let bad_fault = roundtrip(
+            &cache,
+            &Message::new("compile")
+                .header("config", "uu4")
+                .header("fault", "gremlin@?")
+                .with_body(MODULE),
+        );
+        assert_eq!(bad_fault.verb, "error");
+        let bad_verb = roundtrip(&cache, &Message::new("frobnicate"));
+        assert_eq!(bad_verb.verb, "error");
+    }
+
+    #[test]
+    fn stats_verb_returns_valid_versioned_json() {
+        let cache = CompileCache::new_mem();
+        roundtrip(
+            &cache,
+            &Message::new("compile").header("config", "baseline").with_body(MODULE),
+        );
+        let stats = roundtrip(&cache, &Message::new("stats"));
+        assert_eq!(stats.verb, "ok");
+        uu_check::json::validate(&stats.body).expect("stats body is JSON");
+        assert!(stats.body.contains("\"compile_misses\": 1"));
+    }
+
+    #[test]
+    fn serve_stream_round_trips_over_a_socket_pair() {
+        use std::os::unix::net::UnixStream;
+        let cache = CompileCache::new_mem();
+        let (mut client, mut server) = UnixStream::pair().unwrap();
+        let handle = std::thread::spawn(move || {
+            let cache = cache;
+            let mut rd = server.try_clone().unwrap();
+            serve_stream(&mut rd, &mut server, &cache).unwrap()
+        });
+        let req = Message::new("compile").header("config", "uu2").with_body(MODULE);
+        let resp = crate::client::request_over(&mut client, &req).unwrap();
+        assert_eq!(resp.verb, "ok");
+        assert_eq!(resp.get("cached"), Some("miss"));
+        let again = crate::client::request_over(&mut client, &req).unwrap();
+        assert_eq!(again.get("cached"), Some("hit"));
+        assert_eq!(resp.body, again.body);
+        let bye = crate::client::request_over(&mut client, &Message::new("shutdown")).unwrap();
+        assert_eq!(bye.verb, "ok");
+        assert!(handle.join().unwrap(), "shutdown must end the session");
+    }
+}
