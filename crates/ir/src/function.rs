@@ -85,6 +85,56 @@ pub struct Function {
     blocks: Vec<Block>,
     layout: Vec<BlockId>,
     loop_pragmas: BTreeMap<BlockId, LoopPragma>,
+    journal: Journal,
+}
+
+/// First-write undo journal backing the delta snapshots of
+/// [`Function::snapshot_begin`].
+///
+/// While armed, every mutation of a pre-snapshot arena slot records the
+/// slot's pre-image once (a bit per slot marks "already saved"); arena
+/// *growth* needs no recording because rollback truncates to the high-water
+/// marks captured at arm time. The layout and pragma map are tiny and
+/// change shape freely, so they are saved eagerly. All buffers are retained
+/// across arm/commit cycles: a pass pipeline arming per invocation reuses
+/// one allocation set per function.
+#[derive(Debug, Clone, Default)]
+struct Journal {
+    active: bool,
+    insts_len: usize,
+    blocks_len: usize,
+    layout: Vec<BlockId>,
+    pragmas: BTreeMap<BlockId, LoopPragma>,
+    saved_insts: Vec<(u32, Inst)>,
+    saved_blocks: Vec<(u32, Block)>,
+    inst_bits: Vec<u64>,
+    block_bits: Vec<u64>,
+}
+
+impl Journal {
+    /// Mark slot `ix` as saved; returns whether it was unmarked before.
+    fn mark(bits: &mut [u64], ix: usize) -> bool {
+        let (w, b) = (ix / 64, ix % 64);
+        let fresh = bits[w] & (1 << b) == 0;
+        bits[w] |= 1 << b;
+        fresh
+    }
+
+    /// Record the pre-image of instruction slot `ix` if it predates the
+    /// snapshot and has not been saved yet.
+    fn save_inst(&mut self, ix: usize, insts: &[Inst]) {
+        if ix < self.insts_len && Self::mark(&mut self.inst_bits, ix) {
+            self.saved_insts.push((ix as u32, insts[ix].clone()));
+        }
+    }
+
+    /// Record the pre-image of block slot `ix` if it predates the snapshot
+    /// and has not been saved yet.
+    fn save_block(&mut self, ix: usize, blocks: &[Block]) {
+        if ix < self.blocks_len && Self::mark(&mut self.block_bits, ix) {
+            self.saved_blocks.push((ix as u32, blocks[ix].clone()));
+        }
+    }
 }
 
 impl Function {
@@ -97,7 +147,8 @@ impl Function {
             insts: Vec::new(),
             blocks: Vec::new(),
             layout: Vec::new(),
-        loop_pragmas: BTreeMap::new(),
+            loop_pragmas: BTreeMap::new(),
+            journal: Journal::default(),
         };
         f.add_block();
         f
@@ -198,6 +249,9 @@ impl Function {
     ///
     /// Panics if `id` is not a valid block of this function.
     pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        if self.journal.active {
+            self.journal.save_block(id.index(), &self.blocks);
+        }
         &mut self.blocks[id.index()]
     }
 
@@ -216,6 +270,9 @@ impl Function {
     ///
     /// Panics if `id` is not a valid instruction of this function.
     pub fn inst_mut(&mut self, id: InstId) -> &mut Inst {
+        if self.journal.active {
+            self.journal.save_inst(id.index(), &self.insts);
+        }
         &mut self.insts[id.index()]
     }
 
@@ -311,8 +368,17 @@ impl Function {
 
     /// Replace every use of `from` with `to` across all linked instructions.
     pub fn replace_all_uses(&mut self, from: Value, to: Value) {
-        for inst in &mut self.insts {
-            inst.kind.for_each_operand_mut(|v| {
+        for ix in 0..self.insts.len() {
+            // Journal the pre-image before the first in-place rewrite.
+            if self.journal.active {
+                let mut uses = false;
+                self.insts[ix].kind.for_each_operand(|v| uses |= *v == from);
+                if !uses {
+                    continue;
+                }
+                self.journal.save_inst(ix, &self.insts);
+            }
+            self.insts[ix].kind.for_each_operand_mut(|v| {
                 if *v == from {
                     *v = to;
                 }
@@ -377,6 +443,75 @@ impl Function {
             }
         }
         before - self.layout.len()
+    }
+
+    /// Arm a delta snapshot: until [`Function::snapshot_commit`] or
+    /// [`Function::snapshot_rollback`], mutations record just enough undo
+    /// information (arena high-water marks plus first-write pre-images of
+    /// overwritten slots) for rollback to restore the function exactly —
+    /// the cheap replacement for cloning the whole function before a
+    /// guarded pass invocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a snapshot is already armed; nesting is not supported.
+    pub fn snapshot_begin(&mut self) {
+        assert!(
+            !self.journal.active,
+            "nested Function snapshots are not supported"
+        );
+        let j = &mut self.journal;
+        j.active = true;
+        j.insts_len = self.insts.len();
+        j.blocks_len = self.blocks.len();
+        j.layout.clear();
+        j.layout.extend_from_slice(&self.layout);
+        j.pragmas.clone_from(&self.loop_pragmas);
+        j.saved_insts.clear();
+        j.saved_blocks.clear();
+        j.inst_bits.clear();
+        j.inst_bits.resize(self.insts.len().div_ceil(64), 0);
+        j.block_bits.clear();
+        j.block_bits.resize(self.blocks.len().div_ceil(64), 0);
+    }
+
+    /// Accept all mutations since [`Function::snapshot_begin`] and disarm
+    /// the snapshot, dropping the recorded undo information.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no snapshot is armed.
+    pub fn snapshot_commit(&mut self) {
+        assert!(self.journal.active, "no Function snapshot armed");
+        let j = &mut self.journal;
+        j.active = false;
+        j.saved_insts.clear();
+        j.saved_blocks.clear();
+        j.pragmas.clear();
+    }
+
+    /// Undo every mutation since [`Function::snapshot_begin`] and disarm
+    /// the snapshot. The function is restored exactly: overwritten arena
+    /// slots get their pre-images back, slots created after arming are
+    /// truncated away, and layout/pragmas return to their saved copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no snapshot is armed.
+    pub fn snapshot_rollback(&mut self) {
+        assert!(self.journal.active, "no Function snapshot armed");
+        for (ix, inst) in self.journal.saved_insts.drain(..) {
+            self.insts[ix as usize] = inst;
+        }
+        self.insts.truncate(self.journal.insts_len);
+        for (ix, block) in self.journal.saved_blocks.drain(..) {
+            self.blocks[ix as usize] = block;
+        }
+        self.blocks.truncate(self.journal.blocks_len);
+        self.layout.clear();
+        self.layout.extend_from_slice(&self.journal.layout);
+        self.loop_pragmas = std::mem::take(&mut self.journal.pragmas);
+        self.journal.active = false;
     }
 }
 

@@ -62,6 +62,7 @@ mod inst;
 mod module;
 pub mod parser;
 pub mod printer;
+pub mod table;
 mod types;
 mod verify;
 
@@ -73,5 +74,6 @@ pub use hash::{fnv1a, fnv1a_continue, module_hash};
 pub use inst::{BinOp, CastOp, FCmpPred, ICmpPred, Inst, InstKind, Intrinsic};
 pub use module::Module;
 pub use parser::{parse_function, parse_module, ParseError};
+pub use table::{EntityKey, EntitySet, SecondaryMap};
 pub use types::Type;
 pub use verify::{verify_function, verify_module, VerifyError};

@@ -1,0 +1,171 @@
+//! Property tests for the dense entity side-tables: under any op sequence,
+//! [`SecondaryMap`] must agree with a `HashMap` + default-on-miss reference
+//! model, and [`EntitySet`] must agree with a `HashSet` — including the
+//! `bool` results of insert/remove and the ascending iteration order.
+
+use std::collections::{HashMap, HashSet};
+use uu_check::{check, Config, Gen, Rng};
+use uu_ir::{EntityKey, EntitySet, InstId, SecondaryMap};
+
+/// Key space bound: dense tables allocate up to the max index, so fuzzed
+/// keys stay small while still exercising multi-word bitsets (512 > 64*8).
+const KEYS: u64 = 512;
+
+/// A randomized op sequence. Field 0 picks the op, field 1 the key, field 2
+/// the value (maps only).
+#[derive(Clone, Debug)]
+struct Ops(Vec<(u8, u16, i64)>);
+
+impl Gen for Ops {
+    fn generate(rng: &mut Rng) -> Self {
+        let len = rng.gen_range_usize(0, 200);
+        Ops(
+            (0..len)
+                .map(|_| {
+                    (
+                        rng.next_u64() as u8,
+                        rng.gen_range_u64(0, KEYS) as u16,
+                        rng.next_u64() as i64,
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        self.0.shrink().into_iter().map(Ops).collect()
+    }
+}
+
+fn key(raw: u16) -> InstId {
+    InstId::from_index(raw as usize % KEYS as usize)
+}
+
+#[test]
+fn secondary_map_matches_hashmap_model() {
+    check("secondary_map_matches_hashmap_model", &Config::from_env(128), |ops: &Ops| {
+        let mut dense: SecondaryMap<InstId, i64> = SecondaryMap::new();
+        let mut model: HashMap<usize, i64> = HashMap::new();
+        for &(op, raw, val) in &ops.0 {
+            let k = key(raw);
+            match op % 4 {
+                0 => {
+                    dense.set(k, val);
+                    model.insert(k.index(), val);
+                }
+                1 => {
+                    // get: missing keys read as the default (0).
+                    let got = *dense.get(k);
+                    let want = model.get(&k.index()).copied().unwrap_or(0);
+                    if got != want {
+                        return Err(format!("get({}) = {got}, model says {want}", k.index()));
+                    }
+                }
+                2 => {
+                    // get_mut materializes the default, then we mutate.
+                    *dense.get_mut(k) += 1;
+                    *model.entry(k.index()).or_insert(0) += 1;
+                }
+                _ => {
+                    // Index read must agree too.
+                    let got = dense[k];
+                    let want = model.get(&k.index()).copied().unwrap_or(0);
+                    if got != want {
+                        return Err(format!("[{}] = {got}, model says {want}", k.index()));
+                    }
+                }
+            }
+        }
+        // Final sweep: every key in the space agrees with the model.
+        for ix in 0..KEYS as usize {
+            let got = *dense.get(InstId::from_index(ix));
+            let want = model.get(&ix).copied().unwrap_or(0);
+            if got != want {
+                return Err(format!("final get({ix}) = {got}, model says {want}"));
+            }
+        }
+        // iter() yields allocated slots in index order, values matching.
+        let mut prev = None;
+        for (k, &v) in dense.iter() {
+            if prev.is_some_and(|p: usize| p >= k.index()) {
+                return Err(format!("iter out of order at {}", k.index()));
+            }
+            prev = Some(k.index());
+            let want = model.get(&k.index()).copied().unwrap_or(0);
+            if v != want {
+                return Err(format!("iter({}) = {v}, model says {want}", k.index()));
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn entity_set_matches_hashset_model() {
+    check("entity_set_matches_hashset_model", &Config::from_env(128), |ops: &Ops| {
+        let mut dense: EntitySet<InstId> = EntitySet::new();
+        let mut model: HashSet<usize> = HashSet::new();
+        for &(op, raw, _) in &ops.0 {
+            let k = key(raw);
+            match op % 4 {
+                0 => {
+                    let a = dense.insert(k);
+                    let b = model.insert(k.index());
+                    if a != b {
+                        return Err(format!("insert({}) = {a}, model says {b}", k.index()));
+                    }
+                }
+                1 => {
+                    let a = dense.remove(k);
+                    let b = model.remove(&k.index());
+                    if a != b {
+                        return Err(format!("remove({}) = {a}, model says {b}", k.index()));
+                    }
+                }
+                2 => {
+                    let a = dense.contains(k);
+                    let b = model.contains(&k.index());
+                    if a != b {
+                        return Err(format!("contains({}) = {a}, model says {b}", k.index()));
+                    }
+                }
+                _ => {
+                    if dense.len() != model.len() {
+                        return Err(format!(
+                            "len {} != model len {}",
+                            dense.len(),
+                            model.len()
+                        ));
+                    }
+                }
+            }
+        }
+        if dense.len() != model.len() || dense.is_empty() != model.is_empty() {
+            return Err(format!(
+                "final len {} != model len {}",
+                dense.len(),
+                model.len()
+            ));
+        }
+        // Iteration is exactly the model's content in ascending index order.
+        let got: Vec<usize> = dense.iter().map(EntityKey::index).collect();
+        let mut want: Vec<usize> = model.iter().copied().collect();
+        want.sort_unstable();
+        if got != want {
+            return Err(format!("iter {got:?} != sorted model {want:?}"));
+        }
+        // Clone and FromIterator round-trip preserve the content.
+        let cloned = dense.clone();
+        let rebuilt: EntitySet<InstId> = got.iter().map(|&ix| InstId::from_index(ix)).collect();
+        for &ix in &want {
+            let k = InstId::from_index(ix);
+            if !cloned.contains(k) || !rebuilt.contains(k) {
+                return Err(format!("clone/from_iter lost {ix}"));
+            }
+        }
+        if cloned.len() != want.len() || rebuilt.len() != want.len() {
+            return Err("clone/from_iter len mismatch".to_string());
+        }
+        Ok(())
+    });
+}
