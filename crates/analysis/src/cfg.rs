@@ -1,7 +1,6 @@
 //! Control-flow graph traversals and edge classification.
 
-use std::collections::HashSet;
-use uu_ir::{BlockId, Function};
+use uu_ir::{BlockId, EntitySet, Function};
 
 /// Blocks in reverse post-order from the entry.
 ///
@@ -122,10 +121,10 @@ pub fn split_edge(f: &mut Function, from: BlockId, to: BlockId) -> BlockId {
 
 /// The set of blocks on any path from `from` to `to` without passing through
 /// `through_exclude` (used for region queries in tests).
-pub fn blocks_between(f: &Function, from: BlockId, to: BlockId) -> HashSet<BlockId> {
+pub fn blocks_between(f: &Function, from: BlockId, to: BlockId) -> EntitySet<BlockId> {
     // Forward reachability from `from` intersected with backward reachability
     // from `to`.
-    let mut fwd = HashSet::new();
+    let mut fwd = EntitySet::new();
     let mut stack = vec![from];
     while let Some(b) = stack.pop() {
         if fwd.insert(b) {
@@ -135,7 +134,7 @@ pub fn blocks_between(f: &Function, from: BlockId, to: BlockId) -> HashSet<Block
         }
     }
     let preds = f.predecessors();
-    let mut bwd = HashSet::new();
+    let mut bwd = EntitySet::new();
     let mut stack = vec![to];
     while let Some(b) = stack.pop() {
         if bwd.insert(b) {
@@ -144,7 +143,7 @@ pub fn blocks_between(f: &Function, from: BlockId, to: BlockId) -> HashSet<Block
             }
         }
     }
-    fwd.intersection(&bwd).copied().collect()
+    fwd.iter().filter(|b| bwd.contains(*b)).collect()
 }
 
 #[cfg(test)]

@@ -15,20 +15,19 @@
 
 use crate::dominators::DomTree;
 use crate::loops::{LoopForest, LoopId};
-use std::collections::HashSet;
-use uu_ir::{BlockId, Function, InstId, InstKind, Intrinsic, Value};
+use uu_ir::{BlockId, EntitySet, Function, InstId, InstKind, Intrinsic, Value};
 
 /// Result of the taint analysis: the set of thread-dependent (divergent)
 /// instruction results.
 #[derive(Debug, Clone)]
 pub struct Divergence {
-    tainted: HashSet<InstId>,
+    tainted: EntitySet<InstId>,
 }
 
 impl Divergence {
     /// Run the analysis on `f` to a fixed point.
     pub fn compute(f: &Function) -> Self {
-        let mut tainted: HashSet<InstId> = HashSet::new();
+        let mut tainted: EntitySet<InstId> = EntitySet::new();
         // Seed: threadIdx reads.
         for (id, inst) in f.iter_insts() {
             if let InstKind::Intr { which, .. } = &inst.kind {
@@ -42,7 +41,7 @@ impl Divergence {
         while changed {
             changed = false;
             for (id, inst) in f.iter_insts() {
-                if tainted.contains(&id) {
+                if tainted.contains(id) {
                     continue;
                 }
                 if matches!(
@@ -57,7 +56,7 @@ impl Divergence {
                 let mut any = false;
                 inst.kind.for_each_operand(|v| {
                     if let Value::Inst(d) = v {
-                        if tainted.contains(d) {
+                        if tainted.contains(*d) {
                             any = true;
                         }
                     }
@@ -73,7 +72,7 @@ impl Divergence {
     /// Whether the value is thread-dependent.
     pub fn is_divergent(&self, v: Value) -> bool {
         match v {
-            Value::Inst(id) => self.tainted.contains(&id),
+            Value::Inst(id) => self.tainted.contains(id),
             // Arguments and constants are uniform across the grid.
             Value::Arg(_) | Value::Const(_) => false,
         }
@@ -110,13 +109,13 @@ impl Divergence {
 /// immediate-post-dominator stack the simulator models.
 #[derive(Debug, Clone)]
 pub struct Uniformity {
-    tainted: HashSet<InstId>,
+    tainted: EntitySet<InstId>,
 }
 
 impl Uniformity {
     /// Run the analysis on `f` to a fixed point.
     pub fn compute(f: &Function) -> Self {
-        let mut tainted: HashSet<InstId> = HashSet::new();
+        let mut tainted: EntitySet<InstId> = EntitySet::new();
         for (id, inst) in f.iter_insts() {
             if let InstKind::Intr { which, .. } = &inst.kind {
                 if which.is_thread_id() {
@@ -163,7 +162,7 @@ impl Uniformity {
             changed = false;
             // Data rule: identical to `Divergence`.
             for (id, inst) in f.iter_insts() {
-                if tainted.contains(&id) {
+                if tainted.contains(id) {
                     continue;
                 }
                 if matches!(
@@ -178,7 +177,7 @@ impl Uniformity {
                 let mut any = false;
                 inst.kind.for_each_operand(|v| {
                     if let Value::Inst(d) = v {
-                        if tainted.contains(d) {
+                        if tainted.contains(*d) {
                             any = true;
                         }
                     }
@@ -203,7 +202,7 @@ impl Uniformity {
                     continue;
                 }
                 let div_cond = match cond {
-                    Value::Inst(id) => tainted.contains(&id),
+                    Value::Inst(id) => tainted.contains(id),
                     Value::Arg(_) | Value::Const(_) => false,
                 };
                 if !div_cond {
@@ -233,7 +232,7 @@ impl Uniformity {
                     if exits {
                         for &lb in &l.blocks {
                             for &def in &f.block(lb).insts {
-                                if tainted.contains(&def) {
+                                if tainted.contains(def) {
                                     continue;
                                 }
                                 let escapes =
@@ -259,7 +258,7 @@ impl Uniformity {
     /// Whether the value may differ between lanes of a warp.
     pub fn is_divergent(&self, v: Value) -> bool {
         match v {
-            Value::Inst(id) => self.tainted.contains(&id),
+            Value::Inst(id) => self.tainted.contains(id),
             Value::Arg(_) | Value::Const(_) => false,
         }
     }

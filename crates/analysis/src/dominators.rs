@@ -38,6 +38,10 @@ pub struct DomTree {
     order: Vec<usize>,
     /// Blocks in reverse post-order.
     rpo: Vec<BlockId>,
+    /// Dominator-tree child adjacency in CSR form: the children of `b` are
+    /// `kids[kid_start[b.index()]..kid_start[b.index() + 1]]`, in RPO order.
+    kid_start: Vec<u32>,
+    kids: Vec<BlockId>,
     entry: BlockId,
 }
 
@@ -45,18 +49,19 @@ impl DomTree {
     /// Compute the dominator tree of `f`.
     pub fn compute(f: &Function) -> Self {
         let rpo = reverse_post_order(f);
-        Self::compute_from(f.entry(), &rpo, |b| {
-            let preds = f.predecessors();
-            preds[b.index()].clone()
-        })
+        let preds = f.predecessors();
+        Self::compute_from(f.entry(), &rpo, |b| preds[b.index()].as_slice())
     }
 
     /// Shared worklist core, parameterized over the predecessor function so
     /// the post-dominator computation can reuse it on the reversed CFG.
-    fn compute_from(
+    /// `preds_of` must be cheap: it is called once per predecessor list per
+    /// fixpoint iteration (hand it a slice of a precomputed map, never a
+    /// closure that rebuilds the map).
+    fn compute_from<'p>(
         entry: BlockId,
         rpo: &[BlockId],
-        preds_of: impl Fn(BlockId) -> Vec<BlockId>,
+        preds_of: impl Fn(BlockId) -> &'p [BlockId],
     ) -> Self {
         let max_ix = rpo.iter().map(|b| b.index() + 1).max().unwrap_or(1);
         let mut order = vec![usize::MAX; max_ix];
@@ -81,7 +86,7 @@ impl DomTree {
             changed = false;
             for &b in rpo.iter().skip(1) {
                 let mut new_idom: Option<BlockId> = None;
-                for p in preds_of(b) {
+                for &p in preds_of(b) {
                     if p.index() >= max_ix || order[p.index()] == usize::MAX {
                         continue; // unreachable predecessor
                     }
@@ -104,10 +109,31 @@ impl DomTree {
         // Entry's idom is conventionally None (it was set to itself for the
         // fixed point computation).
         idom[entry.index()] = None;
+        // Child adjacency (CSR): count per parent, prefix-sum, then fill in
+        // RPO order so each child list comes out RPO-sorted.
+        let mut kid_start = vec![0u32; max_ix + 1];
+        for &b in rpo {
+            if let Some(p) = idom[b.index()] {
+                kid_start[p.index() + 1] += 1;
+            }
+        }
+        for i in 1..kid_start.len() {
+            kid_start[i] += kid_start[i - 1];
+        }
+        let mut kids = vec![entry; kid_start[max_ix] as usize];
+        let mut cursor = kid_start.clone();
+        for &b in rpo {
+            if let Some(p) = idom[b.index()] {
+                kids[cursor[p.index()] as usize] = b;
+                cursor[p.index()] += 1;
+            }
+        }
         DomTree {
             idom,
             order,
             rpo: rpo.to_vec(),
+            kid_start,
+            kids,
             entry,
         }
     }
@@ -161,13 +187,13 @@ impl DomTree {
         self.entry
     }
 
-    /// Children of `b` in the dominator tree.
-    pub fn children(&self, b: BlockId) -> Vec<BlockId> {
-        self.rpo
-            .iter()
-            .copied()
-            .filter(|x| self.idom(*x) == Some(b))
-            .collect()
+    /// Children of `b` in the dominator tree, in RPO order.
+    pub fn children(&self, b: BlockId) -> &[BlockId] {
+        let ix = b.index();
+        if ix + 1 >= self.kid_start.len() {
+            return &[];
+        }
+        &self.kids[self.kid_start[ix] as usize..self.kid_start[ix + 1] as usize]
     }
 }
 
@@ -200,12 +226,14 @@ impl PostDomTree {
                 rets.push(b);
             }
         }
-        // Build reverse-graph RPO starting from vexit.
-        let rsucc = |b: BlockId| -> Vec<BlockId> {
+        // Build reverse-graph RPO starting from vexit. Successors in the
+        // reversed graph = predecessors in the real graph; vexit's are the
+        // ret blocks.
+        let rsucc = |b: BlockId| -> &[BlockId] {
             if b == vexit {
-                rets.clone()
+                &rets
             } else {
-                preds[b.index()].clone()
+                &preds[b.index()]
             }
         };
         // DFS post-order on reversed graph.
@@ -229,20 +257,18 @@ impl PostDomTree {
         }
         post.reverse();
         let rpo = post;
-        let rpreds = |b: BlockId| -> Vec<BlockId> {
-            // predecessors in reversed graph = successors in real graph,
-            // plus vexit is a "predecessor" of every ret block.
-            if b == vexit {
-                Vec::new()
-            } else {
-                let mut out = f.successors(b);
-                if f.successors(b).is_empty() {
-                    out.push(vexit);
-                }
-                out
+        // Predecessors in the reversed graph = successors in the real graph,
+        // plus vexit as a "predecessor" of every ret block; precomputed once
+        // (vexit's slot stays empty).
+        let mut rpreds: Vec<Vec<BlockId>> = vec![Vec::new(); max_ix + 1];
+        for &b in &layout {
+            let mut out = f.successors(b);
+            if out.is_empty() {
+                out.push(vexit);
             }
-        };
-        let tree = DomTree::compute_from(vexit, &rpo, rpreds);
+            rpreds[b.index()] = out;
+        }
+        let tree = DomTree::compute_from(vexit, &rpo, |b| rpreds[b.index()].as_slice());
         let mut ipdom = vec![None; max_ix];
         for &b in &layout {
             if let Some(d) = tree.idom(b) {

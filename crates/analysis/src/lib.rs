@@ -52,6 +52,7 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 pub mod cfg;
 pub mod convergence;
 pub mod cost;
@@ -61,6 +62,7 @@ mod loops;
 pub mod paths;
 pub mod tripcount;
 
+pub use cache::AnalysisCache;
 pub use cfg::{back_edges, is_reducible, post_order, reverse_post_order, split_edge, Edge};
 pub use divergence::{loop_has_divergent_branch, Divergence, Uniformity};
 pub use dominators::{DomTree, PostDomTree};

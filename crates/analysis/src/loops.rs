@@ -8,8 +8,7 @@
 
 use crate::cfg::{back_edges, reverse_post_order};
 use crate::dominators::DomTree;
-use std::collections::HashSet;
-use uu_ir::{BlockId, Function};
+use uu_ir::{BlockId, EntitySet, Function};
 
 /// Index of a loop within a [`LoopForest`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -83,22 +82,21 @@ impl LoopForest {
             latches.sort();
             // Natural loop body: header + backwards reachability from the
             // latches without crossing the header.
-            let mut set: HashSet<BlockId> = [header].into_iter().collect();
+            let mut set: EntitySet<BlockId> = [header].into_iter().collect();
             let mut stack: Vec<BlockId> = latches.clone();
             while let Some(b) = stack.pop() {
-                if (set.insert(b) || b == header)
-                    && b == header {
-                        continue;
-                    }
+                set.insert(b);
+                if b == header {
+                    continue;
+                }
                 for &p in &preds[b.index()] {
-                    if !set.contains(&p) {
+                    if set.insert(p) {
                         stack.push(p);
-                        set.insert(p);
                     }
                 }
             }
-            let mut blocks: Vec<BlockId> = set.into_iter().collect();
-            blocks.sort();
+            // EntitySet iterates in index order, so this is already sorted.
+            let blocks: Vec<BlockId> = set.iter().collect();
             loops.push(Loop {
                 header,
                 latches,

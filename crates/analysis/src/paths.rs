@@ -8,8 +8,7 @@
 //! unrolled, so they contribute one node each).
 
 use crate::loops::{LoopForest, LoopId};
-use std::collections::HashMap;
-use uu_ir::{BlockId, Function};
+use uu_ir::{BlockId, EntitySet, Function, SecondaryMap};
 
 /// Number of acyclic header→latch paths in loop `id`, saturating at
 /// `u64::MAX`. Inner loops are collapsed onto their headers.
@@ -45,17 +44,17 @@ pub fn count_loop_paths(f: &Function, forest: &LoopForest, id: LoopId) -> u64 {
         repr: &dyn Fn(BlockId) -> BlockId,
         node: BlockId,
         header: BlockId,
-        memo: &mut HashMap<BlockId, u64>,
-        visiting: &mut Vec<BlockId>,
+        memo: &mut SecondaryMap<BlockId, Option<u64>>,
+        visiting: &mut EntitySet<BlockId>,
     ) -> u64 {
-        if let Some(&v) = memo.get(&node) {
+        if let Some(v) = *memo.get(node) {
             return v;
         }
-        if visiting.contains(&node) {
+        if visiting.contains(node) {
             // Irreducible or unexpected cycle: treat conservatively as one.
             return 1;
         }
-        visiting.push(node);
+        visiting.insert(node);
         // Successors of the collapsed node: union of successors of all
         // blocks it represents that leave the collapsed group.
         let mut total: u64 = 0;
@@ -82,13 +81,13 @@ pub fn count_loop_paths(f: &Function, forest: &LoopForest, id: LoopId) -> u64 {
                 total = total.saturating_add(sub);
             }
         }
-        visiting.pop();
-        memo.insert(node, total);
+        visiting.remove(node);
+        memo.set(node, Some(total));
         total
     }
 
-    let mut memo = HashMap::new();
-    let mut visiting = Vec::new();
+    let mut memo = SecondaryMap::new();
+    let mut visiting = EntitySet::new();
     let p = dfs(
         f,
         l,
