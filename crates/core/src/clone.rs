@@ -6,17 +6,16 @@
 //! point into the copy, while references to anything defined outside the set
 //! are left untouched.
 
-use std::collections::HashMap;
-use uu_ir::{BlockId, Function, InstId, InstKind, Value};
+use uu_ir::{BlockId, Function, InstId, InstKind, SecondaryMap, Value};
 
 /// The result of cloning a region: mappings from original blocks and
-/// instructions to their copies.
+/// instructions to their copies (dense tables keyed on the arena ids).
 #[derive(Debug, Clone, Default)]
 pub struct CloneMap {
     /// Original block → cloned block.
-    pub blocks: HashMap<BlockId, BlockId>,
+    blocks: SecondaryMap<BlockId, Option<BlockId>>,
     /// Original instruction → cloned instruction.
-    pub insts: HashMap<InstId, InstId>,
+    insts: SecondaryMap<InstId, Option<InstId>>,
 }
 
 impl CloneMap {
@@ -24,8 +23,8 @@ impl CloneMap {
     /// cloned region map to their copies, everything else is unchanged.
     pub fn map_value(&self, v: Value) -> Value {
         match v {
-            Value::Inst(id) => match self.insts.get(&id) {
-                Some(n) => Value::Inst(*n),
+            Value::Inst(id) => match *self.insts.get(id) {
+                Some(n) => Value::Inst(n),
                 None => v,
             },
             other => other,
@@ -35,7 +34,22 @@ impl CloneMap {
     /// Map a block through the clone (identity for blocks outside the
     /// region).
     pub fn map_block(&self, b: BlockId) -> BlockId {
-        self.blocks.get(&b).copied().unwrap_or(b)
+        self.blocks.get(b).unwrap_or(b)
+    }
+
+    /// The clone of instruction `i`, if `i` was inside the cloned region.
+    pub fn inst(&self, i: InstId) -> Option<InstId> {
+        *self.insts.get(i)
+    }
+
+    /// The cloned blocks, in original-block index order.
+    pub fn cloned_blocks(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.blocks.iter().filter_map(|(_, v)| *v)
+    }
+
+    /// The cloned instructions, in original-instruction index order.
+    pub fn cloned_insts(&self) -> impl Iterator<Item = InstId> + '_ {
+        self.insts.iter().filter_map(|(_, v)| *v)
     }
 }
 
@@ -55,20 +69,20 @@ pub fn clone_region(f: &mut Function, blocks: &[BlockId]) -> CloneMap {
     // Pass 1: create empty clone blocks.
     for &b in blocks {
         let nb = f.add_block();
-        map.blocks.insert(b, nb);
+        map.blocks.set(b, Some(nb));
     }
     // Pass 2: clone instructions (operands still original).
     for &b in blocks {
-        let nb = map.blocks[&b];
+        let nb = map.map_block(b);
         let insts: Vec<InstId> = f.block(b).insts.clone();
         for i in insts {
             let inst = f.inst(i).clone();
             let ni = f.append_inst(nb, inst);
-            map.insts.insert(i, ni);
+            map.insts.set(i, Some(ni));
         }
     }
     // Pass 3: remap operands, branch targets and phi labels inside clones.
-    let cloned: Vec<InstId> = map.insts.values().copied().collect();
+    let cloned: Vec<InstId> = map.cloned_insts().collect();
     for ni in cloned {
         let mut kind = f.inst(ni).kind.clone();
         kind.for_each_operand_mut(|v| *v = map.map_value(*v));
@@ -204,7 +218,7 @@ mod tests {
         let (mut f, h, body, _) = simple_loop();
         let phi = f.phis(h)[0];
         let map = clone_region(&mut f, &[h, body]);
-        let nphi = map.insts[&phi];
+        let nphi = map.inst(phi).unwrap();
         let nbody = map.map_block(body);
         // The cloned add uses the cloned phi.
         let nadd = f.block(nbody).insts[0];

@@ -11,8 +11,8 @@
 //! the original condition by GVN) is dominated by a conditional edge.
 
 use super::Pass;
-use uu_analysis::DomTree;
-use uu_ir::{BlockId, Function, ICmpPred, InstKind, Value};
+use uu_analysis::{AnalysisCache, DomTree};
+use uu_ir::{BlockId, EntitySet, Function, ICmpPred, InstKind, Value};
 
 /// The branch-condition propagation pass.
 #[derive(Debug, Default, Clone, Copy)]
@@ -24,21 +24,16 @@ impl Pass for CondProp {
     }
 
     fn run(&mut self, f: &mut Function) -> bool {
-        let dom = DomTree::compute(f);
-        // Precomputed dominator-tree child adjacency (DomTree::children is
-        // linear per call, which would make the subtree walks quadratic).
-        let max_ix = f
-            .layout()
-            .iter()
-            .map(|b| b.index() + 1)
-            .max()
-            .unwrap_or(1);
-        let mut kids: Vec<Vec<BlockId>> = vec![Vec::new(); max_ix];
-        for &b in dom.rpo() {
-            if let Some(p) = dom.idom(b) {
-                kids[p.index()].push(b);
-            }
-        }
+        self.run_with(f, &mut AnalysisCache::new())
+    }
+
+    // Only rewrites instruction operands (and `sdiv` → `lshr`).
+    fn preserves_cfg(&self) -> bool {
+        true
+    }
+
+    fn run_with(&mut self, f: &mut Function, cache: &mut AnalysisCache) -> bool {
+        let dom = cache.dominators(f);
         let preds = f.predecessors();
         let mut changed = false;
         for b in f.layout().to_vec() {
@@ -57,10 +52,10 @@ impl Pass for CondProp {
             let Value::Inst(cid) = cond else { continue };
             for (target, truth) in [(if_true, true), (if_false, false)] {
                 // Edge-domination via single-predecessor check.
-                if preds[target.index()] != vec![b] {
+                if preds[target.index()].len() != 1 || preds[target.index()][0] != b {
                     continue;
                 }
-                changed |= replace_dominated_uses(f, &kids, cond, Value::imm(truth), target);
+                changed |= replace_dominated_uses(f, &dom, cond, Value::imm(truth), target);
                 // Equality facts: `x == C` true, or `x != C` false ⇒ x = C.
                 if let InstKind::ICmp { pred, lhs, rhs } = f.inst(cid).kind {
                     let fact = match (pred, truth) {
@@ -70,10 +65,10 @@ impl Pass for CondProp {
                     if let Some((x, y)) = fact {
                         match (x, y) {
                             (Value::Inst(_), Value::Const(_)) => {
-                                changed |= replace_dominated_uses(f, &kids, x, y, target);
+                                changed |= replace_dominated_uses(f, &dom, x, y, target);
                             }
                             (Value::Const(_), Value::Inst(_)) => {
-                                changed |= replace_dominated_uses(f, &kids, y, x, target);
+                                changed |= replace_dominated_uses(f, &dom, y, x, target);
                             }
                             _ => {}
                         }
@@ -96,7 +91,7 @@ impl Pass for CondProp {
                         _ => None,
                     };
                     if let Some(x) = positive {
-                        changed |= strength_reduce_sdiv(f, &kids, x, target);
+                        changed |= strength_reduce_sdiv(f, &dom, x, target);
                     }
                 }
             }
@@ -107,15 +102,10 @@ impl Pass for CondProp {
 
 /// Rewrite `sdiv x, 2^k` → `lshr x, k` for instructions dominated by
 /// `region`, where `x` is known positive there.
-fn strength_reduce_sdiv(
-    f: &mut Function,
-    kids: &[Vec<BlockId>],
-    x: Value,
-    region: BlockId,
-) -> bool {
+fn strength_reduce_sdiv(f: &mut Function, dom: &DomTree, x: Value, region: BlockId) -> bool {
     use uu_ir::BinOp;
     let mut changed = false;
-    for b in subtree(kids, region) {
+    for b in subtree(dom, region) {
         for i in f.block(b).insts.clone() {
             if let InstKind::Bin {
                 op: BinOp::SDiv,
@@ -144,15 +134,14 @@ fn strength_reduce_sdiv(
     changed
 }
 
-/// All blocks in the dominator subtree rooted at `region`.
-fn subtree(kids: &[Vec<BlockId>], region: BlockId) -> Vec<BlockId> {
+/// All blocks in the dominator subtree rooted at `region` (the dominator
+/// tree's precomputed child adjacency makes this linear in the subtree).
+fn subtree(dom: &DomTree, region: BlockId) -> Vec<BlockId> {
     let mut out = Vec::new();
     let mut stack = vec![region];
     while let Some(b) = stack.pop() {
         out.push(b);
-        if let Some(k) = kids.get(b.index()) {
-            stack.extend(k.iter().copied());
-        }
+        stack.extend(dom.children(b).iter().copied());
     }
     out
 }
@@ -165,32 +154,32 @@ fn subtree(kids: &[Vec<BlockId>], region: BlockId) -> Vec<BlockId> {
 /// keeps the pass near-linear even on heavily unmerged bodies.
 fn replace_dominated_uses(
     f: &mut Function,
-    kids: &[Vec<BlockId>],
+    dom: &DomTree,
     from: Value,
     to: Value,
     region: BlockId,
 ) -> bool {
-    let dominated = subtree(kids, region);
-    let dom_set: std::collections::HashSet<BlockId> = dominated.iter().copied().collect();
+    let dominated = subtree(dom, region);
+    let dom_set: EntitySet<BlockId> = dominated.iter().copied().collect();
     // Phi-bearing successors of dominated blocks (the phi itself may live
     // outside the subtree).
     let mut scan: Vec<BlockId> = dominated.clone();
     for &b in &dominated {
         for s in f.successors(b) {
-            if !dom_set.contains(&s) && !scan.contains(&s) {
+            if !dom_set.contains(s) && !scan.contains(&s) {
                 scan.push(s);
             }
         }
     }
     let mut changed = false;
     for ub in scan {
-        let inside = dom_set.contains(&ub);
+        let inside = dom_set.contains(ub);
         for u in f.block(ub).insts.clone() {
             let mut kind = f.inst(u).kind.clone();
             let mut touched = false;
             if let InstKind::Phi { incomings } = &mut kind {
                 for (p, v) in incomings {
-                    if *v == from && dom_set.contains(p) {
+                    if *v == from && dom_set.contains(*p) {
                         *v = to;
                         touched = true;
                     }

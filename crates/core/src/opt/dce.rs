@@ -1,8 +1,7 @@
 //! Dead code elimination.
 
 use super::Pass;
-use std::collections::HashSet;
-use uu_ir::{Function, InstId, Value};
+use uu_ir::{EntitySet, Function, InstId, Value};
 
 /// Removes instructions whose results are unused and that have no side
 /// effects, via a liveness worklist seeded from stores, terminators and
@@ -15,8 +14,13 @@ impl Pass for Dce {
         "dce"
     }
 
+    // Terminators always have side effects, so they are never removed.
+    fn preserves_cfg(&self) -> bool {
+        true
+    }
+
     fn run(&mut self, f: &mut Function) -> bool {
-        let mut live: HashSet<InstId> = HashSet::new();
+        let mut live: EntitySet<InstId> = EntitySet::new();
         let mut work: Vec<InstId> = Vec::new();
         for (id, inst) in f.iter_insts() {
             if inst.kind.has_side_effects() {
@@ -40,7 +44,7 @@ impl Pass for Dce {
                 .insts
                 .iter()
                 .copied()
-                .filter(|i| !live.contains(i))
+                .filter(|i| !live.contains(*i))
                 .collect();
             for i in dead {
                 f.unlink_inst(b, i);

@@ -18,10 +18,10 @@
 //! become ordinary dominator-scoped ones.
 
 use super::Pass;
-use std::collections::{HashMap, HashSet};
-use uu_analysis::{reverse_post_order, DomTree};
+use std::collections::HashMap;
+use uu_analysis::{AnalysisCache, DomTree};
 use uu_ir::{
-    BinOp, BlockId, CastOp, FCmpPred, Function, ICmpPred, InstKind, Intrinsic, Type,
+    BinOp, BlockId, CastOp, EntitySet, FCmpPred, Function, ICmpPred, InstKind, Intrinsic, Type,
     Value,
 };
 
@@ -35,21 +35,28 @@ impl Pass for Gvn {
     }
 
     fn run(&mut self, f: &mut Function) -> bool {
-        let dom = DomTree::compute(f);
-        let rpo = reverse_post_order(f);
-        let mut rpo_ix = vec![usize::MAX; rpo.iter().map(|b| b.index() + 1).max().unwrap_or(1)];
-        for (i, b) in rpo.iter().enumerate() {
-            rpo_ix[b.index()] = i;
-        }
+        self.run_with(f, &mut AnalysisCache::new())
+    }
+
+    // Only rewrites and removes non-terminator instructions.
+    fn preserves_cfg(&self) -> bool {
+        true
+    }
+
+    fn run_with(&mut self, f: &mut Function, cache: &mut AnalysisCache) -> bool {
+        let dom = cache.dominators(f);
+        // One predecessor map for the whole walk: GVN never changes the
+        // CFG, so it stays valid across every replacement below.
+        let preds = f.predecessors();
         let mut cse = Cse {
             exprs: ScopedMap::default(),
             loads: ScopedMap::default(),
-            gens: HashMap::new(),
+            gens: vec![0; f.params().len() + 1],
             all_gen: 0,
-            traversed: HashSet::new(),
+            traversed: EntitySet::new(),
             changed: false,
         };
-        cse.visit(f, &dom, &rpo_ix, f.entry());
+        cse.visit(f, &dom, &preds, f.entry());
         cse.changed
     }
 }
@@ -251,19 +258,29 @@ struct LoadEntry {
 struct Cse {
     exprs: ScopedMap<ExprKey, Value>,
     loads: ScopedMap<Value, LoadEntry>,
-    gens: HashMap<Root, u64>,
+    /// Per-root store generation, densely indexed: slot `i` for
+    /// `Root::Restrict(i)`, the last slot for `Root::Other`.
+    gens: Vec<u64>,
     all_gen: u64,
-    traversed: HashSet<BlockId>,
+    traversed: EntitySet<BlockId>,
     changed: bool,
 }
 
 impl Cse {
+    fn slot(&self, r: Root) -> usize {
+        match r {
+            Root::Restrict(i) => i as usize,
+            Root::Other => self.gens.len() - 1,
+        }
+    }
+
     fn gen_of(&self, r: Root) -> u64 {
-        self.gens.get(&r).copied().unwrap_or(0)
+        self.gens[self.slot(r)]
     }
 
     fn bump(&mut self, r: Root) {
-        *self.gens.entry(r).or_insert(0) += 1;
+        let s = self.slot(r);
+        self.gens[s] += 1;
     }
 
     fn bump_all(&mut self) {
@@ -274,14 +291,13 @@ impl Cse {
         e.gen == self.gen_of(e.root) && e.all_gen == self.all_gen
     }
 
-    fn visit(&mut self, f: &mut Function, dom: &DomTree, rpo_ix: &[usize], b: BlockId) {
+    fn visit(&mut self, f: &mut Function, dom: &DomTree, preds: &[Vec<BlockId>], b: BlockId) {
         self.traversed.insert(b);
         // Memory facts cannot flow across untraversed predecessors (loop
         // latches, out-of-order joins).
-        let preds = f.predecessors();
         if preds[b.index()]
             .iter()
-            .any(|p| !self.traversed.contains(p))
+            .any(|&p| !self.traversed.contains(p))
         {
             self.bump_all();
         }
@@ -353,11 +369,10 @@ impl Cse {
             }
         }
 
-        // Recurse into dominator children in RPO order.
-        let mut children = dom.children(b);
-        children.sort_by_key(|c| rpo_ix.get(c.index()).copied().unwrap_or(usize::MAX));
-        for c in children {
-            self.visit(f, dom, rpo_ix, c);
+        // Recurse into dominator children; the dominator tree's child
+        // lists are already in RPO order.
+        for &c in dom.children(b) {
+            self.visit(f, dom, preds, c);
         }
         self.exprs.pop_scope();
         self.loads.pop_scope();

@@ -1,7 +1,7 @@
 //! Constant folding and algebraic instruction simplification.
 
 use super::Pass;
-use uu_ir::{BinOp, Constant, Function, ICmpPred, InstId, InstKind, Type, Value};
+use uu_ir::{BinOp, Constant, Function, ICmpPred, InstId, InstKind, SecondaryMap, Type, Value};
 
 /// Folds constants and applies algebraic identities, replacing simplified
 /// instructions by their value. Also canonicalizes commutative operations to
@@ -14,7 +14,21 @@ impl Pass for InstSimplify {
         "instsimplify"
     }
 
+    // Only rewrites and removes pure non-terminator instructions.
+    fn preserves_cfg(&self) -> bool {
+        true
+    }
+
     fn run(&mut self, f: &mut Function) -> bool {
+        // Instructions never move between blocks here, so one block-of map
+        // serves every round (simplified instructions just drop out of the
+        // next round's work list).
+        let mut block_of = SecondaryMap::with_default(f.entry());
+        for &b in f.layout() {
+            for &i in &f.block(b).insts {
+                block_of.set(i, b);
+            }
+        }
         let mut changed = false;
         loop {
             let mut round = false;
@@ -38,11 +52,8 @@ impl Pass for InstSimplify {
                 }
                 if let Some(v) = simplify_inst(f, id) {
                     f.replace_all_uses(Value::Inst(id), v);
-                    // Unlink the dead instruction from its block.
-                    let blocks: Vec<_> = f.layout().to_vec();
-                    for b in blocks {
-                        f.unlink_inst(b, id);
-                    }
+                    // Unlink the dead instruction from the block holding it.
+                    f.unlink_inst(*block_of.get(id), id);
                     round = true;
                 }
             }

@@ -34,6 +34,7 @@ pub mod meld;
 pub mod sccp;
 pub mod simplifycfg;
 
+use uu_analysis::AnalysisCache;
 use uu_ir::Function;
 
 /// A function-level transformation.
@@ -42,21 +43,46 @@ pub trait Pass {
     fn name(&self) -> &'static str;
     /// Run on one function; returns whether anything changed.
     fn run(&mut self, f: &mut Function) -> bool;
+    /// Whether every change this pass can make leaves the CFG (block set,
+    /// layout and edges) intact. The pass manager keeps cached dominators
+    /// and loops alive across invocations of CFG-preserving passes and
+    /// invalidates them after any other pass that reports a change.
+    fn preserves_cfg(&self) -> bool {
+        false
+    }
+    /// Run with access to the per-function [`AnalysisCache`]. Passes that
+    /// consume dominators or loops override this to pull them from the
+    /// cache instead of recomputing; the default ignores the cache.
+    fn run_with(&mut self, f: &mut Function, cache: &mut AnalysisCache) -> bool {
+        let _ = cache;
+        self.run(f)
+    }
 }
 
 /// Run the standard cleanup sequence to a fixed point (bounded by
 /// `max_rounds`). Returns the number of rounds that made progress.
 pub fn run_cleanup(f: &mut Function, max_rounds: usize) -> usize {
+    let mut cache = AnalysisCache::new();
     let mut rounds = 0;
     for _ in 0..max_rounds {
         let mut changed = false;
-        changed |= simplifycfg::SimplifyCfg::default().run(f);
-        changed |= instsimplify::InstSimplify.run(f);
-        changed |= sccp::Sccp.run(f);
-        changed |= simplifycfg::SimplifyCfg::default().run(f);
-        changed |= gvn::Gvn.run(f);
-        changed |= condprop::CondProp.run(f);
-        changed |= dce::Dce.run(f);
+        macro_rules! step {
+            ($pass:expr) => {{
+                let mut p = $pass;
+                let c = p.run_with(f, &mut cache);
+                if c && !p.preserves_cfg() {
+                    cache.invalidate();
+                }
+                changed |= c;
+            }};
+        }
+        step!(simplifycfg::SimplifyCfg::default());
+        step!(instsimplify::InstSimplify);
+        step!(sccp::Sccp);
+        step!(simplifycfg::SimplifyCfg::default());
+        step!(gvn::Gvn);
+        step!(condprop::CondProp);
+        step!(dce::Dce);
         if !changed {
             break;
         }

@@ -8,8 +8,7 @@
 //! constant and the loop structure evaporates.
 
 use super::Pass;
-use std::collections::{HashMap, HashSet};
-use uu_ir::{fold, Constant, Function, InstId, InstKind, Value};
+use uu_ir::{fold, BlockId, Constant, EntitySet, Function, InstId, InstKind, SecondaryMap, Value};
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Lattice {
@@ -47,42 +46,43 @@ impl Pass for Sccp {
 }
 
 struct Solution {
-    values: HashMap<InstId, Lattice>,
-    exec_blocks: HashSet<uu_ir::BlockId>,
+    values: SecondaryMap<InstId, Lattice>,
+    exec_blocks: EntitySet<BlockId>,
+    block_of: SecondaryMap<InstId, BlockId>,
 }
 
-fn value_lattice(values: &HashMap<InstId, Lattice>, v: Value) -> Lattice {
+fn value_lattice(values: &SecondaryMap<InstId, Lattice>, v: Value) -> Lattice {
     match v {
         Value::Const(c) => Lattice::Const(c),
         Value::Arg(_) => Lattice::Bottom,
-        Value::Inst(i) => values.get(&i).copied().unwrap_or(Lattice::Top),
+        Value::Inst(i) => *values.get(i),
     }
 }
 
 fn solve(f: &Function) -> Solution {
-    use uu_ir::BlockId;
-    let mut values: HashMap<InstId, Lattice> = HashMap::new();
-    let mut exec_edges: HashSet<(BlockId, BlockId)> = HashSet::new();
-    let mut exec_blocks: HashSet<BlockId> = HashSet::new();
+    let mut values: SecondaryMap<InstId, Lattice> = SecondaryMap::with_default(Lattice::Top);
+    // Executable edges as one bitset of successors per source block.
+    let mut exec_edges: SecondaryMap<BlockId, EntitySet<BlockId>> = SecondaryMap::new();
+    let mut exec_blocks: EntitySet<BlockId> = EntitySet::new();
     let mut flow: Vec<(BlockId, BlockId)> = Vec::new();
     let mut ssa: Vec<InstId> = Vec::new();
 
     // Use lists.
-    let mut users: HashMap<InstId, Vec<InstId>> = HashMap::new();
-    let mut block_of: HashMap<InstId, BlockId> = HashMap::new();
+    let mut users: SecondaryMap<InstId, Vec<InstId>> = SecondaryMap::new();
+    let mut block_of: SecondaryMap<InstId, BlockId> = SecondaryMap::with_default(f.entry());
     for &b in f.layout() {
         for &i in &f.block(b).insts {
-            block_of.insert(i, b);
+            block_of.set(i, b);
             f.inst(i).kind.for_each_operand(|v| {
                 if let Value::Inst(d) = v {
-                    users.entry(*d).or_default().push(i);
+                    users.get_mut(*d).push(i);
                 }
             });
         }
     }
 
-    let eval = |values: &HashMap<InstId, Lattice>,
-                exec_edges: &HashSet<(BlockId, BlockId)>,
+    let eval = |values: &SecondaryMap<InstId, Lattice>,
+                exec_edges: &SecondaryMap<BlockId, EntitySet<BlockId>>,
                 i: InstId,
                 b: BlockId|
      -> Lattice {
@@ -91,7 +91,7 @@ fn solve(f: &Function) -> Solution {
             InstKind::Phi { incomings } => {
                 let mut acc = Lattice::Top;
                 for (p, v) in incomings {
-                    if exec_edges.contains(&(*p, b)) {
+                    if exec_edges.get(*p).contains(b) {
                         acc = acc.meet(value_lattice(values, *v));
                     }
                 }
@@ -167,7 +167,7 @@ fn solve(f: &Function) -> Solution {
             }
             // Process one flow edge.
             while let Some((from, to)) = flow.pop() {
-                if exec_edges.insert((from, to)) {
+                if exec_edges.get_mut(from).insert(to) {
                     if exec_blocks.insert(to) {
                         newly_exec.push(to);
                     } else {
@@ -180,8 +180,8 @@ fn solve(f: &Function) -> Solution {
             }
             continue;
         };
-        let b = block_of[&i];
-        if !exec_blocks.contains(&b) {
+        let b = *block_of.get(i);
+        if !exec_blocks.contains(b) {
             continue;
         }
         let inst = f.inst(i);
@@ -219,14 +219,12 @@ fn solve(f: &Function) -> Solution {
             continue;
         }
         let new = eval(&values, &exec_edges, i, b);
-        let old = values.get(&i).copied().unwrap_or(Lattice::Top);
+        let old = *values.get(i);
         let merged = old.meet(new);
         if merged != old {
-            values.insert(i, merged);
-            if let Some(us) = users.get(&i) {
-                for &u in us {
-                    ssa.push(u);
-                }
+            values.set(i, merged);
+            for &u in users.get(i) {
+                ssa.push(u);
             }
             // The value may gate a branch in the same block.
             if let Some(t) = f.terminator(b) {
@@ -237,6 +235,7 @@ fn solve(f: &Function) -> Solution {
     Solution {
         values,
         exec_blocks,
+        block_of,
     }
 }
 
@@ -268,16 +267,15 @@ fn fold_pure(inst: &uu_ir::Inst) -> Option<Constant> {
 
 fn apply(f: &mut Function, sol: &Solution) -> bool {
     let mut changed = false;
-    // Replace constant values.
-    for (&i, &lat) in &sol.values {
+    // Replace constant values (in instruction-index order: the outcome is
+    // order-independent, the iteration is just deterministic and dense).
+    for (i, &lat) in sol.values.iter() {
         if let Lattice::Const(c) = lat {
             f.replace_all_uses(Value::Inst(i), Value::Const(c));
             changed = true;
-            // Unlink the pure instruction.
-            for b in f.layout().to_vec() {
-                if !f.inst(i).kind.has_side_effects() {
-                    f.unlink_inst(b, i);
-                }
+            // Unlink the pure instruction from the one block holding it.
+            if !f.inst(i).kind.has_side_effects() {
+                f.unlink_inst(*sol.block_of.get(i), i);
             }
         }
     }
@@ -309,7 +307,7 @@ fn apply(f: &mut Function, sol: &Solution) -> bool {
         .layout()
         .to_vec()
         .into_iter()
-        .filter(|b| !sol.exec_blocks.contains(b))
+        .filter(|b| !sol.exec_blocks.contains(*b))
         .collect();
     if !dead.is_empty() {
         changed = true;

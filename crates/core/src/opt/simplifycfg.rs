@@ -79,6 +79,10 @@ fn resolve_all_trivial_phis(f: &mut Function) -> bool {
 /// Thread `P → E → T` to `P → T` when `E` contains only a `br` (no phis).
 fn thread_empty_blocks(f: &mut Function) -> bool {
     let mut changed = false;
+    // One predecessor map per scan, refreshed only after a successful
+    // thread (the map is stale from then on); candidates between
+    // mutations see exactly what a fresh recompute would produce.
+    let mut preds = f.predecessors();
     for e in f.layout().to_vec() {
         if e == f.entry() {
             continue;
@@ -93,7 +97,6 @@ fn thread_empty_blocks(f: &mut Function) -> bool {
         if target == e {
             continue; // self loop
         }
-        let preds = f.predecessors();
         let e_preds = preds[e.index()].clone();
         if e_preds.is_empty() {
             continue; // unreachable; prune will take it
@@ -133,6 +136,7 @@ fn thread_empty_blocks(f: &mut Function) -> bool {
         }
         f.remove_block(e);
         changed = true;
+        preds = f.predecessors();
     }
     changed
 }

@@ -109,7 +109,7 @@ pub fn runtime_unroll(
     // Epilogue header phis: the out-of-loop incoming now comes from the
     // main header, carrying the main loop's current phi values.
     for &op in &header_phi_ids {
-        let ep = epi.insts[&op];
+        let ep = epi.inst(op).expect("header phi was cloned");
         if let InstKind::Phi { incomings } = &mut f.inst_mut(ep).kind {
             for (p, v) in incomings.iter_mut() {
                 if *p == cl.preheader {

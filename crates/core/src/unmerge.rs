@@ -14,9 +14,8 @@
 //! are duplicated wholesale when they sit on a duplicated path.
 
 use crate::clone::{add_phi_incomings_for_clone, clone_region, resolve_trivial_phis};
-use std::collections::{HashMap, HashSet};
 use uu_analysis::{DomTree, LoopForest};
-use uu_ir::{BlockId, Function, InstKind};
+use uu_ir::{BlockId, EntitySet, Function, InstKind, SecondaryMap};
 
 /// How far unmerging cascades.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -81,7 +80,7 @@ pub fn unmerge_loop(
     options: UnmergeOptions,
 ) -> UnmergeStats {
     let mut stats = UnmergeStats::default();
-    let loop_set: HashSet<BlockId> = blocks.iter().copied().collect();
+    let loop_set: EntitySet<BlockId> = blocks.iter().copied().collect();
 
     // Super-node assignment: blocks of inner loops collapse onto the header
     // of the outermost inner loop (within this loop).
@@ -92,7 +91,7 @@ pub fn unmerge_loop(
         .iter()
         .position(|l| l.header == header)
         .map(uu_analysis::LoopId);
-    let mut group_of: HashMap<BlockId, BlockId> = HashMap::new();
+    let mut group_of: SecondaryMap<BlockId, Option<BlockId>> = SecondaryMap::new();
     for &b in blocks {
         let mut rep = b;
         if let Some(this) = this_loop {
@@ -111,7 +110,7 @@ pub fn unmerge_loop(
                 cur = l.parent;
             }
         }
-        group_of.insert(b, rep);
+        group_of.set(b, Some(rep));
     }
 
     // Topological order of super-nodes along the body DAG (back edges to the
@@ -120,25 +119,25 @@ pub fn unmerge_loop(
 
     // Original merge set for DirectSuccessor mode.
     let preds_now = f.predecessors();
-    let original_merges: HashSet<BlockId> = topo
+    let original_merges: EntitySet<BlockId> = topo
         .iter()
         .copied()
         .filter(|&n| n != header && in_loop_preds(&preds_now, n, &group_of).len() >= 2)
         .collect();
-    let original_pred_sets: HashMap<BlockId, Vec<BlockId>> = original_merges
-        .iter()
-        .map(|&n| (n, in_loop_preds(&preds_now, n, &group_of)))
-        .collect();
+    let mut original_pred_sets: SecondaryMap<BlockId, Option<Vec<BlockId>>> = SecondaryMap::new();
+    for n in original_merges.iter() {
+        original_pred_sets.set(n, Some(in_loop_preds(&preds_now, n, &group_of)));
+    }
 
     for &node in &topo {
         if node == header {
             continue;
         }
-        if options.mode == UnmergeMode::DirectSuccessor && !original_merges.contains(&node) {
+        if options.mode == UnmergeMode::DirectSuccessor && !original_merges.contains(node) {
             continue;
         }
         if options.mode == UnmergeMode::Selective
-            && original_merges.contains(&node)
+            && original_merges.contains(node)
             && f.phis(node).is_empty()
         {
             // A merge with no phis carries no value provenance to recover.
@@ -149,7 +148,7 @@ pub fn unmerge_loop(
         if options.mode == UnmergeMode::DirectSuccessor {
             // Duplicate only into the *original* predecessors: merges grown
             // by upstream duplication are left as merges (DBDS semantics).
-            let orig = &original_pred_sets[&node];
+            let orig = original_pred_sets.get(node).as_ref().expect("node is an original merge");
             incoming.retain(|p| orig.contains(p));
         }
         if incoming.len() < 2 {
@@ -159,7 +158,7 @@ pub fn unmerge_loop(
         let group: Vec<BlockId> = blocks
             .iter()
             .copied()
-            .filter(|b| group_of[b] == node)
+            .filter(|&b| *group_of.get(b) == Some(node))
             .collect();
         stats.nodes_duplicated += 1;
         // Keep the first predecessor on the original; clone for the rest.
@@ -181,10 +180,10 @@ pub fn unmerge_loop(
             // successor-phi patching and SSA repair read the clone values.
             let centry = map.map_block(node);
             clone_entries.push(centry);
-            let clone_blocks: HashSet<BlockId> = map.blocks.values().copied().collect();
+            let clone_blocks: EntitySet<BlockId> = map.cloned_blocks().collect();
             for phi in f.phis(centry) {
                 if let InstKind::Phi { incomings } = &mut f.inst_mut(phi).kind {
-                    incomings.retain(|(b, _)| *b == p || clone_blocks.contains(b));
+                    incomings.retain(|(b, _)| *b == p || clone_blocks.contains(*b));
                 }
             }
             // Original entry loses the incoming from p.
@@ -224,11 +223,11 @@ pub fn unmerge_loop(
 fn in_loop_preds(
     preds: &[Vec<BlockId>],
     node: BlockId,
-    group_of: &HashMap<BlockId, BlockId>,
+    group_of: &SecondaryMap<BlockId, Option<BlockId>>,
 ) -> Vec<BlockId> {
     let mut out = Vec::new();
     for &p in &preds[node.index()] {
-        if group_of.get(&p).copied() == Some(node) {
+        if *group_of.get(p) == Some(node) {
             continue;
         }
         if !out.contains(&p) {
@@ -252,9 +251,9 @@ fn repair_ssa_after_clone(
     map: &crate::clone::CloneMap,
 ) {
     use uu_ir::{Inst, Value};
-    let clone_set: HashSet<BlockId> = map.blocks.values().copied().collect();
-    let group_set: HashSet<BlockId> = group.iter().copied().collect();
-    let outside = |b: BlockId| !group_set.contains(&b) && !clone_set.contains(&b);
+    let clone_set: EntitySet<BlockId> = map.cloned_blocks().collect();
+    let group_set: EntitySet<BlockId> = group.iter().copied().collect();
+    let outside = |b: BlockId| !group_set.contains(b) && !clone_set.contains(b);
 
     for &g in group {
         for v in f.block(g).insts.clone() {
@@ -294,43 +293,46 @@ fn repair_ssa_after_clone(
             if uses.is_empty() {
                 continue;
             }
-            let mut defs: HashMap<BlockId, Value> = HashMap::new();
-            defs.insert(g, Value::Inst(v));
-            defs.insert(map.map_block(g), map.map_value(Value::Inst(v)));
-            let mut memo: HashMap<BlockId, Value> = HashMap::new();
+            let mut defs: SecondaryMap<BlockId, Option<Value>> = SecondaryMap::new();
+            defs.set(g, Some(Value::Inst(v)));
+            defs.set(map.map_block(g), Some(map.map_value(Value::Inst(v))));
+            let mut memo: SecondaryMap<BlockId, Option<Value>> = SecondaryMap::new();
             let preds = f.predecessors();
 
             // Value available at the end of `b` (SSA-updater walk).
             fn value_at_end(
                 f: &mut Function,
                 preds: &[Vec<BlockId>],
-                defs: &HashMap<BlockId, Value>,
-                memo: &mut HashMap<BlockId, Value>,
+                defs: &SecondaryMap<BlockId, Option<Value>>,
+                memo: &mut SecondaryMap<BlockId, Option<Value>>,
                 ty: uu_ir::Type,
                 b: BlockId,
             ) -> Value {
-                if let Some(v) = defs.get(&b) {
-                    return *v;
+                if let Some(v) = *defs.get(b) {
+                    return v;
                 }
-                if let Some(v) = memo.get(&b) {
-                    return *v;
+                if let Some(v) = *memo.get(b) {
+                    return v;
                 }
                 let ps = &preds[b.index()];
                 if ps.is_empty() {
                     // Entry reached: only possible for IR that was already
                     // invalid (use not dominated by def). Keep the original.
                     debug_assert!(false, "SSA repair walked past the entry");
-                    return *defs.values().next().expect("at least one def");
+                    return defs
+                        .iter()
+                        .find_map(|(_, v)| *v)
+                        .expect("at least one def");
                 }
                 if ps.len() == 1 {
                     let v = value_at_end(f, preds, defs, memo, ty, ps[0]);
-                    memo.insert(b, v);
+                    memo.set(b, Some(v));
                     return v;
                 }
                 // Merge point (or entry, which valid IR never reaches):
                 // insert a phi, memoize it first to break cycles.
                 let phi = f.prepend_inst(b, Inst::new(InstKind::Phi { incomings: vec![] }, ty));
-                memo.insert(b, Value::Inst(phi));
+                memo.set(b, Some(Value::Inst(phi)));
                 let mut incomings = Vec::new();
                 let mut seen = Vec::new();
                 for &p in ps {
@@ -381,20 +383,22 @@ fn repair_ssa_after_clone(
 fn topo_supernodes(
     f: &Function,
     header: BlockId,
-    loop_set: &HashSet<BlockId>,
-    group_of: &HashMap<BlockId, BlockId>,
+    loop_set: &EntitySet<BlockId>,
+    group_of: &SecondaryMap<BlockId, Option<BlockId>>,
 ) -> Vec<BlockId> {
     // DFS from the header's group over group-level edges, post-order
-    // reversed. Back edges to the header are ignored (DAG).
-    let mut visited: HashSet<BlockId> = HashSet::new();
+    // reversed. Back edges to the header are ignored (DAG). The dense set
+    // iterates in block-index order, so the resulting topological order (and
+    // hence duplication order) is deterministic.
+    let mut visited: EntitySet<BlockId> = EntitySet::new();
     let mut post: Vec<BlockId> = Vec::new();
     fn dfs(
         f: &Function,
         node: BlockId,
         header: BlockId,
-        loop_set: &HashSet<BlockId>,
-        group_of: &HashMap<BlockId, BlockId>,
-        visited: &mut HashSet<BlockId>,
+        loop_set: &EntitySet<BlockId>,
+        group_of: &SecondaryMap<BlockId, Option<BlockId>>,
+        visited: &mut EntitySet<BlockId>,
         post: &mut Vec<BlockId>,
     ) {
         if !visited.insert(node) {
@@ -403,15 +407,14 @@ fn topo_supernodes(
         // Successor groups: successors of any block in this group.
         let group: Vec<BlockId> = loop_set
             .iter()
-            .copied()
-            .filter(|b| group_of[b] == node)
+            .filter(|&b| *group_of.get(b) == Some(node))
             .collect();
         for &g in &group {
             for s in f.successors(g) {
-                if !loop_set.contains(&s) || s == header {
+                if !loop_set.contains(s) || s == header {
                     continue;
                 }
-                let sg = group_of[&s];
+                let sg = group_of.get(s).expect("loop block has a group");
                 if sg != node {
                     dfs(f, sg, header, loop_set, group_of, visited, post);
                 }

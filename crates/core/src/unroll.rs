@@ -178,7 +178,7 @@ pub fn unroll_canonical(f: &mut Function, cl: CanonicalLoop, factor: u32) -> Unr
     // Collect all blocks.
     let mut all_blocks: Vec<BlockId> = cl.blocks.clone();
     for map in &copies {
-        all_blocks.extend(map.blocks.values().copied());
+        all_blocks.extend(map.cloned_blocks());
     }
     all_blocks.sort();
     let final_latch = map_block(&copies, u - 1, latch);
