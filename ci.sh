@@ -127,7 +127,7 @@ fi
 ./target/release/uu-harness client --socket target/ci/serve.sock --verb stats \
   | tail -n +2 > target/ci/serve-stats.json
 ./target/release/uu-jsonck target/ci/serve-stats.json
-grep -q '"stats_version": 1' target/ci/serve-stats.json
+grep -q '"stats_version": 2' target/ci/serve-stats.json
 ./target/release/uu-harness client --socket target/ci/serve.sock --verb shutdown > /dev/null
 wait "$serve_pid"
 trap - EXIT
@@ -147,6 +147,100 @@ for pass in cold warm; do
   diff -r target/ci/results-fast "target/ci/results-fast-cache-$pass"
 done
 echo "cached fast sweep byte-identical (cold ${t_cold}s, warm ${t_warm}s)"
+
+echo "== serve stress: admission control, service faults, graceful drain =="
+# A deliberately under-provisioned daemon (2 workers, ONE admission slot)
+# with a service-level fault plan: the first admitted compile stalls
+# 1500 ms holding the slot, a later one loses its connection, another
+# panics in the handler. Against it: a no-retry probe that must be shed
+# with a structured `busy` + retry-after-ms, a health check that must
+# answer while the slot is held (control verbs are never shed), and
+# concurrent retrying clients that must ALL land real responses. Then a
+# drain shutdown must complete with exit 0 and extended stats as valid
+# versioned JSON.
+rm -rf target/ci/stress.sock
+UU_SERVE_WORKERS=2 UU_SERVE_INFLIGHT=1 \
+UU_SERVE_FAULT='slow@0:1500,disconnect@2,panic@3' \
+  ./target/release/uu-harness serve --socket target/ci/stress.sock 2> /dev/null &
+stress_pid=$!
+trap 'kill "$stress_pid" 2> /dev/null || true' EXIT
+# Occupy the only admission slot (this request draws the slow fault).
+./target/release/uu-harness client --socket target/ci/stress.sock \
+  --bench mandelbrot --config unroll2 > target/ci/stress-unroll2.txt &
+slow_pid=$!
+sleep 0.5
+# Shed: a single-attempt probe gets the structured overload response.
+if ./target/release/uu-harness client --socket target/ci/stress.sock \
+  --bench mandelbrot --config unroll4 --no-retry > target/ci/stress-busy.txt; then
+  echo "no-retry probe against a saturated daemon must exit nonzero" >&2
+  exit 1
+fi
+grep -q '^busy$' target/ci/stress-busy.txt
+grep -q '^retry-after-ms: ' target/ci/stress-busy.txt
+# Control plane stays responsive while the data plane is saturated.
+./target/release/uu-harness client --socket target/ci/stress.sock --verb health \
+  > target/ci/stress-health.txt
+grep -q '^draining: 0$' target/ci/stress-health.txt
+./target/release/uu-harness client --socket target/ci/stress.sock --verb ready \
+  > target/ci/stress-ready.txt
+grep -q '^ready: 1$' target/ci/stress-ready.txt
+# Concurrent retrying clients ride out the stall, the dropped connection
+# and the handler panic — zero lost responses.
+client_pids=()
+for cfg in unroll8 uu2 uu4 uu8; do
+  ./target/release/uu-harness client --socket target/ci/stress.sock \
+    --bench mandelbrot --config "$cfg" > "target/ci/stress-$cfg.txt" &
+  client_pids+=($!)
+done
+wait "$slow_pid"
+for pid in "${client_pids[@]}"; do wait "$pid"; done
+for cfg in unroll2 unroll8 uu2 uu4 uu8; do
+  grep -q '^ok$' "target/ci/stress-$cfg.txt" || {
+    echo "stress client $cfg lost its response" >&2; exit 1; }
+done
+# Extended stats: versioned JSON, and the overload counters moved.
+./target/release/uu-harness client --socket target/ci/stress.sock --verb stats \
+  | tail -n +2 > target/ci/stress-stats.json
+./target/release/uu-jsonck target/ci/stress-stats.json
+grep -q '"stats_version": 2' target/ci/stress-stats.json
+grep -q '"busy_shed": [1-9]' target/ci/stress-stats.json
+grep -q '"handler_panics": [1-9]' target/ci/stress-stats.json
+# Drain: shutdown is acknowledged and the daemon exits cleanly.
+./target/release/uu-harness client --socket target/ci/stress.sock --verb shutdown \
+  > target/ci/stress-shutdown.txt
+grep -q '^ok$' target/ci/stress-shutdown.txt
+wait "$stress_pid"
+trap - EXIT
+echo "serve stress: shed, contained, drained with zero lost responses"
+
+echo "== remote-backend identity: daemon-backed study must match the local reference =="
+# The same study the meld rung produced locally (target/ci/study-j1),
+# regenerated with every compile shipped through a freshly started daemon
+# (UU_SERVE_SOCKET) at 1 and 4 workers: byte-identical, both times.
+rm -rf target/ci/remote.sock target/ci/remote-cache
+UU_SERVE_WORKERS=2 UU_CACHE_DIR=target/ci/remote-cache \
+  ./target/release/uu-harness serve --socket target/ci/remote.sock 2> /dev/null &
+remote_pid=$!
+trap 'kill "$remote_pid" 2> /dev/null || true' EXIT
+for jobs in 1 4; do
+  rm -rf "target/ci/remote-study-j${jobs}"
+  UU_JOBS="$jobs" UU_SERVE_SOCKET=target/ci/remote.sock \
+    ./target/release/uu-harness study --bench mandelbrot \
+    --out "target/ci/remote-study-j${jobs}" > /dev/null
+  diff -r target/ci/study-j1 "target/ci/remote-study-j${jobs}"
+done
+# Not vacuous: the daemon must actually have served the compiles (a
+# silent local fallback would make the diff above meaningless).
+./target/release/uu-harness client --socket target/ci/remote.sock --verb stats \
+  | tail -n +2 > target/ci/remote-stats.json
+if grep -q '"compile_misses": 0,' target/ci/remote-stats.json; then
+  echo "daemon-backed study compiled nothing remotely" >&2
+  exit 1
+fi
+./target/release/uu-harness client --socket target/ci/remote.sock --verb shutdown > /dev/null
+wait "$remote_pid"
+trap - EXIT
+echo "daemon-backed study byte-identical to the local reference at UU_JOBS=1 and 4"
 
 echo "== simulator throughput bench smoke + BENCH_sim.json well-formedness =="
 # Smoke only — no thresholds; the JSON is the perf trajectory artifact.

@@ -114,23 +114,7 @@ impl FaultPlan {
                 ))
             }
         };
-        let (at_s, seed_s) = match rest.split_once(':') {
-            Some((a, b)) => (a, Some(b)),
-            None => (rest, None),
-        };
-        let at = at_s
-            .parse::<u64>()
-            .map_err(|_| format!("fault index `{at_s}` is not a u64"))?;
-        let seed = match seed_s {
-            None => 0,
-            Some(t) => match t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
-                Some(hex) => u64::from_str_radix(hex, 16)
-                    .map_err(|_| format!("fault seed `{t}` is not a u64"))?,
-                None => t
-                    .parse::<u64>()
-                    .map_err(|_| format!("fault seed `{t}` is not a u64"))?,
-            },
-        };
+        let (at, seed) = parse_at_seed(rest)?;
         Ok(FaultPlan { kind, at, seed })
     }
 
@@ -156,6 +140,36 @@ impl FaultPlan {
             format!("{}@{}:{:#x}", self.kind.as_str(), self.at, self.seed)
         }
     }
+}
+
+/// Parse the `<index>[:<seed>]` tail of a fault spec: a decimal u64
+/// index, optionally followed by `:` and a u64 seed (decimal or 0x-hex,
+/// defaulting to 0). Shared by [`FaultPlan::parse`] and the service-level
+/// fault grammar in `uu-serve` (`UU_SERVE_FAULT`), so the two spec
+/// languages cannot drift apart.
+///
+/// # Errors
+///
+/// Returns a description of the malformed component.
+pub fn parse_at_seed(rest: &str) -> Result<(u64, u64), String> {
+    let (at_s, seed_s) = match rest.split_once(':') {
+        Some((a, b)) => (a, Some(b)),
+        None => (rest, None),
+    };
+    let at = at_s
+        .parse::<u64>()
+        .map_err(|_| format!("fault index `{at_s}` is not a u64"))?;
+    let seed = match seed_s {
+        None => 0,
+        Some(t) => match t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+            Some(hex) => u64::from_str_radix(hex, 16)
+                .map_err(|_| format!("fault seed `{t}` is not a u64"))?,
+            None => t
+                .parse::<u64>()
+                .map_err(|_| format!("fault seed `{t}` is not a u64"))?,
+        },
+    };
+    Ok((at, seed))
 }
 
 impl std::fmt::Display for FaultPlan {
@@ -408,6 +422,16 @@ mod tests {
             FaultPlan::parse("panic@3:17").unwrap(),
             FaultPlan { kind: FaultKind::Panic, at: 3, seed: 17 }
         );
+    }
+
+    #[test]
+    fn at_seed_tail_parses_decimal_and_hex() {
+        assert_eq!(parse_at_seed("3").unwrap(), (3, 0));
+        assert_eq!(parse_at_seed("3:17").unwrap(), (3, 17));
+        assert_eq!(parse_at_seed("0:0x5eed").unwrap(), (0, 0x5eed));
+        for bad in ["", "x", "3:", "3:zz", "-1"] {
+            assert!(parse_at_seed(bad).is_err(), "{bad:?} should be rejected");
+        }
     }
 
     #[test]

@@ -160,6 +160,34 @@ fn workload_tag(bench: &Benchmark, fault: Option<&FaultPlan>) -> String {
     )
 }
 
+/// Where a point's compile half comes from: an optional in-process
+/// content-addressed cache, an optional compile daemon, or (both `None`)
+/// the plain local pipeline. Copyable so the sweep can hand one to every
+/// task without lifetime gymnastics.
+///
+/// The three sources are interchangeable by construction — the daemon
+/// builds the exact [`PipelineOptions`] the harness does, the cache
+/// round-trips every field losslessly — so the backend only ever changes
+/// wall time, never report bytes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Backend<'a> {
+    /// Shared content-addressed artifact cache (compile + run artifacts).
+    pub cache: Option<&'a uu_serve::CompileCache>,
+    /// Compile daemon handle; compiles with a nameable config are shipped
+    /// to it, anything it cannot serve falls back to the local pipeline.
+    pub remote: Option<&'a uu_serve::Remote>,
+}
+
+impl<'a> Backend<'a> {
+    /// A purely local backend (optional cache, no daemon).
+    pub fn local(cache: Option<&'a uu_serve::CompileCache>) -> Backend<'a> {
+        Backend {
+            cache,
+            remote: None,
+        }
+    }
+}
+
 /// [`measure_with`] through an optional content-addressed cache.
 ///
 /// With `cache: None` this *is* the uncached path. With a cache, the
@@ -181,6 +209,26 @@ pub fn measure_cached(
     fault: Option<FaultPlan>,
     cache: Option<&uu_serve::CompileCache>,
 ) -> Result<Measurement, MeasureError> {
+    measure_backed(bench, transform, filter, skip_run, fault, Backend::local(cache))
+}
+
+/// [`measure_cached`] through a [`Backend`]: local cache, compile daemon,
+/// or both. Daemon compiles that fail for any reason — no nameable
+/// config, daemon unreachable, retry budget exhausted, quarantined
+/// module — fall back to the local path, so a flaky or saturated daemon
+/// degrades batch throughput, never batch output.
+///
+/// # Errors
+///
+/// See [`measure`].
+pub fn measure_backed(
+    bench: &Benchmark,
+    transform: Transform,
+    filter: LoopFilter,
+    skip_run: Option<&Measurement>,
+    fault: Option<FaultPlan>,
+    backend: Backend<'_>,
+) -> Result<Measurement, MeasureError> {
     let mut m = (bench.build)();
     let opts = PipelineOptions {
         transform,
@@ -190,7 +238,15 @@ pub fn measure_cached(
         ..Default::default()
     };
 
-    if let Some(cache) = cache {
+    if let Some(remote) = backend.remote {
+        if let Some(res) =
+            measure_through_remote(bench, &m, &opts, skip_run, fault.clone(), backend, remote)
+        {
+            return res;
+        }
+    }
+
+    if let Some(cache) = backend.cache {
         return measure_through_cache(bench, &mut m, &opts, skip_run, fault, cache);
     }
 
@@ -323,6 +379,124 @@ fn measure_through_cache(
     })
 }
 
+/// The daemon-backed measurement path. `None` means "this point cannot
+/// (or should not) go through the daemon — use the local path": the
+/// transform has no config name, the module text the daemon returned does
+/// not parse, or the request failed outright. `Some(res)` is a complete
+/// measurement built from the daemon's compile metadata — identical to a
+/// local compile's by the remote/local parity contract (the daemon builds
+/// the same [`PipelineOptions`] from the headers, and diag/rung/work
+/// round-trip losslessly through the response).
+fn measure_through_remote(
+    bench: &Benchmark,
+    m: &uu_ir::Module,
+    opts: &PipelineOptions,
+    skip_run: Option<&Measurement>,
+    fault: Option<FaultPlan>,
+    backend: Backend<'_>,
+    remote: &uu_serve::Remote,
+) -> Option<Result<Measurement, MeasureError>> {
+    use uu_serve::CompileCache;
+
+    let config = uu_serve::config_name(&opts.transform)?;
+
+    // A local run artifact still beats a network round trip: warm
+    // regenerations skip the daemon entirely for executed points.
+    let run_key = backend.cache.map(|_| {
+        CompileCache::run_key(
+            CompileCache::compile_key(m, opts),
+            &workload_tag(bench, fault.as_ref()),
+        )
+    });
+    if skip_run.is_none() {
+        if let (Some(cache), Some(rk)) = (backend.cache, run_key) {
+            if let Some((meta, run)) = cache.lookup_run(rk) {
+                return Some(Ok(Measurement {
+                    time_ms: run.time_ms,
+                    code_size: meta.code_size,
+                    compile_ms: meta.work as f64 / uu_core::WORK_PER_MS,
+                    checksum: run.checksum,
+                    timed_out: meta.timed_out,
+                    metrics: run.metrics,
+                    transfer_ms: run.transfer_ms,
+                    rung: meta.rung,
+                    diag: meta.diag,
+                }));
+            }
+        }
+    }
+
+    let filter = match &opts.filter {
+        LoopFilter::All => None,
+        LoopFilter::Only { func, loop_id } => Some((func.as_str(), *loop_id)),
+    };
+    let fault_spec = opts.fault.as_ref().map(uu_core::FaultPlan::spec);
+    let want_module = skip_run.is_none();
+    let rc = remote
+        .compile(&m.to_string(), &config, filter, fault_spec.as_deref(), want_module)
+        .ok()?;
+    let compile_ms = rc.meta.work as f64 / uu_core::WORK_PER_MS;
+
+    if let Some(base) = skip_run {
+        // Cold points only consume compile metadata; the kernel provably
+        // never launches, so the run half is the baseline's.
+        return Some(Ok(Measurement {
+            time_ms: base.time_ms,
+            code_size: rc.meta.code_size,
+            compile_ms,
+            checksum: base.checksum,
+            timed_out: rc.meta.timed_out,
+            metrics: base.metrics,
+            transfer_ms: base.transfer_ms,
+            rung: rc.meta.rung,
+            diag: rc.meta.diag,
+        }));
+    }
+
+    // Hot point: simulate the daemon-optimized module locally. Printed IR
+    // round-trips exactly (module_hash is print-stable), so this is the
+    // same simulation a local compile would have run.
+    let optimized = uu_ir::parse_module(rc.module_text.as_deref()?).ok()?;
+    let mut gpu = Gpu::new();
+    if let Some(p) = fault.filter(|p| p.kind == FaultKind::Mem) {
+        gpu.mem.inject_fault_after(p.at);
+    }
+    let run = match (bench.run)(&optimized, &mut gpu) {
+        Ok(run) => run,
+        Err(exec) => {
+            return Some(Err(MeasureError {
+                exec,
+                rung: rc.meta.rung,
+                failures: rc.meta.diag.clone(),
+                compile_ms,
+                code_size: rc.meta.code_size,
+                timed_out: rc.meta.timed_out,
+            }))
+        }
+    };
+    let repeats = bench.info.launch_repeats.max(1) as f64;
+    let record = uu_serve::RunRecord {
+        time_ms: run.kernel_time_ms * repeats,
+        checksum: run.checksum,
+        transfer_ms: run.transfer_ms(),
+        metrics: run.metrics,
+    };
+    if let (Some(cache), Some(rk)) = (backend.cache, run_key) {
+        cache.store_run(rk, &rc.meta, &record);
+    }
+    Some(Ok(Measurement {
+        time_ms: record.time_ms,
+        code_size: rc.meta.code_size,
+        compile_ms,
+        checksum: record.checksum,
+        timed_out: rc.meta.timed_out,
+        metrics: record.metrics,
+        transfer_ms: record.transfer_ms,
+        rung: rc.meta.rung,
+        diag: rc.meta.diag,
+    }))
+}
+
 /// Measure the baseline configuration of a benchmark.
 ///
 /// # Errors
@@ -360,6 +534,9 @@ pub struct PointTask<'a> {
     /// everything from scratch. Cached and cacheless measurements are
     /// identical by construction, so this only changes wall time.
     pub cache: Option<&'a uu_serve::CompileCache>,
+    /// Optional compile daemon; like the cache, it changes wall time
+    /// only — any point the daemon cannot serve compiles locally.
+    pub remote: Option<&'a uu_serve::Remote>,
 }
 
 impl PointTask<'_> {
@@ -382,13 +559,16 @@ impl PointTask<'_> {
             loop_id: self.loop_ref.loop_id,
         };
         let skip = if self.hot { None } else { Some(self.base) };
-        let mut m = match measure_cached(
+        let mut m = match measure_backed(
             self.bench,
             self.transform.clone(),
             filter,
             skip,
             self.fault,
-            self.cache,
+            Backend {
+                cache: self.cache,
+                remote: self.remote,
+            },
         ) {
             Ok(m) => m,
             Err(e) => {

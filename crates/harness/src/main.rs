@@ -6,14 +6,21 @@
 //!
 //! * `serve --socket PATH` (or `--stdio`) — compile-service daemon
 //!   answering framed requests (see `uu-serve`);
-//! * `client --socket PATH [--config C] [--fault SPEC] [--verb V]` —
-//!   one request against a running daemon, using `--bench NAME`'s module
-//!   (or a module read from stdin).
+//! * `client --socket PATH [--config C] [--fault SPEC] [--verb V]
+//!   [--timeout-ms N] [--no-retry]` — one request against a running
+//!   daemon, using `--bench NAME`'s module (or a module read from
+//!   stdin). Requests retry `busy` and transient failures with capped
+//!   exponential backoff unless `--no-retry` is given; verbs include the
+//!   service-health set (`ping`, `health`, `ready`, `stats`,
+//!   `shutdown`).
 //!
 //! Batch commands honour the artifact-cache environment knobs:
 //! `UU_CACHE_DIR=<dir>` enables the persistent content-addressed cache,
-//! `UU_CACHE=mem` an in-process one; both leave every report
-//! byte-identical to a cacheless run.
+//! `UU_CACHE=mem` an in-process one — and `UU_SERVE_SOCKET=<path>` ships
+//! every nameable compile to a running daemon (sharing its cross-process
+//! cache), falling back to local compiles whenever the daemon can't
+//! serve a point. All three leave every report byte-identical to a
+//! cacheless run.
 
 use std::path::{Path, PathBuf};
 use uu_harness::{figures, indepth, study, sweep};
@@ -30,10 +37,18 @@ fn main() {
     };
     let out = flag("--out").map(PathBuf::from).unwrap_or_else(|| PathBuf::from("results"));
     let only: Option<String> = flag("--bench");
-    let flag_values: Vec<String> = ["--out", "--bench", "--config", "--socket", "--fault", "--verb"]
-        .iter()
-        .filter_map(|f| flag(f))
-        .collect();
+    let flag_values: Vec<String> = [
+        "--out",
+        "--bench",
+        "--config",
+        "--socket",
+        "--fault",
+        "--verb",
+        "--timeout-ms",
+    ]
+    .iter()
+    .filter_map(|f| flag(f))
+    .collect();
     let cmd = args
         .iter()
         .find(|a| !a.starts_with("--") && !flag_values.contains(a))
@@ -53,15 +68,21 @@ fn main() {
         "table1" | "fig6a" | "fig6b" | "fig6c" | "fig6" | "fig7" | "fig8a" | "fig8b"
         | "fig8" | "all" => {
             let cache = uu_serve::CompileCache::from_env();
+            let remote = uu_serve::Remote::from_env();
+            let backend = uu_harness::Backend {
+                cache: cache.as_ref(),
+                remote: remote.as_ref(),
+            };
             eprintln!(
-                "running sweep over {} benchmark(s){}{} ...",
+                "running sweep over {} benchmark(s){}{}{} ...",
                 benches.len(),
                 if fast { " (fast)" } else { "" },
-                if cache.is_some() { " [cached]" } else { "" }
+                if cache.is_some() { " [cached]" } else { "" },
+                if remote.is_some() { " [daemon]" } else { "" }
             );
             let fault = uu_core::FaultPlan::from_env();
             let jobs = uu_par::num_jobs();
-            let s = sweep::run_sweep_cached(&benches, fast, jobs, fault, cache.as_ref());
+            let s = sweep::run_sweep_backed(&benches, fast, jobs, fault, backend);
             let emitted = (|| -> std::io::Result<()> {
                 match cmd {
                     "table1" => figures::table1(&s, &out, &benches)?,
@@ -76,7 +97,7 @@ fn main() {
                         let cases = indepth::collect();
                         indepth::report(&cases, &out)?;
                         eprintln!("running three-way unmerge/meld study...");
-                        let st = study::run_study_cached(&benches, jobs, fault, cache.as_ref());
+                        let st = study::run_study_backed(&benches, jobs, fault, backend);
                         figures::fig9(&st, &out)?;
                         figures::table2(&st, &out)?;
                     }
@@ -107,15 +128,19 @@ fn main() {
             // The three-way unmerge/meld study (hot loops only; identical
             // in fast and full runs, byte-identical at any UU_JOBS).
             let cache = uu_serve::CompileCache::from_env();
+            let remote = uu_serve::Remote::from_env();
             eprintln!(
                 "running three-way unmerge/meld study over {} benchmark(s)...",
                 benches.len()
             );
-            let st = study::run_study_cached(
+            let st = study::run_study_backed(
                 &benches,
                 uu_par::num_jobs(),
                 uu_core::FaultPlan::from_env(),
-                cache.as_ref(),
+                uu_harness::Backend {
+                    cache: cache.as_ref(),
+                    remote: remote.as_ref(),
+                },
             );
             let emitted = (|| -> std::io::Result<()> {
                 figures::fig9(&st, &out)?;
@@ -193,19 +218,34 @@ fn main() {
                     if let Some(fault) = flag("--fault") {
                         req = req.header("fault", fault);
                     }
+                    if let Some(t) = flag("--timeout-ms") {
+                        req = req.header("timeout-ms", t);
+                    }
                     if !args.iter().any(|a| a == "--print-ir") {
                         req = req.header("want-module", 0);
                     }
                     req
                 }
-                v @ ("stats" | "ping" | "shutdown") => uu_serve::Message::new(v),
+                v @ ("stats" | "ping" | "health" | "ready" | "shutdown") => {
+                    uu_serve::Message::new(v)
+                }
                 other => {
-                    eprintln!("client: unknown --verb `{other}` (compile|stats|ping|shutdown)");
+                    eprintln!(
+                        "client: unknown --verb `{other}` \
+                         (compile|stats|ping|health|ready|shutdown)"
+                    );
                     std::process::exit(2);
                 }
             };
-            let resp = uu_serve::connect_unix(Path::new(&sock), std::time::Duration::from_secs(5))
-                .and_then(|mut stream| uu_serve::request_over(&mut stream, &req));
+            // Busy shedding and injected transport faults are retried with
+            // deterministic capped backoff; --no-retry sends exactly one
+            // attempt (probing a saturated daemon's `busy` response).
+            let remote = if args.iter().any(|a| a == "--no-retry") {
+                uu_serve::Remote::new(&sock).with_attempts(1)
+            } else {
+                uu_serve::Remote::new(&sock)
+            };
+            let resp = remote.request(&req);
             match resp {
                 Ok(resp) => {
                     println!("{}", resp.verb);

@@ -21,7 +21,7 @@
 //! Rendered as `fig9` (per-point data + per-app summary) and `table2`
 //! (per-loop verdicts) by [`crate::figures`].
 
-use crate::experiment::{loop_list, measure_cached, LoopRef, PointTask};
+use crate::experiment::{loop_list, measure_backed, Backend, LoopRef, PointTask};
 use crate::stats::median_of_20;
 use crate::sweep::{seed_for, sentinel_baseline, LoopPoint, FRONTEND_MS};
 use uu_core::{FaultPlan, LoopFilter, Transform, UnmergeOptions};
@@ -96,6 +96,19 @@ pub fn run_study_cached(
     fault: Option<FaultPlan>,
     cache: Option<&uu_serve::CompileCache>,
 ) -> Study {
+    run_study_backed(benches, jobs, fault, Backend::local(cache))
+}
+
+/// [`run_study_cached`] through a full [`Backend`] — cache, compile
+/// daemon, or both; see [`crate::sweep::run_sweep_backed`] for the
+/// contract (the backend changes wall time, never report bytes).
+pub fn run_study_backed(
+    benches: &[Benchmark],
+    jobs: usize,
+    fault: Option<FaultPlan>,
+    backend: Backend<'_>,
+) -> Study {
+    let cache = backend.cache;
     // Phase 1: per-application baselines (the denominator of every
     // speedup). Seeds match the sweep's, so a configuration shared by both
     // reports (e.g. `uu2`) produces the same numbers in both.
@@ -103,7 +116,7 @@ pub fn run_study_cached(
         uu_par::par_map_jobs(jobs, benches, |_, bench| {
             let app = bench.info.name;
             eprintln!("  study baseline {app}...");
-            measure_cached(bench, Transform::Baseline, LoopFilter::All, None, fault, cache)
+            measure_backed(bench, Transform::Baseline, LoopFilter::All, None, fault, backend)
                 .unwrap_or_else(|e| sentinel_baseline(format!("{app}/baseline: {e}")))
         });
 
@@ -124,6 +137,7 @@ pub fn run_study_cached(
                     transform,
                     fault,
                     cache,
+                    remote: backend.remote,
                 });
             }
         }

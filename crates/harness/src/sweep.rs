@@ -6,7 +6,8 @@
 //! baseline median.
 
 use crate::experiment::{
-    equivalence_diag, loop_list, measure_cached, sweep_configs, LoopRef, Measurement, PointTask,
+    equivalence_diag, loop_list, measure_backed, sweep_configs, Backend, LoopRef, Measurement,
+    PointTask,
 };
 use crate::stats::median_of_20;
 use std::collections::hash_map::DefaultHasher;
@@ -173,6 +174,23 @@ pub fn run_sweep_cached(
     fault: Option<FaultPlan>,
     cache: Option<&uu_serve::CompileCache>,
 ) -> Sweep {
+    run_sweep_backed(benches, fast, jobs, fault, Backend::local(cache))
+}
+
+/// [`run_sweep_cached`] through a full [`Backend`] — cache, compile
+/// daemon, or both. With a daemon, every nameable compile is shipped to
+/// it (sharing its cross-process artifact cache); anything the daemon
+/// cannot serve — and every simulation — runs locally. The backend is a
+/// pure wall-time lever: sweep bytes are identical across cacheless,
+/// cached, and daemon-backed runs at any worker count.
+pub fn run_sweep_backed(
+    benches: &[Benchmark],
+    fast: bool,
+    jobs: usize,
+    fault: Option<FaultPlan>,
+    backend: Backend<'_>,
+) -> Sweep {
+    let cache = backend.cache;
     // Phase 1: per-application baseline + whole-app heuristic. A faulted
     // baseline or heuristic degrades to a diagnosed sentinel instead of
     // aborting the sweep.
@@ -181,20 +199,20 @@ pub fn run_sweep_cached(
             let app = bench.info.name.to_string();
             eprintln!("  sweeping {app} ({} loops)...", bench.info.table_loops);
             let base =
-                measure_cached(bench, Transform::Baseline, LoopFilter::All, None, fault, cache)
+                measure_backed(bench, Transform::Baseline, LoopFilter::All, None, fault, backend)
                     .unwrap_or_else(|e| sentinel_baseline(format!("{app}/baseline: {e}")));
             let baseline_med = median_of_20(
                 base.time_ms,
                 bench.info.paper_rsd_pct,
                 seed_for(&app, &LoopRef { func: "baseline".into(), loop_id: 0 }, "base"),
             );
-            let mut heur = measure_cached(
+            let mut heur = measure_backed(
                 bench,
                 Transform::UuHeuristic(HeuristicOptions::default()),
                 LoopFilter::All,
                 None,
                 fault,
-                cache,
+                backend,
             )
             .unwrap_or_else(|e| {
                 let mut h = base.clone();
@@ -260,6 +278,7 @@ pub fn run_sweep_cached(
                     transform,
                     fault,
                     cache,
+                    remote: backend.remote,
                 });
             }
         }

@@ -1,0 +1,322 @@
+//! Service-level fault drills (`UU_SERVE_FAULT` grammar) driven end to
+//! end through the harness: a concurrent daemon with injected torn
+//! frames, disconnects, handler panics, stalls and disk-full stores must
+//! never lose a response — and a sweep or study routed through it must
+//! stay **byte-identical** to the cacheless local reference, at any
+//! worker count. The daemon, like the cache, is a wall-time lever only.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use uu_harness::study::{run_study_backed, run_study_faulted, Study};
+use uu_harness::sweep::{run_sweep_backed, run_sweep_faulted, Sweep};
+use uu_harness::Backend;
+use uu_kernels::{all_benchmarks, Benchmark};
+use uu_serve::{
+    serve_unix_with, CacheStats, CompileCache, Message, Remote, ServeFaultPlan, ServeOptions,
+};
+
+fn benches() -> Vec<Benchmark> {
+    all_benchmarks()
+        .into_iter()
+        .filter(|b| b.info.name == "mandelbrot")
+        .collect()
+}
+
+fn sweep_repr(s: &Sweep) -> String {
+    format!("{:?}\n{:?}", s.points, s.apps)
+}
+
+fn study_repr(s: &Study) -> String {
+    format!("{:?}", s.points)
+}
+
+/// Run `f` against an in-process daemon on a fresh Unix socket, then
+/// drain it with `shutdown` and return the daemon cache's stats. The
+/// daemon must exit cleanly even when `f` made it tear frames, panic, or
+/// shed load — a lost response would hang the scope join, failing loudly.
+fn with_daemon<R>(
+    opts: ServeOptions,
+    cache: &CompileCache,
+    f: impl FnOnce(&Remote) -> R,
+) -> (R, CacheStats) {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "uu-serve-faults-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("daemon.sock");
+    let out = std::thread::scope(|s| {
+        let daemon = {
+            let sock = sock.clone();
+            s.spawn(move || serve_unix_with(&sock, cache, opts))
+        };
+        let remote = Remote::new(&sock);
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&remote)));
+        let bye = remote.request(&Message::new("shutdown")).unwrap();
+        assert_eq!(bye.verb, "ok", "drain request must be honored");
+        daemon.join().unwrap().unwrap();
+        match out {
+            Ok(r) => r,
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    });
+    assert!(!sock.exists(), "daemon must remove its socket on exit");
+    let stats = stats_sanity(cache.stats());
+    let _ = std::fs::remove_dir_all(&dir);
+    (out, stats)
+}
+
+/// Cross-field invariants every drill's stats must satisfy.
+fn stats_sanity(st: CacheStats) -> CacheStats {
+    assert!(st.requests > 0, "daemon served nothing: {st:?}");
+    st
+}
+
+/// A tiny module for raw-protocol drills (the sweep tests use real
+/// benchmark modules).
+const MODULE: &str = "\
+; module t
+fn @k(i64 %n) -> i64 {
+bb0:
+  br bb1
+bb1:
+  %1 = phi i64 [0, bb0], [%2, bb2]
+  %3 = icmp slt i64 %1, %n
+  br i1 %3, bb2, bb3
+bb2:
+  %2 = add i64 %1, 1
+  br bb1
+bb3:
+  ret i64 %1
+}
+";
+
+#[test]
+fn faulted_daemon_sweep_is_byte_identical_at_jobs_1_and_4() {
+    let benches = benches();
+    let plain = run_sweep_faulted(&benches, true, 1, None);
+
+    // Two workers, tight admission, and a fault plan that tears one
+    // response, drops one connection, and panics one handler — spread
+    // across the admitted-request stream so faults land in both runs.
+    let opts = ServeOptions {
+        workers: 2,
+        inflight: 2,
+        fault: Some(
+            ServeFaultPlan::parse("torn@0,disconnect@3,panic@7,torn@13,disconnect@16").unwrap(),
+        ),
+        ..ServeOptions::default()
+    };
+    let daemon_cache = CompileCache::new_mem();
+    let ((j1, j4), stats) = with_daemon(opts, &daemon_cache, |remote| {
+        let c1 = CompileCache::new_mem();
+        let j1 = run_sweep_backed(
+            &benches,
+            true,
+            1,
+            None,
+            Backend { cache: Some(&c1), remote: Some(remote) },
+        );
+        let c4 = CompileCache::new_mem();
+        let j4 = run_sweep_backed(
+            &benches,
+            true,
+            4,
+            None,
+            Backend { cache: Some(&c4), remote: Some(remote) },
+        );
+        (j1, j4)
+    });
+    assert_eq!(
+        sweep_repr(&plain),
+        sweep_repr(&j1),
+        "daemon-backed jobs=1 sweep diverged from the cacheless reference"
+    );
+    assert_eq!(
+        sweep_repr(&plain),
+        sweep_repr(&j4),
+        "daemon-backed jobs=4 sweep diverged from the cacheless reference"
+    );
+    // The injected faults actually fired and were contained.
+    assert!(stats.handler_panics >= 1, "{stats:?}");
+    assert_eq!(stats.quarantined_modules, 0, "one panic must not quarantine: {stats:?}");
+    assert!(stats.requests > 10, "{stats:?}");
+}
+
+#[test]
+fn faulted_daemon_study_is_byte_identical_at_jobs_1_and_4() {
+    let benches = benches();
+    let plain = run_study_faulted(&benches, 1, None);
+    let opts = ServeOptions {
+        workers: 2,
+        inflight: 2,
+        fault: Some(ServeFaultPlan::parse("disconnect@1,panic@4,torn@9").unwrap()),
+        ..ServeOptions::default()
+    };
+    let daemon_cache = CompileCache::new_mem();
+    let ((j1, j4), stats) = with_daemon(opts, &daemon_cache, |remote| {
+        let c1 = CompileCache::new_mem();
+        let j1 = run_study_backed(
+            &benches,
+            1,
+            None,
+            Backend { cache: Some(&c1), remote: Some(remote) },
+        );
+        let c4 = CompileCache::new_mem();
+        let j4 = run_study_backed(
+            &benches,
+            4,
+            None,
+            Backend { cache: Some(&c4), remote: Some(remote) },
+        );
+        (j1, j4)
+    });
+    assert_eq!(study_repr(&plain), study_repr(&j1), "daemon-backed study (j1) diverged");
+    assert_eq!(study_repr(&plain), study_repr(&j4), "daemon-backed study (j4) diverged");
+    assert!(stats.handler_panics >= 1, "{stats:?}");
+}
+
+#[test]
+fn quarantined_module_falls_back_to_local_compiles_byte_identically() {
+    // breaker_k = 1: the first injected panic quarantines the benchmark
+    // module outright. Every later compile of it is refused with a
+    // non-transient `quarantined` error — and the harness backend must
+    // absorb that by compiling locally, with zero effect on the report.
+    let benches = benches();
+    let plain = run_sweep_faulted(&benches, true, 1, None);
+    let opts = ServeOptions {
+        workers: 2,
+        breaker_k: 1,
+        fault: Some(ServeFaultPlan::parse("panic@0").unwrap()),
+        ..ServeOptions::default()
+    };
+    let daemon_cache = CompileCache::new_mem();
+    let (swept, stats) = with_daemon(opts, &daemon_cache, |remote| {
+        let cache = CompileCache::new_mem();
+        run_sweep_backed(
+            &benches,
+            true,
+            1,
+            None,
+            Backend { cache: Some(&cache), remote: Some(remote) },
+        )
+    });
+    assert_eq!(
+        sweep_repr(&plain),
+        sweep_repr(&swept),
+        "quarantine fallback changed sweep bytes"
+    );
+    assert_eq!(stats.handler_panics, 1, "{stats:?}");
+    assert_eq!(stats.quarantined_modules, 1, "{stats:?}");
+    assert!(
+        stats.quarantined_rejects >= 5,
+        "the whole sweep shares one module, every request after the \
+         quarantine must be refused: {stats:?}"
+    );
+}
+
+#[test]
+fn busy_shedding_sheds_and_the_retrying_client_still_lands() {
+    // One admission slot, two workers: while the first request stalls
+    // (injected slow fault) holding the slot, a concurrent request must
+    // be shed with `busy` + retry-after-ms — and its client-side backoff
+    // must carry it through to a real response once the stall clears.
+    let opts = ServeOptions {
+        workers: 2,
+        inflight: 1,
+        fault: Some(ServeFaultPlan::parse("slow@0:600").unwrap()),
+        ..ServeOptions::default()
+    };
+    let daemon_cache = CompileCache::new_mem();
+    let (elapsed, stats) = with_daemon(opts, &daemon_cache, |remote| {
+        std::thread::scope(|s| {
+            let slow = s.spawn(|| {
+                let r = remote.compile(MODULE, "unroll2", None, None, false).unwrap();
+                assert!(!r.hit);
+            });
+            // Give the stalled request time to occupy the slot.
+            std::thread::sleep(Duration::from_millis(120));
+            let start = Instant::now();
+            let r = remote
+                .clone()
+                .with_attempts(64)
+                .compile(MODULE, "unroll4", None, None, false)
+                .unwrap();
+            assert!(!r.hit);
+            slow.join().unwrap();
+            start.elapsed()
+        })
+    });
+    assert!(stats.busy_shed >= 1, "the concurrent request was never shed: {stats:?}");
+    assert!(
+        elapsed >= Duration::from_millis(100),
+        "the shed client cannot have landed before the stall cleared: {elapsed:?}"
+    );
+}
+
+#[test]
+fn disk_full_store_fault_degrades_to_uncached_and_is_counted() {
+    let dir = std::env::temp_dir().join(format!("uu-serve-diskfull-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let daemon_cache = CompileCache::at_dir(&dir).unwrap();
+    let opts = ServeOptions {
+        workers: 2,
+        fault: Some(ServeFaultPlan::parse("disk-full@0").unwrap()),
+        ..ServeOptions::default()
+    };
+    let (_, stats) = with_daemon(opts, &daemon_cache, |remote| {
+        let a = remote.compile(MODULE, "uu2", None, None, true).unwrap();
+        assert!(!a.hit, "first compile is a miss");
+        // The store failed, but the compile still answered — and the
+        // in-memory layer still serves the repeat.
+        let b = remote.compile(MODULE, "uu2", None, None, true).unwrap();
+        assert!(b.hit, "memory layer survives a failed disk store");
+        assert_eq!(a.meta, b.meta);
+        assert_eq!(a.module_text, b.module_text);
+    });
+    assert!(stats.store_errors >= 1, "disk-full fault was not counted: {stats:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drain_under_fire_loses_no_responses() {
+    // Six concurrent clients against two workers, with a torn frame and
+    // a handler panic injected mid-stream: every client must still get a
+    // real `ok` (retries absorb the damage), and the shutdown drain in
+    // `with_daemon` must find nothing left behind.
+    let opts = ServeOptions {
+        workers: 2,
+        inflight: 2,
+        fault: Some(ServeFaultPlan::parse("torn@1,panic@2").unwrap()),
+        ..ServeOptions::default()
+    };
+    let daemon_cache = CompileCache::new_mem();
+    let (_, stats) = with_daemon(opts, &daemon_cache, |remote| {
+        const CONFIGS: [&str; 6] = ["unroll2", "unroll4", "unroll8", "uu2", "uu4", "uu8"];
+        std::thread::scope(|s| {
+            let handles: Vec<_> = CONFIGS
+                .iter()
+                .map(|config| {
+                    s.spawn(move || {
+                        let r = remote
+                            .clone()
+                            .with_attempts(32)
+                            .compile(MODULE, config, None, None, true)
+                            .unwrap();
+                        assert!(r.module_text.is_some(), "{config}");
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        })
+    });
+    // 6 distinct configs (+ retries for the damaged ones) + shutdown.
+    assert!(stats.requests >= 7, "{stats:?}");
+    assert!(stats.handler_panics >= 1, "{stats:?}");
+}

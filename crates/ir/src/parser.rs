@@ -27,7 +27,7 @@ use crate::{
     BinOp, BlockId, CastOp, Constant, FCmpPred, Function, ICmpPred, Inst, InstId, InstKind,
     Intrinsic, Param, Type, Value,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 
@@ -281,14 +281,23 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
         for p in plist.split(',') {
             let mut it = p.split_whitespace();
             let ty = parse_type(it.next().unwrap_or(""), hline)?;
-            let pname = it
-                .next()
-                .and_then(|s| s.strip_prefix('%'))
-                .ok_or(ParseError {
-                    line: hline,
-                    message: format!("bad parameter `{p}`"),
-                })?;
-            params.push(Param::new(pname, ty));
+            // Optional `restrict` qualifier between the type and the name
+            // (`ptr restrict %x`) — aliasing facts are optimizer-visible,
+            // so the round trip must carry them.
+            let mut tok = it.next();
+            let restrict = tok == Some("restrict");
+            if restrict {
+                tok = it.next();
+            }
+            let pname = tok.and_then(|s| s.strip_prefix('%')).ok_or(ParseError {
+                line: hline,
+                message: format!("bad parameter `{p}`"),
+            })?;
+            params.push(if restrict {
+                Param::restrict(pname, ty)
+            } else {
+                Param::new(pname, ty)
+            });
         }
     }
     let ret = header[close + 1..]
@@ -357,13 +366,47 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
         });
     }
 
-    // Pre-create all instructions so forward references resolve.
-    let mut ids: Vec<InstId> = Vec::with_capacity(pendings.len());
-    let mut text_map: HashMap<u32, InstId> = HashMap::new();
+    // Pre-create all instructions so forward references resolve — and
+    // honor the printed ids while doing it. The printer emits raw
+    // `InstId` indices, so the text carries the original numbering of
+    // every *valued* instruction; void instructions print no id and are
+    // slotted into the unused numbers in textual order. Preserving the
+    // numbering (exactly when the printed ids are gap-free, by rank
+    // otherwise) matters beyond aesthetics: id order is observable by
+    // optimizer tie-breaks, so a module that round-trips through text —
+    // a disk artifact, a wire body — must re-optimize exactly like the
+    // original. The remote-compile backend depends on this.
+    let mut taken: HashSet<u32> = HashSet::new();
     for p in &pendings {
-        let ty = pending_type(&p.kind);
-        let id = f.append_inst(p.block, Inst::new(InstKind::Ret { value: None }, ty));
-        ids.push(id);
+        if let Some(t) = p.text_id {
+            if !taken.insert(t) {
+                return err(p.line, format!("duplicate result id %{t}"));
+            }
+        }
+    }
+    let mut free = (0u32..).filter(|n| !taken.contains(n));
+    let targets: Vec<u32> = pendings
+        .iter()
+        .map(|p| p.text_id.unwrap_or_else(|| free.next().expect("u32 space")))
+        .collect();
+    // Dense `InstId`s are allocation-ordered, so creating placeholders
+    // in ascending target order reproduces the numbering; blocks are
+    // then filled in textual order, which is the original layout.
+    let mut order: Vec<usize> = (0..pendings.len()).collect();
+    order.sort_by_key(|&i| targets[i]);
+    let mut ids_by_pending: Vec<Option<InstId>> = vec![None; pendings.len()];
+    for &i in &order {
+        let ty = pending_type(&pendings[i].kind);
+        let id = f.create_inst(Inst::new(InstKind::Ret { value: None }, ty));
+        ids_by_pending[i] = Some(id);
+    }
+    let ids: Vec<InstId> = ids_by_pending
+        .into_iter()
+        .map(|id| id.expect("every pending instruction was created"))
+        .collect();
+    let mut text_map: HashMap<u32, InstId> = HashMap::new();
+    for (p, &id) in pendings.iter().zip(&ids) {
+        f.block_mut(p.block).insts.push(id);
         if let Some(t) = p.text_id {
             text_map.insert(t, id);
         }

@@ -115,7 +115,13 @@ impl fmt::Display for Function {
         let params: Vec<String> = self
             .params()
             .iter()
-            .map(|p| format!("{} %{}", p.ty, p.name))
+            .map(|p| {
+                if p.restrict {
+                    format!("{} restrict %{}", p.ty, p.name)
+                } else {
+                    format!("{} %{}", p.ty, p.name)
+                }
+            })
             .collect();
         writeln!(
             f,

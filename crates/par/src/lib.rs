@@ -6,6 +6,10 @@
 //! crate supplies, in-tree and on top of nothing but `std::thread` and
 //! `std::sync` (in the spirit of `uu-check` replacing `rand`/`proptest`),
 //! the one primitive those drivers need: a deterministic parallel map.
+//! The [`pool`] module adds the service-side complement: a closeable
+//! blocking [`TaskQueue`] and a fixed worker crew ([`run_crew`]) for
+//! workloads — like the `uu-serve` daemon's connections — that arrive
+//! over time and must drain cleanly on shutdown.
 //!
 //! ## Determinism contract
 //!
@@ -37,6 +41,10 @@
 //!   reproduces serial behaviour exactly.
 
 #![warn(missing_docs)]
+
+pub mod pool;
+
+pub use pool::{run_crew, TaskQueue};
 
 use std::collections::VecDeque;
 use std::panic::resume_unwind;

@@ -169,11 +169,16 @@ impl Artifact {
     }
 }
 
-fn escape(s: &str) -> String {
+/// Escape a string to a single line (`\n`/`\\`), losslessly. Shared by
+/// the artifact format and the wire protocol's `diag` header — both are
+/// line-oriented, and both must round-trip multi-line diagnostics
+/// byte-identically.
+pub(crate) fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
-fn unescape(s: &str) -> Option<String> {
+/// Invert [`escape`]; `None` on a dangling or unknown escape.
+pub(crate) fn unescape(s: &str) -> Option<String> {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {

@@ -24,6 +24,7 @@
 //! memory-fault plan — everything outside the module/config that can
 //! change simulator output).
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -34,6 +35,22 @@ use crate::artifact::{Artifact, CompileMeta, RunRecord};
 use crate::stats::CacheStats;
 use uu_core::{FaultKind, PipelineOptions};
 use uu_ir::Module;
+
+thread_local! {
+    // Armed by the service's `disk-full` fault (UU_SERVE_FAULT) for the
+    // duration of one request. Thread-local because each request is
+    // handled entirely on one worker thread: arming it cannot leak into
+    // a concurrent request on another worker.
+    static STORE_FAULT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Arm (or disarm) the synthetic disk-full fault for cache stores on
+/// *this thread*: while armed, every artifact write fails as a full disk
+/// would — counted in [`CacheStats::store_errors`], degraded to "not
+/// cached", never a broken artifact.
+pub fn inject_store_fault(on: bool) {
+    STORE_FAULT.with(|f| f.set(on));
+}
 
 /// A 128-bit content-address (two FNV-1a lanes over the same key
 /// material with distinct domain prefixes).
@@ -280,6 +297,13 @@ impl CompileCache {
         self.stats.lock().unwrap().clone()
     }
 
+    /// Mutate the stats under the lock — the hook the service layer uses
+    /// to account admission, deadline, panic, quarantine and connection
+    /// events in the same versioned structure as the cache counters.
+    pub fn stats_mut<R>(&self, f: impl FnOnce(&mut CacheStats) -> R) -> R {
+        f(&mut self.stats.lock().unwrap())
+    }
+
     fn note_compile_hit(&self, meta: &CompileMeta, mem: bool, t0: Instant) {
         let mut st = self.stats.lock().unwrap();
         if mem {
@@ -305,23 +329,37 @@ impl CompileCache {
     }
 
     /// Best-effort atomic write; a full disk or permission error degrades
-    /// to "not cached", never to a broken artifact (readers validate).
+    /// to "not cached", never to a broken artifact (readers validate) —
+    /// but every such degradation is now counted in
+    /// [`CacheStats::store_errors`] instead of vanishing silently.
     fn store(&self, key: Key, artifact: &Artifact) {
         let Some(path) = self.path_of(key) else {
             return;
         };
+        if STORE_FAULT.with(|f| f.get()) {
+            self.note_store_error();
+            return;
+        }
         let Some(parent) = path.parent() else {
             return;
         };
         if std::fs::create_dir_all(parent).is_err() {
+            self.note_store_error();
             return;
         }
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
         if std::fs::write(&tmp, artifact.encode()).is_ok() {
-            let _ = std::fs::rename(&tmp, &path);
+            if std::fs::rename(&tmp, &path).is_err() {
+                self.note_store_error();
+            }
         } else {
             let _ = std::fs::remove_file(&tmp);
+            self.note_store_error();
         }
+    }
+
+    fn note_store_error(&self) {
+        self.stats.lock().unwrap().store_errors += 1;
     }
 }
 
@@ -468,6 +506,29 @@ bb6:
         let base = CompileCache::compile_key(&module(), &opts());
         assert_eq!(base, CompileCache::compile_key(&module(), &with_mem));
         assert_ne!(base, CompileCache::compile_key(&module(), &with_panic));
+    }
+
+    #[test]
+    fn injected_store_fault_degrades_to_uncached_and_is_counted() {
+        let dir = std::env::temp_dir().join(format!("uu-cache-enospc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = CompileCache::at_dir(&dir).unwrap();
+            inject_store_fault(true);
+            let mut m = module();
+            let r = cache.compile(&mut m, &opts(), true);
+            inject_store_fault(false);
+            assert!(!r.hit);
+            assert_eq!(cache.stats().store_errors, 1, "failed store must be counted");
+        }
+        // Nothing reached disk: a fresh cache instance misses and
+        // recompiles (counting a fresh miss, not serving a torn artifact).
+        let cache = CompileCache::at_dir(&dir).unwrap();
+        let mut m = module();
+        let r = cache.compile(&mut m, &opts(), true);
+        assert!(!r.hit, "a faulted store must not leave an artifact behind");
+        assert_eq!(cache.stats().store_errors, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

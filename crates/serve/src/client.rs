@@ -1,17 +1,38 @@
-//! Client side: connect to a daemon and exchange framed messages.
+//! Client side: connect to a daemon and exchange framed messages, with
+//! deterministic backoff and automatic retry of `busy`/transient
+//! failures — the client half of the service's overload contract.
+//!
+//! [`Remote`] is the batch-harness compile backend: one fresh connection
+//! per request (HTTP/1.0 style, so a saturated daemon's worker pool is
+//! never starved by idle persistent connections), `busy` responses
+//! honored via their `retry-after-ms` hint, torn frames and mid-request
+//! disconnects retried with capped exponential backoff. All sleeping is
+//! wall-clock only — no retry decision feeds into report bytes, which is
+//! why cached sweeps through a saturated daemon stay byte-identical to
+//! cacheless runs.
 
 use std::io::{self, Read, Write};
 use std::os::unix::net::UnixStream;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
+use crate::artifact::CompileMeta;
+use crate::backoff::Backoff;
 use crate::proto::{read_frame, write_frame, Message};
+use uu_core::Rung;
 
-/// Connect to the daemon's Unix socket, retrying briefly — the common
-/// pattern is "start daemon in background, then connect", and the bind
-/// may land a few milliseconds after the client starts.
+/// Connect to the daemon's Unix socket, retrying with jittered
+/// exponential backoff until `patience` runs out — the common pattern is
+/// "start daemon in background, then connect", and the bind may land a
+/// few milliseconds after the client starts. (The old implementation
+/// re-polled `Instant::now` on a fixed 20 ms cadence; backoff both
+/// reacts faster when the socket appears quickly and wastes less when it
+/// doesn't.)
 pub fn connect_unix(path: &Path, patience: Duration) -> io::Result<UnixStream> {
     let deadline = Instant::now() + patience;
+    // Seeded from the socket path: deterministic per target, decorrelated
+    // across daemons.
+    let mut backoff = Backoff::with_limits(uu_ir::fnv1a(path.as_os_str().as_encoded_bytes()), 2, 100);
     loop {
         match UnixStream::connect(path) {
             Ok(s) => return Ok(s),
@@ -19,7 +40,7 @@ pub fn connect_unix(path: &Path, patience: Duration) -> io::Result<UnixStream> {
                 if Instant::now() >= deadline {
                     return Err(e);
                 }
-                std::thread::sleep(Duration::from_millis(20));
+                std::thread::sleep(backoff.next_delay());
             }
         }
     }
@@ -35,4 +56,328 @@ pub fn request_over(stream: &mut (impl Read + Write), req: &Message) -> io::Resu
             "server closed the connection without responding",
         )
     })
+}
+
+/// The result of a compile routed through a daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteCompile {
+    /// Compile metadata, exactly as the local pipeline would report it.
+    pub meta: CompileMeta,
+    /// Whether the daemon served it from its cache.
+    pub hit: bool,
+    /// The optimized module text (when requested).
+    pub module_text: Option<String>,
+}
+
+/// A handle to a compile daemon: socket path + retry policy. Cloneable
+/// and cheap; each request opens its own connection.
+#[derive(Debug, Clone)]
+pub struct Remote {
+    socket: PathBuf,
+    /// Maximum request attempts (first try + retries).
+    max_attempts: u32,
+    /// Patience for each connect (the daemon may still be binding, or
+    /// busy accepting).
+    patience: Duration,
+    /// Base seed for the per-request backoff jitter.
+    seed: u64,
+}
+
+impl Remote {
+    /// Default request attempts (first try + retries). Sized so that a
+    /// client bouncing off a saturated daemon outlasts multi-second
+    /// stalls: with the default backoff the cumulative hinted wait
+    /// exceeds 2.5 s well before the budget runs out.
+    pub const DEFAULT_ATTEMPTS: u32 = 16;
+
+    /// A remote over the daemon socket at `socket`.
+    pub fn new(socket: impl Into<PathBuf>) -> Remote {
+        let socket = socket.into();
+        let seed = uu_ir::fnv1a(socket.as_os_str().as_encoded_bytes());
+        Remote {
+            socket,
+            max_attempts: Self::DEFAULT_ATTEMPTS,
+            patience: Duration::from_secs(5),
+            seed,
+        }
+    }
+
+    /// Build from `UU_SERVE_SOCKET`; `None` when unset or empty (no
+    /// daemon configured — callers compile locally).
+    pub fn from_env() -> Option<Remote> {
+        let v = std::env::var("UU_SERVE_SOCKET").ok()?;
+        let v = v.trim();
+        (!v.is_empty()).then(|| Remote::new(v))
+    }
+
+    /// Override the retry budget (1 = single attempt, no retries).
+    pub fn with_attempts(mut self, attempts: u32) -> Remote {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// The daemon socket this remote talks to.
+    pub fn socket(&self) -> &Path {
+        &self.socket
+    }
+
+    /// Send `req` on a fresh connection, retrying `busy` responses
+    /// (honoring their `retry-after-ms` hint), `error` responses marked
+    /// `transient: 1`, and transport failures (torn frames, disconnects),
+    /// with capped exponential backoff jittered deterministically from
+    /// the request body. Non-transient `error` responses (bad request,
+    /// quarantined module) are returned as-is — retrying them is
+    /// pointless by construction.
+    pub fn request(&self, req: &Message) -> io::Result<Message> {
+        let mut backoff = Backoff::new(self.seed ^ uu_ir::fnv1a(req.body.as_bytes()));
+        let mut last_io: Option<io::Error> = None;
+        let mut last_resp: Option<Message> = None;
+        for _ in 0..self.max_attempts.max(1) {
+            match connect_unix(&self.socket, self.patience) {
+                Ok(mut conn) => match request_over(&mut conn, req) {
+                    Ok(resp) => {
+                        if resp.verb == "busy" {
+                            let hint =
+                                resp.get("retry-after-ms").and_then(|v| v.parse::<u64>().ok());
+                            last_resp = Some(resp);
+                            backoff.sleep(hint);
+                        } else if resp.verb == "error" && resp.get("transient") == Some("1") {
+                            last_resp = Some(resp);
+                            backoff.sleep(None);
+                        } else {
+                            return Ok(resp);
+                        }
+                    }
+                    Err(e) => {
+                        last_io = Some(e);
+                        backoff.sleep(None);
+                    }
+                },
+                Err(e) => {
+                    last_io = Some(e);
+                    backoff.sleep(None);
+                }
+            }
+        }
+        // Retry budget exhausted: surface the last structured response if
+        // there was one (the caller sees `busy`/`error` rather than a
+        // synthetic I/O error), else the last transport failure.
+        match last_resp {
+            Some(resp) => Ok(resp),
+            None => Err(last_io.unwrap_or_else(|| {
+                io::Error::new(io::ErrorKind::TimedOut, "request retries exhausted")
+            })),
+        }
+    }
+
+    /// Compile `module_text` under the named config through the daemon.
+    /// `filter` selects one loop (function name + deterministic loop id);
+    /// `fault` forwards a pipeline fault spec for drills. Any non-`ok`
+    /// outcome (including a still-`busy` daemon after the retry budget)
+    /// becomes an `io::Error`, which batch callers treat as "daemon
+    /// unavailable — compile locally".
+    pub fn compile(
+        &self,
+        module_text: &str,
+        config: &str,
+        filter: Option<(&str, usize)>,
+        fault: Option<&str>,
+        want_module: bool,
+    ) -> io::Result<RemoteCompile> {
+        let mut req = Message::new("compile")
+            .header("config", config)
+            .header("want-module", u8::from(want_module));
+        if let Some((func, loop_id)) = filter {
+            req = req.header("filter-func", func).header("filter-loop", loop_id);
+        }
+        if let Some(spec) = fault {
+            req = req.header("fault", spec);
+        }
+        req = req.with_body(module_text);
+        let resp = self.request(&req)?;
+        if resp.verb != "ok" {
+            let reason = resp.get("reason").unwrap_or("(no reason)").to_string();
+            return Err(io::Error::new(
+                io::ErrorKind::Other,
+                format!("daemon answered `{}`: {reason}", resp.verb),
+            ));
+        }
+        let meta = parse_meta(&resp)?;
+        Ok(RemoteCompile {
+            meta,
+            hit: resp.get("cached") == Some("hit"),
+            module_text: want_module.then(|| resp.body.clone()),
+        })
+    }
+}
+
+/// Reconstruct [`CompileMeta`] from an `ok` compile response's headers.
+/// All five fields round-trip losslessly: they are integers, a rung
+/// label and a single-line diag string.
+fn parse_meta(resp: &Message) -> io::Result<CompileMeta> {
+    let field = |name: &str| {
+        resp.get(name).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("compile response is missing the `{name}` header"),
+            )
+        })
+    };
+    let bad = |name: &str, v: &str| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("compile response header `{name}` is malformed: {v:?}"),
+        )
+    };
+    let work = field("work")?;
+    let code_size = field("code-size")?;
+    let rung = field("rung")?;
+    let timed_out = field("timed-out")?;
+    let diag = match resp.get("diag") {
+        None => String::new(),
+        Some(d) => crate::artifact::unescape(d).ok_or_else(|| bad("diag", d))?,
+    };
+    Ok(CompileMeta {
+        work: work.parse().map_err(|_| bad("work", work))?,
+        timed_out: timed_out == "1",
+        rung: Rung::from_str(rung).ok_or_else(|| bad("rung", rung))?,
+        diag,
+        code_size: code_size.parse().map_err(|_| bad("code-size", code_size))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CompileCache;
+    use crate::server::{serve_unix_with, ServeOptions};
+    use crate::fault::ServeFaultPlan;
+
+    const MODULE: &str = "\
+; module t
+fn @k(i64 %n) -> i64 {
+bb0:
+  br bb1
+bb1:
+  %1 = phi i64 [0, bb0], [%2, bb2]
+  %3 = icmp slt i64 %1, %n
+  br i1 %3, bb2, bb3
+bb2:
+  %2 = add i64 %1, 1
+  br bb1
+bb3:
+  ret i64 %1
+}
+";
+
+    fn with_daemon(
+        opts: ServeOptions,
+        f: impl FnOnce(&Remote),
+    ) -> crate::stats::CacheStats {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "uu-client-test-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::SeqCst)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join("d.sock");
+        let cache = CompileCache::new_mem();
+        let stats = std::thread::scope(|s| {
+            let daemon = {
+                let sock = sock.clone();
+                let cache = &cache;
+                s.spawn(move || serve_unix_with(&sock, cache, opts))
+            };
+            let remote = Remote::new(&sock);
+            // Contain assertion failures so the daemon still gets its
+            // shutdown — a panicking closure must fail the test, not hang
+            // the scope join forever.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&remote)));
+            let bye = remote.request(&Message::new("shutdown")).unwrap();
+            assert_eq!(bye.verb, "ok");
+            daemon.join().unwrap().unwrap();
+            if let Err(p) = outcome {
+                std::panic::resume_unwind(p);
+            }
+            cache.stats()
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+        stats
+    }
+
+    #[test]
+    fn remote_compile_round_trips_meta_and_module() {
+        with_daemon(ServeOptions::default(), |remote| {
+            let a = remote.compile(MODULE, "unroll2", None, None, true).unwrap();
+            assert!(!a.hit);
+            assert_eq!(a.meta.rung, Rung::Full);
+            assert!(a.meta.work > 0);
+            let text = a.module_text.as_deref().unwrap();
+            assert!(text.contains("fn @k"));
+            // Second time: a hit with identical metadata and bytes.
+            let b = remote.compile(MODULE, "unroll2", None, None, true).unwrap();
+            assert!(b.hit);
+            assert_eq!(a.meta, b.meta);
+            assert_eq!(a.module_text, b.module_text);
+            // Filtered compiles are keyed separately.
+            let filtered = remote
+                .compile(MODULE, "unroll2", Some(("k", 0)), None, false)
+                .unwrap();
+            assert_eq!(filtered.module_text, None);
+            assert_eq!(filtered.meta.rung, Rung::Full);
+        });
+    }
+
+    #[test]
+    fn remote_retries_through_torn_frames_and_disconnects() {
+        let stats = with_daemon(
+            ServeOptions {
+                fault: Some(ServeFaultPlan::parse("torn@0,disconnect@1").unwrap()),
+                ..ServeOptions::default()
+            },
+            |remote| {
+                // Request 0 is torn, its retry (request 1) is disconnected,
+                // the second retry (request 2) succeeds — transparently.
+                // The torn request's compile landed in the cache before its
+                // response was damaged, so the winning retry is a hit.
+                let r = remote.compile(MODULE, "uu2", None, None, true).unwrap();
+                assert_eq!(r.meta.rung, Rung::Full);
+                assert!(r.hit);
+            },
+        );
+        assert_eq!(stats.requests, 4, "3 compile attempts + shutdown");
+    }
+
+    #[test]
+    fn remote_retries_transient_panics_but_returns_quarantine_as_error() {
+        let stats = with_daemon(
+            ServeOptions {
+                breaker_k: 2,
+                fault: Some(ServeFaultPlan::parse("panic@0,panic@1").unwrap()),
+                ..ServeOptions::default()
+            },
+            |remote| {
+                // Two injected panics trip the K=2 breaker while the client
+                // is retrying; the third attempt is refused as quarantined,
+                // which is NOT retried — compile() surfaces it as an error.
+                let e = remote.compile(MODULE, "uu2", None, None, true).unwrap_err();
+                assert!(e.to_string().contains("quarantined"), "{e}");
+            },
+        );
+        assert_eq!(stats.handler_panics, 2);
+        assert_eq!(stats.quarantined_rejects, 1);
+    }
+
+    #[test]
+    fn remote_bad_requests_fail_without_retry_burn() {
+        let stats = with_daemon(ServeOptions::default(), |remote| {
+            let e = remote.compile(MODULE, "warp9", None, None, true).unwrap_err();
+            assert!(e.to_string().contains("unknown config"), "{e}");
+        });
+        // One compile attempt only: a non-transient error is not retried.
+        assert_eq!(stats.requests, 2, "1 compile + shutdown");
+    }
 }

@@ -44,17 +44,27 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod backoff;
 pub mod cache;
 pub mod client;
 pub mod config;
+pub mod fault;
 pub mod proto;
 pub mod server;
 pub mod stats;
 
 pub use artifact::{Artifact, CompileMeta, RunRecord, ARTIFACT_VERSION};
-pub use cache::{CachedCompile, CompileCache, Key};
-pub use client::{connect_unix, request_over};
-pub use config::{config_names, parse_config};
-pub use proto::{read_frame, write_frame, Message, MAX_FRAME, PROTO_VERSION};
-pub use server::{serve_stdio, serve_stream, serve_unix, SERVICE_COMPILE_TIMEOUT};
+pub use backoff::Backoff;
+pub use cache::{inject_store_fault, CachedCompile, CompileCache, Key};
+pub use client::{connect_unix, request_over, Remote, RemoteCompile};
+pub use config::{config_name, config_names, parse_config};
+pub use fault::{ServeFault, ServeFaultKind, ServeFaultPlan};
+pub use proto::{
+    read_frame, read_frame_lenient, write_frame, FrameDefect, Message, MAX_FRAME, PROTO_VERSION,
+    RESYNC_MAX,
+};
+pub use server::{
+    serve_stdio, serve_stream, serve_unix, serve_unix_with, ServeOptions, Service,
+    SERVICE_COMPILE_TIMEOUT,
+};
 pub use stats::{CacheStats, STATS_VERSION};

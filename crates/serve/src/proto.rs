@@ -17,6 +17,13 @@ pub const PROTO_VERSION: u32 = 1;
 /// Maximum frame payload size (16 MiB — far above any module we print).
 pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
 
+/// Largest declared length [`read_frame_lenient`] will drain to
+/// resynchronize after an oversized frame (4 × [`MAX_FRAME`]). Beyond
+/// this the stream position is declared unrecoverable: draining, say, a
+/// `u32::MAX` prefix would stall the connection for gigabytes on the
+/// word of a peer that has already proven itself confused.
+pub const RESYNC_MAX: u32 = 4 * MAX_FRAME;
+
 /// A parsed protocol message: verb, headers, body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Message {
@@ -132,6 +139,109 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Message>> {
     Ok(Some(msg))
 }
 
+/// Why a received frame could not be turned into a [`Message`]. Carried
+/// by [`read_frame_lenient`] so a server can answer with a structured
+/// `error` response instead of killing the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameDefect {
+    /// Declared length exceeds [`MAX_FRAME`]; the payload was drained, so
+    /// the stream is back at a frame boundary and the connection can
+    /// continue.
+    Oversized {
+        /// The declared payload length.
+        len: u32,
+    },
+    /// Declared length exceeds even [`RESYNC_MAX`]; nothing was drained
+    /// and the connection must be closed after the error response.
+    Unrecoverable {
+        /// The declared payload length.
+        len: u32,
+    },
+    /// The payload was not valid UTF-8.
+    NotUtf8,
+    /// The payload was UTF-8 but not a valid message (version skew, bad
+    /// status line, malformed header, missing blank line).
+    Malformed,
+}
+
+impl FrameDefect {
+    /// Whether the stream is positioned at a frame boundary afterwards —
+    /// i.e. whether the connection can keep serving requests once the
+    /// error response is sent.
+    pub fn recoverable(&self) -> bool {
+        !matches!(self, FrameDefect::Unrecoverable { .. })
+    }
+
+    /// Single-line description, suitable for an error-response header.
+    pub fn describe(&self) -> String {
+        match self {
+            FrameDefect::Oversized { len } => {
+                format!("frame length {len} exceeds MAX_FRAME ({MAX_FRAME})")
+            }
+            FrameDefect::Unrecoverable { len } => {
+                format!("frame length {len} exceeds resync limit ({RESYNC_MAX})")
+            }
+            FrameDefect::NotUtf8 => "frame is not UTF-8".to_string(),
+            FrameDefect::Malformed => "malformed message".to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for FrameDefect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+/// Read one frame, degrading malformed input to a [`FrameDefect`]
+/// instead of an error — the server-side read path.
+///
+/// Returns:
+///
+/// * `Ok(None)` — clean EOF before the length prefix;
+/// * `Ok(Some(Ok(msg)))` — a well-formed frame;
+/// * `Ok(Some(Err(defect)))` — a damaged frame the caller should answer
+///   with a structured `error` response; check
+///   [`recoverable`](FrameDefect::recoverable) to decide whether the
+///   connection survives. Oversized-but-drainable payloads (up to
+///   [`RESYNC_MAX`]) are consumed in fixed-size chunks so the stream is
+///   left at the next frame boundary without ever allocating the
+///   declared length;
+/// * `Err(e)` — a genuine transport failure (including a peer that lied
+///   about its length and hung up mid-payload).
+pub fn read_frame_lenient(r: &mut impl Read) -> io::Result<Option<Result<Message, FrameDefect>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > RESYNC_MAX {
+        return Ok(Some(Err(FrameDefect::Unrecoverable { len })));
+    }
+    if len > MAX_FRAME {
+        // Drain the oversized payload in bounded chunks to resynchronize.
+        let mut chunk = [0u8; 64 * 1024];
+        let mut left = len as usize;
+        while left > 0 {
+            let take = left.min(chunk.len());
+            r.read_exact(&mut chunk[..take])?;
+            left -= take;
+        }
+        return Ok(Some(Err(FrameDefect::Oversized { len })));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let Ok(text) = String::from_utf8(payload) else {
+        return Ok(Some(Err(FrameDefect::NotUtf8)));
+    };
+    Ok(Some(match Message::decode(&text) {
+        Some(msg) => Ok(msg),
+        None => Err(FrameDefect::Malformed),
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,5 +295,81 @@ mod tests {
         buf.extend_from_slice(b"short");
         let mut r = &buf[..];
         assert!(read_frame(&mut r).is_err());
+    }
+
+    // --- lenient read path: every malformed-frame shape must yield a
+    // --- defect (answerable with a structured error), not a dead stream.
+
+    #[test]
+    fn lenient_oversized_frame_is_drained_and_the_stream_survives() {
+        let len = MAX_FRAME + 3;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&len.to_le_bytes());
+        buf.resize(buf.len() + len as usize, b'x');
+        write_frame(&mut buf, &Message::new("ping")).unwrap();
+        let mut r = &buf[..];
+        let defect = read_frame_lenient(&mut r).unwrap().unwrap().unwrap_err();
+        assert_eq!(defect, FrameDefect::Oversized { len });
+        assert!(defect.recoverable());
+        // Resynchronized: the next frame parses cleanly.
+        assert_eq!(
+            read_frame_lenient(&mut r).unwrap().unwrap().unwrap(),
+            Message::new("ping")
+        );
+    }
+
+    #[test]
+    fn lenient_hostile_length_prefix_is_unrecoverable_without_allocating() {
+        let mut r: &[u8] = &u32::MAX.to_le_bytes();
+        let defect = read_frame_lenient(&mut r).unwrap().unwrap().unwrap_err();
+        assert_eq!(defect, FrameDefect::Unrecoverable { len: u32::MAX });
+        assert!(!defect.recoverable());
+    }
+
+    #[test]
+    fn lenient_non_utf8_payload_is_a_defect_not_an_error() {
+        let payload = [0xffu8, 0xfe, 0x00, 0x80];
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        write_frame(&mut buf, &Message::new("ping")).unwrap();
+        let mut r = &buf[..];
+        let defect = read_frame_lenient(&mut r).unwrap().unwrap().unwrap_err();
+        assert_eq!(defect, FrameDefect::NotUtf8);
+        assert!(defect.recoverable());
+        assert_eq!(
+            read_frame_lenient(&mut r).unwrap().unwrap().unwrap(),
+            Message::new("ping")
+        );
+    }
+
+    #[test]
+    fn lenient_malformed_payloads_are_defects_per_shape() {
+        // Version skew, empty verb, headerless garbage, missing blank line.
+        for bad in [
+            "uu-serve/2 ping\n\n",
+            "uu-serve/1 \n\n",
+            "uu-serve/1 ping\nbad header\n\n",
+            "no blank line",
+        ] {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&(bad.len() as u32).to_le_bytes());
+            buf.extend_from_slice(bad.as_bytes());
+            let mut r = &buf[..];
+            let defect = read_frame_lenient(&mut r).unwrap().unwrap().unwrap_err();
+            assert_eq!(defect, FrameDefect::Malformed, "{bad:?}");
+            assert!(defect.recoverable());
+        }
+    }
+
+    #[test]
+    fn lenient_clean_eof_and_truncation_mirror_the_strict_reader() {
+        let mut r: &[u8] = &[];
+        assert!(read_frame_lenient(&mut r).unwrap().is_none());
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&100u32.to_le_bytes());
+        buf.extend_from_slice(b"short");
+        let mut t = &buf[..];
+        assert!(read_frame_lenient(&mut t).is_err());
     }
 }

@@ -1,161 +1,596 @@
-//! The compile-service daemon: accepts framed requests, compiles through
-//! the guarded pipeline via the cache, answers with optimized IR + rung
-//! + metrics.
+//! The compile-service daemon: a bounded worker pool accepting framed
+//! requests concurrently, compiling through the guarded pipeline via the
+//! cache, answering with optimized IR + rung + metrics — and degrading
+//! gracefully under overload, damage and injected faults.
 //!
 //! Request verbs:
 //!
 //! * `compile` — headers `config: <name>` (required, see
 //!   [`crate::config`]), `fault: <spec>` (optional [`FaultPlan`] for
-//!   drills), `want-module: 0|1` (default 1); body = module text.
-//!   Response `ok` carries `cached: hit|miss`, `rung`, `work`,
-//!   `timed-out`, `code-size`, `key`, `diag` headers and the optimized
-//!   module as the body.
+//!   drills), `want-module: 0|1` (default 1), `filter-func` +
+//!   `filter-loop` (optional loop selection, both or neither),
+//!   `timeout-ms: <n>` (optional per-request deadline on the
+//!   deterministic work clock, capped at the service's own limit); body
+//!   = module text. Response `ok` carries `cached: hit|miss`, `rung`,
+//!   `work`, `timed-out`, `code-size`, `key`, `diag` headers and the
+//!   optimized module as the body.
 //! * `stats` — response body is the cache's [`CacheStats`] JSON.
 //! * `ping` — liveness probe.
-//! * `shutdown` — acknowledge and stop serving.
+//! * `health` — liveness plus gauges (`workers`, `inflight`, `draining`).
+//! * `ready` — readiness probe: `ready: 1` while accepting, `0` once
+//!   draining.
+//! * `shutdown` — acknowledge, stop accepting, finish in-flight
+//!   requests, then exit (graceful drain).
 //!
-//! Every request is wrapped in `catch_unwind` *in addition to* the
+//! ## Overload & fault behaviour
+//!
+//! Admission control: at most [`ServeOptions::inflight`] compile
+//! requests run at once; excess requests are shed immediately with a
+//! `busy` response carrying a `retry-after-ms` hint (clients back off
+//! and retry — see [`crate::backoff`]). Control verbs are never shed.
+//!
+//! Every compile runs under `catch_unwind` *in addition to* the
 //! pipeline's own pass guards: a panic that escapes anywhere in request
-//! handling produces an `error` response and the daemon keeps serving —
-//! one poisoned request must never take down the service.
+//! handling produces an `error` response (marked `transient: 1` so
+//! clients may retry) and the daemon keeps serving. A module whose
+//! requests panic [`ServeOptions::breaker_k`] times is quarantined by
+//! the crash-loop circuit breaker: further requests for it are refused
+//! with a `quarantined: 1` error instead of a fourth recompile.
+//!
+//! Damaged frames (oversized, non-UTF-8, malformed) get a structured
+//! `error` response and the connection resynchronizes where possible
+//! (see [`crate::proto::read_frame_lenient`]) instead of dying.
+//!
+//! Deterministic service-level faults (`UU_SERVE_FAULT`, see
+//! [`crate::fault`]) inject torn response frames, mid-request
+//! disconnects, slow handlers, handler panics and disk-full cache
+//! writes, so every one of those recovery paths is exercised in CI
+//! rather than hoped for.
 //!
 //! [`CacheStats`]: crate::stats::CacheStats
 
 use std::io::{self, Read, Write};
-use std::os::unix::net::UnixListener;
+use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use crate::cache::CompileCache;
 use crate::config::{config_names, parse_config};
-use crate::proto::{read_frame, write_frame, Message};
-use uu_core::{FaultPlan, PipelineOptions};
+use crate::fault::{ServeFaultKind, ServeFaultPlan};
+use crate::proto::{read_frame_lenient, write_frame, Message};
+use uu_core::{FaultPlan, LoopFilter, PipelineOptions};
+use uu_par::{run_crew, TaskQueue};
 
 /// Work-clock budget for service compiles — the same budget the batch
 /// harness uses, so daemon and sweep share cache artifacts for the same
 /// `(module, config)`.
 pub const SERVICE_COMPILE_TIMEOUT: Duration = Duration::from_secs(20);
 
-/// Serve one framed stream until EOF or a `shutdown` request. Returns
-/// `true` if a shutdown was requested (callers owning a listener stop
-/// accepting).
-pub fn serve_stream(
-    r: &mut impl Read,
-    w: &mut impl Write,
-    cache: &CompileCache,
-) -> io::Result<bool> {
-    while let Some(req) = read_frame(r)? {
-        let verb = req.verb.clone();
-        let resp = catch_unwind(AssertUnwindSafe(|| handle(&req, cache)))
-            .unwrap_or_else(|_| error("internal panic while handling request (contained)"));
-        write_frame(w, &resp)?;
-        if verb == "shutdown" {
-            return Ok(true);
-        }
-    }
-    Ok(false)
+/// Tunables for the concurrent service. Every knob has a `UU_SERVE_*`
+/// environment variable (see [`ServeOptions::from_env`]).
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads handling connections (`UU_SERVE_WORKERS`).
+    pub workers: usize,
+    /// Maximum concurrently-running compile requests before admission
+    /// control sheds load with `busy` (`UU_SERVE_INFLIGHT`; defaults to
+    /// `workers`).
+    pub inflight: usize,
+    /// Handler panics per module hash before the circuit breaker
+    /// quarantines it (`UU_SERVE_BREAKER`).
+    pub breaker_k: u32,
+    /// Consecutive accept failures tolerated before the daemon gives up
+    /// with a clean nonzero exit (`UU_SERVE_ACCEPT_RETRIES`).
+    pub accept_retries: u32,
+    /// Per-request deadline cap in milliseconds on the deterministic
+    /// work clock (`UU_SERVE_TIMEOUT_MS`); a request's own `timeout-ms`
+    /// header may lower but never raise it.
+    pub timeout_ms: u64,
+    /// Deterministic service fault plan (`UU_SERVE_FAULT`).
+    pub fault: Option<ServeFaultPlan>,
 }
 
-/// Serve on a Unix socket at `path` (any stale socket file is replaced)
-/// until a client sends `shutdown`. Connections are handled sequentially
-/// — request-level parallelism comes from the cache making repeat work
-/// free, not from threads.
-pub fn serve_unix(path: &Path, cache: &CompileCache) -> io::Result<()> {
-    let _ = std::fs::remove_file(path);
-    let listener = UnixListener::bind(path)?;
-    for conn in listener.incoming() {
-        let mut conn = match conn {
-            Ok(c) => c,
-            Err(_) => continue,
-        };
-        let done = {
-            let mut rd = conn.try_clone()?;
-            serve_stream(&mut rd, &mut conn, cache)
-        };
-        match done {
-            Ok(true) => break,
-            Ok(false) => {}
-            // A dropped client must not kill the daemon.
-            Err(e) => eprintln!("uu-serve: connection error (continuing): {e}"),
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            workers: 4,
+            inflight: 4,
+            breaker_k: 3,
+            accept_retries: 8,
+            timeout_ms: SERVICE_COMPILE_TIMEOUT.as_millis() as u64,
+            fault: None,
         }
     }
-    let _ = std::fs::remove_file(path);
-    Ok(())
 }
 
-/// Serve a single session over stdin/stdout — the socketless transport
-/// for pipes and tests.
-pub fn serve_stdio(cache: &CompileCache) -> io::Result<()> {
-    let stdin = io::stdin();
-    let stdout = io::stdout();
-    serve_stream(&mut stdin.lock(), &mut stdout.lock(), cache)?;
-    Ok(())
+/// Parse a `UU_SERVE_*` numeric knob: a positive integer.
+///
+/// # Panics
+///
+/// Panics on zero or non-integer input, mirroring `UU_JOBS` and the
+/// other `UU_*` knobs: a typo'd knob must fail loudly, not silently
+/// fall back and skew a drill.
+fn env_knob(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) if !v.trim().is_empty() => match v.trim().parse::<u64>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("{name} must be a positive integer, got {v:?}"),
+        },
+        _ => default,
+    }
+}
+
+impl ServeOptions {
+    /// Read every knob from the environment, defaulting as documented on
+    /// the fields.
+    pub fn from_env() -> ServeOptions {
+        let d = ServeOptions::default();
+        let workers = env_knob("UU_SERVE_WORKERS", d.workers as u64) as usize;
+        ServeOptions {
+            workers,
+            inflight: env_knob("UU_SERVE_INFLIGHT", workers as u64) as usize,
+            breaker_k: env_knob("UU_SERVE_BREAKER", d.breaker_k as u64) as u32,
+            accept_retries: env_knob("UU_SERVE_ACCEPT_RETRIES", d.accept_retries as u64) as u32,
+            timeout_ms: env_knob("UU_SERVE_TIMEOUT_MS", d.timeout_ms),
+            fault: ServeFaultPlan::from_env(),
+        }
+    }
+}
+
+/// How a worker should answer one request.
+enum Reply {
+    /// Write the response frame and keep the connection.
+    Send(Message),
+    /// Write a deliberately truncated response frame, then close the
+    /// connection (the `torn` fault).
+    Torn(Message),
+    /// Close the connection without any response (the `disconnect`
+    /// fault).
+    Hangup,
+}
+
+/// The shared state of one daemon: cache, tunables, admission gauge,
+/// fault clock, drain flag and the crash-loop breaker. All methods take
+/// `&self`; one `Service` is shared by every worker thread.
+pub struct Service<'a> {
+    cache: &'a CompileCache,
+    opts: ServeOptions,
+    /// Compile requests currently being handled (the admission gauge).
+    inflight: AtomicUsize,
+    /// Admitted compile requests so far — the index the fault plan and
+    /// drills key on, deterministic in admission order.
+    admitted: AtomicU64,
+    draining: AtomicBool,
+    /// Handler-panic counts per module hash (FNV-1a over the request
+    /// body). A count reaching `breaker_k` quarantines the module.
+    breaker: Mutex<std::collections::BTreeMap<u64, u32>>,
+}
+
+impl<'a> Service<'a> {
+    /// A service over `cache` with the given tunables.
+    pub fn new(cache: &'a CompileCache, opts: ServeOptions) -> Service<'a> {
+        Service {
+            cache,
+            opts,
+            inflight: AtomicUsize::new(0),
+            admitted: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            breaker: Mutex::new(std::collections::BTreeMap::new()),
+        }
+    }
+
+    /// The tunables this service runs with.
+    pub fn options(&self) -> &ServeOptions {
+        &self.opts
+    }
+
+    /// Whether a `shutdown` has been requested (the accept loop stops
+    /// admitting new connections once this is set; in-flight work still
+    /// completes — drain, not abort).
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Serve one framed stream until EOF, a fatal frame defect, an
+    /// injected connection fault, or a `shutdown` request. Returns
+    /// `true` if shutdown was requested.
+    pub fn serve_conn(&self, r: &mut impl Read, w: &mut impl Write) -> io::Result<bool> {
+        loop {
+            match read_frame_lenient(r)? {
+                None => return Ok(false),
+                Some(Err(defect)) => {
+                    self.cache.stats_mut(|s| s.frame_defects += 1);
+                    write_frame(w, &error(&defect.describe()))?;
+                    if !defect.recoverable() {
+                        return Ok(false);
+                    }
+                }
+                Some(Ok(req)) => {
+                    let shutdown = req.verb == "shutdown";
+                    match self.respond(&req) {
+                        Reply::Send(resp) => {
+                            write_frame(w, &resp)?;
+                            if shutdown {
+                                return Ok(true);
+                            }
+                        }
+                        Reply::Torn(resp) => {
+                            write_torn(w, &resp)?;
+                            return Ok(false);
+                        }
+                        Reply::Hangup => return Ok(false),
+                    }
+                }
+            }
+        }
+    }
+
+    fn respond(&self, req: &Message) -> Reply {
+        if req.verb == "compile" {
+            return self.compile_reply(req);
+        }
+        self.cache.stats_mut(|s| s.requests += 1);
+        let resp = catch_unwind(AssertUnwindSafe(|| self.control(req))).unwrap_or_else(|_| {
+            self.cache.stats_mut(|s| s.handler_panics += 1);
+            error("internal panic while handling request (contained)").header("transient", 1)
+        });
+        Reply::Send(resp)
+    }
+
+    /// Control-plane verbs — never shed by admission control.
+    fn control(&self, req: &Message) -> Message {
+        match req.verb.as_str() {
+            "ping" => Message::new("ok").header("service", "uu-serve"),
+            "health" => Message::new("ok")
+                .header("service", "uu-serve")
+                .header("workers", self.opts.workers)
+                .header("inflight", self.inflight.load(Ordering::SeqCst))
+                .header("draining", u8::from(self.is_draining())),
+            "ready" => Message::new("ok").header("ready", u8::from(!self.is_draining())),
+            "stats" => Message::new("ok").with_body(self.cache.stats().to_json()),
+            "shutdown" => {
+                self.draining.store(true, Ordering::SeqCst);
+                Message::new("ok").header("service", "uu-serve").header("draining", 1)
+            }
+            other => error(&format!("unknown verb `{other}`")),
+        }
+    }
+
+    fn compile_reply(&self, req: &Message) -> Reply {
+        // Admission control: shed immediately when the in-flight gauge is
+        // at its cap — a saturated pool answering `busy` in microseconds
+        // beats a client waiting unboundedly for a worker.
+        let cap = self.opts.inflight.max(1);
+        let gauge = match Gauge::acquire(&self.inflight, cap) {
+            Ok(g) => g,
+            Err(inflight) => {
+                self.cache.stats_mut(|s| s.busy_shed += 1);
+                let excess = inflight.saturating_sub(cap) as u64;
+                let retry = (25 * (excess + 1)).min(500);
+                return Reply::Send(Message::new("busy").header("retry-after-ms", retry));
+            }
+        };
+        let idx = self.admitted.fetch_add(1, Ordering::SeqCst);
+        self.cache.stats_mut(|s| s.requests += 1);
+        let fault = self.opts.fault.as_ref().and_then(|p| p.at(idx));
+
+        match fault.map(|f| f.kind) {
+            // Stall while holding the in-flight slot: the overload drill
+            // that makes `busy` shedding reachable deterministically.
+            Some(ServeFaultKind::Slow) => {
+                let ms = fault.map(|f| f.seed).filter(|&s| s > 0).unwrap_or(100);
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            Some(ServeFaultKind::Disconnect) => {
+                drop(gauge);
+                return Reply::Hangup;
+            }
+            _ => {}
+        }
+
+        // Crash-loop circuit breaker: refuse modules that keep panicking
+        // instead of recompiling them forever.
+        let module_key = uu_ir::fnv1a(req.body.as_bytes());
+        if self.is_quarantined(module_key) {
+            drop(gauge);
+            self.cache.stats_mut(|s| s.quarantined_rejects += 1);
+            return Reply::Send(
+                error("module quarantined after repeated handler panics")
+                    .header("quarantined", 1),
+            );
+        }
+
+        let disk_full = matches!(fault.map(|f| f.kind), Some(ServeFaultKind::DiskFull));
+        if disk_full {
+            crate::cache::inject_store_fault(true);
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if matches!(fault.map(|f| f.kind), Some(ServeFaultKind::Panic)) {
+                panic!("injected service fault: panic@{idx}");
+            }
+            self.compile(req)
+        }));
+        if disk_full {
+            crate::cache::inject_store_fault(false);
+        }
+        drop(gauge);
+
+        match result {
+            Ok(resp) => {
+                if matches!(fault.map(|f| f.kind), Some(ServeFaultKind::Torn)) {
+                    Reply::Torn(resp)
+                } else {
+                    Reply::Send(resp)
+                }
+            }
+            Err(_) => {
+                self.note_panic(module_key);
+                Reply::Send(
+                    error("internal panic while handling request (contained)")
+                        .header("transient", 1),
+                )
+            }
+        }
+    }
+
+    fn is_quarantined(&self, module_key: u64) -> bool {
+        let k = self.opts.breaker_k.max(1);
+        self.lock_breaker().get(&module_key).is_some_and(|&c| c >= k)
+    }
+
+    fn note_panic(&self, module_key: u64) {
+        let k = self.opts.breaker_k.max(1);
+        let newly_quarantined = {
+            let mut b = self.lock_breaker();
+            let c = b.entry(module_key).or_insert(0);
+            *c += 1;
+            *c == k
+        };
+        self.cache.stats_mut(|s| {
+            s.handler_panics += 1;
+            if newly_quarantined {
+                s.quarantined_modules += 1;
+            }
+        });
+    }
+
+    fn lock_breaker(
+        &self,
+    ) -> std::sync::MutexGuard<'_, std::collections::BTreeMap<u64, u32>> {
+        // Poison recovery: a contained handler panic must not wedge the
+        // breaker for every surviving worker (counts are plain integers,
+        // never torn).
+        self.breaker.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn compile(&self, req: &Message) -> Message {
+        let Some(config) = req.get("config") else {
+            return error("missing `config` header");
+        };
+        let Some(transform) = parse_config(config) else {
+            return error(&format!(
+                "unknown config `{config}`; expected {}",
+                config_names()
+            ));
+        };
+        let fault = match req.get("fault") {
+            None | Some("") => None,
+            Some(spec) => match FaultPlan::parse(spec) {
+                Ok(p) => Some(p),
+                Err(e) => return error(&format!("malformed fault spec: {e}")),
+            },
+        };
+        let filter = match (req.get("filter-func"), req.get("filter-loop")) {
+            (None, None) => LoopFilter::All,
+            (Some(func), Some(l)) => match l.parse::<usize>() {
+                Ok(loop_id) => LoopFilter::Only {
+                    func: func.to_string(),
+                    loop_id,
+                },
+                Err(_) => return error(&format!("`filter-loop` is not a usize: {l:?}")),
+            },
+            _ => return error("`filter-func` and `filter-loop` must be given together"),
+        };
+        // Per-request deadline on the deterministic work clock: a request
+        // may tighten the service deadline, never widen it.
+        let timeout_ms = match req.get("timeout-ms") {
+            None => self.opts.timeout_ms,
+            Some(t) => match t.parse::<u64>() {
+                Ok(n) if n >= 1 => n.min(self.opts.timeout_ms),
+                _ => return error(&format!("`timeout-ms` is not a positive u64: {t:?}")),
+            },
+        };
+        let want_module = req.get("want-module") != Some("0");
+        let mut module = match uu_ir::parse_module(&req.body) {
+            Ok(m) => m,
+            Err(e) => return error(&format!("module does not parse: {e}")),
+        };
+        let opts = PipelineOptions {
+            transform,
+            filter,
+            timeout: Some(Duration::from_millis(timeout_ms)),
+            fault,
+            ..Default::default()
+        };
+        let key = CompileCache::compile_key(&module, &opts);
+        let out = self.cache.compile(&mut module, &opts, want_module);
+        if out.meta.timed_out && !out.hit {
+            self.cache.stats_mut(|s| s.deadline_hits += 1);
+        }
+        let mut resp = Message::new("ok")
+            .header("cached", if out.hit { "hit" } else { "miss" })
+            .header("key", key.hex())
+            .header("rung", out.meta.rung.as_str())
+            .header("work", out.meta.work)
+            .header("timed-out", u8::from(out.meta.timed_out))
+            .header("code-size", out.meta.code_size);
+        if !out.meta.diag.is_empty() {
+            // Lossless single-line escaping: remote clients reconstruct
+            // the diag byte-identically to a local compile's.
+            resp = resp.header("diag", crate::artifact::escape(&out.meta.diag));
+        }
+        if want_module {
+            resp = resp.with_body(module.to_string());
+        }
+        resp
+    }
+}
+
+/// RAII admission slot: acquired when the gauge is under `cap`,
+/// released on drop (including drop by panic unwind — a panicking
+/// handler must not leak its slot and strangle admission).
+struct Gauge<'a>(&'a AtomicUsize);
+
+impl<'a> Gauge<'a> {
+    fn acquire(gauge: &'a AtomicUsize, cap: usize) -> Result<Gauge<'a>, usize> {
+        let prev = gauge.fetch_add(1, Ordering::SeqCst);
+        if prev >= cap {
+            gauge.fetch_sub(1, Ordering::SeqCst);
+            Err(prev + 1)
+        } else {
+            Ok(Gauge(gauge))
+        }
+    }
+}
+
+impl Drop for Gauge<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 fn error(reason: &str) -> Message {
     Message::new("error").header("reason", reason.replace('\n', " "))
 }
 
-fn handle(req: &Message, cache: &CompileCache) -> Message {
-    match req.verb.as_str() {
-        "ping" => Message::new("ok").header("service", "uu-serve"),
-        "shutdown" => Message::new("ok").header("service", "uu-serve"),
-        "stats" => Message::new("ok").with_body(cache.stats().to_json()),
-        "compile" => compile(req, cache),
-        other => error(&format!("unknown verb `{other}`")),
-    }
+/// Write a deliberately truncated frame: the full length prefix but only
+/// half the payload — the `torn` fault's wire image. The reader sees an
+/// unexpected EOF mid-frame, which clients treat as transient I/O.
+fn write_torn(w: &mut impl Write, msg: &Message) -> io::Result<()> {
+    let payload = msg.encode();
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&payload.as_bytes()[..payload.len() / 2])?;
+    w.flush()
 }
 
-fn compile(req: &Message, cache: &CompileCache) -> Message {
-    let Some(config) = req.get("config") else {
-        return error("missing `config` header");
-    };
-    let Some(transform) = parse_config(config) else {
-        return error(&format!(
-            "unknown config `{config}`; expected {}",
-            config_names()
-        ));
-    };
-    let fault = match req.get("fault") {
-        None | Some("") => None,
-        Some(spec) => match FaultPlan::parse(spec) {
-            Ok(p) => Some(p),
-            Err(e) => return error(&format!("malformed fault spec: {e}")),
+/// Serve one framed stream until EOF or a `shutdown` request, with
+/// default tunables — the embedded/test entry point. Returns `true` if a
+/// shutdown was requested (callers owning a listener stop accepting).
+pub fn serve_stream(
+    r: &mut impl Read,
+    w: &mut impl Write,
+    cache: &CompileCache,
+) -> io::Result<bool> {
+    Service::new(cache, ServeOptions::default()).serve_conn(r, w)
+}
+
+/// Serve on a Unix socket at `path` (any stale socket file is replaced)
+/// until a client sends `shutdown`, with tunables from the environment —
+/// see [`serve_unix_with`].
+pub fn serve_unix(path: &Path, cache: &CompileCache) -> io::Result<()> {
+    serve_unix_with(path, cache, ServeOptions::from_env())
+}
+
+/// Serve on a Unix socket at `path` with explicit tunables: a crew of
+/// [`ServeOptions::workers`] threads handles connections concurrently
+/// off a shared queue while the calling thread accepts.
+///
+/// Shutdown is a graceful drain: the `shutdown` verb flips the drain
+/// flag, the accept loop stops admitting (it polls a nonblocking
+/// listener, so it notices within a few milliseconds), queued and
+/// in-flight connections finish, then the crew retires and the socket
+/// file is removed.
+///
+/// Accept errors are counted in [`CacheStats::accept_errors`] and
+/// retried with a short growing pause; [`ServeOptions::accept_retries`]
+/// *consecutive* failures mean the listener is wedged, and the daemon
+/// exits with the error (a clean nonzero exit) instead of spinning on a
+/// dead socket forever.
+///
+/// [`CacheStats::accept_errors`]: crate::stats::CacheStats::accept_errors
+pub fn serve_unix_with(path: &Path, cache: &CompileCache, opts: ServeOptions) -> io::Result<()> {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    let service = Service::new(cache, opts);
+    let queue: TaskQueue<UnixStream> = TaskQueue::new();
+    let result = run_crew(
+        service.options().workers,
+        &queue,
+        |mut conn: UnixStream| {
+            let done = match conn.try_clone() {
+                Ok(mut rd) => service.serve_conn(&mut rd, &mut conn),
+                Err(e) => Err(e),
+            };
+            if let Err(e) = done {
+                // A dropped client must not kill the daemon — but it must
+                // be visible in the stats, not only on stderr.
+                service.cache.stats_mut(|s| s.conn_errors += 1);
+                eprintln!("uu-serve: connection error (continuing): {e}");
+            }
         },
-    };
-    let want_module = req.get("want-module") != Some("0");
-    let mut module = match uu_ir::parse_module(&req.body) {
-        Ok(m) => m,
-        Err(e) => return error(&format!("module does not parse: {e}")),
-    };
-    let opts = PipelineOptions {
-        transform,
-        timeout: Some(SERVICE_COMPILE_TIMEOUT),
-        fault,
-        ..Default::default()
-    };
-    let key = CompileCache::compile_key(&module, &opts);
-    let out = cache.compile(&mut module, &opts, want_module);
-    let mut resp = Message::new("ok")
-        .header("cached", if out.hit { "hit" } else { "miss" })
-        .header("key", key.hex())
-        .header("rung", out.meta.rung.as_str())
-        .header("work", out.meta.work)
-        .header("timed-out", u8::from(out.meta.timed_out))
-        .header("code-size", out.meta.code_size);
-    if !out.meta.diag.is_empty() {
-        resp = resp.header("diag", out.meta.diag.replace('\n', "; "));
-    }
-    if want_module {
-        resp = resp.with_body(module.to_string());
-    }
-    resp
+        || {
+            let mut consecutive: u32 = 0;
+            loop {
+                if service.is_draining() {
+                    return Ok(());
+                }
+                match listener.accept() {
+                    Ok((conn, _)) => {
+                        consecutive = 0;
+                        // Accepted sockets can inherit the listener's
+                        // nonblocking flag on some platforms; workers
+                        // want blocking reads.
+                        let _ = conn.set_nonblocking(false);
+                        if queue.push(conn).is_err() {
+                            return Ok(()); // queue closed: drain underway
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(e) => {
+                        consecutive += 1;
+                        service.cache.stats_mut(|s| s.accept_errors += 1);
+                        eprintln!(
+                            "uu-serve: accept error ({consecutive} consecutive): {e}"
+                        );
+                        if consecutive >= service.options().accept_retries.max(1) {
+                            return Err(io::Error::new(
+                                e.kind(),
+                                format!(
+                                    "{consecutive} consecutive accept failures; giving up: {e}"
+                                ),
+                            ));
+                        }
+                        std::thread::sleep(Duration::from_millis(2u64 << consecutive.min(6)));
+                    }
+                }
+            }
+        },
+    );
+    let _ = std::fs::remove_file(path);
+    result
+}
+
+/// Serve a single session over stdin/stdout — the socketless transport
+/// for pipes and tests. Tunables (including `UU_SERVE_FAULT`) come from
+/// the environment.
+pub fn serve_stdio(cache: &CompileCache) -> io::Result<()> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    Service::new(cache, ServeOptions::from_env())
+        .serve_conn(&mut stdin.lock(), &mut stdout.lock())?;
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::ServeFault;
 
     const MODULE: &str = "\
 ; module t
@@ -185,16 +620,24 @@ bb6:
 }
 ";
 
-    fn roundtrip(cache: &CompileCache, req: &Message) -> Message {
-        handle(req, cache)
+    fn service(cache: &CompileCache) -> Service<'_> {
+        Service::new(cache, ServeOptions::default())
+    }
+
+    fn roundtrip(svc: &Service<'_>, req: &Message) -> Message {
+        match svc.respond(req) {
+            Reply::Send(m) => m,
+            Reply::Torn(_) | Reply::Hangup => panic!("unexpected connection fault"),
+        }
     }
 
     #[test]
     fn compile_twice_hits_the_cache_with_identical_output() {
         let cache = CompileCache::new_mem();
+        let svc = service(&cache);
         let req = Message::new("compile").header("config", "uu4").with_body(MODULE);
-        let a = roundtrip(&cache, &req);
-        let b = roundtrip(&cache, &req);
+        let a = roundtrip(&svc, &req);
+        let b = roundtrip(&svc, &req);
         assert_eq!(a.verb, "ok");
         assert_eq!(a.get("cached"), Some("miss"));
         assert_eq!(b.get("cached"), Some("hit"));
@@ -202,25 +645,30 @@ bb6:
         assert_eq!(a.body, b.body);
         assert_eq!(a.get("key"), b.get("key"));
         assert_ne!(a.body, MODULE); // uu4 actually transformed the kernel
+        assert_eq!(cache.stats().requests, 2);
     }
 
     #[test]
     fn faulted_request_reports_degraded_rung_and_service_survives() {
         let cache = CompileCache::new_mem();
+        let svc = service(&cache);
         let req = Message::new("compile")
             .header("config", "uu4")
             .header("fault", "panic@1")
             .with_body(MODULE);
-        let a = roundtrip(&cache, &req);
+        let a = roundtrip(&svc, &req);
         assert_eq!(a.verb, "ok", "faulted compile must be contained");
         assert_ne!(a.get("rung"), Some("full"));
         assert!(a.get("diag").is_some());
+        // A pipeline-contained fault is not a handler panic: the breaker
+        // must not charge the module for it.
+        assert_eq!(cache.stats().handler_panics, 0);
         // Service still answers afterwards.
-        let ping = roundtrip(&cache, &Message::new("ping"));
+        let ping = roundtrip(&svc, &Message::new("ping"));
         assert_eq!(ping.verb, "ok");
         // And the faulted artifact is keyed separately from the clean one.
         let clean = roundtrip(
-            &cache,
+            &svc,
             &Message::new("compile").header("config", "uu4").with_body(MODULE),
         );
         assert_eq!(clean.get("cached"), Some("miss"));
@@ -230,43 +678,295 @@ bb6:
     #[test]
     fn bad_requests_get_error_responses_not_crashes() {
         let cache = CompileCache::new_mem();
-        let no_config = roundtrip(&cache, &Message::new("compile").with_body(MODULE));
+        let svc = service(&cache);
+        let no_config = roundtrip(&svc, &Message::new("compile").with_body(MODULE));
         assert_eq!(no_config.verb, "error");
         let bad_config = roundtrip(
-            &cache,
+            &svc,
             &Message::new("compile").header("config", "warp9").with_body(MODULE),
         );
         assert_eq!(bad_config.verb, "error");
         let bad_module = roundtrip(
-            &cache,
+            &svc,
             &Message::new("compile")
                 .header("config", "uu4")
                 .with_body("fn @broken(i64 %n) -> i64 {\nbb0:\n  frobnicate\n}\n"),
         );
         assert_eq!(bad_module.verb, "error");
         let bad_fault = roundtrip(
-            &cache,
+            &svc,
             &Message::new("compile")
                 .header("config", "uu4")
                 .header("fault", "gremlin@?")
                 .with_body(MODULE),
         );
         assert_eq!(bad_fault.verb, "error");
-        let bad_verb = roundtrip(&cache, &Message::new("frobnicate"));
+        let bad_timeout = roundtrip(
+            &svc,
+            &Message::new("compile")
+                .header("config", "uu4")
+                .header("timeout-ms", "soon")
+                .with_body(MODULE),
+        );
+        assert_eq!(bad_timeout.verb, "error");
+        let half_filter = roundtrip(
+            &svc,
+            &Message::new("compile")
+                .header("config", "uu4")
+                .header("filter-func", "k")
+                .with_body(MODULE),
+        );
+        assert_eq!(half_filter.verb, "error");
+        let bad_verb = roundtrip(&svc, &Message::new("frobnicate"));
         assert_eq!(bad_verb.verb, "error");
     }
 
     #[test]
     fn stats_verb_returns_valid_versioned_json() {
         let cache = CompileCache::new_mem();
+        let svc = service(&cache);
         roundtrip(
-            &cache,
+            &svc,
             &Message::new("compile").header("config", "baseline").with_body(MODULE),
         );
-        let stats = roundtrip(&cache, &Message::new("stats"));
+        let stats = roundtrip(&svc, &Message::new("stats"));
         assert_eq!(stats.verb, "ok");
         uu_check::json::validate(&stats.body).expect("stats body is JSON");
         assert!(stats.body.contains("\"compile_misses\": 1"));
+        assert!(stats.body.contains("\"stats_version\": 2"));
+    }
+
+    #[test]
+    fn health_ready_and_shutdown_track_the_drain_flag() {
+        let cache = CompileCache::new_mem();
+        let svc = service(&cache);
+        let health = roundtrip(&svc, &Message::new("health"));
+        assert_eq!(health.verb, "ok");
+        assert_eq!(health.get("workers"), Some("4"));
+        assert_eq!(health.get("inflight"), Some("0"));
+        assert_eq!(health.get("draining"), Some("0"));
+        assert_eq!(roundtrip(&svc, &Message::new("ready")).get("ready"), Some("1"));
+        let bye = roundtrip(&svc, &Message::new("shutdown"));
+        assert_eq!(bye.verb, "ok");
+        assert!(svc.is_draining());
+        assert_eq!(roundtrip(&svc, &Message::new("ready")).get("ready"), Some("0"));
+        assert_eq!(
+            roundtrip(&svc, &Message::new("health")).get("draining"),
+            Some("1")
+        );
+    }
+
+    #[test]
+    fn filtered_compile_matches_the_equivalent_pipeline_options() {
+        // The remote backend's contract: config + filter headers must
+        // reproduce exactly the PipelineOptions the batch harness builds.
+        let cache = CompileCache::new_mem();
+        let svc = service(&cache);
+        let req = Message::new("compile")
+            .header("config", "unroll2")
+            .header("filter-func", "k")
+            .header("filter-loop", "0")
+            .with_body(MODULE);
+        let resp = roundtrip(&svc, &req);
+        assert_eq!(resp.verb, "ok");
+        let mut m = uu_ir::parse_module(MODULE).unwrap();
+        let opts = PipelineOptions {
+            transform: parse_config("unroll2").unwrap(),
+            filter: LoopFilter::Only { func: "k".into(), loop_id: 0 },
+            timeout: Some(SERVICE_COMPILE_TIMEOUT),
+            ..Default::default()
+        };
+        let local = uu_core::compile(&mut m, &opts);
+        assert_eq!(resp.get("rung"), Some(local.rung.as_str()));
+        assert_eq!(resp.get("work"), Some(local.work.to_string().as_str()));
+        assert_eq!(resp.body, m.to_string(), "remote and local modules must match");
+    }
+
+    #[test]
+    fn injected_handler_panic_is_contained_counted_and_transient() {
+        let cache = CompileCache::new_mem();
+        let opts = ServeOptions {
+            fault: Some(ServeFaultPlan { faults: vec![ServeFault {
+                kind: ServeFaultKind::Panic,
+                at: 0,
+                seed: 0,
+            }] }),
+            ..ServeOptions::default()
+        };
+        let svc = Service::new(&cache, opts);
+        let req = Message::new("compile").header("config", "uu2").with_body(MODULE);
+        let hit = roundtrip(&svc, &req);
+        assert_eq!(hit.verb, "error");
+        assert_eq!(hit.get("transient"), Some("1"));
+        assert_eq!(cache.stats().handler_panics, 1);
+        // The fault fired once, at index 0: the retry (index 1) succeeds,
+        // and the admission gauge was not leaked by the unwind.
+        let retry = roundtrip(&svc, &req);
+        assert_eq!(retry.verb, "ok");
+        assert_eq!(svc.inflight.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn breaker_quarantines_after_k_panics_and_only_that_module() {
+        let cache = CompileCache::new_mem();
+        let opts = ServeOptions {
+            breaker_k: 3,
+            fault: Some(ServeFaultPlan::parse("panic@0,panic@1,panic@2").unwrap()),
+            ..ServeOptions::default()
+        };
+        let svc = Service::new(&cache, opts);
+        let req = Message::new("compile").header("config", "uu2").with_body(MODULE);
+        for i in 0..3 {
+            let r = roundtrip(&svc, &req);
+            assert_eq!(r.verb, "error", "panic {i} must be contained");
+            assert_eq!(r.get("transient"), Some("1"));
+        }
+        // Third panic tripped the breaker: request 4 is refused without
+        // recompiling, marked quarantined (and NOT transient — retrying
+        // is pointless).
+        let refused = roundtrip(&svc, &req);
+        assert_eq!(refused.verb, "error");
+        assert_eq!(refused.get("quarantined"), Some("1"));
+        assert_eq!(refused.get("transient"), None);
+        let st = cache.stats();
+        assert_eq!(st.handler_panics, 3);
+        assert_eq!(st.quarantined_modules, 1);
+        assert_eq!(st.quarantined_rejects, 1);
+        // A different module is untouched by the quarantine.
+        let other = MODULE.replace("@k", "@other");
+        let ok = roundtrip(
+            &svc,
+            &Message::new("compile").header("config", "uu2").with_body(other),
+        );
+        assert_eq!(ok.verb, "ok");
+    }
+
+    #[test]
+    fn admission_control_sheds_with_busy_and_retry_hint() {
+        let cache = CompileCache::new_mem();
+        let opts = ServeOptions { inflight: 1, ..ServeOptions::default() };
+        let svc = Service::new(&cache, opts);
+        // Occupy the only slot by hand, then probe.
+        let _slot = Gauge::acquire(&svc.inflight, 1).unwrap();
+        let req = Message::new("compile").header("config", "uu2").with_body(MODULE);
+        let shed = roundtrip(&svc, &req);
+        assert_eq!(shed.verb, "busy");
+        let retry_ms: u64 = shed.get("retry-after-ms").unwrap().parse().unwrap();
+        assert!((1..=500).contains(&retry_ms));
+        assert_eq!(cache.stats().busy_shed, 1);
+        // Control verbs are never shed.
+        assert_eq!(roundtrip(&svc, &Message::new("ping")).verb, "ok");
+        drop(_slot);
+        assert_eq!(roundtrip(&svc, &req).verb, "ok");
+    }
+
+    #[test]
+    fn slow_fault_holds_the_inflight_slot_for_its_seed_ms() {
+        let cache = CompileCache::new_mem();
+        let opts = ServeOptions {
+            fault: Some(ServeFaultPlan::parse("slow@0:80").unwrap()),
+            ..ServeOptions::default()
+        };
+        let svc = Service::new(&cache, opts);
+        let req = Message::new("compile").header("config", "baseline").with_body(MODULE);
+        let t0 = std::time::Instant::now();
+        let r = roundtrip(&svc, &req);
+        assert_eq!(r.verb, "ok");
+        assert!(t0.elapsed() >= Duration::from_millis(80), "slow fault must stall");
+    }
+
+    #[test]
+    fn disk_full_fault_degrades_store_and_is_counted() {
+        let dir = std::env::temp_dir().join(format!("uu-serve-enospc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = CompileCache::at_dir(&dir).unwrap();
+        let opts = ServeOptions {
+            fault: Some(ServeFaultPlan::parse("disk-full@0").unwrap()),
+            ..ServeOptions::default()
+        };
+        let svc = Service::new(&cache, opts);
+        let req = Message::new("compile").header("config", "uu2").with_body(MODULE);
+        let r = roundtrip(&svc, &req);
+        assert_eq!(r.verb, "ok", "a failed store must not fail the request");
+        assert_eq!(r.get("cached"), Some("miss"));
+        assert_eq!(cache.stats().store_errors, 1);
+        // Request 1 (fault spent): compiles arrive from memory; a fresh
+        // cache over the same dir sees nothing on disk for this key but
+        // the service kept working throughout.
+        let again = roundtrip(&svc, &req);
+        assert_eq!(again.verb, "ok");
+        assert_eq!(again.get("cached"), Some("hit"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_and_disconnect_faults_sever_the_connection_not_the_daemon() {
+        use std::os::unix::net::UnixStream;
+        let cache = CompileCache::new_mem();
+        let opts = ServeOptions {
+            fault: Some(ServeFaultPlan::parse("torn@0,disconnect@1").unwrap()),
+            ..ServeOptions::default()
+        };
+        let svc = Service::new(&cache, opts);
+        let req = Message::new("compile").header("config", "baseline").with_body(MODULE);
+        // Torn: the client sees a frame that dies mid-payload.
+        {
+            let (mut client, mut server) = UnixStream::pair().unwrap();
+            let svc = &svc;
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    let mut rd = server.try_clone().unwrap();
+                    let done = svc.serve_conn(&mut rd, &mut server).unwrap();
+                    assert!(!done);
+                });
+                let e = crate::client::request_over(&mut client, &req).unwrap_err();
+                assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
+            });
+        }
+        // Disconnect: the client sees EOF with no bytes at all.
+        {
+            let (mut client, mut server) = UnixStream::pair().unwrap();
+            let svc = &svc;
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    let mut rd = server.try_clone().unwrap();
+                    svc.serve_conn(&mut rd, &mut server).unwrap();
+                });
+                let e = crate::client::request_over(&mut client, &req).unwrap_err();
+                assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
+            });
+        }
+        // Both faults are spent: a third identical request succeeds.
+        let ok = roundtrip(&svc, &req);
+        assert_eq!(ok.verb, "ok");
+    }
+
+    #[test]
+    fn damaged_frames_get_structured_errors_and_the_connection_survives() {
+        use std::os::unix::net::UnixStream;
+        let cache = CompileCache::new_mem();
+        let svc = service(&cache);
+        let (mut client, mut server) = UnixStream::pair().unwrap();
+        let svc_ref = &svc;
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let mut rd = server.try_clone().unwrap();
+                svc_ref.serve_conn(&mut rd, &mut server).unwrap();
+            });
+            // A malformed payload first...
+            let garbage = b"not a message";
+            client
+                .write_all(&(garbage.len() as u32).to_le_bytes())
+                .unwrap();
+            client.write_all(garbage).unwrap();
+            let resp = crate::proto::read_frame(&mut client).unwrap().unwrap();
+            assert_eq!(resp.verb, "error");
+            // ...then a well-formed request on the SAME connection.
+            let pong = crate::client::request_over(&mut client, &Message::new("ping")).unwrap();
+            assert_eq!(pong.verb, "ok");
+            drop(client);
+        });
+        assert_eq!(cache.stats().frame_defects, 1);
     }
 
     #[test]
@@ -289,5 +989,46 @@ bb6:
         let bye = crate::client::request_over(&mut client, &Message::new("shutdown")).unwrap();
         assert_eq!(bye.verb, "ok");
         assert!(handle.join().unwrap(), "shutdown must end the session");
+    }
+
+    #[test]
+    fn concurrent_daemon_drains_on_shutdown_with_zero_lost_responses() {
+        let dir = std::env::temp_dir().join(format!("uu-serve-drain-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join("drain.sock");
+        let cache = CompileCache::new_mem();
+        let opts = ServeOptions { workers: 2, inflight: 2, ..ServeOptions::default() };
+        std::thread::scope(|s| {
+            let sock_ref = &sock;
+            let cache_ref = &cache;
+            let daemon = s.spawn(move || serve_unix_with(sock_ref, cache_ref, opts));
+            // Several concurrent clients, one request each.
+            let patience = Duration::from_secs(10);
+            let mut clients = Vec::new();
+            for i in 0..6 {
+                let sock = &sock;
+                clients.push(s.spawn(move || {
+                    let mut conn = crate::client::connect_unix(sock, patience).unwrap();
+                    let req = Message::new("compile")
+                        .header("config", if i % 2 == 0 { "uu2" } else { "unroll2" })
+                        .with_body(MODULE);
+                    crate::client::request_over(&mut conn, &req).unwrap()
+                }));
+            }
+            for c in clients {
+                let resp = c.join().unwrap();
+                assert_eq!(resp.verb, "ok", "no response may be lost");
+            }
+            // Drain: shutdown acks, daemon exits cleanly.
+            let mut conn = crate::client::connect_unix(&sock, patience).unwrap();
+            let bye =
+                crate::client::request_over(&mut conn, &Message::new("shutdown")).unwrap();
+            assert_eq!(bye.verb, "ok");
+            daemon.join().unwrap().unwrap();
+        });
+        assert!(!sock.exists(), "socket file must be removed after drain");
+        assert_eq!(cache.stats().requests, 7); // 6 compiles + 1 shutdown
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
