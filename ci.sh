@@ -90,10 +90,15 @@ echo "meld smoke: golden + study + faulted study identical across UU_JOBS"
 echo "== engine identity: checked-in results-fast/ must reproduce byte-identically =="
 # The decoded execution engine must not change a single reported byte
 # relative to the committed reports (the cycle model is engine-invariant).
+# The sweep launches every kernel config many times, so after the first
+# launch of each function this rung runs almost entirely on the
+# cross-launch decode cache — the byte-identical diff is also the
+# cached-decode identity gate (a stale or mis-keyed cache entry would
+# surface here as a report diff).
 rm -rf target/ci/results-fast
 ./target/release/uu-harness all --fast --out target/ci/results-fast > /dev/null
 diff -r results-fast target/ci/results-fast
-echo "results-fast reproduces byte-identically"
+echo "results-fast (cached-decode sweep) reproduces byte-identically"
 
 echo "== serve smoke: daemon round-trip, cache hit, fault containment, cached-sweep identity =="
 # Start the compile-service daemon on a Unix socket with a disk cache,
@@ -249,6 +254,18 @@ echo "== simulator throughput bench smoke + BENCH_sim.json well-formedness =="
 UU_BENCH_SAMPLES=3 UU_BENCH_WARMUP_MS=20 UU_BENCH_DIR="$PWD/target/ci/uu-bench" \
   cargo bench -q --offline -p uu-bench --bench sim > /dev/null
 ./target/release/uu-jsonck target/ci/uu-bench/BENCH_sim.json
+# The same bench loop under the verify-uniform oracle (reference engine
+# cross-checking every scalarization decision) on a two-app slice — the
+# full suite under the oracle is too slow for a smoke rung. Filtered
+# runs skip the suite-total/fast-sweep aggregates (see sim.rs), so this
+# JSON can never be mistaken for a trajectory row.
+UU_SIMT_ENGINE=verify-uniform UU_BENCH_APPS=bezier-surface,quicksort \
+  UU_BENCH_SAMPLES=3 UU_BENCH_WARMUP_MS=20 \
+  UU_BENCH_DIR="$PWD/target/ci/uu-bench-vu" \
+  cargo bench -q --offline -p uu-bench --bench sim > /dev/null
+./target/release/uu-jsonck target/ci/uu-bench-vu/BENCH_sim.json
+# The committed trajectory artifact at the repo root must stay parseable.
+./target/release/uu-jsonck BENCH_sim.json
 
 echo "== compile throughput bench smoke + BENCH_compile.json well-formedness =="
 # One app keeps the smoke fast; the committed full-matrix trajectory in

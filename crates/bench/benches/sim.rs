@@ -12,6 +12,10 @@
 //! The engine under test follows `UU_SIMT_ENGINE` (see
 //! `uu_simt::ExecEngine`), so a reference-interpreter baseline is
 //! `UU_SIMT_ENGINE=reference cargo bench -p uu-bench --bench sim`.
+//! `UU_BENCH_APPS=a,b` restricts the run to the named applications
+//! (ci.sh's verify-uniform smoke uses a two-app slice to stay fast), and
+//! the suite-total/fast-sweep aggregates are skipped for partial runs so
+//! a filtered report is never mistaken for a suite trajectory row.
 
 use uu_check::bench::{BenchResult, Harness};
 use uu_kernels::all_benchmarks;
@@ -19,10 +23,15 @@ use uu_simt::Gpu;
 
 fn main() {
     let mut h = Harness::new("BENCH_sim");
+    let filter = std::env::var("UU_BENCH_APPS").unwrap_or_default();
+    let benches: Vec<uu_kernels::Benchmark> = all_benchmarks()
+        .into_iter()
+        .filter(|b| filter.is_empty() || filter.split(',').any(|f| f == b.info.name))
+        .collect();
 
     let mut total_units = 0u64;
     let mut total_median_ns = 0.0f64;
-    for b in all_benchmarks() {
+    for b in &benches {
         let m = (b.build)();
         // Probe run: learn the workload's dynamic warp-instruction count
         // (deterministic, so it holds for every timed iteration).
@@ -38,24 +47,27 @@ fn main() {
         total_units += units;
         total_median_ns += r.median_ns();
     }
-    // Suite aggregate: one synthetic sample whose throughput is
-    // total-warp-insts over the sum of per-kernel median runtimes.
-    h.push_result(BenchResult {
-        name: "sim/suite-total".into(),
-        iters_per_sample: 1,
-        samples_ns: vec![total_median_ns],
-        units_per_iter: total_units,
-    });
+    if filter.is_empty() {
+        // Suite aggregate: one synthetic sample whose throughput is
+        // total-warp-insts over the sum of per-kernel median runtimes.
+        h.push_result(BenchResult {
+            name: "sim/suite-total".into(),
+            iters_per_sample: 1,
+            samples_ns: vec![total_median_ns],
+            units_per_iter: total_units,
+        });
 
-    // End-to-end fast-sweep wall time, one-application slice (the full 16-
-    // application `uu-harness all --fast` is minutes, not a bench iteration).
-    let bezier: Vec<uu_kernels::Benchmark> = all_benchmarks()
-        .into_iter()
-        .filter(|b| b.info.name == "bezier-surface")
-        .collect();
-    h.bench("sweep/fast/bezier-surface", || {
-        uu_harness::run_sweep(&bezier, true)
-    });
+        // End-to-end fast-sweep wall time, one-application slice (the full
+        // 16-application `uu-harness all --fast` is minutes, not a bench
+        // iteration).
+        let bezier: Vec<uu_kernels::Benchmark> = all_benchmarks()
+            .into_iter()
+            .filter(|b| b.info.name == "bezier-surface")
+            .collect();
+        h.bench("sweep/fast/bezier-surface", || {
+            uu_harness::run_sweep(&bezier, true)
+        });
+    }
 
     h.finish();
 }

@@ -28,6 +28,26 @@
 //! per-warp state lives in a [`Scratch`] that is reused across warps
 //! without reallocation.
 //!
+//! On top of the per-instruction lowering, decode builds **superblocks**:
+//! an unconditional branch to a single-predecessor, phi-free block is
+//! rewritten into a fall-through ([`DOp::Fall`]), so a straight-line chain
+//! of blocks becomes one contiguous `DInst` stream executed without
+//! bouncing through the dispatch loop. This is sound because such a
+//! target can never be a reconvergence point: a frame's reconvergence
+//! block is the *immediate* post-dominator of a divergent branch, and if
+//! it had a single predecessor that predecessor would be a closer
+//! post-dominator. Every chain member's stream is a suffix of its head's
+//! stream, so entering mid-chain (from a branch or reconvergence) stays
+//! well-defined. Within a stream, maximal runs of pure vector-register
+//! instructions are dispatched as a unit — step-budget and metrics
+//! bookkeeping amortize over the run — and every vector instruction is
+//! evaluated warp-at-a-time by `eval_warp`, which hoists the opcode and
+//! operand dispatch out of the lane loop: one [`Operand`] resolution per
+//! operand per instruction (`Src`), then a tight ascending-lane loop of
+//! loads, arithmetic, and stores.
+//!
+//! Decoding itself is cached across launches — see [`crate::cache`].
+//!
 //! The engine is observationally identical to the reference interpreter:
 //! same results, same [`Metrics`], same issue cycles, same memory access
 //! order (uniform loads/stores still perform one checked access per active
@@ -40,10 +60,9 @@
 //! host speed.
 
 use crate::exec::{classify, issue_cost, ExecError, WarpGeometry};
-use crate::memory::GlobalMemory;
+use crate::memory::{GlobalMemory, SectorSet};
 use crate::metrics::{InstClass, Metrics};
 use crate::params::GpuParams;
-use std::collections::HashSet;
 use uu_analysis::{PostDomTree, Uniformity};
 use uu_ir::{
     BinOp, CastOp, Constant, FCmpPred, Function, ICmpPred, InstId, InstKind, Intrinsic, Type,
@@ -66,9 +85,10 @@ const TAG_F64: u8 = 5;
 
 /// Encode a [`Constant`] as (tag, payload). Integers are stored
 /// sign-extended to `i64` (matching `Constant::as_i64`), floats as their
-/// raw bits, so the typed readers below are single moves.
+/// raw bits, so the typed readers below are single moves. Also used by
+/// the decode cache to fingerprint constants.
 #[inline]
-fn encode(c: Constant) -> (u8, u64) {
+pub(crate) fn encode(c: Constant) -> (u8, u64) {
     match c {
         Constant::I1(b) => (TAG_I1, b as u64),
         Constant::I32(v) => (TAG_I32, v as i64 as u64),
@@ -89,6 +109,33 @@ fn decode_const(tag: u8, bits: u64) -> Constant {
         TAG_F32 => Constant::F32Bits(bits as u32),
         TAG_F64 => Constant::F64Bits(bits),
         _ => unreachable!("read of an undefined register is rejected earlier"),
+    }
+}
+
+/// Decode `width` raw little-endian bytes at `win[off..]` into the tagged
+/// word a load of type `ty` produces. Mirrors
+/// `GlobalMemory::read_scalar` + [`encode`] exactly.
+#[inline]
+fn decode_mem(ty: Type, win: &[u8], off: usize) -> (u8, u64) {
+    match ty {
+        Type::I1 => (TAG_I1, (win[off] != 0) as u64),
+        Type::I32 => (
+            TAG_I32,
+            i32::from_le_bytes(win[off..off + 4].try_into().unwrap()) as i64 as u64,
+        ),
+        Type::I64 | Type::Ptr => (
+            TAG_I64,
+            u64::from_le_bytes(win[off..off + 8].try_into().unwrap()),
+        ),
+        Type::F32 => (
+            TAG_F32,
+            u32::from_le_bytes(win[off..off + 4].try_into().unwrap()) as u64,
+        ),
+        Type::F64 => (
+            TAG_F64,
+            u64::from_le_bytes(win[off..off + 8].try_into().unwrap()),
+        ),
+        Type::Void => unreachable!("void loads are rejected by the verifier"),
     }
 }
 
@@ -130,6 +177,308 @@ fn t_int_bits(tag: u8) -> Option<u32> {
         TAG_I32 => Some(32),
         TAG_I64 => Some(64),
         _ => None,
+    }
+}
+
+// Scalar evaluation cores, shared by the once-per-warp scalar path
+// (`eval_pure`) and the warp-at-a-time vector path (`eval_warp`). Each
+// takes operands already read (so read-error order is the caller's
+// responsibility) and transliterates the corresponding `uu_ir::fold`
+// rule exactly; `bad` supplies the conversion-failure error.
+
+/// `fold_bin` on tagged words.
+#[inline(always)]
+fn bin_one(
+    op: BinOp,
+    ltag: u8,
+    lbits: u64,
+    rtag: u8,
+    rbits: u64,
+    bad: impl Fn() -> ExecError,
+) -> Result<(u8, u64), ExecError> {
+    if op.is_float() {
+        let x = t_as_f64(ltag, lbits).ok_or_else(&bad)?;
+        let y = t_as_f64(rtag, rbits).ok_or_else(&bad)?;
+        let r = match op {
+            BinOp::FAdd => x + y,
+            BinOp::FSub => x - y,
+            BinOp::FMul => x * y,
+            BinOp::FDiv => x / y,
+            _ => unreachable!(),
+        };
+        // fold_bin picks the result width from the lhs type.
+        return Ok(if ltag == TAG_F32 {
+            (TAG_F32, (r as f32).to_bits() as u64)
+        } else {
+            (TAG_F64, r.to_bits())
+        });
+    }
+    let x = t_as_i64(ltag, lbits).ok_or_else(&bad)?;
+    let y = t_as_i64(rtag, rbits).ok_or_else(&bad)?;
+    let bits = t_int_bits(ltag).unwrap_or(64);
+    let umask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let ua = (x as u64) & umask;
+    let ub = (y as u64) & umask;
+    let shamt = (ub % bits as u64) as u32;
+    let r = match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::SDiv => {
+            if y == 0 {
+                0
+            } else {
+                x.wrapping_div(y)
+            }
+        }
+        BinOp::UDiv => {
+            if ub == 0 {
+                0
+            } else {
+                (ua / ub) as i64
+            }
+        }
+        BinOp::SRem => {
+            if y == 0 {
+                0
+            } else {
+                x.wrapping_rem(y)
+            }
+        }
+        BinOp::URem => {
+            if ub == 0 {
+                0
+            } else {
+                (ua % ub) as i64
+            }
+        }
+        BinOp::Shl => ((ua << shamt) & umask) as i64,
+        BinOp::LShr => (ua >> shamt) as i64,
+        BinOp::AShr => match ltag {
+            TAG_I32 => ((x as i32) >> shamt) as i64,
+            _ => x >> shamt,
+        },
+        BinOp::And => x & y,
+        BinOp::Or => x | y,
+        BinOp::Xor => x ^ y,
+        _ => unreachable!(),
+    };
+    // fold_bin's `wrap`: truncate to the lhs width, stored sign-extended
+    // (the Constant encoding).
+    Ok(match ltag {
+        TAG_I1 => (TAG_I1, (r & 1 != 0) as u64),
+        TAG_I32 => (TAG_I32, r as i32 as i64 as u64),
+        _ => (TAG_I64, r as u64),
+    })
+}
+
+/// `fold_icmp` on tagged words.
+#[inline(always)]
+fn icmp_one(
+    pred: ICmpPred,
+    ltag: u8,
+    lbits: u64,
+    rtag: u8,
+    rbits: u64,
+    bad: impl Fn() -> ExecError,
+) -> Result<(u8, u64), ExecError> {
+    let x = t_as_i64(ltag, lbits).ok_or_else(&bad)?;
+    let y = t_as_i64(rtag, rbits).ok_or_else(&bad)?;
+    let bits = t_int_bits(ltag).unwrap_or(64);
+    let umask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let ua = (x as u64) & umask;
+    let ub = (y as u64) & umask;
+    let r = match pred {
+        ICmpPred::Eq => x == y,
+        ICmpPred::Ne => x != y,
+        ICmpPred::Slt => x < y,
+        ICmpPred::Sle => x <= y,
+        ICmpPred::Sgt => x > y,
+        ICmpPred::Sge => x >= y,
+        ICmpPred::Ult => ua < ub,
+        ICmpPred::Ule => ua <= ub,
+        ICmpPred::Ugt => ua > ub,
+        ICmpPred::Uge => ua >= ub,
+    };
+    Ok((TAG_I1, r as u64))
+}
+
+/// `fold_fcmp` on tagged words.
+#[inline(always)]
+fn fcmp_one(
+    pred: FCmpPred,
+    ltag: u8,
+    lbits: u64,
+    rtag: u8,
+    rbits: u64,
+    bad: impl Fn() -> ExecError,
+) -> Result<(u8, u64), ExecError> {
+    let x = t_as_f64(ltag, lbits).ok_or_else(&bad)?;
+    let y = t_as_f64(rtag, rbits).ok_or_else(&bad)?;
+    let r = match pred {
+        FCmpPred::Oeq => x == y,
+        FCmpPred::Une => x != y || x.is_nan() || y.is_nan(),
+        FCmpPred::Olt => x < y,
+        FCmpPred::Ole => x <= y,
+        FCmpPred::Ogt => x > y,
+        FCmpPred::Oge => x >= y,
+    };
+    Ok((TAG_I1, r as u64))
+}
+
+/// `fold_cast` on tagged words; `ty` is the cast target type.
+#[inline(always)]
+fn cast_one(
+    op: CastOp,
+    ty: Type,
+    vtag: u8,
+    vbits: u64,
+    bad: impl Fn() -> ExecError,
+) -> Result<(u8, u64), ExecError> {
+    match op {
+        CastOp::Sext => {
+            let x = t_as_i64(vtag, vbits).ok_or_else(&bad)?;
+            // LLVM sext i1 true == -1 (as_i64 gives +1).
+            let x = if vtag == TAG_I1 && x == 1 { -1 } else { x };
+            Ok(match ty {
+                Type::I32 => (TAG_I32, x as i32 as i64 as u64),
+                _ => (TAG_I64, x as u64),
+            })
+        }
+        CastOp::Zext => {
+            let x = t_as_i64(vtag, vbits).ok_or_else(&bad)?;
+            let bits = t_int_bits(vtag).ok_or_else(&bad)?;
+            let umask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            let x = ((x as u64) & umask) as i64;
+            Ok(match ty {
+                Type::I32 => (TAG_I32, x as i32 as i64 as u64),
+                _ => (TAG_I64, x as u64),
+            })
+        }
+        CastOp::Trunc => {
+            let x = t_as_i64(vtag, vbits).ok_or_else(&bad)?;
+            Ok(match ty {
+                Type::I1 => (TAG_I1, (x & 1 != 0) as u64),
+                Type::I32 => (TAG_I32, x as i32 as i64 as u64),
+                _ => (TAG_I64, x as u64),
+            })
+        }
+        CastOp::SiToFp => {
+            let x = t_as_i64(vtag, vbits).ok_or_else(&bad)?;
+            Ok(match ty {
+                Type::F32 => (TAG_F32, (x as f32).to_bits() as u64),
+                _ => (TAG_F64, (x as f64).to_bits()),
+            })
+        }
+        CastOp::FpToSi => {
+            let x = t_as_f64(vtag, vbits).ok_or_else(&bad)?;
+            let x = if x.is_nan() { 0.0 } else { x };
+            Ok(match ty {
+                Type::I32 => (TAG_I32, x as i32 as i64 as u64),
+                _ => (TAG_I64, (x as i64) as u64),
+            })
+        }
+        CastOp::FpCast => {
+            let x = t_as_f64(vtag, vbits).ok_or_else(&bad)?;
+            Ok(match ty {
+                Type::F32 => (TAG_F32, (x as f32).to_bits() as u64),
+                _ => (TAG_F64, x.to_bits()),
+            })
+        }
+        CastOp::IntToPtr | CastOp::PtrToInt => {
+            let x = t_as_i64(vtag, vbits).ok_or_else(&bad)?;
+            Ok((TAG_I64, x as u64))
+        }
+    }
+}
+
+/// `fold_intrinsic` (the foldable math subset) on tagged words; `ty` is
+/// the result type, `vals[..n]` the already-read arguments.
+#[inline(always)]
+fn math_one(
+    which: Intrinsic,
+    vals: [(u8, u64); 2],
+    n: usize,
+    ty: Type,
+    bad: impl Fn() -> ExecError,
+) -> Result<(u8, u64), ExecError> {
+    // fold_intrinsic picks the result width from the instruction type.
+    let fout = |v: f64| -> (u8, u64) {
+        if ty == Type::F32 {
+            (TAG_F32, (v as f32).to_bits() as u64)
+        } else {
+            (TAG_F64, v.to_bits())
+        }
+    };
+    let farg = |k: usize| -> Option<f64> {
+        if k < n {
+            t_as_f64(vals[k].0, vals[k].1)
+        } else {
+            None
+        }
+    };
+    let iarg = |k: usize| -> Option<i64> {
+        if k < n {
+            t_as_i64(vals[k].0, vals[k].1)
+        } else {
+            None
+        }
+    };
+    match which {
+        Intrinsic::Sqrt => Ok(fout(farg(0).ok_or_else(&bad)?.sqrt())),
+        Intrinsic::Fabs => Ok(fout(farg(0).ok_or_else(&bad)?.abs())),
+        Intrinsic::Exp => Ok(fout(farg(0).ok_or_else(&bad)?.exp())),
+        Intrinsic::Log => Ok(fout(farg(0).ok_or_else(&bad)?.ln())),
+        Intrinsic::Sin => Ok(fout(farg(0).ok_or_else(&bad)?.sin())),
+        Intrinsic::Cos => Ok(fout(farg(0).ok_or_else(&bad)?.cos())),
+        Intrinsic::FMin => Ok(fout(farg(0).ok_or_else(&bad)?.min(farg(1).ok_or_else(&bad)?))),
+        Intrinsic::FMax => Ok(fout(farg(0).ok_or_else(&bad)?.max(farg(1).ok_or_else(&bad)?))),
+        Intrinsic::SMin | Intrinsic::SMax => {
+            let a = iarg(0).ok_or_else(&bad)?;
+            let b = iarg(1).ok_or_else(&bad)?;
+            let r = if which == Intrinsic::SMin { a.min(b) } else { a.max(b) };
+            Ok(match ty {
+                Type::I32 => (TAG_I32, r as i32 as i64 as u64),
+                _ => (TAG_I64, r as u64),
+            })
+        }
+        // Context-dependent intrinsics never fold.
+        _ => Err(bad()),
+    }
+}
+
+/// One operand of a vector instruction, resolved once per warp by
+/// [`DecodedKernel::eval_warp`] so the per-lane loop does no `Operand`
+/// dispatch: reading a lane is one (perfectly predicted) variant match
+/// and at most two loads.
+#[derive(Clone, Copy)]
+enum Src {
+    /// Lane-invariant value: a constant or an already-read (defined)
+    /// scalar register.
+    Splat(u8, u64),
+    /// Vector register row base pointers `(tags, bits)`, indexed by lane.
+    Row(*const u8, *const u64),
+    /// Reading this operand fails on every lane (undefined scalar
+    /// register, missing argument, unlinked value). Reported as
+    /// `TAG_UNDEF`; the caller reconstructs the exact error via
+    /// [`DecodedKernel::read`].
+    Bad,
+}
+
+impl Src {
+    /// Read the operand for `lane`. A `TAG_UNDEF` tag means the read
+    /// failed (undefined register lane or `Src::Bad`).
+    ///
+    /// # Safety
+    /// For `Row`, `lane` must be below the warp size the register rows
+    /// were sized for (mask bits never exceed it).
+    #[inline(always)]
+    unsafe fn get(self, lane: usize) -> (u8, u64) {
+        match self {
+            Src::Splat(t, b) => (t, b),
+            Src::Row(t, b) => (*t.add(lane), *b.add(lane)),
+            Src::Bad => (TAG_UNDEF, 0),
+        }
     }
 }
 
@@ -187,11 +536,27 @@ enum DOp {
     Load(Operand, u64),
     /// Store of (ptr, value, width).
     Store(Operand, Operand, u64),
-    /// Unconditional branch to a block arena index.
-    Br(u32),
-    /// Conditional branch `(cond, if_true, if_false)`; the flag records
-    /// whether the condition is warp-uniform (no lane split possible).
-    CondBr(Operand, u32, u32, bool),
+    /// Unconditional branch `(target, owner)`; `owner` is the arena index
+    /// of the block the branch belongs to (needed for phi `prev` tracking
+    /// once blocks share a superblock stream).
+    Br(u32, u32),
+    /// A `Br` whose target was fused into this stream: the successor's
+    /// instructions follow immediately, so execution falls through after
+    /// updating `prev` to the owner block. Costs exactly what the `Br` it
+    /// replaces cost (class/cost are carried by the surrounding `DInst`).
+    Fall(u32),
+    /// Conditional branch; `uniform` records whether the condition is
+    /// warp-uniform (no lane split possible), `owner` the containing
+    /// block's arena index, and `reconv` that block's immediate
+    /// post-dominator (the reconvergence point on divergence).
+    CondBr {
+        cond: Operand,
+        if_true: u32,
+        if_false: u32,
+        uniform: bool,
+        owner: u32,
+        reconv: u32,
+    },
     /// Return (lane retirement).
     Ret,
 }
@@ -211,6 +576,12 @@ struct DInst {
     /// Originating instruction, for error reporting parity with the
     /// reference interpreter.
     id: InstId,
+    /// Length of the maximal run of pure vector-destination instructions
+    /// starting here (0 if this instruction does not start one). Runs are
+    /// dispatched as a unit (one budget check, batched metrics); they
+    /// never span a terminator, so they never cross block or stream
+    /// boundaries.
+    run: u32,
 }
 
 /// One decoded phi.
@@ -234,8 +605,13 @@ struct DBlock {
     /// Block arena index → predecessor position, `NO_BLOCK` if the block is
     /// not a predecessor.
     pred_pos: Vec<u32>,
-    /// Non-phi instructions including the terminator.
-    insts: Vec<DInst>,
+    /// Start of this block's instruction stream in [`DecodedKernel::code`].
+    /// The stream covers the block's own non-phi instructions plus any
+    /// fused straight-line successors (a chain member's stream is a suffix
+    /// of its head's stream).
+    code: u32,
+    /// Stream length in instructions.
+    code_len: u32,
     /// Immediate post-dominator (reconvergence point of a divergent branch
     /// in this block), `NO_BLOCK` if none.
     ipdom: u32,
@@ -246,6 +622,9 @@ struct DBlock {
 #[derive(Debug, Clone)]
 pub struct DecodedKernel {
     blocks: Vec<DBlock>,
+    /// All instruction streams, concatenated; blocks index into this via
+    /// `code`/`code_len`.
+    code: Vec<DInst>,
     entry: u32,
     num_sregs: u32,
     num_vregs: u32,
@@ -318,6 +697,28 @@ impl DecodedKernel {
     /// the reconvergence points. Both are computed from the same `f` by the
     /// caller (the launch path).
     pub fn decode(f: &Function, pdom: &PostDomTree, uni: &Uniformity, args: &[Constant]) -> Self {
+        Self::decode_inner(f, pdom, uni, args, true)
+    }
+
+    /// [`DecodedKernel::decode`] with superblock fusion disabled: every
+    /// block keeps its own stream and every `Br` stays a dispatch. Used by
+    /// the differential tests to pin fused execution against unfused.
+    pub fn decode_unfused(
+        f: &Function,
+        pdom: &PostDomTree,
+        uni: &Uniformity,
+        args: &[Constant],
+    ) -> Self {
+        Self::decode_inner(f, pdom, uni, args, false)
+    }
+
+    fn decode_inner(
+        f: &Function,
+        pdom: &PostDomTree,
+        uni: &Uniformity,
+        args: &[Constant],
+        fuse: bool,
+    ) -> Self {
         let nslots = f.num_inst_slots();
         // Pass 1: allocate a register slot for every linked value-producing
         // instruction. Conservative and simple: every non-terminator,
@@ -372,13 +773,17 @@ impl DecodedKernel {
         };
         let uniform_op = |o: &Operand| !matches!(o, Operand::VReg(_));
 
-        // Pass 2: lower blocks (arena-indexed; unlinked slots stay empty).
+        // Pass 2: lower blocks into per-block buffers (arena-indexed;
+        // unlinked slots stay empty). Stream assembly below moves these
+        // into the shared `code` array.
         let preds = f.predecessors();
         let nblocks = preds.len();
         let mut blocks = vec![DBlock::default(); nblocks];
+        let mut lowered: Vec<Vec<DInst>> = vec![Vec::new(); nblocks];
         for &b in f.layout() {
-            let db = &mut blocks[b.index()];
-            let bpreds = &preds[b.index()];
+            let bi = b.index();
+            let db = &mut blocks[bi];
+            let bpreds = &preds[bi];
             db.npreds = bpreds.len();
             db.pred_pos = vec![NO_BLOCK; nblocks];
             for (k, p) in bpreds.iter().enumerate() {
@@ -393,7 +798,7 @@ impl DecodedKernel {
                 if let InstKind::Phi { incomings } = &inst.kind {
                     // Phis lead the block (verifier-enforced); index their
                     // incomings by predecessor position.
-                    debug_assert!(db.insts.is_empty());
+                    debug_assert!(lowered[bi].is_empty());
                     for p in bpreds {
                         let inc = incomings
                             .iter()
@@ -444,7 +849,7 @@ impl DecodedKernel {
                             DOp::Math(*which, ops, iargs.len() as u8)
                         }
                     },
-                    InstKind::Br { target } => DOp::Br(target.index() as u32),
+                    InstKind::Br { target } => DOp::Br(target.index() as u32, bi as u32),
                     InstKind::CondBr {
                         cond,
                         if_true,
@@ -452,23 +857,135 @@ impl DecodedKernel {
                     } => {
                         let c = resolve(*cond);
                         let uniform = uniform_op(&c);
-                        DOp::CondBr(c, if_true.index() as u32, if_false.index() as u32, uniform)
+                        DOp::CondBr {
+                            cond: c,
+                            if_true: if_true.index() as u32,
+                            if_false: if_false.index() as u32,
+                            uniform,
+                            owner: bi as u32,
+                            reconv: db.ipdom,
+                        }
                     }
                     InstKind::Ret { .. } => DOp::Ret,
                     InstKind::Phi { .. } => unreachable!("handled above"),
                 };
-                db.insts.push(DInst {
+                lowered[bi].push(DInst {
                     class: classify(&inst.kind),
                     cost: issue_cost(&inst.kind),
                     dest: dest[id.index()],
                     ty: inst.ty,
                     id,
                     op,
+                    run: 0,
                 });
             }
         }
+
+        // Superblock formation. A block is fused into its predecessor's
+        // stream iff it has exactly one predecessor, no phis, is not the
+        // entry, and that predecessor ends in an unconditional `Br` to it.
+        // Such a block can never be a reconvergence target (see the module
+        // docs), so skipping the dispatch loop between predecessor and
+        // block is unobservable.
+        let entry_ix = f.entry().index();
+        let mut fused = vec![false; nblocks];
+        if fuse {
+            for &t in f.layout() {
+                let ti = t.index();
+                if ti == entry_ix || blocks[ti].npreds != 1 || !blocks[ti].phis.is_empty() {
+                    continue;
+                }
+                let p = preds[ti][0].index();
+                if p == ti {
+                    continue;
+                }
+                if let Some(DInst {
+                    op: DOp::Br(tt, _), ..
+                }) = lowered[p].last()
+                {
+                    if *tt as usize == ti {
+                        fused[ti] = true;
+                    }
+                }
+            }
+        }
+
+        // Stream assembly: every unfused block heads a chain; intermediate
+        // `Br`s become `Fall`s and each chain member's stream is the suffix
+        // of the head's stream starting at its own instructions, so any
+        // branch or reconvergence entering mid-chain stays well-defined.
+        let mut code: Vec<DInst> = Vec::new();
+        let mut assigned = vec![false; nblocks];
+        let mut chain: Vec<usize> = Vec::new();
+        for &h in f.layout() {
+            let hi = h.index();
+            if fused[hi] || assigned[hi] {
+                continue;
+            }
+            chain.clear();
+            let mut b = hi;
+            loop {
+                assigned[b] = true;
+                chain.push(b);
+                blocks[b].code = code.len() as u32;
+                let had = !lowered[b].is_empty();
+                code.append(&mut lowered[b]);
+                if !had {
+                    // Malformed (terminator-less) block: leave the stream
+                    // empty so running it panics exactly like the
+                    // reference ("block must end in a terminator").
+                    break;
+                }
+                let last = code.last_mut().expect("just appended");
+                match last.op {
+                    DOp::Br(t, owner) if fused[t as usize] && !assigned[t as usize] => {
+                        last.op = DOp::Fall(owner);
+                        b = t as usize;
+                    }
+                    _ => break,
+                }
+            }
+            let end = code.len() as u32;
+            for &cb in &chain {
+                blocks[cb].code_len = end - blocks[cb].code;
+            }
+        }
+        // Fully-fused cycles (only possible in unreachable code) never get
+        // a head above; give each member its own stream so dispatch stays
+        // well-defined if one is ever entered.
+        for &b in f.layout() {
+            let bi = b.index();
+            if assigned[bi] {
+                continue;
+            }
+            blocks[bi].code = code.len() as u32;
+            code.append(&mut lowered[bi]);
+            blocks[bi].code_len = code.len() as u32 - blocks[bi].code;
+        }
+
+        // Run lengths for lane-major execution: `run` = length of the
+        // maximal run of pure vector-destination instructions starting at
+        // each position. Terminators are never pure, so runs cannot cross
+        // block (or stream) boundaries.
+        for i in (0..code.len()).rev() {
+            let pure_v = matches!(code[i].dest, Some(Dest::V(_)))
+                && !matches!(
+                    code[i].op,
+                    DOp::Load(..)
+                        | DOp::Store(..)
+                        | DOp::Br(..)
+                        | DOp::Fall(_)
+                        | DOp::CondBr { .. }
+                        | DOp::Ret
+                );
+            if pure_v {
+                code[i].run = 1 + if i + 1 < code.len() { code[i + 1].run } else { 0 };
+            }
+        }
+
         DecodedKernel {
             blocks,
+            code,
             entry: f.entry().index() as u32,
             num_sregs: sreg_inst.len() as u32,
             num_vregs: vreg_inst.len() as u32,
@@ -517,9 +1034,10 @@ impl DecodedKernel {
     }
 
     /// Evaluate a pure instruction for `lane`, returning the encoded
-    /// result. Transliterates `uu_ir::fold` onto tagged words — every
-    /// arithmetic rule, wrap, and failure case below must match the fold
-    /// semantics exactly (the differential oracle enforces it).
+    /// result. Used for scalar (warp-uniform) destinations — evaluated
+    /// once per warp — and as the error-reconstruction oracle of the
+    /// vector path. The arithmetic cores transliterate `uu_ir::fold`
+    /// exactly (the differential oracle enforces it).
     fn eval_pure(
         &self,
         s: &Scratch,
@@ -534,118 +1052,17 @@ impl DecodedKernel {
             DOp::Bin(op, a, b) => {
                 let (ltag, lbits) = rd(*a)?;
                 let (rtag, rbits) = rd(*b)?;
-                if op.is_float() {
-                    let x = t_as_f64(ltag, lbits).ok_or_else(bad)?;
-                    let y = t_as_f64(rtag, rbits).ok_or_else(bad)?;
-                    let r = match op {
-                        BinOp::FAdd => x + y,
-                        BinOp::FSub => x - y,
-                        BinOp::FMul => x * y,
-                        BinOp::FDiv => x / y,
-                        _ => unreachable!(),
-                    };
-                    // fold_bin picks the result width from the lhs type.
-                    return Ok(if ltag == TAG_F32 {
-                        (TAG_F32, (r as f32).to_bits() as u64)
-                    } else {
-                        (TAG_F64, r.to_bits())
-                    });
-                }
-                let x = t_as_i64(ltag, lbits).ok_or_else(bad)?;
-                let y = t_as_i64(rtag, rbits).ok_or_else(bad)?;
-                let bits = t_int_bits(ltag).unwrap_or(64);
-                let umask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
-                let ua = (x as u64) & umask;
-                let ub = (y as u64) & umask;
-                let shamt = (ub % bits as u64) as u32;
-                let r = match op {
-                    BinOp::Add => x.wrapping_add(y),
-                    BinOp::Sub => x.wrapping_sub(y),
-                    BinOp::Mul => x.wrapping_mul(y),
-                    BinOp::SDiv => {
-                        if y == 0 {
-                            0
-                        } else {
-                            x.wrapping_div(y)
-                        }
-                    }
-                    BinOp::UDiv => {
-                        if ub == 0 {
-                            0
-                        } else {
-                            (ua / ub) as i64
-                        }
-                    }
-                    BinOp::SRem => {
-                        if y == 0 {
-                            0
-                        } else {
-                            x.wrapping_rem(y)
-                        }
-                    }
-                    BinOp::URem => {
-                        if ub == 0 {
-                            0
-                        } else {
-                            (ua % ub) as i64
-                        }
-                    }
-                    BinOp::Shl => ((ua << shamt) & umask) as i64,
-                    BinOp::LShr => (ua >> shamt) as i64,
-                    BinOp::AShr => match ltag {
-                        TAG_I32 => ((x as i32) >> shamt) as i64,
-                        _ => x >> shamt,
-                    },
-                    BinOp::And => x & y,
-                    BinOp::Or => x | y,
-                    BinOp::Xor => x ^ y,
-                    _ => unreachable!(),
-                };
-                // fold_bin's `wrap`: truncate to the lhs width, stored
-                // sign-extended (the Constant encoding).
-                Ok(match ltag {
-                    TAG_I1 => (TAG_I1, (r & 1 != 0) as u64),
-                    TAG_I32 => (TAG_I32, r as i32 as i64 as u64),
-                    _ => (TAG_I64, r as u64),
-                })
+                bin_one(*op, ltag, lbits, rtag, rbits, bad)
             }
             DOp::ICmp(pred, a, b) => {
                 let (ltag, lbits) = rd(*a)?;
                 let (rtag, rbits) = rd(*b)?;
-                let x = t_as_i64(ltag, lbits).ok_or_else(bad)?;
-                let y = t_as_i64(rtag, rbits).ok_or_else(bad)?;
-                let bits = t_int_bits(ltag).unwrap_or(64);
-                let umask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
-                let ua = (x as u64) & umask;
-                let ub = (y as u64) & umask;
-                let r = match pred {
-                    ICmpPred::Eq => x == y,
-                    ICmpPred::Ne => x != y,
-                    ICmpPred::Slt => x < y,
-                    ICmpPred::Sle => x <= y,
-                    ICmpPred::Sgt => x > y,
-                    ICmpPred::Sge => x >= y,
-                    ICmpPred::Ult => ua < ub,
-                    ICmpPred::Ule => ua <= ub,
-                    ICmpPred::Ugt => ua > ub,
-                    ICmpPred::Uge => ua >= ub,
-                };
-                Ok((TAG_I1, r as u64))
+                icmp_one(*pred, ltag, lbits, rtag, rbits, bad)
             }
             DOp::FCmp(pred, a, b) => {
                 let (ltag, lbits) = rd(*a)?;
                 let (rtag, rbits) = rd(*b)?;
-                let x = t_as_f64(ltag, lbits).ok_or_else(bad)?;
-                let y = t_as_f64(rtag, rbits).ok_or_else(bad)?;
-                let r = match pred {
-                    FCmpPred::Oeq => x == y,
-                    FCmpPred::Une => x != y || x.is_nan() || y.is_nan(),
-                    FCmpPred::Olt => x < y,
-                    FCmpPred::Ole => x <= y,
-                    FCmpPred::Ogt => x > y,
-                    FCmpPred::Oge => x >= y,
-                };
-                Ok((TAG_I1, r as u64))
+                fcmp_one(*pred, ltag, lbits, rtag, rbits, bad)
             }
             DOp::Select(c, t, e) => {
                 let (ctag, cbits) = rd(*c)?;
@@ -654,61 +1071,7 @@ impl DecodedKernel {
             }
             DOp::Cast(op, v) => {
                 let (vtag, vbits) = rd(*v)?;
-                match op {
-                    CastOp::Sext => {
-                        let x = t_as_i64(vtag, vbits).ok_or_else(bad)?;
-                        // LLVM sext i1 true == -1 (as_i64 gives +1).
-                        let x = if vtag == TAG_I1 && x == 1 { -1 } else { x };
-                        Ok(match inst.ty {
-                            Type::I32 => (TAG_I32, x as i32 as i64 as u64),
-                            _ => (TAG_I64, x as u64),
-                        })
-                    }
-                    CastOp::Zext => {
-                        let x = t_as_i64(vtag, vbits).ok_or_else(bad)?;
-                        let bits = t_int_bits(vtag).ok_or_else(bad)?;
-                        let umask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
-                        let x = ((x as u64) & umask) as i64;
-                        Ok(match inst.ty {
-                            Type::I32 => (TAG_I32, x as i32 as i64 as u64),
-                            _ => (TAG_I64, x as u64),
-                        })
-                    }
-                    CastOp::Trunc => {
-                        let x = t_as_i64(vtag, vbits).ok_or_else(bad)?;
-                        Ok(match inst.ty {
-                            Type::I1 => (TAG_I1, (x & 1 != 0) as u64),
-                            Type::I32 => (TAG_I32, x as i32 as i64 as u64),
-                            _ => (TAG_I64, x as u64),
-                        })
-                    }
-                    CastOp::SiToFp => {
-                        let x = t_as_i64(vtag, vbits).ok_or_else(bad)?;
-                        Ok(match inst.ty {
-                            Type::F32 => (TAG_F32, (x as f32).to_bits() as u64),
-                            _ => (TAG_F64, (x as f64).to_bits()),
-                        })
-                    }
-                    CastOp::FpToSi => {
-                        let x = t_as_f64(vtag, vbits).ok_or_else(bad)?;
-                        let x = if x.is_nan() { 0.0 } else { x };
-                        Ok(match inst.ty {
-                            Type::I32 => (TAG_I32, x as i32 as i64 as u64),
-                            _ => (TAG_I64, (x as i64) as u64),
-                        })
-                    }
-                    CastOp::FpCast => {
-                        let x = t_as_f64(vtag, vbits).ok_or_else(bad)?;
-                        Ok(match inst.ty {
-                            Type::F32 => (TAG_F32, (x as f32).to_bits() as u64),
-                            _ => (TAG_F64, x.to_bits()),
-                        })
-                    }
-                    CastOp::IntToPtr | CastOp::PtrToInt => {
-                        let x = t_as_i64(vtag, vbits).ok_or_else(bad)?;
-                        Ok((TAG_I64, x as u64))
-                    }
-                }
+                cast_one(*op, inst.ty, vtag, vbits, bad)
             }
             DOp::Gep(base, index, scale) => {
                 // Base is read *and* converted before the index is touched
@@ -735,63 +1098,235 @@ impl DecodedKernel {
                 for k in 0..*n as usize {
                     vals[k] = rd(ops[k])?;
                 }
-                let n = *n as usize;
-                // fold_intrinsic picks the result width from inst.ty.
-                let fout = |v: f64| -> (u8, u64) {
-                    if inst.ty == Type::F32 {
-                        (TAG_F32, (v as f32).to_bits() as u64)
-                    } else {
-                        (TAG_F64, v.to_bits())
-                    }
-                };
-                let farg = |k: usize| -> Option<f64> {
-                    if k < n {
-                        t_as_f64(vals[k].0, vals[k].1)
-                    } else {
-                        None
-                    }
-                };
-                let iarg = |k: usize| -> Option<i64> {
-                    if k < n {
-                        t_as_i64(vals[k].0, vals[k].1)
-                    } else {
-                        None
-                    }
-                };
-                match which {
-                    Intrinsic::Sqrt => Ok(fout(farg(0).ok_or_else(bad)?.sqrt())),
-                    Intrinsic::Fabs => Ok(fout(farg(0).ok_or_else(bad)?.abs())),
-                    Intrinsic::Exp => Ok(fout(farg(0).ok_or_else(bad)?.exp())),
-                    Intrinsic::Log => Ok(fout(farg(0).ok_or_else(bad)?.ln())),
-                    Intrinsic::Sin => Ok(fout(farg(0).ok_or_else(bad)?.sin())),
-                    Intrinsic::Cos => Ok(fout(farg(0).ok_or_else(bad)?.cos())),
-                    Intrinsic::FMin => Ok(fout(
-                        farg(0).ok_or_else(bad)?.min(farg(1).ok_or_else(bad)?),
-                    )),
-                    Intrinsic::FMax => Ok(fout(
-                        farg(0).ok_or_else(bad)?.max(farg(1).ok_or_else(bad)?),
-                    )),
-                    Intrinsic::SMin | Intrinsic::SMax => {
-                        let a = iarg(0).ok_or_else(bad)?;
-                        let b = iarg(1).ok_or_else(bad)?;
-                        let r = if *which == Intrinsic::SMin {
-                            a.min(b)
-                        } else {
-                            a.max(b)
-                        };
-                        Ok(match inst.ty {
-                            Type::I32 => (TAG_I32, r as i32 as i64 as u64),
-                            _ => (TAG_I64, r as u64),
-                        })
-                    }
-                    // Context-dependent intrinsics never fold.
-                    _ => Err(bad()),
-                }
+                math_one(*which, vals, *n as usize, inst.ty, bad)
             }
-            DOp::Load(..) | DOp::Store(..) | DOp::Br(_) | DOp::CondBr(..) | DOp::Ret => {
+            DOp::Load(..) | DOp::Store(..) | DOp::Br(..) | DOp::Fall(_) | DOp::CondBr { .. }
+            | DOp::Ret => {
                 unreachable!("handled in run_warp()")
             }
         }
+    }
+
+    /// Evaluate one pure vector-destination instruction for every active
+    /// lane of `mask`, warp-at-a-time: the opcode and operand dispatch
+    /// happen once, then a tight ascending-lane loop reads, computes, and
+    /// writes. Observable behaviour is exactly per-lane [`Self::eval_pure`]
+    /// in ascending lane order — same results, same errors, same error
+    /// order (reads before conversions, operand order per instruction) —
+    /// only the host-side dispatch cost changes.
+    fn eval_warp(
+        &self,
+        scratch: &mut Scratch,
+        geom: &WarpGeometry,
+        ws: usize,
+        mask: u32,
+        inst: &DInst,
+    ) -> Result<(), ExecError> {
+        let Some(Dest::V(slot)) = inst.dest else {
+            unreachable!("eval_warp is for vector-destination instructions")
+        };
+        let bad = || ExecError::UndefinedValue { inst: inst.id };
+        // SAFETY: decode only emits register slots below num_{s,v}regs and
+        // `Scratch::reset` sizes the files to exactly that times the warp
+        // size; mask bits never reach past the warp size (launch masks are
+        // built that way and branching only narrows them). Every row
+        // pointer and `lane` offset below is therefore in bounds, and no
+        // safe reference into the vector files is held while the raw
+        // pointers are live (scalar reads below touch the *scalar* files
+        // only). SSA slot allocation makes operand rows distinct from the
+        // destination row.
+        let vt = scratch.vreg_tag.as_mut_ptr();
+        let vb = scratch.vreg_bits.as_mut_ptr();
+        let dt = unsafe { vt.add(slot as usize * ws) };
+        let db = unsafe { vb.add(slot as usize * ws) };
+        let src = |op: Operand| -> Src {
+            match op {
+                Operand::Const(t, b) => Src::Splat(t, b),
+                Operand::SReg(r) => {
+                    let tag = scratch.sreg_tag[r as usize];
+                    if tag == TAG_UNDEF {
+                        Src::Bad
+                    } else {
+                        Src::Splat(tag, scratch.sreg_bits[r as usize])
+                    }
+                }
+                Operand::VReg(r) => unsafe {
+                    Src::Row(vt.add(r as usize * ws), vb.add(r as usize * ws))
+                },
+                Operand::BadArg(_) | Operand::Undef(_) => Src::Bad,
+            }
+        };
+        // Reconstruct the exact reference error for an operand whose read
+        // failed (rare path; `read` re-derives the precise error payload).
+        let fail = |s: &Scratch, op: Operand, lane: usize| -> ExecError {
+            match self.read(s, ws, lane, op) {
+                Err(e) => e,
+                Ok(_) => bad(),
+            }
+        };
+        macro_rules! for_lanes {
+            ($lane:ident, $body:block) => {
+                let mut rem = mask;
+                while rem != 0 {
+                    let $lane = rem.trailing_zeros() as usize;
+                    rem &= rem - 1;
+                    $body
+                }
+            };
+        }
+        macro_rules! put {
+            ($lane:ident, $tag:expr, $bits:expr) => {
+                unsafe {
+                    *dt.add($lane) = $tag;
+                    *db.add($lane) = $bits;
+                }
+            };
+        }
+        match &inst.op {
+            DOp::Bin(op, a, b) => {
+                let sa = src(*a);
+                let sb = src(*b);
+                for_lanes!(lane, {
+                    let (lt, lb) = unsafe { sa.get(lane) };
+                    if lt == TAG_UNDEF {
+                        return Err(fail(scratch, *a, lane));
+                    }
+                    let (rt, rb) = unsafe { sb.get(lane) };
+                    if rt == TAG_UNDEF {
+                        return Err(fail(scratch, *b, lane));
+                    }
+                    let (tag, bits) = bin_one(*op, lt, lb, rt, rb, bad)?;
+                    put!(lane, tag, bits);
+                });
+            }
+            DOp::ICmp(pred, a, b) => {
+                let sa = src(*a);
+                let sb = src(*b);
+                for_lanes!(lane, {
+                    let (lt, lb) = unsafe { sa.get(lane) };
+                    if lt == TAG_UNDEF {
+                        return Err(fail(scratch, *a, lane));
+                    }
+                    let (rt, rb) = unsafe { sb.get(lane) };
+                    if rt == TAG_UNDEF {
+                        return Err(fail(scratch, *b, lane));
+                    }
+                    let (tag, bits) = icmp_one(*pred, lt, lb, rt, rb, bad)?;
+                    put!(lane, tag, bits);
+                });
+            }
+            DOp::FCmp(pred, a, b) => {
+                let sa = src(*a);
+                let sb = src(*b);
+                for_lanes!(lane, {
+                    let (lt, lb) = unsafe { sa.get(lane) };
+                    if lt == TAG_UNDEF {
+                        return Err(fail(scratch, *a, lane));
+                    }
+                    let (rt, rb) = unsafe { sb.get(lane) };
+                    if rt == TAG_UNDEF {
+                        return Err(fail(scratch, *b, lane));
+                    }
+                    let (tag, bits) = fcmp_one(*pred, lt, lb, rt, rb, bad)?;
+                    put!(lane, tag, bits);
+                });
+            }
+            DOp::Select(c, t, e) => {
+                let sc = src(*c);
+                let st = src(*t);
+                let se = src(*e);
+                for_lanes!(lane, {
+                    let (ct, cb) = unsafe { sc.get(lane) };
+                    if ct == TAG_UNDEF {
+                        return Err(fail(scratch, *c, lane));
+                    }
+                    let cond = t_as_bool(ct, cb).ok_or_else(bad)?;
+                    // Only the chosen side is read (the other may be
+                    // undefined without consequence, as in the reference).
+                    let (sv, ov) = if cond { (st, *t) } else { (se, *e) };
+                    let (vt2, vb2) = unsafe { sv.get(lane) };
+                    if vt2 == TAG_UNDEF {
+                        return Err(fail(scratch, ov, lane));
+                    }
+                    put!(lane, vt2, vb2);
+                });
+            }
+            DOp::Cast(op, v) => {
+                let sv = src(*v);
+                for_lanes!(lane, {
+                    let (t, b) = unsafe { sv.get(lane) };
+                    if t == TAG_UNDEF {
+                        return Err(fail(scratch, *v, lane));
+                    }
+                    let (tag, bits) = cast_one(*op, inst.ty, t, b, bad)?;
+                    put!(lane, tag, bits);
+                });
+            }
+            DOp::Gep(base, index, scale) => {
+                let sb_ = src(*base);
+                let si = src(*index);
+                for_lanes!(lane, {
+                    // Base is read *and* converted before the index is
+                    // touched (the reference interpreter's error order).
+                    let (bt, bb) = unsafe { sb_.get(lane) };
+                    if bt == TAG_UNDEF {
+                        return Err(fail(scratch, *base, lane));
+                    }
+                    let bv = t_as_i64(bt, bb).ok_or_else(bad)?;
+                    let (it, ib) = unsafe { si.get(lane) };
+                    if it == TAG_UNDEF {
+                        return Err(fail(scratch, *index, lane));
+                    }
+                    let iv = t_as_i64(it, ib).ok_or_else(bad)?;
+                    put!(lane, TAG_I64, bv.wrapping_add(iv.wrapping_mul(*scale)) as u64);
+                });
+            }
+            DOp::Geom(which) => match which {
+                Intrinsic::ThreadIdxX => {
+                    for_lanes!(lane, {
+                        put!(
+                            lane,
+                            TAG_I32,
+                            (geom.first_thread + lane as u32) as i32 as i64 as u64
+                        );
+                    });
+                }
+                _ => {
+                    let (tag, bits) = match which {
+                        Intrinsic::BlockIdxX => (TAG_I32, geom.block_idx as i32 as i64 as u64),
+                        Intrinsic::BlockDimX => (TAG_I32, geom.block_dim as i32 as i64 as u64),
+                        Intrinsic::GridDimX => (TAG_I32, geom.grid_dim as i32 as i64 as u64),
+                        Intrinsic::Syncthreads => (TAG_I1, 0), // void; never read
+                        _ => unreachable!("decoded as Math"),
+                    };
+                    for_lanes!(lane, {
+                        put!(lane, tag, bits);
+                    });
+                }
+            },
+            DOp::Math(which, ops, n) => {
+                let n = *n as usize;
+                let s0 = if n > 0 { src(ops[0]) } else { Src::Bad };
+                let s1 = if n > 1 { src(ops[1]) } else { Src::Bad };
+                for_lanes!(lane, {
+                    let mut vals = [(TAG_I1, 0u64); 2];
+                    for (k, sk) in [s0, s1].iter().enumerate().take(n) {
+                        let (t, b) = unsafe { sk.get(lane) };
+                        if t == TAG_UNDEF {
+                            return Err(fail(scratch, ops[k], lane));
+                        }
+                        vals[k] = (t, b);
+                    }
+                    let (tag, bits) = math_one(*which, vals, n, inst.ty, bad)?;
+                    put!(lane, tag, bits);
+                });
+            }
+            DOp::Load(..) | DOp::Store(..) | DOp::Br(..) | DOp::Fall(_) | DOp::CondBr { .. }
+            | DOp::Ret => {
+                unreachable!("handled in run_warp()")
+            }
+        }
+        Ok(())
     }
 
     /// Execute one warp to completion — the decoded counterpart of
@@ -808,16 +1343,17 @@ impl DecodedKernel {
         params: &GpuParams,
         mem: &mut GlobalMemory,
         m: &mut Metrics,
-        touched: &mut HashSet<u64>,
+        touched: &mut SectorSet,
     ) -> Result<u64, ExecError> {
         scratch.reset(self, params.warp_size);
         let ws = params.warp_size as usize;
         let mut cur = self.entry;
-        let mut mask: u32 = if params.warp_size == 32 {
+        let full_mask: u32 = if params.warp_size == 32 {
             u32::MAX
         } else {
             (1u32 << params.warp_size) - 1
         };
+        let mut mask = full_mask;
         for l in 0..params.warp_size {
             if geom.first_thread + l >= geom.block_dim {
                 mask &= !(1 << l);
@@ -907,10 +1443,33 @@ impl DecodedKernel {
                             scratch.phi_s.push((slot, tag, bits));
                         }
                         Dest::V(slot) => {
+                            // Hoist the incoming-table resolution when all
+                            // active lanes arrived from the same
+                            // predecessor (uniform branches and fused
+                            // fall-throughs — the common case). Error
+                            // identity and order are unchanged: a missing
+                            // incoming is the same error for every lane.
+                            let first = mask.trailing_zeros() as usize;
+                            let p0 = scratch.prev[first];
+                            let mut uniform = true;
                             for lane in lanes!(mask) {
-                                let op = incoming(scratch.prev[lane])?;
-                                let (tag, bits) = self.read(scratch, ws, lane, op)?;
-                                scratch.phi_v.push((slot, lane as u32, tag, bits));
+                                if scratch.prev[lane] != p0 {
+                                    uniform = false;
+                                    break;
+                                }
+                            }
+                            if uniform {
+                                let op = incoming(p0)?;
+                                for lane in lanes!(mask) {
+                                    let (tag, bits) = self.read(scratch, ws, lane, op)?;
+                                    scratch.phi_v.push((slot, lane as u32, tag, bits));
+                                }
+                            } else {
+                                for lane in lanes!(mask) {
+                                    let op = incoming(scratch.prev[lane])?;
+                                    let (tag, bits) = self.read(scratch, ws, lane, op)?;
+                                    scratch.phi_v.push((slot, lane as u32, tag, bits));
+                                }
                             }
                         }
                     }
@@ -932,9 +1491,46 @@ impl DecodedKernel {
                 return Err(ExecError::StepBudgetExceeded { budget });
             }
 
-            // Phase 2: straight-line instructions and the terminator.
+            // Phase 2: the block's superblock stream — its own non-phi
+            // instructions, any fused straight-line successors, and the
+            // real terminator.
+            let code = &self.code[blk.code as usize..(blk.code + blk.code_len) as usize];
             let mut next: Option<(u32, u32)> = None;
-            for inst in &blk.insts {
+            let mut ip = 0usize;
+            while ip < code.len() {
+                let inst = &code[ip];
+                if inst.run >= 2 {
+                    // Fused run of pure vector instructions: dispatch each
+                    // instruction once for the whole warp (`eval_warp`
+                    // hoists opcode/operand dispatch out of the lane loop)
+                    // with step-budget and metrics bookkeeping amortized
+                    // over the run. Errors surface in instruction-major,
+                    // lane-ascending order — exactly the reference
+                    // interpreter's — and evaluation errors inside the
+                    // allowed budget beat the budget error, which fires
+                    // before the first over-budget instruction would
+                    // execute. Metrics and issue cycles commit only on
+                    // success (error-path metrics are discarded with the
+                    // warp). The defensive `min` keeps a malformed
+                    // (terminator-less) block from running past its
+                    // stream.
+                    let len = (inst.run as usize).min(code.len() - ip);
+                    let exec_n = (budget.saturating_sub(executed) as usize).min(len);
+                    for ri in &code[ip..ip + exec_n] {
+                        self.eval_warp(scratch, &geom, ws, mask, ri)?;
+                    }
+                    if exec_n < len {
+                        return Err(ExecError::StepBudgetExceeded { budget });
+                    }
+                    let active = mask.count_ones();
+                    for ri in &code[ip..ip + len] {
+                        m.count(ri.class, active);
+                        issue += ri.cost;
+                    }
+                    executed += len as u64;
+                    ip += len;
+                    continue;
+                }
                 let active = mask.count_ones();
                 m.count(inst.class, active);
                 issue += inst.cost;
@@ -945,33 +1541,108 @@ impl DecodedKernel {
                 match &inst.op {
                     DOp::Load(ptr, width) => {
                         scratch.sectors.clear();
-                        for lane in lanes!(mask) {
-                            let (ptag, pbits) = self.read(scratch, ws, lane, *ptr)?;
-                            let addr = t_as_i64(ptag, pbits).ok_or_else(|| {
-                                ExecError::BadArguments("non-integer address".into())
-                            })? as u64;
-                            let c = mem.read_scalar(addr, inst.ty)?;
-                            let (tag, bits) = encode(c);
-                            match inst.dest {
-                                Some(Dest::S(slot)) => {
+                        let mut done = false;
+                        match (inst.dest, ptr) {
+                            (Some(Dest::S(slot)), p) if !matches!(p, Operand::VReg(_)) => {
+                                // Uniform load: one address serves the
+                                // warp, so one windowed access replaces
+                                // the per-lane re-reads whenever no fault
+                                // injection is armed and the range is in
+                                // bounds.
+                                let lane = mask.trailing_zeros() as usize;
+                                let (ptag, pbits) = self.read(scratch, ws, lane, *p)?;
+                                let addr = t_as_i64(ptag, pbits).ok_or_else(|| {
+                                    ExecError::BadArguments("non-integer address".into())
+                                })? as u64;
+                                if let Some(win) = mem.read_window(addr, *width) {
+                                    let (tag, bits) = decode_mem(inst.ty, win, 0);
                                     scratch.sreg_bits[slot as usize] = bits;
                                     scratch.sreg_tag[slot as usize] = tag;
+                                    let sector = addr / params.sector_bytes;
+                                    scratch.sectors.push(sector);
+                                    touched.insert(sector);
+                                    m.gld_bytes += *width * active as u64;
+                                    done = true;
                                 }
-                                Some(Dest::V(slot)) => {
-                                    let at = slot as usize * ws + lane;
-                                    scratch.vreg_bits[at] = bits;
-                                    scratch.vreg_tag[at] = tag;
+                            }
+                            (Some(Dest::V(slot)), Operand::VReg(r)) if mask == full_mask => {
+                                // Coalesced load: all lanes active with
+                                // unit-stride integer addresses is one
+                                // bounds check and one contiguous copy.
+                                // Any irregularity (bad tag, stride, OOB,
+                                // armed fault countdown) falls back to the
+                                // exact per-lane path.
+                                let mut base = 0u64;
+                                let mut stride = true;
+                                for lane in 0..ws {
+                                    let at = *r as usize * ws + lane;
+                                    let tag = scratch.vreg_tag[at];
+                                    if !(TAG_I1..=TAG_I64).contains(&tag) {
+                                        stride = false;
+                                        break;
+                                    }
+                                    let a = scratch.vreg_bits[at];
+                                    if lane == 0 {
+                                        base = a;
+                                    } else if a != base.wrapping_add(lane as u64 * *width) {
+                                        stride = false;
+                                        break;
+                                    }
                                 }
-                                None => {}
+                                if stride {
+                                    if let Some(win) = mem.read_window(base, ws as u64 * *width) {
+                                        let wid = *width as usize;
+                                        for lane in 0..ws {
+                                            let (tag, bits) = decode_mem(inst.ty, win, lane * wid);
+                                            let at = slot as usize * ws + lane;
+                                            scratch.vreg_bits[at] = bits;
+                                            scratch.vreg_tag[at] = tag;
+                                            let sector =
+                                                (base + lane as u64 * *width) / params.sector_bytes;
+                                            // Addresses ascend, so a
+                                            // last-entry check is an exact
+                                            // dedupe.
+                                            if scratch.sectors.last() != Some(&sector) {
+                                                scratch.sectors.push(sector);
+                                                touched.insert(sector);
+                                            }
+                                        }
+                                        m.gld_bytes += *width * ws as u64;
+                                        done = true;
+                                    }
+                                }
                             }
-                            let sector = addr / params.sector_bytes;
-                            if !scratch.sectors.contains(&sector) {
-                                scratch.sectors.push(sector);
-                                // Only a new sector can change the
-                                // launch-wide distinct-sector set.
-                                touched.insert(sector);
+                            _ => {}
+                        }
+                        if !done {
+                            for lane in lanes!(mask) {
+                                let (ptag, pbits) = self.read(scratch, ws, lane, *ptr)?;
+                                let addr = t_as_i64(ptag, pbits).ok_or_else(|| {
+                                    ExecError::BadArguments("non-integer address".into())
+                                })? as u64;
+                                let c = mem.read_scalar(addr, inst.ty)?;
+                                let (tag, bits) = encode(c);
+                                match inst.dest {
+                                    Some(Dest::S(slot)) => {
+                                        scratch.sreg_bits[slot as usize] = bits;
+                                        scratch.sreg_tag[slot as usize] = tag;
+                                    }
+                                    Some(Dest::V(slot)) => {
+                                        let at = slot as usize * ws + lane;
+                                        scratch.vreg_bits[at] = bits;
+                                        scratch.vreg_tag[at] = tag;
+                                    }
+                                    None => {}
+                                }
+                                let sector = addr / params.sector_bytes;
+                                if !scratch.sectors.contains(&sector) {
+                                    scratch.sectors.push(sector);
+                                    // Only a new sector can change the
+                                    // launch-wide distinct-sector set.
+                                    touched.insert(sector);
+                                }
+                                m.gld_bytes += width;
                             }
-                            m.gld_bytes += width;
                         }
                         let tx = scratch.sectors.len() as u64;
                         m.mem_transactions += tx;
@@ -983,34 +1654,117 @@ impl DecodedKernel {
                     }
                     DOp::Store(ptr, value, width) => {
                         scratch.sectors.clear();
-                        for lane in lanes!(mask) {
-                            let (ptag, pbits) = self.read(scratch, ws, lane, *ptr)?;
-                            let addr = t_as_i64(ptag, pbits).ok_or_else(|| {
-                                ExecError::BadArguments("non-integer address".into())
-                            })? as u64;
-                            let (vtag, vbits) = self.read(scratch, ws, lane, *value)?;
-                            mem.write_scalar(addr, decode_const(vtag, vbits))?;
-                            let sector = addr / params.sector_bytes;
-                            if !scratch.sectors.contains(&sector) {
-                                scratch.sectors.push(sector);
-                                touched.insert(sector);
+                        let mut done = false;
+                        if mask == full_mask {
+                            if let Operand::VReg(r) = ptr {
+                                // Coalesced store: same unit-stride probe
+                                // as the load fast path. Value reads are
+                                // side-effect-free and a bail-out only
+                                // leaves writes the per-lane path redoes
+                                // identically, so falling back mid-loop is
+                                // unobservable (gst_bytes commits at the
+                                // end).
+                                let mut base = 0u64;
+                                let mut stride = true;
+                                for lane in 0..ws {
+                                    let at = *r as usize * ws + lane;
+                                    let tag = scratch.vreg_tag[at];
+                                    if !(TAG_I1..=TAG_I64).contains(&tag) {
+                                        stride = false;
+                                        break;
+                                    }
+                                    let a = scratch.vreg_bits[at];
+                                    if lane == 0 {
+                                        base = a;
+                                    } else if a != base.wrapping_add(lane as u64 * *width) {
+                                        stride = false;
+                                        break;
+                                    }
+                                }
+                                if stride {
+                                    if let Some(win) = mem.write_window(base, ws as u64 * *width) {
+                                        let wid = *width as usize;
+                                        let mut ok = true;
+                                        for lane in 0..ws {
+                                            let (vtag, vbits) =
+                                                self.read(scratch, ws, lane, *value)?;
+                                            let off = lane * wid;
+                                            match (vtag, wid) {
+                                                (TAG_I1, 1) => win[off] = (vbits != 0) as u8,
+                                                (TAG_I32, 4) => win[off..off + 4].copy_from_slice(
+                                                    &(vbits as i64 as i32).to_le_bytes(),
+                                                ),
+                                                (TAG_F32, 4) => win[off..off + 4]
+                                                    .copy_from_slice(&(vbits as u32).to_le_bytes()),
+                                                (TAG_I64, 8) | (TAG_F64, 8) => win[off..off + 8]
+                                                    .copy_from_slice(&vbits.to_le_bytes()),
+                                                _ => ok = false,
+                                            }
+                                            if !ok {
+                                                break;
+                                            }
+                                            let sector =
+                                                (base + lane as u64 * *width) / params.sector_bytes;
+                                            if scratch.sectors.last() != Some(&sector) {
+                                                scratch.sectors.push(sector);
+                                                touched.insert(sector);
+                                            }
+                                        }
+                                        if ok {
+                                            m.gst_bytes += *width * ws as u64;
+                                            done = true;
+                                        }
+                                    }
+                                }
                             }
-                            m.gst_bytes += width;
+                        }
+                        if !done {
+                            scratch.sectors.clear();
+                            for lane in lanes!(mask) {
+                                let (ptag, pbits) = self.read(scratch, ws, lane, *ptr)?;
+                                let addr = t_as_i64(ptag, pbits).ok_or_else(|| {
+                                    ExecError::BadArguments("non-integer address".into())
+                                })? as u64;
+                                let (vtag, vbits) = self.read(scratch, ws, lane, *value)?;
+                                mem.write_scalar(addr, decode_const(vtag, vbits))?;
+                                let sector = addr / params.sector_bytes;
+                                if !scratch.sectors.contains(&sector) {
+                                    scratch.sectors.push(sector);
+                                    touched.insert(sector);
+                                }
+                                m.gst_bytes += width;
+                            }
                         }
                         let tx = scratch.sectors.len() as u64;
                         m.mem_transactions += tx;
                         issue += tx * params.mem_tx_cycles;
                     }
-                    DOp::Br(target) => {
+                    DOp::Br(target, owner) => {
                         for l in lanes!(mask) {
-                            scratch.prev[l] = cur;
+                            scratch.prev[l] = *owner;
                         }
                         next = Some((*target, mask));
+                    }
+                    DOp::Fall(owner) => {
+                        // Fused `Br`: account for it like the branch it
+                        // replaces (done above), update phi provenance,
+                        // and fall through to the successor's
+                        // instructions, which follow immediately.
+                        for l in lanes!(mask) {
+                            scratch.prev[l] = *owner;
+                        }
                     }
                     DOp::Ret => {
                         next = Some((cur, 0)); // mask 0 triggers stack drain
                     }
-                    DOp::CondBr(cond, if_true, if_false, uniform) => {
+                    DOp::CondBr {
+                        cond,
+                        if_true,
+                        if_false,
+                        uniform,
+                        owner,
+                        reconv,
+                    } => {
                         let mut tmask = 0u32;
                         if *uniform {
                             // One evaluation decides the whole warp.
@@ -1035,7 +1789,7 @@ impl DecodedKernel {
                         }
                         let fmask = mask & !tmask;
                         for l in lanes!(mask) {
-                            scratch.prev[l] = cur;
+                            scratch.prev[l] = *owner;
                         }
                         if if_true == if_false || fmask == 0 {
                             next = Some((*if_true, mask));
@@ -1043,7 +1797,7 @@ impl DecodedKernel {
                             next = Some((*if_false, mask));
                         } else {
                             scratch.stack.push(DFrame {
-                                reconv: blk.ipdom,
+                                reconv: *reconv,
                                 pending: Some((*if_false, fmask)),
                                 joined: 0,
                             });
@@ -1058,17 +1812,13 @@ impl DecodedKernel {
                             scratch.sreg_bits[slot as usize] = bits;
                             scratch.sreg_tag[slot as usize] = tag;
                         }
-                        Some(Dest::V(slot)) => {
-                            for lane in lanes!(mask) {
-                                let (tag, bits) = self.eval_pure(scratch, &geom, ws, lane, inst)?;
-                                let at = slot as usize * ws + lane;
-                                scratch.vreg_bits[at] = bits;
-                                scratch.vreg_tag[at] = tag;
-                            }
+                        Some(Dest::V(_)) => {
+                            self.eval_warp(scratch, &geom, ws, mask, inst)?;
                         }
                         None => unreachable!("pure instructions produce a value"),
                     },
                 }
+                ip += 1;
             }
             let (nb, nm) = next.expect("block must end in a terminator");
             cur = nb;

@@ -8,10 +8,9 @@
 //! GPU: both sides' instructions are issued, each under a partial mask,
 //! which the metrics record as reduced `warp_execution_efficiency`.
 
-use crate::memory::{GlobalMemory, MemError};
+use crate::memory::{GlobalMemory, MemError, SectorSet};
 use crate::metrics::{InstClass, Metrics};
 use crate::params::GpuParams;
-use std::collections::HashSet;
 use uu_analysis::PostDomTree;
 use uu_ir::{fold, BlockId, Constant, Function, InstId, InstKind, Intrinsic, Value};
 
@@ -142,6 +141,10 @@ pub struct Warp<'a> {
     /// executes its first branch.
     prev: Vec<Option<BlockId>>,
     executed: u64,
+    /// Distinct sectors of the current memory op (≤ warp_size entries, so
+    /// a linear scan beats a `HashSet`); reused across ops so the
+    /// interpreter does not allocate per memory instruction.
+    sectors: Vec<u64>,
     /// When set, every write of an instruction marked `true` is asserted
     /// identical across active lanes (the scalarization oracle).
     verify_uniform: Option<Vec<bool>>,
@@ -168,6 +171,7 @@ impl<'a> Warp<'a> {
             regs: vec![vec![None; slots]; ws],
             prev: vec![None; ws],
             executed: 0,
+            sectors: Vec::new(),
             verify_uniform: None,
         }
     }
@@ -243,7 +247,7 @@ impl<'a> Warp<'a> {
         &mut self,
         mem: &mut GlobalMemory,
         m: &mut Metrics,
-        touched: &mut HashSet<u64>,
+        touched: &mut SectorSet,
     ) -> Result<u64, ExecError> {
         let mut cur = self.func.entry();
         let mut mask: u32 = if self.params.warp_size == 32 {
@@ -346,21 +350,28 @@ impl<'a> Warp<'a> {
                 self.check_step_budget()?;
                 match &inst.kind {
                     InstKind::Load { ptr } => {
-                        let mut sectors: HashSet<u64> = HashSet::new();
+                        let mut sectors = std::mem::take(&mut self.sectors);
+                        sectors.clear();
                         let width = inst.ty.size_bytes();
-                        let lanes: Vec<usize> = self.lanes(mask).collect();
-                        for lane in lanes {
+                        let mut rem = mask;
+                        while rem != 0 {
+                            let lane = rem.trailing_zeros() as usize;
+                            rem &= rem - 1;
                             let addr = self.eval(lane, *ptr)?.as_i64().ok_or(
                                 ExecError::BadArguments("non-integer address".into()),
                             )? as u64;
                             let c = mem.read_scalar(addr, inst.ty)?;
                             self.regs[lane][id.index()] = Some(c);
-                            sectors.insert(addr / self.params.sector_bytes);
-                            touched.insert(addr / self.params.sector_bytes);
+                            let sector = addr / self.params.sector_bytes;
+                            if !sectors.contains(&sector) {
+                                sectors.push(sector);
+                                touched.insert(sector);
+                            }
                             m.gld_bytes += width;
                         }
                         self.assert_uniform_write(id, mask);
                         let tx = sectors.len() as u64;
+                        self.sectors = sectors;
                         m.mem_transactions += tx;
                         issue += tx * self.params.mem_tx_cycles;
                         // Cache-hit latency on the warp's critical path.
@@ -373,20 +384,27 @@ impl<'a> Warp<'a> {
                         issue += (self.params.l1_latency as f64 * frac.powf(1.5)) as u64;
                     }
                     InstKind::Store { ptr, value } => {
-                        let mut sectors: HashSet<u64> = HashSet::new();
+                        let mut sectors = std::mem::take(&mut self.sectors);
+                        sectors.clear();
                         let width = self.func.value_type(*value).size_bytes();
-                        let lanes: Vec<usize> = self.lanes(mask).collect();
-                        for lane in lanes {
+                        let mut rem = mask;
+                        while rem != 0 {
+                            let lane = rem.trailing_zeros() as usize;
+                            rem &= rem - 1;
                             let addr = self.eval(lane, *ptr)?.as_i64().ok_or(
                                 ExecError::BadArguments("non-integer address".into()),
                             )? as u64;
                             let v = self.eval(lane, *value)?;
                             mem.write_scalar(addr, v)?;
-                            sectors.insert(addr / self.params.sector_bytes);
-                            touched.insert(addr / self.params.sector_bytes);
+                            let sector = addr / self.params.sector_bytes;
+                            if !sectors.contains(&sector) {
+                                sectors.push(sector);
+                                touched.insert(sector);
+                            }
                             m.gst_bytes += width;
                         }
                         let tx = sectors.len() as u64;
+                        self.sectors = sectors;
                         m.mem_transactions += tx;
                         issue += tx * self.params.mem_tx_cycles;
                     }
@@ -404,8 +422,10 @@ impl<'a> Warp<'a> {
                         if_false,
                     } => {
                         let mut tmask = 0u32;
-                        let lanes: Vec<usize> = self.lanes(mask).collect();
-                        for lane in lanes {
+                        let mut rem = mask;
+                        while rem != 0 {
+                            let lane = rem.trailing_zeros() as usize;
+                            rem &= rem - 1;
                             let c = self.eval(lane, *cond)?.as_bool().ok_or(
                                 ExecError::BadArguments("non-boolean condition".into()),
                             )?;
@@ -431,8 +451,10 @@ impl<'a> Warp<'a> {
                         }
                     }
                     kind => {
-                        let lanes: Vec<usize> = self.lanes(mask).collect();
-                        for lane in lanes {
+                        let mut rem = mask;
+                        while rem != 0 {
+                            let lane = rem.trailing_zeros() as usize;
+                            rem &= rem - 1;
                             let c = self.eval_pure(lane, id, kind, inst.ty)?;
                             self.regs[lane][id.index()] = Some(c);
                         }

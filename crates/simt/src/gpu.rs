@@ -13,7 +13,6 @@
 //! * code growth past the i-cache ⇒ fetch stalls (`stall_inst_fetch`),
 //!   the *haccmk*/*complex* slowdown mode.
 
-use crate::decode::{DecodedKernel, Scratch};
 use crate::exec::{ExecError, Warp, WarpGeometry};
 use crate::memory::{Buffer, GlobalMemory, MemError};
 use crate::metrics::Metrics;
@@ -159,19 +158,22 @@ impl Gpu {
             }
         }
         let consts: Vec<Constant> = args.iter().map(|a| a.to_constant()).collect();
-        let pdom = PostDomTree::compute(kernel);
         let code_size = cost::function_size(kernel);
         let fetch_penalty = self.params.fetch_penalty(code_size);
 
-        // Decode-once: both launch-wide analyses and the lowered kernel are
-        // built a single time here and shared by every warp below.
+        // Decoded engine: the lowering (and the postdom/uniformity analyses
+        // feeding it) comes from the cross-launch cache — a sweep re-launching
+        // the same kernel pays for decode once per thread, not per launch.
+        // The reference engines interpret the arena directly and build their
+        // analyses here, per launch.
         let decoded = match self.params.engine {
-            ExecEngine::Decoded => {
-                let uni = Uniformity::compute(kernel);
-                Some(DecodedKernel::decode(kernel, &pdom, &uni, &consts))
-            }
-            ExecEngine::Reference => None,
-            ExecEngine::ReferenceVerifyUniform => None,
+            ExecEngine::Decoded => Some(crate::cache::decode_cached(kernel, &consts)),
+            ExecEngine::Reference | ExecEngine::ReferenceVerifyUniform => None,
+        };
+        let pdom = if decoded.is_none() {
+            Some(PostDomTree::compute(kernel))
+        } else {
+            None
         };
         let uniform_slots = match self.params.engine {
             ExecEngine::ReferenceVerifyUniform => {
@@ -186,13 +188,20 @@ impl Gpu {
             }
             _ => None,
         };
-        let mut scratch = Scratch::new();
+        // Per-launch mutable state comes from the pool; the sector bitmap is
+        // sized from the allocator's high-water mark (any in-bounds access
+        // lands below it).
+        let crate::cache::LaunchScratch {
+            mut scratch,
+            mut touched,
+        } = crate::cache::take_launch_scratch();
+        touched.reset(self.mem.used().div_ceil(self.params.sector_bytes) + 1);
 
         let mut metrics = Metrics::default();
         let mut issue_total: u64 = 0;
-        let mut touched = std::collections::HashSet::new();
+        let mut err: Option<ExecError> = None;
         let warps_per_block = cfg.block_dim.div_ceil(self.params.warp_size);
-        for block in 0..cfg.grid_dim {
+        'grid: for block in 0..cfg.grid_dim {
             for w in 0..warps_per_block {
                 let geom = WarpGeometry {
                     block_idx: block,
@@ -201,7 +210,7 @@ impl Gpu {
                     first_thread: w * self.params.warp_size,
                 };
                 let before = metrics.warp_insts;
-                issue_total += match &decoded {
+                let ran = match &decoded {
                     Some(k) => k.run_warp(
                         &mut scratch,
                         geom,
@@ -209,26 +218,39 @@ impl Gpu {
                         &mut self.mem,
                         &mut metrics,
                         &mut touched,
-                    )?,
+                    ),
                     None => {
-                        let mut warp = Warp::new(kernel, &consts, geom, &self.params, &pdom);
+                        let pdom = pdom.as_ref().expect("reference engines computed postdom");
+                        let mut warp = Warp::new(kernel, &consts, geom, &self.params, pdom);
                         if let Some(slots) = &uniform_slots {
                             warp.verify_uniform(slots.clone());
                         }
-                        warp.run(&mut self.mem, &mut metrics, &mut touched)?
+                        warp.run(&mut self.mem, &mut metrics, &mut touched)
                     }
                 };
+                match ran {
+                    Ok(issue) => issue_total += issue,
+                    Err(e) => {
+                        err = Some(e);
+                        break 'grid;
+                    }
+                }
                 let issued = metrics.warp_insts - before;
                 metrics.fetch_stall_cycles += (issued as f64 * fetch_penalty) as u64;
                 metrics.warps += 1;
             }
+        }
+        let dram_sectors = touched.len();
+        crate::cache::put_launch_scratch(crate::cache::LaunchScratch { scratch, touched });
+        if let Some(e) = err {
+            return Err(e);
         }
 
         // Roofline combination.
         let conc = self.params.concurrency(metrics.warps);
         let compute_cycles =
             (issue_total + metrics.fetch_stall_cycles) / conc + self.params.launch_overhead;
-        metrics.dram_sectors = touched.len() as u64;
+        metrics.dram_sectors = dram_sectors;
         // Sustained DRAM sector bandwidth: ~20 sectors/cycle on the modelled
         // part (900 GB/s at 1.38 GHz / 32 B sectors). Re-references are
         // absorbed by the cache hierarchy and only pay an L2-bandwidth term.

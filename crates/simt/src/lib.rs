@@ -49,6 +49,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod decode;
 pub mod exec;
 pub mod memory;
@@ -57,9 +58,10 @@ pub mod params;
 
 mod gpu;
 
+pub use cache::{decode_cache_clear, decode_cache_stats, decode_cached};
 pub use decode::{DecodedKernel, Scratch};
 pub use exec::{ExecError, Warp, WarpGeometry};
 pub use gpu::{Gpu, KernelArg, LaunchConfig, LaunchReport};
-pub use memory::{Buffer, GlobalMemory, MemError};
+pub use memory::{Buffer, GlobalMemory, MemError, SectorSet};
 pub use metrics::{InstClass, Metrics};
 pub use params::{ExecEngine, GpuParams};

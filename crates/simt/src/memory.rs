@@ -47,6 +47,63 @@ impl std::fmt::Display for MemError {
 
 impl std::error::Error for MemError {}
 
+/// Dense set of distinct DRAM sectors touched by a launch.
+///
+/// The launch path sizes the bitmap once from the allocator's high-water
+/// mark (`GlobalMemory::used() / sector_bytes`), so membership inserts are
+/// one bit test instead of a `HashSet` probe — every device address has
+/// already passed the bounds check, so in-range is the common case and the
+/// grow path below is defensive only. Only the distinct-sector *count* is
+/// observable (it becomes `Metrics::dram_sectors`), which is exactly what
+/// a bitmap preserves bit-for-bit versus the old hash set.
+#[derive(Debug, Default)]
+pub struct SectorSet {
+    bits: Vec<u64>,
+    len: u64,
+}
+
+impl SectorSet {
+    /// Create an empty set; size it with [`SectorSet::reset`] before use.
+    pub fn new() -> Self {
+        SectorSet::default()
+    }
+
+    /// Clear the set and size it for sector indices `0..sectors`. Reuses
+    /// the previous allocation when it is large enough.
+    pub fn reset(&mut self, sectors: u64) {
+        let words = sectors.div_ceil(64) as usize;
+        self.bits.clear();
+        self.bits.resize(words, 0);
+        self.len = 0;
+    }
+
+    /// Insert a sector index.
+    #[inline]
+    pub fn insert(&mut self, sector: u64) {
+        let w = (sector / 64) as usize;
+        if w >= self.bits.len() {
+            // Defensive: every inserted address passed the bounds check, so
+            // this only triggers for custom `sector_bytes` geometries.
+            self.bits.resize(w + 1, 0);
+        }
+        let bit = 1u64 << (sector % 64);
+        if self.bits[w] & bit == 0 {
+            self.bits[w] |= bit;
+            self.len += 1;
+        }
+    }
+
+    /// Number of distinct sectors inserted since the last reset.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether no sector has been inserted since the last reset.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 /// The device memory: a bump-allocated flat byte array.
 #[derive(Debug, Clone)]
 pub struct GlobalMemory {
@@ -109,6 +166,15 @@ impl GlobalMemory {
     /// Allocate and initialize from `f64` host data.
     pub fn alloc_f64(&mut self, data: &[f64]) -> Result<Buffer, MemError> {
         let b = self.alloc(data.len() as u64 * 8)?;
+        if let Some(w) = self.write_window(b.addr, data.len() as u64 * 8) {
+            // Bulk host init: one bounds check for the whole range. Only
+            // taken with the fault countdown disarmed, so the per-access
+            // countdown semantics of the slow path are preserved.
+            for (dst, v) in w.chunks_exact_mut(8).zip(data) {
+                dst.copy_from_slice(&v.to_bits().to_le_bytes());
+            }
+            return Ok(b);
+        }
         for (i, v) in data.iter().enumerate() {
             self.write_scalar(b.addr + i as u64 * 8, Constant::f64(*v))?;
         }
@@ -118,6 +184,12 @@ impl GlobalMemory {
     /// Allocate and initialize from `f32` host data.
     pub fn alloc_f32(&mut self, data: &[f32]) -> Result<Buffer, MemError> {
         let b = self.alloc(data.len() as u64 * 4)?;
+        if let Some(w) = self.write_window(b.addr, data.len() as u64 * 4) {
+            for (dst, v) in w.chunks_exact_mut(4).zip(data) {
+                dst.copy_from_slice(&v.to_bits().to_le_bytes());
+            }
+            return Ok(b);
+        }
         for (i, v) in data.iter().enumerate() {
             self.write_scalar(b.addr + i as u64 * 4, Constant::f32(*v))?;
         }
@@ -127,6 +199,12 @@ impl GlobalMemory {
     /// Allocate and initialize from `i64` host data.
     pub fn alloc_i64(&mut self, data: &[i64]) -> Result<Buffer, MemError> {
         let b = self.alloc(data.len() as u64 * 8)?;
+        if let Some(w) = self.write_window(b.addr, data.len() as u64 * 8) {
+            for (dst, v) in w.chunks_exact_mut(8).zip(data) {
+                dst.copy_from_slice(&v.to_le_bytes());
+            }
+            return Ok(b);
+        }
         for (i, v) in data.iter().enumerate() {
             self.write_scalar(b.addr + i as u64 * 8, Constant::I64(*v))?;
         }
@@ -136,10 +214,47 @@ impl GlobalMemory {
     /// Allocate and initialize from `i32` host data.
     pub fn alloc_i32(&mut self, data: &[i32]) -> Result<Buffer, MemError> {
         let b = self.alloc(data.len() as u64 * 4)?;
+        if let Some(w) = self.write_window(b.addr, data.len() as u64 * 4) {
+            for (dst, v) in w.chunks_exact_mut(4).zip(data) {
+                dst.copy_from_slice(&v.to_le_bytes());
+            }
+            return Ok(b);
+        }
         for (i, v) in data.iter().enumerate() {
             self.write_scalar(b.addr + i as u64 * 4, Constant::I32(*v))?;
         }
         Ok(b)
+    }
+
+    /// Borrow `len` bytes at `addr` for reading, bounds-checked once.
+    ///
+    /// Returns `None` whenever the per-access slow path must run instead:
+    /// when the range is not fully in bounds (the caller's per-access loop
+    /// then reports the fault at the exact access the reference
+    /// interpreter would), or when a fault countdown is armed — `check`
+    /// ticks the countdown once per access, so a windowed access would
+    /// change which access faults. With the countdown disarmed the tick is
+    /// a no-op and the window is observationally identical.
+    pub(crate) fn read_window(&self, addr: u64, len: u64) -> Option<&[u8]> {
+        if self.fault_after.get().is_some()
+            || addr < ALIGN
+            || addr.saturating_add(len) > self.top
+        {
+            return None;
+        }
+        Some(&self.bytes[addr as usize..(addr + len) as usize])
+    }
+
+    /// Borrow `len` bytes at `addr` for writing; same contract as
+    /// [`GlobalMemory::read_window`].
+    pub(crate) fn write_window(&mut self, addr: u64, len: u64) -> Option<&mut [u8]> {
+        if self.fault_after.get().is_some()
+            || addr < ALIGN
+            || addr.saturating_add(len) > self.top
+        {
+            return None;
+        }
+        Some(&mut self.bytes[addr as usize..(addr + len) as usize])
     }
 
     fn check(&self, addr: u64, width: u64) -> Result<(), MemError> {
@@ -213,6 +328,12 @@ impl GlobalMemory {
     /// like [`GlobalMemory::alloc`], host-side readback reports faults
     /// instead of panicking.
     pub fn read_f64(&self, b: Buffer) -> Result<Vec<f64>, MemError> {
+        if let Some(w) = self.read_window(b.addr, b.len / 8 * 8) {
+            return Ok(w
+                .chunks_exact(8)
+                .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+                .collect());
+        }
         (0..b.len / 8)
             .map(|i| {
                 self.read_scalar(b.addr + i * 8, Type::F64)
@@ -227,6 +348,12 @@ impl GlobalMemory {
     ///
     /// Returns [`MemError::OutOfBounds`] for dangling/foreign buffers.
     pub fn read_i64(&self, b: Buffer) -> Result<Vec<i64>, MemError> {
+        if let Some(w) = self.read_window(b.addr, b.len / 8 * 8) {
+            return Ok(w
+                .chunks_exact(8)
+                .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+                .collect());
+        }
         (0..b.len / 8)
             .map(|i| {
                 self.read_scalar(b.addr + i * 8, Type::I64)
@@ -241,6 +368,12 @@ impl GlobalMemory {
     ///
     /// Returns [`MemError::OutOfBounds`] for dangling/foreign buffers.
     pub fn read_i32(&self, b: Buffer) -> Result<Vec<i32>, MemError> {
+        if let Some(w) = self.read_window(b.addr, b.len / 4 * 4) {
+            return Ok(w
+                .chunks_exact(4)
+                .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+                .collect());
+        }
         (0..b.len / 4)
             .map(|i| {
                 self.read_scalar(b.addr + i * 4, Type::I32)
@@ -255,6 +388,12 @@ impl GlobalMemory {
     ///
     /// Returns [`MemError::OutOfBounds`] for dangling/foreign buffers.
     pub fn read_f32(&self, b: Buffer) -> Result<Vec<f32>, MemError> {
+        if let Some(w) = self.read_window(b.addr, b.len / 4 * 4) {
+            return Ok(w
+                .chunks_exact(4)
+                .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap())))
+                .collect());
+        }
         (0..b.len / 4)
             .map(|i| {
                 self.read_scalar(b.addr + i * 4, Type::F32)

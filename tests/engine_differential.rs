@@ -243,3 +243,232 @@ fn uniform_values_identical_across_lanes_on_random_programs() {
         },
     );
 }
+
+/// A small divergent kernel for the decode-cache tests: a guarded
+/// per-lane loop (`out[gid] = n + sum(0..gid mod 7)` for `gid < n`)
+/// exercising phis, divergence, and uniform/varying operands.
+fn cache_probe_kernel() -> uu_ir::Function {
+    use uu_ir::{CastOp, FunctionBuilder, ICmpPred, Param, Type, Value};
+    let mut f = uu_ir::Function::new(
+        "cacheprobe",
+        vec![Param::new("out", Type::Ptr), Param::new("n", Type::I64)],
+        Type::Void,
+    );
+    let entry = f.entry();
+    let mut b = FunctionBuilder::new(&mut f);
+    let header = b.create_block();
+    let body = b.create_block();
+    let done = b.create_block();
+    let exit = b.create_block();
+    b.switch_to(entry);
+    let gid = b.global_thread_id();
+    let gid64 = b.cast(CastOp::Sext, gid, Type::I64);
+    let inb = b.icmp(ICmpPred::Slt, gid64, Value::Arg(1));
+    b.cond_br(inb, header, exit);
+    b.switch_to(header);
+    let i = b.phi(Type::I64);
+    let acc = b.phi(Type::I64);
+    b.add_phi_incoming(i, entry, Value::imm(0i64));
+    b.add_phi_incoming(acc, entry, Value::imm(0i64));
+    let lim = b.bin(uu_ir::BinOp::SRem, gid64, Value::imm(7i64));
+    let c = b.icmp(ICmpPred::Slt, i, lim);
+    b.cond_br(c, body, done);
+    b.switch_to(body);
+    let acc1 = b.add(acc, i);
+    let i1 = b.add(i, Value::imm(1i64));
+    b.add_phi_incoming(i, body, i1);
+    b.add_phi_incoming(acc, body, acc1);
+    b.br(header);
+    b.switch_to(done);
+    let total = b.add(acc, Value::Arg(1));
+    let p = b.gep(Value::Arg(0), gid64, 8);
+    b.store(p, total);
+    b.br(exit);
+    b.switch_to(exit);
+    b.ret(None);
+    uu_ir::verify_function(&f).unwrap();
+    f
+}
+
+/// Launch `f` on a fresh GPU and flatten report + outputs for exact
+/// comparison.
+fn launch_probe(f: &uu_ir::Function, grid: u32, block: u32, n: i64) -> String {
+    use uu_simt::{KernelArg, LaunchConfig};
+    let mut gpu = Gpu::new();
+    let threads = (grid as usize) * (block as usize);
+    let out = gpu.mem.alloc_i64(&vec![0i64; threads.max(1)]).unwrap();
+    let report = gpu
+        .launch(
+            f,
+            LaunchConfig::new(grid, block),
+            &[KernelArg::Buffer(out), KernelArg::I64(n)],
+        )
+        .unwrap();
+    format!(
+        "out={:?} metrics={:?} time={:016x}",
+        gpu.mem.read_i64(out).unwrap(),
+        report.metrics,
+        report.time_ms.to_bits()
+    )
+}
+
+#[test]
+fn decode_cache_is_observationally_identical_across_geometries() {
+    // The same kernel launched across differing grid/block dims and
+    // workloads: the first launch decodes, every subsequent launch of the
+    // same (function, baked constants) pair hits the thread's cache. Each
+    // cached launch must be Debug-identical to a launch made with a cold
+    // cache (fresh decode).
+    let f = cache_probe_kernel();
+    let geometries = [(1u32, 32u32), (2, 64), (4, 48), (1, 16), (3, 32)];
+    let workloads = [0i64, 7, 31, 96, 200];
+    uu_simt::decode_cache_clear();
+    let mut cached = Vec::new();
+    for &(g, b) in &geometries {
+        for &n in &workloads {
+            cached.push(launch_probe(&f, g, b, n));
+        }
+    }
+    let (hits, misses) = uu_simt::decode_cache_stats();
+    // One miss per distinct baked-in workload constant; geometry is not
+    // part of the key, so all geometry variations hit.
+    assert_eq!(misses, workloads.len() as u64, "one decode per workload");
+    assert_eq!(
+        hits,
+        (geometries.len() as u64 - 1) * workloads.len() as u64,
+        "every relaunch reuses the cached decode"
+    );
+    let mut fresh = Vec::new();
+    for &(g, b) in &geometries {
+        for &n in &workloads {
+            uu_simt::decode_cache_clear();
+            fresh.push(launch_probe(&f, g, b, n));
+        }
+    }
+    assert_eq!(cached, fresh, "cached decode must equal a fresh decode");
+    uu_simt::decode_cache_clear();
+}
+
+#[test]
+fn decode_cache_reuses_across_corpus_relaunches() {
+    // Corpus kernels relaunched with identical specs must produce
+    // identical reports whether the decode came from the cache or not.
+    let corpus = load_corpus();
+    assert!(!corpus.is_empty(), "seed corpus must exist");
+    for (name, spec) in corpus.iter().take(16) {
+        uu_simt::decode_cache_clear();
+        let cold = run_spec(spec, ExecEngine::Decoded);
+        let warm = run_spec(spec, ExecEngine::Decoded);
+        let (hits, _) = uu_simt::decode_cache_stats();
+        assert!(hits >= 1, "{name}: relaunch should hit the decode cache");
+        assert_eq!(cold, warm, "{name}: cached relaunch changed behaviour");
+    }
+    uu_simt::decode_cache_clear();
+}
+
+/// Execute `f` under a manually decoded kernel (fused or unfused
+/// superblocks), one warp of 32 lanes, with an optional injected memory
+/// fault; flatten everything observable for exact comparison.
+fn run_decoded_manual(
+    f: &uu_ir::Function,
+    spec: &KernelSpec,
+    fused: bool,
+    fault_after: Option<u64>,
+) -> String {
+    use uu_analysis::{PostDomTree, Uniformity};
+    use uu_simt::{DecodedKernel, GlobalMemory, Metrics, Scratch, SectorSet, WarpGeometry};
+    let mut params = GpuParams::default();
+    params.max_warp_insts = 2_000_000;
+    let mut mem = GlobalMemory::new(1 << 20);
+    let out = mem.alloc_i64(&vec![0i64; 32]).unwrap();
+    if let Some(n) = fault_after {
+        mem.inject_fault_after(n);
+    }
+    let consts = [
+        uu_ir::Constant::I64(out.addr as i64),
+        uu_ir::Constant::I64(spec.bound),
+        uu_ir::Constant::I64(spec.input_a),
+    ];
+    let pdom = PostDomTree::compute(f);
+    let uni = Uniformity::compute(f);
+    let k = if fused {
+        DecodedKernel::decode(f, &pdom, &uni, &consts)
+    } else {
+        DecodedKernel::decode_unfused(f, &pdom, &uni, &consts)
+    };
+    let mut scratch = Scratch::new();
+    let mut touched = SectorSet::new();
+    touched.reset(mem.used().div_ceil(params.sector_bytes) + 1);
+    let mut metrics = Metrics::default();
+    let geom = WarpGeometry {
+        block_idx: 0,
+        block_dim: 32,
+        grid_dim: 1,
+        first_thread: 0,
+    };
+    let r = k.run_warp(&mut scratch, geom, &params, &mut mem, &mut metrics, &mut touched);
+    format!(
+        "result={r:?} metrics={metrics:?} sectors={} out={:?}",
+        touched.len(),
+        mem.read_i64(out)
+    )
+}
+
+#[test]
+fn superblock_fusion_is_observationally_identical_on_corpus() {
+    // Fused superblock streams vs one-block-per-stream decoding of the
+    // same kernels: issue cycles, metrics, outputs, errors, and the
+    // fault-countdown access order must all agree exactly.
+    let corpus = load_corpus();
+    assert!(!corpus.is_empty(), "seed corpus must exist");
+    for (name, spec) in &corpus {
+        let f = build_kernel(spec);
+        assert_eq!(
+            run_decoded_manual(&f, spec, true, None),
+            run_decoded_manual(&f, spec, false, None),
+            "fusion changed behaviour on corpus spec {name}"
+        );
+        // Fault countdowns probe the memory access *order*, not just the
+        // set: the n-th checked access must fault in both decodings.
+        for fault in [1u64, 7, 40] {
+            assert_eq!(
+                run_decoded_manual(&f, spec, true, Some(fault)),
+                run_decoded_manual(&f, spec, false, Some(fault)),
+                "fusion changed fault order on corpus spec {name} (fault@{fault})"
+            );
+        }
+    }
+}
+
+#[test]
+fn superblock_fusion_is_observationally_identical_on_melded_corpus() {
+    // Meld produces long straight-line regions — exactly what fusion
+    // targets — so pin fused-vs-unfused agreement there too.
+    let corpus = load_corpus();
+    for (name, spec) in corpus.iter().take(24) {
+        let mut m = uu_ir::Module::new("sbdiff");
+        let id = m.add_function(build_kernel(spec));
+        let out = uu_core::compile(
+            &mut m,
+            &uu_core::PipelineOptions {
+                transform: uu_core::Transform::Meld,
+                filter: uu_core::LoopFilter::All,
+                ..Default::default()
+            },
+        );
+        assert!(out.verify_error.is_none(), "meld broke corpus spec {name}");
+        let f = m.function(id);
+        assert_eq!(
+            run_decoded_manual(f, spec, true, None),
+            run_decoded_manual(f, spec, false, None),
+            "fusion changed behaviour on melded corpus spec {name}"
+        );
+        for fault in [3u64, 25] {
+            assert_eq!(
+                run_decoded_manual(f, spec, true, Some(fault)),
+                run_decoded_manual(f, spec, false, Some(fault)),
+                "fusion changed fault order on melded spec {name} (fault@{fault})"
+            );
+        }
+    }
+}
